@@ -1,0 +1,164 @@
+//! Micro-benchmarks of the substrates: field arithmetic, share
+//! construction/reconstruction (the client's per-value costs), the
+//! from-scratch crypto used by baselines, and the storage engine (E11).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dasp_bigint::{mod_pow, mod_pow_plain, BigUint, MontgomeryCtx};
+use dasp_crypto::{sha256, Aes128, OpeCipher, SipHash24};
+use dasp_field::{Fp, Poly};
+use dasp_sss::{DomainKey, FieldSharing, OpSharing, OpssParams, StringCodec};
+use dasp_storage::btree::compose_key;
+use dasp_storage::{BTree, BufferPool, Pager};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn bench_field(c: &mut Criterion) {
+    let mut g = c.benchmark_group("field");
+    let a = Fp::from_u64(0x1234_5678_9abc);
+    let b = Fp::from_u64(0x0fed_cba9_8765);
+    g.bench_function("mul", |bench| bench.iter(|| black_box(a) * black_box(b)));
+    g.bench_function("inv", |bench| bench.iter(|| black_box(a).inv()));
+    let poly = Poly::new((0..4).map(Fp::from_u64).collect());
+    g.bench_function("poly_eval_deg3", |bench| {
+        bench.iter(|| poly.eval(black_box(a)))
+    });
+    g.finish();
+}
+
+fn bench_sss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sss");
+    let mut rng = StdRng::seed_from_u64(1);
+    let sharing = FieldSharing::generate(2, 4, &mut rng).unwrap();
+    let key = DomainKey::derive(b"master", "salary");
+    g.bench_function("split_random_k2_n4", |bench| {
+        bench.iter(|| sharing.split_random(Fp::from_u64(12345), &mut rng))
+    });
+    g.bench_function("split_deterministic_k2_n4", |bench| {
+        bench.iter(|| sharing.split_deterministic(black_box(12345), &key))
+    });
+    let shares = sharing.split_random(Fp::from_u64(777), &mut rng);
+    g.bench_function("reconstruct_k2", |bench| {
+        bench.iter(|| sharing.reconstruct(black_box(&shares[..2])))
+    });
+
+    let params = OpssParams::new(1, 12, 1 << 32, vec![2, 4, 1, 7]).unwrap();
+    let op = OpSharing::new(params, key.clone());
+    g.bench_function("opss_share_deg1_n4", |bench| {
+        bench.iter(|| op.share(black_box(1_000_000)))
+    });
+    let share0 = op.share_for(1_000_000, 0).unwrap();
+    g.bench_function("opss_decode_search_2^32", |bench| {
+        bench.iter(|| op.reconstruct_search(0, black_box(share0)))
+    });
+    let pairs: Vec<(usize, i128)> = op
+        .share(1_000_000)
+        .unwrap()
+        .into_iter()
+        .enumerate()
+        .collect();
+    g.bench_function("opss_decode_interpolate", |bench| {
+        bench.iter(|| op.reconstruct_interpolate(black_box(&pairs)))
+    });
+
+    let codec = StringCodec::uppercase(8).unwrap();
+    g.bench_function("string_encode", |bench| {
+        bench.iter(|| codec.encode(black_box("JOHNSON")))
+    });
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xa5u8; 1024];
+    g.bench_function("sha256_1k", |bench| bench.iter(|| sha256(black_box(&data))));
+    let aes = Aes128::new(b"0123456789abcdef");
+    g.bench_function("aes128_block", |bench| {
+        bench.iter(|| aes.encrypt_u128(black_box(0xdead_beef)))
+    });
+    let sip = SipHash24::from_words(1, 2);
+    g.bench_function("siphash_u64", |bench| {
+        bench.iter(|| sip.hash_u64(black_box(42)))
+    });
+    let ope = OpeCipher::new(b"0123456789abcdef", 1 << 32);
+    g.bench_function("ope_encrypt_2^32", |bench| {
+        bench.iter(|| ope.encrypt(black_box(1_000_000)))
+    });
+    g.finish();
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bigint");
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = BigUint::random_bits(512, &mut rng);
+    let a = BigUint::random_bits(510, &mut rng);
+    let e = BigUint::random_bits(256, &mut rng);
+    g.bench_function("mul_512", |bench| bench.iter(|| black_box(&a).mul(&a)));
+    g.bench_function("modexp_512_e256", |bench| {
+        bench.iter(|| mod_pow(black_box(&a), &e, &n))
+    });
+    // Ablation: Montgomery (used by mod_pow for odd moduli) vs the
+    // division-based reference path.
+    let n_odd = if n.is_even() { n.add(&BigUint::one()) } else { n.clone() };
+    g.bench_function("modexp_512_plain_division", |bench| {
+        bench.iter(|| mod_pow_plain(black_box(&a), &e, &n_odd))
+    });
+    let ctx = MontgomeryCtx::new(&n_odd);
+    g.bench_function("modexp_512_montgomery", |bench| {
+        bench.iter(|| ctx.mod_pow(black_box(&a), &e))
+    });
+    g.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage");
+    // Pre-built tree with 50k entries.
+    let pool = BufferPool::new(Pager::in_memory(), 512);
+    let mut tree = BTree::create(&pool).unwrap();
+    for i in 0..50_000u64 {
+        tree.insert(&pool, &compose_key(i as i128 * 3, i), i).unwrap();
+    }
+    g.bench_function("btree_probe_50k", |bench| {
+        bench.iter(|| tree.get(&pool, &compose_key(black_box(74_997), 24_999)))
+    });
+    g.bench_function("btree_range_100_of_50k", |bench| {
+        bench.iter(|| {
+            tree.range(&pool, &compose_key(30_000, 0), &compose_key(30_300, u64::MAX))
+        })
+    });
+    g.bench_function("btree_insert", |bench| {
+        let mut next = 1_000_000u64;
+        bench.iter_batched(
+            || {
+                next += 1;
+                next
+            },
+            |i| tree.insert(&pool, &compose_key(i as i128, i), i),
+            BatchSize::SmallInput,
+        )
+    });
+    // std BTreeMap comparison point.
+    let mut map = std::collections::BTreeMap::new();
+    for i in 0..50_000u64 {
+        map.insert((i as i128 * 3, i), i);
+    }
+    g.bench_function("btreemap_probe_50k", |bench| {
+        bench.iter(|| map.get(&(black_box(74_997i128), 24_999u64)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_field, bench_sss, bench_crypto, bench_bigint, bench_storage
+}
+criterion_main!(benches);

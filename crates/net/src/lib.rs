@@ -1,0 +1,24 @@
+//! Simulated multi-provider deployment.
+//!
+//! The paper's architecture is one client (the data source D) talking to
+//! `n` independent database service providers over a WAN. This crate
+//! builds that deployment on one machine:
+//!
+//! * [`wire`] — a compact hand-rolled binary codec (no serde formats are
+//!   available offline) used for all RPC payloads.
+//! * [`cost`] — a network cost model: per-message latency and bandwidth
+//!   translate measured byte/message counts into modeled WAN time, so
+//!   experiments can report both raw compute and network-dominated
+//!   end-to-end figures, like the paper's "~3 Gbit of transfer" claims.
+//! * [`rpc`] — providers as OS threads serving requests over crossbeam
+//!   channels, with per-provider failure injection (crash, omission,
+//!   response corruption) for the paper's benign/malicious failure-model
+//!   challenge (conclusion, challenge (b)).
+
+pub mod cost;
+pub mod rpc;
+pub mod wire;
+
+pub use cost::{NetworkModel, TrafficStats};
+pub use rpc::{Cluster, FailureMode, ProviderId, RpcError, Service};
+pub use wire::{WireError, WireReader, WireWriter};

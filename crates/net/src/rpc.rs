@@ -1,0 +1,423 @@
+//! Threaded RPC fabric with failure injection.
+//!
+//! Each provider runs as an OS thread owning a [`Service`] implementation
+//! and serving requests from a crossbeam channel — the closest laptop
+//! analogue of the paper's independent DAS sites. The client side fans
+//! requests out to any subset of providers and waits with a timeout, so a
+//! crashed provider degrades into a timeout exactly as a dead site would.
+//!
+//! Failure injection (per provider, switchable at runtime):
+//! * [`FailureMode::Crashed`] — requests are dropped (client times out).
+//! * [`FailureMode::Omission`] — each response is dropped with probability p.
+//! * [`FailureMode::Byzantine`] — each response byte-flipped with
+//!   probability p (exercises share-consistency detection).
+
+use crate::cost::TrafficStats;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Index of a provider within a cluster (0-based).
+pub type ProviderId = usize;
+
+/// A request handler run by each provider thread.
+pub trait Service: Send {
+    /// Handle one request payload, producing a response payload.
+    fn handle(&mut self, request: &[u8]) -> Vec<u8>;
+}
+
+impl<F> Service for F
+where
+    F: FnMut(&[u8]) -> Vec<u8> + Send,
+{
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        self(request)
+    }
+}
+
+/// Per-provider failure behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureMode {
+    /// Normal operation.
+    Healthy,
+    /// Provider is down: requests vanish.
+    Crashed,
+    /// Each response is dropped with this probability.
+    Omission(f64),
+    /// Each response is corrupted (random byte flipped) with this
+    /// probability.
+    Byzantine(f64),
+}
+
+/// RPC failure as seen by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// No response within the deadline (crashed/omitting provider).
+    Timeout(ProviderId),
+    /// The provider id does not exist.
+    UnknownProvider(ProviderId),
+    /// The cluster was shut down.
+    Closed,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Timeout(p) => write!(f, "provider {p} timed out"),
+            RpcError::UnknownProvider(p) => write!(f, "unknown provider {p}"),
+            RpcError::Closed => write!(f, "cluster closed"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+struct Envelope {
+    request: Vec<u8>,
+    reply_to: Sender<Vec<u8>>,
+}
+
+struct ProviderHandle {
+    tx: Sender<Envelope>,
+    failure: Arc<Mutex<FailureMode>>,
+    latency: Arc<Mutex<Duration>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A running cluster of provider threads plus client-side metering.
+pub struct Cluster {
+    providers: Vec<ProviderHandle>,
+    stats: TrafficStats,
+    timeout: Duration,
+}
+
+impl Cluster {
+    /// Spawn one thread per service. `timeout` bounds every call.
+    pub fn spawn(services: Vec<Box<dyn Service>>, timeout: Duration) -> Self {
+        let providers = services
+            .into_iter()
+            .enumerate()
+            .map(|(id, mut service)| {
+                let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
+                let failure = Arc::new(Mutex::new(FailureMode::Healthy));
+                let failure_clone = Arc::clone(&failure);
+                let latency = Arc::new(Mutex::new(Duration::ZERO));
+                let latency_clone = Arc::clone(&latency);
+                let thread = std::thread::Builder::new()
+                    .name(format!("dasp-provider-{id}"))
+                    .spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(0x5eed ^ id as u64);
+                        while let Ok(env) = rx.recv() {
+                            let delay = *latency_clone.lock();
+                            if !delay.is_zero() {
+                                // Live WAN emulation: one-way request delay
+                                // (the reply path shares the same sleep
+                                // budget for simplicity).
+                                std::thread::sleep(delay);
+                            }
+                            let mode = *failure_clone.lock();
+                            match mode {
+                                FailureMode::Crashed => continue,
+                                FailureMode::Omission(p) => {
+                                    let response = service.handle(&env.request);
+                                    if rng.gen::<f64>() >= p {
+                                        let _ = env.reply_to.send(response);
+                                    }
+                                }
+                                FailureMode::Byzantine(p) => {
+                                    let mut response = service.handle(&env.request);
+                                    if !response.is_empty() && rng.gen::<f64>() < p {
+                                        let idx = rng.gen_range(0..response.len());
+                                        response[idx] ^= 1 << rng.gen_range(0..8);
+                                    }
+                                    let _ = env.reply_to.send(response);
+                                }
+                                FailureMode::Healthy => {
+                                    let _ = env.reply_to.send(service.handle(&env.request));
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn provider thread");
+                ProviderHandle {
+                    tx,
+                    failure,
+                    latency,
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        Cluster {
+            providers,
+            stats: TrafficStats::new(),
+            timeout,
+        }
+    }
+
+    /// Number of providers.
+    pub fn n(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// The shared traffic meters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Set a provider's failure mode.
+    pub fn set_failure(&self, provider: ProviderId, mode: FailureMode) {
+        if let Some(h) = self.providers.get(provider) {
+            *h.failure.lock() = mode;
+        }
+    }
+
+    /// Inject real per-request latency at every provider (live WAN
+    /// emulation — complements the analytical [`crate::NetworkModel`]).
+    /// The call timeout must exceed the injected latency.
+    pub fn set_latency(&self, delay: Duration) {
+        for h in &self.providers {
+            *h.latency.lock() = delay;
+        }
+    }
+
+    /// Call one provider, counting the exchange as a round trip.
+    pub fn call(&self, provider: ProviderId, request: Vec<u8>) -> Result<Vec<u8>, RpcError> {
+        let result = self.send_one(provider, request);
+        self.stats.record_round_trip();
+        result
+    }
+
+    fn send_one(&self, provider: ProviderId, request: Vec<u8>) -> Result<Vec<u8>, RpcError> {
+        let handle = self
+            .providers
+            .get(provider)
+            .ok_or(RpcError::UnknownProvider(provider))?;
+        self.stats.record_send(request.len());
+        let (reply_tx, reply_rx) = bounded(1);
+        handle
+            .tx
+            .send(Envelope {
+                request,
+                reply_to: reply_tx,
+            })
+            .map_err(|_| RpcError::Closed)?;
+        match reply_rx.recv_timeout(self.timeout) {
+            Ok(response) => {
+                self.stats.record_recv(response.len());
+                Ok(response)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(RpcError::Timeout(provider)),
+            Err(RecvTimeoutError::Disconnected) => Err(RpcError::Timeout(provider)),
+        }
+    }
+
+    /// Fan a (provider-specific) request out to a subset of providers in
+    /// parallel; returns per-provider results. Counts one round trip.
+    pub fn call_many(
+        &self,
+        requests: Vec<(ProviderId, Vec<u8>)>,
+    ) -> Vec<(ProviderId, Result<Vec<u8>, RpcError>)> {
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .into_iter()
+                .map(|(provider, request)| {
+                    scope.spawn(move || (provider, self.send_one(provider, request)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect::<Vec<_>>()
+        });
+        self.stats.record_round_trip();
+        results
+    }
+
+    /// Fan out and return as soon as `k` successes arrive (the paper's
+    /// "any k of the service providers must be available"). Results
+    /// beyond the first k successes may be discarded.
+    pub fn call_quorum(
+        &self,
+        requests: Vec<(ProviderId, Vec<u8>)>,
+        k: usize,
+    ) -> Result<Vec<(ProviderId, Vec<u8>)>, RpcError> {
+        let all = self.call_many(requests);
+        let mut successes = Vec::with_capacity(k);
+        for (provider, result) in all {
+            if let Ok(response) = result {
+                successes.push((provider, response));
+                if successes.len() == k {
+                    return Ok(successes);
+                }
+            }
+        }
+        Err(RpcError::Closed) // quorum unreachable
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Close channels, then join threads.
+        for p in &mut self.providers {
+            let (dead_tx, _) = unbounded();
+            p.tx = dead_tx;
+        }
+        for p in &mut self.providers {
+            if let Some(t) = p.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_cluster(n: usize) -> Cluster {
+        let services: Vec<Box<dyn Service>> = (0..n)
+            .map(|id| {
+                Box::new(move |req: &[u8]| {
+                    let mut out = vec![id as u8];
+                    out.extend_from_slice(req);
+                    out
+                }) as Box<dyn Service>
+            })
+            .collect();
+        Cluster::spawn(services, Duration::from_millis(200))
+    }
+
+    #[test]
+    fn call_roundtrip() {
+        let cluster = echo_cluster(3);
+        let resp = cluster.call(1, b"ping".to_vec()).unwrap();
+        assert_eq!(resp, b"\x01ping");
+    }
+
+    #[test]
+    fn unknown_provider() {
+        let cluster = echo_cluster(2);
+        assert_eq!(
+            cluster.call(5, vec![]),
+            Err(RpcError::UnknownProvider(5))
+        );
+    }
+
+    #[test]
+    fn crashed_provider_times_out_but_others_serve() {
+        let cluster = echo_cluster(3);
+        cluster.set_failure(0, FailureMode::Crashed);
+        assert_eq!(cluster.call(0, b"x".to_vec()), Err(RpcError::Timeout(0)));
+        assert!(cluster.call(1, b"x".to_vec()).is_ok());
+        // Recovery.
+        cluster.set_failure(0, FailureMode::Healthy);
+        assert!(cluster.call(0, b"x".to_vec()).is_ok());
+    }
+
+    #[test]
+    fn fan_out_hits_all() {
+        let cluster = echo_cluster(4);
+        let reqs = (0..4).map(|i| (i, vec![i as u8])).collect();
+        let results = cluster.call_many(reqs);
+        assert_eq!(results.len(), 4);
+        for (provider, result) in results {
+            assert_eq!(result.unwrap(), vec![provider as u8, provider as u8]);
+        }
+        // One fan-out = one round trip.
+        assert_eq!(cluster.stats().snapshot().round_trips, 1);
+    }
+
+    #[test]
+    fn quorum_tolerates_crashes() {
+        let cluster = echo_cluster(4);
+        cluster.set_failure(2, FailureMode::Crashed);
+        let reqs = (0..4).map(|i| (i, vec![9])).collect();
+        let got = cluster.call_quorum(reqs, 2).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|(p, _)| *p != 2));
+    }
+
+    #[test]
+    fn quorum_unreachable_when_too_many_crash() {
+        let cluster = echo_cluster(3);
+        cluster.set_failure(0, FailureMode::Crashed);
+        cluster.set_failure(1, FailureMode::Crashed);
+        let reqs = (0..3).map(|i| (i, vec![])).collect();
+        assert!(cluster.call_quorum(reqs, 2).is_err());
+    }
+
+    #[test]
+    fn byzantine_mode_corrupts_responses() {
+        let cluster = echo_cluster(1);
+        cluster.set_failure(0, FailureMode::Byzantine(1.0));
+        let mut corrupted = 0;
+        for _ in 0..20 {
+            let resp = cluster.call(0, b"abc".to_vec()).unwrap();
+            if resp != b"\x00abc" {
+                corrupted += 1;
+            }
+        }
+        assert_eq!(corrupted, 20, "p=1.0 must corrupt every response");
+    }
+
+    #[test]
+    fn omission_mode_drops_some() {
+        let cluster = echo_cluster(1);
+        cluster.set_failure(0, FailureMode::Omission(1.0));
+        assert_eq!(cluster.call(0, vec![1]), Err(RpcError::Timeout(0)));
+        cluster.set_failure(0, FailureMode::Omission(0.0));
+        assert!(cluster.call(0, vec![1]).is_ok());
+    }
+
+    #[test]
+    fn traffic_is_metered() {
+        let cluster = echo_cluster(2);
+        cluster.call(0, vec![0u8; 100]).unwrap();
+        let snap = cluster.stats().snapshot();
+        assert_eq!(snap.bytes_sent, 100);
+        assert_eq!(snap.bytes_received, 101);
+        assert_eq!(snap.messages_sent, 1);
+    }
+
+    #[test]
+    fn injected_latency_slows_calls_and_parallel_fanout_shares_it() {
+        let cluster = echo_cluster(3);
+        cluster.set_latency(Duration::from_millis(30));
+        let start = std::time::Instant::now();
+        cluster.call(0, vec![1]).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(30), "serial call delayed");
+        // Fan-out to all three in parallel: latency is paid once, not 3×.
+        let start = std::time::Instant::now();
+        let results = cluster.call_many((0..3).map(|p| (p, vec![2])).collect());
+        assert!(results.iter().all(|(_, r)| r.is_ok()));
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(30));
+        assert!(
+            elapsed < Duration::from_millis(85),
+            "parallel fan-out took {elapsed:?}; latency must not serialize"
+        );
+        cluster.set_latency(Duration::ZERO);
+        let start = std::time::Instant::now();
+        cluster.call(0, vec![3]).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(25), "latency cleared");
+    }
+
+    #[test]
+    fn stateful_service_keeps_state_across_calls() {
+        struct Counter(u64);
+        impl Service for Counter {
+            fn handle(&mut self, _req: &[u8]) -> Vec<u8> {
+                self.0 += 1;
+                self.0.to_le_bytes().to_vec()
+            }
+        }
+        let cluster = Cluster::spawn(
+            vec![Box::new(Counter(0))],
+            Duration::from_millis(200),
+        );
+        cluster.call(0, vec![]).unwrap();
+        let second = cluster.call(0, vec![]).unwrap();
+        assert_eq!(u64::from_le_bytes(second.try_into().unwrap()), 2);
+    }
+}

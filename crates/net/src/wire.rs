@@ -1,0 +1,372 @@
+//! Hand-rolled binary wire format.
+//!
+//! Little-endian fixed-width integers, length-prefixed byte strings and
+//! sequences. Every RPC payload in the workspace is encoded with
+//! [`WireWriter`] and decoded with [`WireReader`], which checks bounds so
+//! corrupted messages surface as [`WireError`] instead of panics — that is
+//! load-bearing for the Byzantine-failure experiments.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the field needs.
+    Truncated { wanted: usize, left: usize },
+    /// A tag byte had no matching variant.
+    BadTag(u8),
+    /// A length prefix exceeded the sanity bound.
+    LengthOverflow(u64),
+    /// A string was not UTF-8.
+    BadUtf8,
+    /// Trailing bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { wanted, left } => {
+                write!(f, "truncated: wanted {wanted} bytes, {left} left")
+            }
+            WireError::BadTag(t) => write!(f, "bad tag byte {t:#x}"),
+            WireError::LengthOverflow(n) => write!(f, "length {n} too large"),
+            WireError::BadUtf8 => write!(f, "invalid utf-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum length prefix we accept (guards against corrupt lengths
+/// allocating gigabytes).
+const MAX_LEN: u64 = 1 << 32;
+
+/// An append-only message encoder.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish, yielding the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Append a `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16_le(v);
+        self
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Append an `i128`.
+    pub fn i128(&mut self, v: i128) -> &mut Self {
+        self.buf.put_i128_le(v);
+        self
+    }
+
+    /// Append a `u128`.
+    pub fn u128(&mut self, v: u128) -> &mut Self {
+        self.buf.put_u128_le(v);
+        self
+    }
+
+    /// Append a bool (one byte).
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(v as u8)
+    }
+
+    /// Append length-prefixed bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u64(v.len() as u64);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Append a sequence with a callback per element.
+    pub fn seq<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) -> &mut Self {
+        self.u64(items.len() as u64);
+        for item in items {
+            f(self, item);
+        }
+        self
+    }
+}
+
+/// A checked message decoder.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Wrap encoded bytes.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    /// Remaining undecoded bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Error unless fully consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated {
+                wanted: n,
+                left: self.buf.len(),
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(self.take(2)?.get_u16_le())
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(self.take(4)?.get_u32_le())
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(self.take(8)?.get_u64_le())
+    }
+
+    /// Read an `i128`.
+    pub fn i128(&mut self) -> Result<i128, WireError> {
+        Ok(self.take(16)?.get_i128_le())
+    }
+
+    /// Read a `u128`.
+    pub fn u128(&mut self) -> Result<u128, WireError> {
+        Ok(self.take(16)?.get_u128_le())
+    }
+
+    /// Read a bool, rejecting tags other than 0/1.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Read length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u64()?;
+        if len > MAX_LEN {
+            return Err(WireError::LengthOverflow(len));
+        }
+        self.take(len as usize)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let b = self.bytes()?;
+        std::str::from_utf8(b)
+            .map(|s| s.to_string())
+            .map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read a sequence with a callback per element.
+    pub fn seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, WireError>,
+    ) -> Result<Vec<T>, WireError> {
+        let len = self.u64()?;
+        if len > MAX_LEN {
+            return Err(WireError::LengthOverflow(len));
+        }
+        // Each element is at least one byte; cheap sanity cap.
+        if (len as usize) > self.buf.len() {
+            return Err(WireError::Truncated {
+                wanted: len as usize,
+                left: self.buf.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = WireWriter::new();
+        w.u8(7).u16(300).u32(70_000).u64(1 << 40).i128(-5).u128(1 << 90).bool(true);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i128().unwrap(), -5);
+        assert_eq!(r.u128().unwrap(), 1 << 90);
+        assert!(r.bool().unwrap());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn bytes_and_strings() {
+        let mut w = WireWriter::new();
+        w.bytes(b"").bytes(b"payload").string("héllo");
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.bytes().unwrap(), b"");
+        assert_eq!(r.bytes().unwrap(), b"payload");
+        assert_eq!(r.string().unwrap(), "héllo");
+    }
+
+    #[test]
+    fn seq_roundtrip() {
+        let items = vec![(1u64, "a".to_string()), (2, "bb".to_string())];
+        let mut w = WireWriter::new();
+        w.seq(&items, |w, (n, s)| {
+            w.u64(*n).string(s);
+        });
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        let got = r
+            .seq(|r| Ok((r.u64()?, r.string()?)))
+            .unwrap();
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn truncation_detected_not_panic() {
+        let mut w = WireWriter::new();
+        w.u64(42).bytes(b"hello");
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            let res: Result<(), WireError> = (|| {
+                r.u64()?;
+                r.bytes()?;
+                Ok(())
+            })();
+            assert!(res.is_err(), "cut={cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        let mut w = WireWriter::new();
+        w.u64(u64::MAX); // absurd length prefix
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.bytes(), Err(WireError::LengthOverflow(_))));
+    }
+
+    #[test]
+    fn bad_bool_tag_rejected() {
+        let mut r = WireReader::new(&[2]);
+        assert_eq!(r.bool(), Err(WireError::BadTag(2)));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = WireWriter::new();
+        w.u8(1).u8(2);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        r.u8().unwrap();
+        assert_eq!(r.expect_end(), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn seq_with_huge_count_rejected() {
+        let mut w = WireWriter::new();
+        w.u64(1 << 60);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(r.seq(|r| r.u8()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let mut w = WireWriter::new();
+            w.bytes(&data);
+            let encoded = w.finish();
+            let mut r = WireReader::new(&encoded);
+            prop_assert_eq!(r.bytes().unwrap(), data.as_slice());
+            r.expect_end().unwrap();
+        }
+
+        #[test]
+        fn prop_random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            // Decoding arbitrary garbage must return Err, never panic.
+            let mut r = WireReader::new(&data);
+            let _ = r.seq(|r| {
+                let _ = r.u64()?;
+                let s = r.string()?;
+                Ok(s)
+            });
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Private information retrieval (paper §II-B).
+//!
+//! The paper surveys PIR as the classic answer to query privacy and cites
+//! Sion & Carbunar's NDSS'07 result that single-server *computational*
+//! PIR is orders of magnitude slower than the trivial protocol of
+//! shipping the whole database. Experiment E3 reproduces that comparison;
+//! this crate supplies the three contenders:
+//!
+//! * [`trivial`] — download everything; maximal bandwidth, zero crypto.
+//! * [`itpir`] — the two-server information-theoretic scheme of Chor,
+//!   Goldreich, Kushilevitz & Sudan (balanced "square" variant,
+//!   O(√N) communication), which is the PIR family the paper's
+//!   multi-provider world view actually matches.
+//! * [`cpir`] — Kushilevitz–Ostrovsky quadratic-residuosity PIR: one
+//!   server, O(√N·|n|) communication, and — crucially — one modular
+//!   multiplication *per database bit* on the server, which is where the
+//!   Sion–Carbunar wall comes from.
+//!
+//! Every protocol reports a [`ProtocolCost`] so the bench harness can
+//! apply a network model uniformly.
+
+pub mod cpir;
+pub mod itpir;
+pub mod trivial;
+
+pub use cpir::{QrClient, QrServer};
+pub use itpir::{MultiServerClient, TwoServerClient, TwoServerServer};
+pub use trivial::TrivialPir;
+
+/// Measured cost of one PIR retrieval.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolCost {
+    /// Bytes from client to server(s).
+    pub upload_bytes: u64,
+    /// Bytes from server(s) to client.
+    pub download_bytes: u64,
+    /// Big-number modular multiplications performed by the server(s).
+    pub server_mod_muls: u64,
+    /// Plain word operations (XORs etc.) performed by the server(s).
+    pub server_word_ops: u64,
+}
+
+impl ProtocolCost {
+    /// Total bytes both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.upload_bytes + self.download_bytes
+    }
+}
+
+/// A bit-addressable database shared by all protocol implementations.
+#[derive(Debug, Clone)]
+pub struct BitDatabase {
+    bits: Vec<u8>, // packed, LSB-first within each byte
+    len: usize,
+}
+
+impl BitDatabase {
+    /// Create from a bit vector.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut packed = vec![0u8; bits.len().div_ceil(8)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                packed[i / 8] |= 1 << (i % 8);
+            }
+        }
+        BitDatabase {
+            bits: packed,
+            len: bits.len(),
+        }
+    }
+
+    /// A pseudorandom database of `len` bits (deterministic in `seed`).
+    pub fn random(len: usize, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bits: Vec<bool> = (0..len).map(|_| rng.gen()).collect();
+        Self::from_bits(&bits)
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index out of range");
+        (self.bits[i / 8] >> (i % 8)) & 1 == 1
+    }
+
+    /// The packed bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_database_roundtrip() {
+        let bits = vec![true, false, true, true, false, false, true, false, true];
+        let db = BitDatabase::from_bits(&bits);
+        assert_eq!(db.len(), 9);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(db.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bit_panics() {
+        BitDatabase::from_bits(&[true]).get(1);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = BitDatabase::random(100, 7);
+        let b = BitDatabase::random(100, 7);
+        assert_eq!(a.bytes(), b.bytes());
+        let c = BitDatabase::random(100, 8);
+        assert_ne!(a.bytes(), c.bytes());
+    }
+
+    #[test]
+    fn cost_totals() {
+        let c = ProtocolCost {
+            upload_bytes: 10,
+            download_bytes: 30,
+            server_mod_muls: 5,
+            server_word_ops: 9,
+        };
+        assert_eq!(c.total_bytes(), 40);
+    }
+}

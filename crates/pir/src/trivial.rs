@@ -1,0 +1,64 @@
+//! The trivial protocol: download the database, look locally.
+//!
+//! Information-theoretically private against a single server (the server
+//! sees no query at all), and — per Sion & Carbunar — the baseline every
+//! "real" single-server PIR must beat on end-to-end time but does not.
+
+use crate::{BitDatabase, ProtocolCost};
+
+/// Trivial PIR over a bit database.
+pub struct TrivialPir {
+    db: BitDatabase,
+}
+
+impl TrivialPir {
+    /// Host a database.
+    pub fn new(db: BitDatabase) -> Self {
+        TrivialPir { db }
+    }
+
+    /// Retrieve bit `index`: the "query" ships the whole database.
+    pub fn retrieve(&self, index: usize) -> (bool, ProtocolCost) {
+        let transfer = self.db.bytes().to_vec();
+        let bit = {
+            // Client-side lookup over the transferred copy.
+            let local = BitDatabase::from_bits(
+                &(0..self.db.len())
+                    .map(|i| (transfer[i / 8] >> (i % 8)) & 1 == 1)
+                    .collect::<Vec<bool>>(),
+            );
+            local.get(index)
+        };
+        let cost = ProtocolCost {
+            upload_bytes: 8, // just "send me the db"
+            download_bytes: transfer.len() as u64,
+            server_mod_muls: 0,
+            server_word_ops: transfer.len() as u64 / 8,
+        };
+        (bit, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrieves_every_bit() {
+        let db = BitDatabase::random(500, 3);
+        let pir = TrivialPir::new(db.clone());
+        for i in (0..500).step_by(37) {
+            let (bit, _) = pir.retrieve(i);
+            assert_eq!(bit, db.get(i));
+        }
+    }
+
+    #[test]
+    fn cost_is_whole_database() {
+        let db = BitDatabase::random(8000, 4);
+        let pir = TrivialPir::new(db);
+        let (_, cost) = pir.retrieve(0);
+        assert_eq!(cost.download_bytes, 1000);
+        assert_eq!(cost.server_mod_muls, 0);
+    }
+}

@@ -1,0 +1,1122 @@
+//! The provider's share-table engine.
+//!
+//! Tables live in `dasp-storage` heap files; indexed columns additionally
+//! maintain a B+tree keyed by `(share, row id)` so the rewritten §V-A
+//! queries run as index probes instead of scans. The engine never sees a
+//! plaintext private value: filtering, aggregation partials, order
+//! statistics and joins all operate directly on share space.
+
+use crate::proto::{AggOp, PredAtom, Request, Response, Row, WireMerkleProof, WireRangeProof};
+use dasp_crypto::merkle::MerkleProof;
+use dasp_verify::merkle_table::{AuthenticatedTable, CommittedRow};
+use dasp_net::{WireReader, WireWriter};
+use dasp_storage::btree::{compose_key, BTree};
+use dasp_storage::{BufferPool, HeapFile, Pager, RecordId};
+use std::collections::HashMap;
+
+/// Execution statistics, used by benchmarks to separate index probes from
+/// scans.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries answered via a B+tree probe.
+    pub index_probes: u64,
+    /// Queries answered by a full heap scan.
+    pub full_scans: u64,
+    /// Rows examined across all queries.
+    pub rows_examined: u64,
+}
+
+struct Table {
+    columns: Vec<String>,
+    heap: HeapFile,
+    /// Per-column B+tree over (share, row id) → packed RecordId; `None`
+    /// for unindexed (random-share) columns.
+    indexes: Vec<Option<BTree>>,
+    /// Row id → heap location (also the canonical row count).
+    rows: HashMap<u64, RecordId>,
+}
+
+/// One provider's engine: all its tables over a shared buffer pool.
+pub struct ProviderEngine {
+    pool: BufferPool,
+    tables: HashMap<String, Table>,
+    stats: EngineStats,
+    /// Merkle commitments per (table, column); dropped on any mutation of
+    /// the table, forcing the client to re-commit before verified reads.
+    commitments: HashMap<(String, usize), AuthenticatedTable>,
+}
+
+fn encode_row(row: &Row) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(row.id);
+    w.seq(&row.shares, |w, s| {
+        w.i128(*s);
+    });
+    w.finish()
+}
+
+fn decode_row(bytes: &[u8]) -> Option<Row> {
+    let mut r = WireReader::new(bytes);
+    let id = r.u64().ok()?;
+    let shares = r.seq(|r| r.i128()).ok()?;
+    Some(Row { id, shares })
+}
+
+impl Default for ProviderEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProviderEngine {
+    /// A fresh engine over an in-memory pager with a 1024-frame pool.
+    pub fn new() -> Self {
+        Self::with_pool(BufferPool::new(Pager::in_memory(), 1024))
+    }
+
+    /// An engine over a caller-supplied buffer pool — e.g. a
+    /// [`dasp_storage::FileBackend`] pager for durable providers.
+    pub fn with_pool(pool: BufferPool) -> Self {
+        ProviderEngine {
+            pool,
+            tables: HashMap::new(),
+            stats: EngineStats::default(),
+            commitments: HashMap::new(),
+        }
+    }
+
+    /// Flush dirty pages to the backend (meaningful for file-backed
+    /// pools; a no-op-equivalent for memory).
+    pub fn sync(&self) -> Result<(), String> {
+        self.pool.flush().map_err(|e| e.to_string())
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Execute one request. All failures are mapped into
+    /// [`Response::Error`] so a malformed request can never take the
+    /// provider down.
+    pub fn execute(&mut self, request: &Request) -> Response {
+        match self.try_execute(request) {
+            Ok(resp) => resp,
+            Err(msg) => Response::Error(msg),
+        }
+    }
+
+    fn try_execute(&mut self, request: &Request) -> Result<Response, String> {
+        match request {
+            Request::CreateTable {
+                name,
+                columns,
+                indexed,
+            } => self.create_table(name, columns, indexed),
+            Request::Insert { table, rows } => self.insert(table, rows),
+            Request::Delete { table, ids } => self.delete(table, ids),
+            Request::Update { table, rows } => self.update(table, rows),
+            Request::Query {
+                table,
+                predicate,
+                agg,
+            } => self.query(table, predicate, *agg),
+            Request::QueryOrdered {
+                table,
+                predicate,
+                order_col,
+                desc,
+                limit,
+            } => self.query_ordered(table, predicate, *order_col, *desc, *limit),
+            Request::GroupedAggregate {
+                table,
+                predicate,
+                group_col,
+                agg,
+            } => self.grouped_aggregate(table, predicate, *group_col, *agg),
+            Request::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => self.join(left, right, *left_col, *right_col),
+            Request::Increment { table, col, deltas } => self.increment(table, *col, deltas),
+            Request::Commit { table, col } => self.commit(table, *col),
+            Request::VerifiedRange { table, col, lo, hi } => {
+                self.verified_range(table, *col, *lo, *hi)
+            }
+            Request::DropAllTables => {
+                // A wiped provider starts from a clean engine; dropping the
+                // old buffer pool and pages wholesale is the honest
+                // equivalent of re-imaging the node.
+                *self = ProviderEngine::new();
+                Ok(Response::Ack)
+            }
+            Request::Stats => {
+                let rows = self.tables.values().map(|t| t.rows.len() as u64).sum();
+                Ok(Response::Stats {
+                    tables: self.tables.len() as u64,
+                    rows,
+                })
+            }
+        }
+    }
+
+    fn create_table(
+        &mut self,
+        name: &str,
+        columns: &[String],
+        indexed: &[bool],
+    ) -> Result<Response, String> {
+        if self.tables.contains_key(name) {
+            return Err(format!("table {name:?} already exists"));
+        }
+        if columns.len() != indexed.len() {
+            return Err("columns/indexed length mismatch".into());
+        }
+        if columns.is_empty() {
+            return Err("table needs at least one column".into());
+        }
+        let heap = HeapFile::create(&self.pool).map_err(|e| e.to_string())?;
+        let mut indexes = Vec::with_capacity(columns.len());
+        for &idx in indexed {
+            indexes.push(if idx {
+                Some(BTree::create(&self.pool).map_err(|e| e.to_string())?)
+            } else {
+                None
+            });
+        }
+        self.tables.insert(
+            name.to_string(),
+            Table {
+                columns: columns.to_vec(),
+                heap,
+                indexes,
+                rows: HashMap::new(),
+            },
+        );
+        Ok(Response::Ack)
+    }
+
+    fn invalidate_commitments(&mut self, table: &str) {
+        self.commitments.retain(|(t, _), _| t != table);
+    }
+
+    fn insert(&mut self, table: &str, rows: &[Row]) -> Result<Response, String> {
+        self.invalidate_commitments(table);
+        let pool = &self.pool;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| format!("no such table {table:?}"))?;
+        for row in rows {
+            if row.shares.len() != t.columns.len() {
+                return Err(format!(
+                    "row {} has {} shares, table has {} columns",
+                    row.id,
+                    row.shares.len(),
+                    t.columns.len()
+                ));
+            }
+            if t.rows.contains_key(&row.id) {
+                return Err(format!("duplicate row id {}", row.id));
+            }
+            let rid = t
+                .heap
+                .insert(pool, &encode_row(row))
+                .map_err(|e| e.to_string())?;
+            t.rows.insert(row.id, rid);
+            for (col, index) in t.indexes.iter_mut().enumerate() {
+                if let Some(tree) = index {
+                    tree.insert(pool, &compose_key(row.shares[col], row.id), rid.to_u64())
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        Ok(Response::Ack)
+    }
+
+    fn delete(&mut self, table: &str, ids: &[u64]) -> Result<Response, String> {
+        self.invalidate_commitments(table);
+        let pool = &self.pool;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| format!("no such table {table:?}"))?;
+        for &id in ids {
+            let Some(rid) = t.rows.remove(&id) else {
+                continue; // deleting a missing row is a no-op
+            };
+            let bytes = t
+                .heap
+                .get(pool, rid)
+                .map_err(|e| e.to_string())?
+                .ok_or("heap/index inconsistency")?;
+            let row = decode_row(&bytes).ok_or("corrupt stored row")?;
+            t.heap.delete(pool, rid).map_err(|e| e.to_string())?;
+            for (col, index) in t.indexes.iter_mut().enumerate() {
+                if let Some(tree) = index {
+                    tree.delete(pool, &compose_key(row.shares[col], id))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        Ok(Response::Ack)
+    }
+
+    fn update(&mut self, table: &str, rows: &[Row]) -> Result<Response, String> {
+        // Eager update = delete + reinsert (§V-C): new shares mean new
+        // index positions anyway.
+        let ids: Vec<u64> = rows.iter().map(|r| r.id).collect();
+        self.delete(table, &ids)?;
+        self.insert(table, rows)
+    }
+
+    fn load_row(&self, t: &Table, rid: RecordId) -> Result<Row, String> {
+        let bytes = t
+            .heap
+            .get(&self.pool, rid)
+            .map_err(|e| e.to_string())?
+            .ok_or("dangling record id")?;
+        decode_row(&bytes).ok_or_else(|| "corrupt stored row".into())
+    }
+
+    /// Pick the best indexed atom (Eq beats Range) and return candidate
+    /// record ids; `None` means no usable index → scan.
+    fn candidates(
+        &mut self,
+        table: &str,
+        predicate: &[PredAtom],
+    ) -> Result<(Vec<RecordId>, bool), String> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| format!("no such table {table:?}"))?;
+        let pick = predicate
+            .iter()
+            .filter(|a| t.indexes.get(a.col()).is_some_and(|i| i.is_some()))
+            .min_by_key(|a| match a {
+                PredAtom::Eq { .. } => 0,
+                PredAtom::Range { .. } => 1,
+            });
+        match pick {
+            Some(atom) => {
+                let tree = t.indexes[atom.col()].as_ref().expect("picked indexed col");
+                let (lo, hi) = match *atom {
+                    PredAtom::Eq { share, .. } => (
+                        compose_key(share, 0),
+                        compose_key(share, u64::MAX),
+                    ),
+                    PredAtom::Range { lo, hi, .. } => (
+                        compose_key(lo, 0),
+                        compose_key(hi, u64::MAX),
+                    ),
+                };
+                let hits = tree
+                    .range(&self.pool, &lo, &hi)
+                    .map_err(|e| e.to_string())?;
+                self.stats.index_probes += 1;
+                Ok((
+                    hits.into_iter()
+                        .map(|(_, packed)| RecordId::from_u64(packed))
+                        .collect(),
+                    true,
+                ))
+            }
+            None => {
+                self.stats.full_scans += 1;
+                let all = t
+                    .heap
+                    .scan(&self.pool)
+                    .map_err(|e| e.to_string())?
+                    .into_iter()
+                    .map(|(rid, _)| rid)
+                    .collect();
+                Ok((all, false))
+            }
+        }
+    }
+
+    fn matching_rows(
+        &mut self,
+        table: &str,
+        predicate: &[PredAtom],
+    ) -> Result<Vec<Row>, String> {
+        let (candidates, _) = self.candidates(table, predicate)?;
+        let t = self.tables.get(table).expect("checked above");
+        let mut out = Vec::new();
+        for rid in candidates {
+            let row = self.load_row(t, rid)?;
+            self.stats.rows_examined += 1;
+            if predicate.iter().all(|a| a.matches(&row.shares)) {
+                out.push(row);
+            }
+        }
+        // Stable output order helps tests and cross-provider zipping.
+        out.sort_by_key(|r| r.id);
+        out.dedup_by_key(|r| r.id);
+        Ok(out)
+    }
+
+    fn query(
+        &mut self,
+        table: &str,
+        predicate: &[PredAtom],
+        agg: Option<AggOp>,
+    ) -> Result<Response, String> {
+        let rows = self.matching_rows(table, predicate)?;
+        let Some(agg) = agg else {
+            return Ok(Response::Rows(rows));
+        };
+        let count = rows.len() as u64;
+        let col_share = |row: &Row, col: usize| -> Result<i128, String> {
+            row.shares
+                .get(col)
+                .copied()
+                .ok_or_else(|| format!("column {col} out of range"))
+        };
+        match agg {
+            AggOp::Count => Ok(Response::Agg {
+                sum: 0,
+                count,
+                row: None,
+            }),
+            AggOp::Sum { col } => {
+                let mut sum = 0i128;
+                for row in &rows {
+                    sum = sum
+                        .checked_add(col_share(row, col)?)
+                        .ok_or("share sum overflow")?;
+                }
+                Ok(Response::Agg {
+                    sum,
+                    count,
+                    row: None,
+                })
+            }
+            AggOp::Min { col } | AggOp::Max { col } | AggOp::Median { col } => {
+                if rows.is_empty() {
+                    return Ok(Response::Agg {
+                        sum: 0,
+                        count: 0,
+                        row: None,
+                    });
+                }
+                let mut ordered: Vec<(i128, &Row)> = rows
+                    .iter()
+                    .map(|row| Ok((col_share(row, col)?, row)))
+                    .collect::<Result<_, String>>()?;
+                ordered.sort_by_key(|(s, _)| *s);
+                let picked = match agg {
+                    AggOp::Min { .. } => ordered.first(),
+                    AggOp::Max { .. } => ordered.last(),
+                    AggOp::Median { .. } => ordered.get(ordered.len() / 2),
+                    _ => unreachable!(),
+                }
+                .expect("non-empty");
+                Ok(Response::Agg {
+                    sum: 0,
+                    count,
+                    row: Some(picked.1.clone()),
+                })
+            }
+        }
+    }
+
+    /// Server-side top-k: sort matching rows by the share of `order_col`
+    /// and truncate. Meaningful for order-preserving columns, where share
+    /// order equals value order at every provider.
+    fn query_ordered(
+        &mut self,
+        table: &str,
+        predicate: &[PredAtom],
+        order_col: usize,
+        desc: bool,
+        limit: u64,
+    ) -> Result<Response, String> {
+        let mut rows = self.matching_rows(table, predicate)?;
+        for row in &rows {
+            if order_col >= row.shares.len() {
+                return Err(format!("order column {order_col} out of range"));
+            }
+        }
+        rows.sort_by_key(|r| r.shares[order_col]);
+        if desc {
+            rows.reverse();
+        }
+        rows.truncate(limit as usize);
+        Ok(Response::Rows(rows))
+    }
+
+    /// Grouped aggregation partials: rows with equal `group_col` shares
+    /// form a group (equal values ⇔ equal shares for equality-capable
+    /// columns); each group reports its smallest row id as the
+    /// cross-provider group key.
+    fn grouped_aggregate(
+        &mut self,
+        table: &str,
+        predicate: &[PredAtom],
+        group_col: usize,
+        agg: AggOp,
+    ) -> Result<Response, String> {
+        let sum_col = match agg {
+            AggOp::Count => None,
+            AggOp::Sum { col } => Some(col),
+            other => return Err(format!("{other:?} is not groupable (Count/Sum only)")),
+        };
+        let rows = self.matching_rows(table, predicate)?;
+        let mut groups: HashMap<i128, crate::proto::GroupPartial> = HashMap::new();
+        for row in &rows {
+            let group_share = *row
+                .shares
+                .get(group_col)
+                .ok_or_else(|| format!("group column {group_col} out of range"))?;
+            let add = match sum_col {
+                None => 0i128,
+                Some(col) => *row
+                    .shares
+                    .get(col)
+                    .ok_or_else(|| format!("sum column {col} out of range"))?,
+            };
+            let entry = groups
+                .entry(group_share)
+                .or_insert(crate::proto::GroupPartial {
+                    rep_row: row.id,
+                    group_share,
+                    sum: 0,
+                    count: 0,
+                });
+            entry.rep_row = entry.rep_row.min(row.id);
+            entry.sum = entry.sum.checked_add(add).ok_or("group sum overflow")?;
+            entry.count += 1;
+        }
+        let mut out: Vec<crate::proto::GroupPartial> = groups.into_values().collect();
+        out.sort_by_key(|g| g.rep_row);
+        Ok(Response::Groups(out))
+    }
+
+    /// Apply additive share deltas in place (no index maintenance: only
+    /// unindexed random-mode columns are incremented by the client).
+    fn increment(
+        &mut self,
+        table: &str,
+        col: usize,
+        deltas: &[(u64, i128)],
+    ) -> Result<Response, String> {
+        self.invalidate_commitments(table);
+        let pool = &self.pool;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| format!("no such table {table:?}"))?;
+        if t.indexes.get(col).is_none_or(|i| i.is_some()) {
+            return Err(format!(
+                "column {col} is indexed (not random-mode); use Update instead"
+            ));
+        }
+        for &(id, delta) in deltas {
+            let rid = *t
+                .rows
+                .get(&id)
+                .ok_or_else(|| format!("no row {id} in {table:?}"))?;
+            let bytes = t
+                .heap
+                .get(pool, rid)
+                .map_err(|e| e.to_string())?
+                .ok_or("heap/index inconsistency")?;
+            let mut row = decode_row(&bytes).ok_or("corrupt stored row")?;
+            let share = row
+                .shares
+                .get_mut(col)
+                .ok_or_else(|| format!("column {col} out of range"))?;
+            *share = share.checked_add(delta).ok_or("share overflow")?;
+            let new_rid = t
+                .heap
+                .update(pool, rid, &encode_row(&row))
+                .map_err(|e| e.to_string())?;
+            if new_rid != rid {
+                t.rows.insert(id, new_rid);
+                // Re-point every *other* indexed column at the new record.
+                for (c, index) in t.indexes.iter_mut().enumerate() {
+                    if let Some(tree) = index {
+                        tree.delete(pool, &compose_key(row.shares[c], id))
+                            .map_err(|e| e.to_string())?;
+                        tree.insert(pool, &compose_key(row.shares[c], id), new_rid.to_u64())
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+            }
+        }
+        Ok(Response::Ack)
+    }
+
+    /// Build a commitment over the table sorted by `col`'s shares.
+    fn commit(&mut self, table: &str, col: usize) -> Result<Response, String> {
+        let rows = self.matching_rows(table, &[])?;
+        if rows.is_empty() {
+            return Err("cannot commit to an empty table".into());
+        }
+        for row in &rows {
+            if col >= row.shares.len() {
+                return Err(format!("commit column {col} out of range"));
+            }
+        }
+        let committed: Vec<CommittedRow> = rows
+            .into_iter()
+            .map(|r| CommittedRow { id: r.id, shares: r.shares })
+            .collect();
+        let total = committed.len() as u64;
+        let at = AuthenticatedTable::build(committed, col);
+        let root = at.root();
+        self.commitments.insert((table.to_string(), col), at);
+        Ok(Response::Committed {
+            root,
+            total_rows: total,
+        })
+    }
+
+    /// Serve a range with a completeness proof from the cached commitment.
+    fn verified_range(
+        &mut self,
+        table: &str,
+        col: usize,
+        lo: i128,
+        hi: i128,
+    ) -> Result<Response, String> {
+        let at = self
+            .commitments
+            .get(&(table.to_string(), col))
+            .ok_or("no commitment for this table/column (or table changed); re-commit")?;
+        let proof = at.prove_range(lo, hi);
+        let to_wire = |p: &MerkleProof| WireMerkleProof {
+            index: p.index as u64,
+            siblings: p.siblings.clone(),
+        };
+        let row_of = |r: &CommittedRow| Row {
+            id: r.id,
+            shares: r.shares.clone(),
+        };
+        Ok(Response::ProvedRows {
+            total_rows: at.len() as u64,
+            proof: WireRangeProof {
+                start: proof.start as u64,
+                rows: proof.rows.iter().map(row_of).collect(),
+                proofs: proof.proofs.iter().map(to_wire).collect(),
+                left_boundary: proof
+                    .left_boundary
+                    .as_ref()
+                    .map(|(r, p)| (row_of(r), to_wire(p))),
+                right_boundary: proof
+                    .right_boundary
+                    .as_ref()
+                    .map(|(r, p)| (row_of(r), to_wire(p))),
+            },
+        })
+    }
+
+    fn join(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_col: usize,
+        right_col: usize,
+    ) -> Result<Response, String> {
+        // Hash join on share values. Valid because same-domain values get
+        // identical shares at this provider (per-domain polynomials, §V-A).
+        let left_rows = self.matching_rows(left, &[])?;
+        let right_rows = self.matching_rows(right, &[])?;
+        let mut by_share: HashMap<i128, Vec<&Row>> = HashMap::new();
+        for row in &left_rows {
+            let share = *row
+                .shares
+                .get(left_col)
+                .ok_or_else(|| format!("left column {left_col} out of range"))?;
+            by_share.entry(share).or_default().push(row);
+        }
+        let mut out = Vec::new();
+        for rrow in &right_rows {
+            let share = *rrow
+                .shares
+                .get(right_col)
+                .ok_or_else(|| format!("right column {right_col} out of range"))?;
+            if let Some(matches) = by_share.get(&share) {
+                for lrow in matches {
+                    out.push(((*lrow).clone(), rrow.clone()));
+                }
+            }
+        }
+        Ok(Response::Joined(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(data: &[(u64, &[i128])]) -> Vec<Row> {
+        data.iter()
+            .map(|&(id, shares)| Row {
+                id,
+                shares: shares.to_vec(),
+            })
+            .collect()
+    }
+
+    fn engine_with_table() -> ProviderEngine {
+        let mut e = ProviderEngine::new();
+        let resp = e.execute(&Request::CreateTable {
+            name: "emp".into(),
+            columns: vec!["name".into(), "salary".into()],
+            indexed: vec![true, true],
+        });
+        assert_eq!(resp, Response::Ack);
+        let resp = e.execute(&Request::Insert {
+            table: "emp".into(),
+            rows: rows(&[
+                (1, &[100, 210]),
+                (2, &[200, 30]),
+                (3, &[100, 42]),
+                (4, &[300, 64]),
+                (5, &[400, 88]),
+            ]),
+        });
+        assert_eq!(resp, Response::Ack);
+        e
+    }
+
+    #[test]
+    fn create_twice_fails() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::CreateTable {
+            name: "emp".into(),
+            columns: vec!["x".into()],
+            indexed: vec![true],
+        });
+        assert!(matches!(resp, Response::Error(_)));
+    }
+
+    #[test]
+    fn exact_match_via_index() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![PredAtom::Eq { col: 0, share: 100 }],
+            agg: None,
+        });
+        let Response::Rows(got) = resp else { panic!("{resp:?}") };
+        assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(e.stats().index_probes, 1);
+        assert_eq!(e.stats().full_scans, 0);
+    }
+
+    #[test]
+    fn range_query_via_index() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![PredAtom::Range { col: 1, lo: 40, hi: 90 }],
+            agg: None,
+        });
+        let Response::Rows(got) = resp else { panic!("{resp:?}") };
+        assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn conjunction_filters_on_both() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![
+                PredAtom::Eq { col: 0, share: 100 },
+                PredAtom::Range { col: 1, lo: 0, hi: 50 },
+            ],
+            agg: None,
+        });
+        let Response::Rows(got) = resp else { panic!("{resp:?}") };
+        assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn empty_predicate_returns_all() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![],
+            agg: None,
+        });
+        let Response::Rows(got) = resp else { panic!("{resp:?}") };
+        assert_eq!(got.len(), 5);
+        assert_eq!(e.stats().full_scans, 1);
+    }
+
+    #[test]
+    fn aggregates_over_shares() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![],
+            agg: Some(AggOp::Sum { col: 1 }),
+        });
+        assert_eq!(
+            resp,
+            Response::Agg { sum: 210 + 30 + 42 + 64 + 88, count: 5, row: None }
+        );
+
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![],
+            agg: Some(AggOp::Min { col: 1 }),
+        });
+        let Response::Agg { row: Some(row), count: 5, .. } = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(row.id, 2); // share 30 is minimal
+
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![],
+            agg: Some(AggOp::Max { col: 1 }),
+        });
+        let Response::Agg { row: Some(row), .. } = resp else { panic!() };
+        assert_eq!(row.id, 1); // share 210 is maximal
+
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![],
+            agg: Some(AggOp::Median { col: 1 }),
+        });
+        let Response::Agg { row: Some(row), .. } = resp else { panic!() };
+        assert_eq!(row.id, 4); // shares sorted: 30,42,64,88,210 → median 64
+
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![PredAtom::Eq { col: 0, share: 999 }],
+            agg: Some(AggOp::Median { col: 1 }),
+        });
+        assert_eq!(resp, Response::Agg { sum: 0, count: 0, row: None });
+    }
+
+    #[test]
+    fn count_with_predicate() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![PredAtom::Range { col: 1, lo: 0, hi: 100 }],
+            agg: Some(AggOp::Count),
+        });
+        assert_eq!(resp, Response::Agg { sum: 0, count: 4, row: None });
+    }
+
+    #[test]
+    fn delete_removes_from_index_too() {
+        let mut e = engine_with_table();
+        e.execute(&Request::Delete { table: "emp".into(), ids: vec![1, 3] });
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![PredAtom::Eq { col: 0, share: 100 }],
+            agg: None,
+        });
+        assert_eq!(resp, Response::Rows(vec![]));
+        // Deleting a missing id is a no-op Ack.
+        assert_eq!(
+            e.execute(&Request::Delete { table: "emp".into(), ids: vec![99] }),
+            Response::Ack
+        );
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut e = engine_with_table();
+        e.execute(&Request::Update {
+            table: "emp".into(),
+            rows: rows(&[(2, &[100, 31])]),
+        });
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![PredAtom::Eq { col: 0, share: 100 }],
+            agg: None,
+        });
+        let Response::Rows(got) = resp else { panic!() };
+        assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        // Old share value no longer matches row 2.
+        let resp = e.execute(&Request::Query {
+            table: "emp".into(),
+            predicate: vec![PredAtom::Eq { col: 0, share: 200 }],
+            agg: None,
+        });
+        assert_eq!(resp, Response::Rows(vec![]));
+    }
+
+    #[test]
+    fn unindexed_column_forces_scan_but_still_filters() {
+        let mut e = ProviderEngine::new();
+        e.execute(&Request::CreateTable {
+            name: "t".into(),
+            columns: vec!["rand".into()],
+            indexed: vec![false],
+        });
+        e.execute(&Request::Insert {
+            table: "t".into(),
+            rows: rows(&[(1, &[5]), (2, &[9])]),
+        });
+        let resp = e.execute(&Request::Query {
+            table: "t".into(),
+            predicate: vec![PredAtom::Eq { col: 0, share: 9 }],
+            agg: None,
+        });
+        let Response::Rows(got) = resp else { panic!() };
+        assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(e.stats().full_scans, 1);
+    }
+
+    #[test]
+    fn join_on_share_equality() {
+        let mut e = engine_with_table();
+        e.execute(&Request::CreateTable {
+            name: "mgr".into(),
+            columns: vec!["name".into(), "level".into()],
+            indexed: vec![true, false],
+        });
+        e.execute(&Request::Insert {
+            table: "mgr".into(),
+            rows: rows(&[(10, &[100, 1]), (11, &[500, 2])]),
+        });
+        let resp = e.execute(&Request::Join {
+            left: "emp".into(),
+            right: "mgr".into(),
+            left_col: 0,
+            right_col: 0,
+        });
+        let Response::Joined(pairs) = resp else { panic!("{resp:?}") };
+        // emp rows 1 and 3 have name-share 100; mgr row 10 matches.
+        let mut ids: Vec<(u64, u64)> = pairs.iter().map(|(l, r)| (l.id, r.id)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![(1, 10), (3, 10)]);
+    }
+
+    #[test]
+    fn errors_are_responses_not_panics() {
+        let mut e = engine_with_table();
+        for req in [
+            Request::Insert { table: "nope".into(), rows: vec![] },
+            Request::Query { table: "nope".into(), predicate: vec![], agg: None },
+            Request::Insert {
+                table: "emp".into(),
+                rows: rows(&[(9, &[1])]), // wrong arity
+            },
+            Request::Insert {
+                table: "emp".into(),
+                rows: rows(&[(1, &[1, 2])]), // duplicate id
+            },
+            Request::Query {
+                table: "emp".into(),
+                predicate: vec![],
+                agg: Some(AggOp::Sum { col: 99 }),
+            },
+        ] {
+            assert!(
+                matches!(e.execute(&req), Response::Error(_)),
+                "{req:?} should error"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_query_top_k() {
+        let mut e = engine_with_table();
+        // Order by salary share (col 1), ascending, top 3.
+        let resp = e.execute(&Request::QueryOrdered {
+            table: "emp".into(),
+            predicate: vec![],
+            order_col: 1,
+            desc: false,
+            limit: 3,
+        });
+        let Response::Rows(rows) = resp else { panic!("{resp:?}") };
+        let shares: Vec<i128> = rows.iter().map(|r| r.shares[1]).collect();
+        assert_eq!(shares, vec![30, 42, 64]);
+        // Descending top 2.
+        let resp = e.execute(&Request::QueryOrdered {
+            table: "emp".into(),
+            predicate: vec![],
+            order_col: 1,
+            desc: true,
+            limit: 2,
+        });
+        let Response::Rows(rows) = resp else { panic!() };
+        assert_eq!(rows.iter().map(|r| r.shares[1]).collect::<Vec<_>>(), vec![210, 88]);
+        // With a predicate.
+        let resp = e.execute(&Request::QueryOrdered {
+            table: "emp".into(),
+            predicate: vec![PredAtom::Range { col: 1, lo: 40, hi: 100 }],
+            order_col: 1,
+            desc: true,
+            limit: 10,
+        });
+        let Response::Rows(rows) = resp else { panic!() };
+        assert_eq!(rows.iter().map(|r| r.shares[1]).collect::<Vec<_>>(), vec![88, 64, 42]);
+        // Bad column errors.
+        let resp = e.execute(&Request::QueryOrdered {
+            table: "emp".into(),
+            predicate: vec![],
+            order_col: 9,
+            desc: false,
+            limit: 1,
+        });
+        assert!(matches!(resp, Response::Error(_)));
+    }
+
+    #[test]
+    fn grouped_aggregate_partials() {
+        let mut e = engine_with_table();
+        // Group by name share (col 0), sum salary shares (col 1).
+        let resp = e.execute(&Request::GroupedAggregate {
+            table: "emp".into(),
+            predicate: vec![],
+            group_col: 0,
+            agg: AggOp::Sum { col: 1 },
+        });
+        let Response::Groups(groups) = resp else { panic!("{resp:?}") };
+        // name shares: 100 → rows 1,3; 200 → row 2; 300 → row 4; 400 → row 5.
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0].rep_row, 1);
+        assert_eq!(groups[0].group_share, 100);
+        assert_eq!(groups[0].sum, 210 + 42);
+        assert_eq!(groups[0].count, 2);
+        assert_eq!(groups[1].rep_row, 2);
+        assert_eq!(groups[1].sum, 30);
+        // Count variant.
+        let resp = e.execute(&Request::GroupedAggregate {
+            table: "emp".into(),
+            predicate: vec![],
+            group_col: 0,
+            agg: AggOp::Count,
+        });
+        let Response::Groups(groups) = resp else { panic!() };
+        assert_eq!(groups[0].count, 2);
+        assert_eq!(groups[0].sum, 0);
+        // Min is not groupable.
+        let resp = e.execute(&Request::GroupedAggregate {
+            table: "emp".into(),
+            predicate: vec![],
+            group_col: 0,
+            agg: AggOp::Min { col: 1 },
+        });
+        assert!(matches!(resp, Response::Error(_)));
+    }
+
+    #[test]
+    fn grouped_aggregate_with_predicate() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::GroupedAggregate {
+            table: "emp".into(),
+            predicate: vec![PredAtom::Range { col: 1, lo: 0, hi: 100 }],
+            group_col: 0,
+            agg: AggOp::Sum { col: 1 },
+        });
+        let Response::Groups(groups) = resp else { panic!() };
+        // Rows with salary share ≤ 100: ids 2,3,4,5 → name groups 200,100,300,400.
+        assert_eq!(groups.len(), 4);
+        let g100 = groups.iter().find(|g| g.group_share == 100).unwrap();
+        assert_eq!((g100.rep_row, g100.sum, g100.count), (3, 42, 1));
+    }
+
+    #[test]
+    fn commit_and_verified_range() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::Commit { table: "emp".into(), col: 1 });
+        let Response::Committed { root, total_rows } = resp else { panic!("{resp:?}") };
+        assert_eq!(total_rows, 5);
+
+        let resp = e.execute(&Request::VerifiedRange {
+            table: "emp".into(),
+            col: 1,
+            lo: 40,
+            hi: 90,
+        });
+        let Response::ProvedRows { total_rows, proof } = resp else { panic!("{resp:?}") };
+        assert_eq!(total_rows, 5);
+        assert_eq!(
+            proof.rows.iter().map(|r| r.shares[1]).collect::<Vec<_>>(),
+            vec![42, 64, 88]
+        );
+        assert_eq!(proof.proofs.len(), 3);
+        assert!(proof.left_boundary.is_some()); // share 30 below
+        assert!(proof.right_boundary.is_some()); // share 210 above
+
+        // Re-committing is idempotent in root for unchanged data.
+        let resp = e.execute(&Request::Commit { table: "emp".into(), col: 1 });
+        let Response::Committed { root: root2, .. } = resp else { panic!() };
+        assert_eq!(root, root2);
+    }
+
+    #[test]
+    fn verified_range_refused_after_mutation() {
+        let mut e = engine_with_table();
+        e.execute(&Request::Commit { table: "emp".into(), col: 1 });
+        e.execute(&Request::Insert {
+            table: "emp".into(),
+            rows: rows(&[(9, &[500, 70])]),
+        });
+        let resp = e.execute(&Request::VerifiedRange {
+            table: "emp".into(),
+            col: 1,
+            lo: 0,
+            hi: 100,
+        });
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        // Deleting also invalidates.
+        e.execute(&Request::Commit { table: "emp".into(), col: 1 });
+        e.execute(&Request::Delete { table: "emp".into(), ids: vec![9] });
+        let resp = e.execute(&Request::VerifiedRange {
+            table: "emp".into(),
+            col: 1,
+            lo: 0,
+            hi: 100,
+        });
+        assert!(matches!(resp, Response::Error(_)));
+    }
+
+    #[test]
+    fn verified_range_without_commit_errors() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::VerifiedRange {
+            table: "emp".into(),
+            col: 1,
+            lo: 0,
+            hi: 10,
+        });
+        assert!(matches!(resp, Response::Error(_)));
+    }
+
+    #[test]
+    fn stats_request_counts() {
+        let mut e = engine_with_table();
+        let resp = e.execute(&Request::Stats);
+        assert_eq!(resp, Response::Stats { tables: 1, rows: 5 });
+    }
+
+    #[test]
+    fn large_table_index_beats_scan_rows_examined() {
+        let mut e = ProviderEngine::new();
+        e.execute(&Request::CreateTable {
+            name: "big".into(),
+            columns: vec!["v".into()],
+            indexed: vec![true],
+        });
+        let data: Vec<Row> = (0..5000u64)
+            .map(|i| Row { id: i, shares: vec![i as i128 * 3] })
+            .collect();
+        e.execute(&Request::Insert { table: "big".into(), rows: data });
+        let before = e.stats().rows_examined;
+        let resp = e.execute(&Request::Query {
+            table: "big".into(),
+            predicate: vec![PredAtom::Range { col: 0, lo: 300, hi: 330 }],
+            agg: None,
+        });
+        let Response::Rows(got) = resp else { panic!() };
+        assert_eq!(got.len(), 11); // shares 300,303,...,330
+        let examined = e.stats().rows_examined - before;
+        assert!(examined <= 12, "index probe examined {examined} rows");
+    }
+}

@@ -1,0 +1,26 @@
+//! The database service provider (DAS) — the server half of the paper.
+//!
+//! A provider stores *shares*, never values. It answers the client's
+//! rewritten queries (§V-A): exact matches and ranges over share space,
+//! server-side aggregation partials (share sums, order statistics over
+//! order-preserving shares), and share-equality joins. It also hosts
+//! *public* plaintext tables for the §V-D private/public mash-up.
+//!
+//! * [`proto`] — the request/response wire protocol.
+//! * [`engine`] — the share-table engine over `dasp-storage` (heap files
+//!   plus B+tree indexes on share values).
+//! * [`service`] — the [`dasp_net::Service`] adapter gluing the engine to
+//!   the RPC fabric.
+//!
+//! Nothing in this crate has access to evaluation points, domain keys, or
+//! plaintext private values — by construction it *could not* decode what
+//! it stores, which is the paper's security argument made literal in the
+//! module structure.
+
+pub mod engine;
+pub mod proto;
+pub mod service;
+
+pub use engine::ProviderEngine;
+pub use proto::{AggOp, PredAtom, Request, Response, Row};
+pub use service::ProviderService;

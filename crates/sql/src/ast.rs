@@ -1,0 +1,171 @@
+//! Abstract syntax of the supported SQL subset.
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(u64),
+    /// String literal.
+    Str(String),
+}
+
+/// Per-column share mode keyword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnMode {
+    /// `MODE RANDOM` — information-theoretic, no server filtering.
+    Random,
+    /// `MODE DETERMINISTIC` — server-side exact match / joins.
+    Deterministic,
+    /// `MODE ORDERED` — server-side ranges too.
+    Ordered,
+}
+
+/// Column type syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnTypeDef {
+    /// `INT(domain_size)`.
+    Int {
+        /// Exclusive domain bound.
+        domain_size: u64,
+    },
+    /// `VARCHAR(width)`.
+    Varchar {
+        /// Maximum string length.
+        width: u64,
+    },
+}
+
+/// One column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Type.
+    pub ctype: ColumnTypeDef,
+    /// Share mode (defaults to `Deterministic`).
+    pub mode: ColumnMode,
+    /// Optional `DOMAIN 'name'` override for cross-table joins.
+    pub domain: Option<String>,
+}
+
+/// A WHERE conjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// `col = literal`.
+    Eq {
+        /// Column name.
+        col: String,
+        /// Comparison literal.
+        value: Literal,
+    },
+    /// `col BETWEEN lo AND hi`.
+    Between {
+        /// Column name.
+        col: String,
+        /// Lower bound.
+        lo: Literal,
+        /// Upper bound.
+        hi: Literal,
+    },
+    /// `col LIKE 'prefix%'` (only trailing-% patterns are supported).
+    Prefix {
+        /// Column name.
+        col: String,
+        /// The prefix before `%`.
+        prefix: String,
+    },
+}
+
+/// Aggregate function in a SELECT projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(col)`.
+    Sum(String),
+    /// `AVG(col)`.
+    Avg(String),
+    /// `MIN(col)`.
+    Min(String),
+    /// `MAX(col)`.
+    Max(String),
+    /// `MEDIAN(col)`.
+    Median(String),
+}
+
+/// SELECT projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// `*`.
+    All,
+    /// Explicit column list.
+    Columns(Vec<String>),
+    /// A single aggregate.
+    Aggregate(Aggregate),
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `EXPLAIN <select>` — describe the rewriting instead of running it.
+    Explain(Box<Statement>),
+    /// `CREATE TABLE name (col defs…)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `INSERT INTO table VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row literals.
+        rows: Vec<Vec<Literal>>,
+    },
+    /// `SELECT projection FROM table [JOIN …] [WHERE …] [GROUP BY col]
+    /// [ORDER BY col [DESC]] [LIMIT n]`.
+    Select {
+        /// What to return.
+        projection: Projection,
+        /// Source table.
+        table: String,
+        /// Optional `JOIN other ON table.col = other.col`.
+        join: Option<JoinClause>,
+        /// Conjunctive WHERE clause.
+        conditions: Vec<Condition>,
+        /// Optional `GROUP BY col`.
+        group_by: Option<String>,
+        /// Optional `ORDER BY col` with descending flag.
+        order_by: Option<(String, bool)>,
+        /// Optional `LIMIT n`.
+        limit: Option<u64>,
+    },
+    /// `UPDATE table SET col = lit, … [WHERE …]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        assignments: Vec<(String, Literal)>,
+        /// Conjunctive WHERE clause.
+        conditions: Vec<Condition>,
+    },
+    /// `DELETE FROM table [WHERE …]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Conjunctive WHERE clause.
+        conditions: Vec<Condition>,
+    },
+}
+
+/// The JOIN clause of a SELECT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    /// Joined table.
+    pub table: String,
+    /// Column of the left (FROM) table.
+    pub left_col: String,
+    /// Column of the joined table.
+    pub right_col: String,
+}

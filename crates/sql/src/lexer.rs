@@ -1,0 +1,221 @@
+//! Tokenizer for the SQL subset.
+
+use crate::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Bare identifier or keyword (uppercased for keywords at parse time).
+    Ident(String),
+    /// Integer literal.
+    Number(u64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+}
+
+/// A token plus its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of its first character.
+    pub offset: usize,
+}
+
+/// Tokenize `input`.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { token: Token::Semicolon, offset: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { token: Token::Eq, offset: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned { token: Token::Dot, offset: i });
+                i += 1;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned { token: Token::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: u64 = text.parse().map_err(|_| ParseError {
+                    message: format!("number {text} out of range"),
+                    offset: start,
+                })?;
+                out.push(Spanned { token: Token::Number(n), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("SELECT * FROM t;"),
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Star,
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            toks("42 'hello' 'it''s'"),
+            vec![
+                Token::Number(42),
+                Token::Str("hello".into()),
+                Token::Str("it's".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_qualified_names() {
+        assert_eq!(
+            toks("a.b = (1, 2)"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Eq,
+                Token::LParen,
+                Token::Number(1),
+                Token::Comma,
+                Token::Number(2),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("SELECT -- the works\n *"),
+            vec![Token::Ident("SELECT".into()), Token::Star]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = tokenize("a ? b").unwrap_err();
+        assert_eq!(err.offset, 2);
+        let err = tokenize("'open").unwrap_err();
+        assert_eq!(err.offset, 0);
+        let err = tokenize("99999999999999999999999").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn offsets_point_at_tokens() {
+        let spanned = tokenize("ab  12").unwrap();
+        assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[1].offset, 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! SQL front end for the outsourced database.
+//!
+//! The paper's interface to the data source is SQL ("Retrieve all
+//! information about employees whose salary is between 10K and 40K");
+//! this crate parses exactly the subset those examples need:
+//!
+//! ```sql
+//! CREATE TABLE employees (
+//!     name  VARCHAR(8)  MODE DETERMINISTIC,
+//!     salary INT(1048576) MODE ORDERED,
+//!     ssn   INT(1073741824) MODE RANDOM DOMAIN 'national_id'
+//! );
+//! INSERT INTO employees VALUES ('JOHN', 10000, 111), ('MARY', 20000, 222);
+//! SELECT * FROM employees WHERE salary BETWEEN 10000 AND 40000;
+//! SELECT AVG(salary) FROM employees WHERE name = 'JOHN';
+//! SELECT * FROM employees JOIN managers ON employees.eid = managers.eid;
+//! UPDATE employees SET salary = 99000 WHERE name = 'JOHN';
+//! DELETE FROM employees WHERE name = 'BOB';
+//! ```
+//!
+//! `MODE` picks the share mode per column (the privacy dial); `DOMAIN`
+//! assigns the value domain used for cross-table joins (§V-A).
+//!
+//! The output is a typed [`ast::Statement`]; execution lives in
+//! `dasp-core`, which lowers statements onto the `dasp-client` API.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    Aggregate, ColumnDef, ColumnMode, ColumnTypeDef, Condition, Literal, Projection, Statement,
+};
+pub use parser::parse;
+
+/// Parse errors with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,349 @@
+//! Shamir sharing over GF(2⁶¹−1): random and deterministic modes.
+//!
+//! The sharing polynomial has degree k−1 and the secret as constant term
+//! (§III). Evaluation points X = {x₁…xₙ} are part of the client's secret:
+//! providers never learn at which x their share was evaluated, which is
+//! what makes even k colluding providers unable to interpolate without X.
+
+use crate::{DomainKey, SssError};
+use dasp_field::{lagrange_at_zero, Fp, Poly};
+use rand::Rng;
+
+/// One provider's share of a field-mode value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldShare {
+    /// Index of the provider (position in the client's X vector).
+    pub provider: usize,
+    /// The share value q(xᵢ).
+    pub y: Fp,
+}
+
+/// A (k, n) Shamir configuration over GF(p) with client-secret points X.
+#[derive(Debug, Clone)]
+pub struct FieldSharing {
+    k: usize,
+    points: Vec<Fp>,
+}
+
+impl FieldSharing {
+    /// Create a configuration with threshold `k` and the given evaluation
+    /// points (one per provider, all distinct and non-zero).
+    pub fn new(k: usize, points: Vec<Fp>) -> Result<Self, SssError> {
+        let n = points.len();
+        if k == 0 || k > n {
+            return Err(SssError::BadParameters(format!("k={k} must be in 1..={n}")));
+        }
+        for (i, a) in points.iter().enumerate() {
+            if a.is_zero() {
+                return Err(SssError::BadParameters("x point must be non-zero".into()));
+            }
+            if points[..i].contains(a) {
+                return Err(SssError::BadParameters("duplicate x point".into()));
+            }
+        }
+        Ok(FieldSharing { k, points })
+    }
+
+    /// Sample `n` fresh random distinct points and build a configuration.
+    pub fn generate<R: Rng + ?Sized>(k: usize, n: usize, rng: &mut R) -> Result<Self, SssError> {
+        let mut points = Vec::with_capacity(n);
+        while points.len() < n {
+            let x = Fp::random_nonzero(rng);
+            if !points.contains(&x) {
+                points.push(x);
+            }
+        }
+        Self::new(k, points)
+    }
+
+    /// Threshold k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of providers n.
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The secret evaluation point of provider `i`.
+    pub fn point(&self, i: usize) -> Result<Fp, SssError> {
+        self.points.get(i).copied().ok_or(SssError::BadProviderIndex(i))
+    }
+
+    /// Split `secret` with a *fresh random* polynomial ([`crate::ShareMode::Random`]).
+    pub fn split_random<R: Rng + ?Sized>(&self, secret: Fp, rng: &mut R) -> Vec<FieldShare> {
+        let poly = Poly::random_with_secret(secret, self.k - 1, rng);
+        self.eval_all(&poly)
+    }
+
+    /// Split `secret` with the *deterministic* PRF-derived polynomial for
+    /// its domain ([`crate::ShareMode::Deterministic`]): the same (key,
+    /// value) pair always produces the same shares, so the client can
+    /// recompute a share to rewrite an exact-match query (§V-A).
+    pub fn split_deterministic(&self, secret: u64, key: &DomainKey) -> Vec<FieldShare> {
+        let poly = self.deterministic_poly(secret, key);
+        self.eval_all(&poly)
+    }
+
+    /// The share provider `i` would hold for `secret` under deterministic
+    /// mode — used for query rewriting without touching stored data.
+    pub fn deterministic_share(
+        &self,
+        secret: u64,
+        key: &DomainKey,
+        provider: usize,
+    ) -> Result<Fp, SssError> {
+        let x = self.point(provider)?;
+        Ok(self.deterministic_poly(secret, key).eval(x))
+    }
+
+    fn deterministic_poly(&self, secret: u64, key: &DomainKey) -> Poly {
+        let mut coeffs = Vec::with_capacity(self.k);
+        coeffs.push(Fp::from_u64(secret));
+        for j in 1..self.k {
+            let prf = key.coeff_prf(j);
+            // Two PRF outputs folded to cover the 61-bit field closely; the
+            // tiny bias is irrelevant for a deterministic index.
+            let raw = prf.hash_u64(secret);
+            let mut c = Fp::from_u64(raw);
+            if j == self.k - 1 && c.is_zero() {
+                c = Fp::ONE; // keep the polynomial at full degree
+            }
+            coeffs.push(c);
+        }
+        Poly::new(coeffs)
+    }
+
+    fn eval_all(&self, poly: &Poly) -> Vec<FieldShare> {
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(provider, &x)| FieldShare {
+                provider,
+                y: poly.eval(x),
+            })
+            .collect()
+    }
+
+    /// Reconstruct the secret from at least `k` shares.
+    pub fn reconstruct(&self, shares: &[FieldShare]) -> Result<Fp, SssError> {
+        if shares.len() < self.k {
+            return Err(SssError::NotEnoughShares {
+                needed: self.k,
+                got: shares.len(),
+            });
+        }
+        let mut pts = Vec::with_capacity(self.k);
+        for s in &shares[..self.k] {
+            let x = self.point(s.provider)?;
+            if pts.iter().any(|&(px, _)| px == x) {
+                return Err(SssError::BadProviderIndex(s.provider));
+            }
+            pts.push((x, s.y));
+        }
+        lagrange_at_zero(&pts).map_err(|e| SssError::Arithmetic(e.to_string()))
+    }
+
+    /// Reconstruct and cross-check: uses *all* provided shares, verifying
+    /// every k-subset agrees. Detects a corrupted share (Byzantine
+    /// provider) whenever at least k honest shares are present.
+    pub fn reconstruct_checked(&self, shares: &[FieldShare]) -> Result<Fp, SssError> {
+        let first = self.reconstruct(shares)?;
+        // Verify each extra share lies on the interpolated polynomial by
+        // re-reconstructing with it swapped in.
+        for i in self.k..shares.len() {
+            let mut subset: Vec<FieldShare> = shares[..self.k - 1].to_vec();
+            subset.push(shares[i]);
+            if self.reconstruct(&subset)? != first {
+                return Err(SssError::InconsistentShares);
+            }
+        }
+        Ok(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig1_sharing() -> FieldSharing {
+        // Figure 1: n = 3, k = 2, X = {2, 4, 1}.
+        FieldSharing::new(
+            2,
+            vec![Fp::from_u64(2), Fp::from_u64(4), Fp::from_u64(1)],
+        )
+        .unwrap()
+    }
+
+    /// Reproduces the paper's Figure 1 exactly: salaries {10,20,40,60,80}
+    /// shared with q10(x)=100x+10 … q80(x)=4x+80 yield the share columns
+    /// shown in the figure, and any 2 providers reconstruct.
+    #[test]
+    fn figure1_share_table() {
+        let sharing = fig1_sharing();
+        // The paper fixes the random coefficients; we emulate by evaluating
+        // the same polynomials directly.
+        let polys: &[(u64, u64)] = &[(10, 100), (20, 5), (40, 1), (60, 2), (80, 4)];
+        let expected_das1 = [210u64, 30, 42, 64, 88]; // x = 2
+        let expected_das2 = [410u64, 40, 44, 68, 96]; // x = 4
+        let expected_das3 = [110u64, 25, 41, 62, 84]; // x = 1
+        for (row, &(salary, slope)) in polys.iter().enumerate() {
+            let poly = dasp_field::Poly::new(vec![Fp::from_u64(salary), Fp::from_u64(slope)]);
+            let s1 = poly.eval(Fp::from_u64(2)).to_u64();
+            let s2 = poly.eval(Fp::from_u64(4)).to_u64();
+            let s3 = poly.eval(Fp::from_u64(1)).to_u64();
+            assert_eq!(s1, expected_das1[row]);
+            assert_eq!(s2, expected_das2[row]);
+            assert_eq!(s3, expected_das3[row]);
+            // Any 2 of 3 shares reconstruct the salary.
+            for pair in [(0usize, 1usize), (0, 2), (1, 2)] {
+                let shares = [
+                    FieldShare { provider: pair.0, y: Fp::from_u64([s1, s2, s3][pair.0]) },
+                    FieldShare { provider: pair.1, y: Fp::from_u64([s1, s2, s3][pair.1]) },
+                ];
+                assert_eq!(sharing.reconstruct(&shares).unwrap(), Fp::from_u64(salary));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(FieldSharing::new(0, vec![Fp::from_u64(1)]).is_err());
+        assert!(FieldSharing::new(2, vec![Fp::from_u64(1)]).is_err());
+        assert!(FieldSharing::new(1, vec![Fp::ZERO]).is_err());
+        assert!(
+            FieldSharing::new(1, vec![Fp::from_u64(3), Fp::from_u64(3)]).is_err(),
+            "duplicate points"
+        );
+    }
+
+    #[test]
+    fn random_split_reconstructs_with_any_k_subset() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sharing = FieldSharing::generate(3, 5, &mut rng).unwrap();
+        let secret = Fp::from_u64(123_456);
+        let shares = sharing.split_random(secret, &mut rng);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                for c in (b + 1)..5 {
+                    let subset = [shares[a], shares[b], shares[c]];
+                    assert_eq!(sharing.reconstruct(&subset).unwrap(), secret);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_shares_fail() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let sharing = FieldSharing::generate(3, 5, &mut rng).unwrap();
+        let shares = sharing.split_random(Fp::from_u64(9), &mut rng);
+        assert!(matches!(
+            sharing.reconstruct(&shares[..2]),
+            Err(SssError::NotEnoughShares { needed: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_provider_rejected() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let sharing = FieldSharing::generate(2, 3, &mut rng).unwrap();
+        let shares = sharing.split_random(Fp::from_u64(9), &mut rng);
+        let dup = [shares[0], shares[0]];
+        assert!(sharing.reconstruct(&dup).is_err());
+    }
+
+    #[test]
+    fn deterministic_shares_are_stable_and_equality_preserving() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let sharing = FieldSharing::generate(2, 3, &mut rng).unwrap();
+        let key = DomainKey::derive(b"master", "salary");
+        let a = sharing.split_deterministic(20, &key);
+        let b = sharing.split_deterministic(20, &key);
+        let c = sharing.split_deterministic(30, &key);
+        assert_eq!(a, b, "same value, same shares");
+        for (i, (sa, sc)) in a.iter().zip(&c).enumerate() {
+            assert_ne!(sa.y, sc.y, "different values differ at provider {i}");
+        }
+        // Query rewriting path matches stored shares.
+        for (i, share) in a.iter().enumerate() {
+            assert_eq!(sharing.deterministic_share(20, &key, i).unwrap(), share.y);
+        }
+        // And it reconstructs.
+        assert_eq!(sharing.reconstruct(&a).unwrap(), Fp::from_u64(20));
+    }
+
+    #[test]
+    fn reconstruct_checked_detects_corruption() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let sharing = FieldSharing::generate(2, 4, &mut rng).unwrap();
+        let mut shares = sharing.split_random(Fp::from_u64(555), &mut rng);
+        assert_eq!(
+            sharing.reconstruct_checked(&shares).unwrap(),
+            Fp::from_u64(555)
+        );
+        shares[3].y += Fp::ONE; // corrupt one share
+        assert_eq!(
+            sharing.reconstruct_checked(&shares),
+            Err(SssError::InconsistentShares)
+        );
+    }
+
+    #[test]
+    fn additive_homomorphism_of_shares() {
+        // Provider-side SUM: add shares componentwise, reconstruct the sum.
+        let mut rng = StdRng::seed_from_u64(16);
+        let sharing = FieldSharing::generate(2, 3, &mut rng).unwrap();
+        let key = DomainKey::derive(b"master", "salary");
+        let values = [10u64, 20, 40, 60, 80];
+        let mut sums = [Fp::ZERO; 3];
+        for &v in &values {
+            for s in sharing.split_deterministic(v, &key) {
+                sums[s.provider] += s.y;
+            }
+        }
+        let shares: Vec<FieldShare> = sums
+            .iter()
+            .enumerate()
+            .map(|(provider, &y)| FieldShare { provider, y })
+            .collect();
+        assert_eq!(
+            sharing.reconstruct(&shares).unwrap(),
+            Fp::from_u64(values.iter().sum())
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_random_roundtrip(secret in 0u64..1 << 60, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sharing = FieldSharing::generate(2, 3, &mut rng).unwrap();
+            let shares = sharing.split_random(Fp::from_u64(secret), &mut rng);
+            prop_assert_eq!(sharing.reconstruct(&shares).unwrap(), Fp::from_u64(secret));
+        }
+
+        #[test]
+        fn prop_k_minus_1_shares_insufficient_by_construction(
+            secret in 0u64..1000, seed in any::<u64>(),
+        ) {
+            // With k-1 shares, every candidate secret is consistent with
+            // SOME polynomial — verify by constructing one explicitly for a
+            // different secret (perfect secrecy witness).
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sharing = FieldSharing::generate(2, 2, &mut rng).unwrap();
+            let shares = sharing.split_random(Fp::from_u64(secret), &mut rng);
+            // One share (x1, y1): for any other secret s', the line through
+            // (0, s') and (x1, y1) is a valid sharing polynomial.
+            let x1 = sharing.point(shares[0].provider).unwrap();
+            let y1 = shares[0].y;
+            let other = Fp::from_u64(secret + 1);
+            let slope = (y1 - other) * x1.inv().unwrap();
+            let poly = dasp_field::Poly::new(vec![other, slope]);
+            prop_assert_eq!(poly.eval(x1), y1);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Slotted pages: fixed 4 KiB frames holding variable-length records.
+//!
+//! Layout (offsets in bytes):
+//!
+//! ```text
+//! 0..1    page type tag
+//! 1..3    slot count (u16)
+//! 3..5    free-space pointer (u16, grows downward from PAGE_SIZE)
+//! 5..     slot directory: per slot, offset u16 + length u16
+//!         (offset 0 = deleted tombstone)
+//! ...     cell data, packed at the tail
+//! ```
+
+use crate::{Result, StorageError};
+
+/// Fixed page size.
+pub const PAGE_SIZE: usize = 4096;
+
+const HEADER: usize = 5;
+const SLOT_ENTRY: usize = 4;
+
+/// Page type tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageType {
+    /// Unused / freshly allocated.
+    Free = 0,
+    /// Heap data page.
+    Heap = 1,
+    /// B+tree leaf.
+    BTreeLeaf = 2,
+    /// B+tree internal node.
+    BTreeInternal = 3,
+    /// Engine metadata.
+    Meta = 4,
+}
+
+impl PageType {
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => PageType::Free,
+            1 => PageType::Heap,
+            2 => PageType::BTreeLeaf,
+            3 => PageType::BTreeInternal,
+            4 => PageType::Meta,
+            _ => return Err(StorageError::Corrupt("unknown page type")),
+        })
+    }
+}
+
+/// A 4 KiB page buffer with slotted-record accessors.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new(PageType::Free)
+    }
+}
+
+impl Page {
+    /// A fresh, empty page of the given type.
+    pub fn new(ptype: PageType) -> Self {
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        data[0] = ptype as u8;
+        data[3..5].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        Page { data }
+    }
+
+    /// Wrap raw bytes (e.g. read from disk).
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Self {
+        Page {
+            data: Box::new(bytes),
+        }
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// The page type.
+    pub fn page_type(&self) -> Result<PageType> {
+        PageType::from_u8(self.data[0])
+    }
+
+    /// Reset to an empty page of `ptype`.
+    pub fn reset(&mut self, ptype: PageType) {
+        self.data.fill(0);
+        self.data[0] = ptype as u8;
+        self.set_free_ptr(PAGE_SIZE as u16);
+    }
+
+    /// Number of slots (including tombstones).
+    pub fn slot_count(&self) -> u16 {
+        u16::from_le_bytes([self.data[1], self.data[2]])
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.data[1..3].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn free_ptr(&self) -> u16 {
+        u16::from_le_bytes([self.data[3], self.data[4]])
+    }
+
+    fn set_free_ptr(&mut self, p: u16) {
+        self.data[3..5].copy_from_slice(&p.to_le_bytes());
+    }
+
+    fn slot_entry(&self, slot: u16) -> (u16, u16) {
+        let off = HEADER + slot as usize * SLOT_ENTRY;
+        let pos = u16::from_le_bytes([self.data[off], self.data[off + 1]]);
+        let len = u16::from_le_bytes([self.data[off + 2], self.data[off + 3]]);
+        (pos, len)
+    }
+
+    fn set_slot_entry(&mut self, slot: u16, pos: u16, len: u16) {
+        let off = HEADER + slot as usize * SLOT_ENTRY;
+        self.data[off..off + 2].copy_from_slice(&pos.to_le_bytes());
+        self.data[off + 2..off + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Free bytes available for one more record (including its slot entry).
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT_ENTRY;
+        (self.free_ptr() as usize).saturating_sub(dir_end)
+    }
+
+    /// Largest record insertable into an empty page.
+    pub const fn max_record() -> usize {
+        PAGE_SIZE - HEADER - SLOT_ENTRY
+    }
+
+    /// Insert a record, returning its slot, or `None` if it doesn't fit.
+    pub fn insert(&mut self, record: &[u8]) -> Result<Option<u16>> {
+        if record.len() > Self::max_record() {
+            return Err(StorageError::RecordTooLarge(record.len()));
+        }
+        if self.free_space() < record.len() + SLOT_ENTRY {
+            return Ok(None);
+        }
+        let slot = self.slot_count();
+        let new_free = self.free_ptr() as usize - record.len();
+        self.data[new_free..new_free + record.len()].copy_from_slice(record);
+        self.set_free_ptr(new_free as u16);
+        self.set_slot_entry(slot, new_free as u16, record.len() as u16);
+        self.set_slot_count(slot + 1);
+        Ok(Some(slot))
+    }
+
+    /// Read the record in `slot`; `None` if deleted.
+    pub fn get(&self, slot: u16) -> Result<Option<&[u8]>> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::Corrupt("slot out of range"));
+        }
+        let (pos, len) = self.slot_entry(slot);
+        if pos == 0 {
+            return Ok(None); // tombstone
+        }
+        let (pos, len) = (pos as usize, len as usize);
+        if pos + len > PAGE_SIZE || pos < HEADER {
+            return Err(StorageError::Corrupt("slot points outside page"));
+        }
+        Ok(Some(&self.data[pos..pos + len]))
+    }
+
+    /// Tombstone-delete the record in `slot`. Space is reclaimed only by
+    /// [`Page::compact`].
+    pub fn delete(&mut self, slot: u16) -> Result<bool> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::Corrupt("slot out of range"));
+        }
+        let (pos, _) = self.slot_entry(slot);
+        if pos == 0 {
+            return Ok(false);
+        }
+        self.set_slot_entry(slot, 0, 0);
+        Ok(true)
+    }
+
+    /// Rewrite live records contiguously, dropping dead space but keeping
+    /// slot numbers stable (so [`crate::RecordId`]s stay valid).
+    pub fn compact(&mut self) -> Result<()> {
+        let n = self.slot_count();
+        let mut live: Vec<(u16, Vec<u8>)> = Vec::with_capacity(n as usize);
+        for slot in 0..n {
+            if let Some(rec) = self.get(slot)? {
+                live.push((slot, rec.to_vec()));
+            }
+        }
+        let mut free = PAGE_SIZE;
+        // Zero the data region, then re-pack.
+        let dir_end = HEADER + n as usize * SLOT_ENTRY;
+        self.data[dir_end..].fill(0);
+        for (slot, rec) in live {
+            free -= rec.len();
+            self.data[free..free + rec.len()].copy_from_slice(&rec);
+            self.set_slot_entry(slot, free as u16, rec.len() as u16);
+        }
+        self.set_free_ptr(free as u16);
+        Ok(())
+    }
+
+    /// Iterate over live `(slot, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |slot| {
+            self.get(slot).ok().flatten().map(|rec| (slot, rec))
+        })
+    }
+
+    // ---- raw field accessors used by the B+tree (fixed layouts) ----
+
+    /// Read `len` bytes at `offset` (B+tree node fields).
+    pub fn read_at(&self, offset: usize, len: usize) -> &[u8] {
+        &self.data[offset..offset + len]
+    }
+
+    /// Write bytes at `offset` (B+tree node fields).
+    pub fn write_at(&mut self, offset: usize, bytes: &[u8]) {
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Page(type={:?}, slots={}, free={})",
+            self.page_type().map_err(|_| std::fmt::Error)?,
+            self.slot_count(),
+            self.free_space()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_page_is_empty() {
+        let p = Page::new(PageType::Heap);
+        assert_eq!(p.page_type().unwrap(), PageType::Heap);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.free_space(), PAGE_SIZE - HEADER);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = Page::new(PageType::Heap);
+        let s0 = p.insert(b"hello").unwrap().unwrap();
+        let s1 = p.insert(b"world!").unwrap().unwrap();
+        assert_eq!(p.get(s0).unwrap(), Some(&b"hello"[..]));
+        assert_eq!(p.get(s1).unwrap(), Some(&b"world!"[..]));
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn fill_until_full() {
+        let mut p = Page::new(PageType::Heap);
+        let rec = [0xabu8; 100];
+        let mut count = 0;
+        while p.insert(&rec).unwrap().is_some() {
+            count += 1;
+        }
+        // 100-byte record + 4-byte slot entry = 104; (4096-5)/104 = 39.
+        assert_eq!(count, 39);
+        assert!(p.free_space() < 104);
+    }
+
+    #[test]
+    fn record_too_large_errors() {
+        let mut p = Page::new(PageType::Heap);
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            p.insert(&huge),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+        // Max-size record fits exactly.
+        let max = vec![7u8; Page::max_record()];
+        assert!(p.insert(&max).unwrap().is_some());
+        assert_eq!(p.free_space(), 0);
+    }
+
+    #[test]
+    fn delete_and_tombstones() {
+        let mut p = Page::new(PageType::Heap);
+        let s0 = p.insert(b"aaa").unwrap().unwrap();
+        let s1 = p.insert(b"bbb").unwrap().unwrap();
+        assert!(p.delete(s0).unwrap());
+        assert!(!p.delete(s0).unwrap(), "double delete is a no-op");
+        assert_eq!(p.get(s0).unwrap(), None);
+        assert_eq!(p.get(s1).unwrap(), Some(&b"bbb"[..]));
+        assert!(p.get(99).is_err());
+    }
+
+    #[test]
+    fn compact_reclaims_space_keeps_slots() {
+        let mut p = Page::new(PageType::Heap);
+        let mut slots = Vec::new();
+        for i in 0..10 {
+            let rec = vec![i as u8; 200];
+            slots.push(p.insert(&rec).unwrap().unwrap());
+        }
+        let before = p.free_space();
+        for &s in slots.iter().step_by(2) {
+            p.delete(s).unwrap();
+        }
+        p.compact().unwrap();
+        assert!(p.free_space() >= before + 5 * 200);
+        for (i, &s) in slots.iter().enumerate() {
+            let expect = if i % 2 == 0 {
+                None
+            } else {
+                Some(vec![i as u8; 200])
+            };
+            assert_eq!(p.get(s).unwrap().map(|r| r.to_vec()), expect);
+        }
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut p = Page::new(PageType::Heap);
+        p.insert(b"a").unwrap();
+        let s = p.insert(b"b").unwrap().unwrap();
+        p.insert(b"c").unwrap();
+        p.delete(s).unwrap();
+        let live: Vec<Vec<u8>> = p.iter().map(|(_, r)| r.to_vec()).collect();
+        assert_eq!(live, vec![b"a".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut p = Page::new(PageType::BTreeLeaf);
+        p.insert(b"payload").unwrap();
+        let q = Page::from_bytes(*p.as_bytes());
+        assert_eq!(q.get(0).unwrap(), Some(&b"payload"[..]));
+        assert_eq!(q.page_type().unwrap(), PageType::BTreeLeaf);
+    }
+
+    #[test]
+    fn corrupt_type_detected() {
+        let mut bytes = [0u8; PAGE_SIZE];
+        bytes[0] = 0xff;
+        assert!(Page::from_bytes(bytes).page_type().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_insert_get_many(recs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..300), 1..30)
+        ) {
+            let mut p = Page::new(PageType::Heap);
+            let mut stored = Vec::new();
+            for rec in &recs {
+                if let Some(slot) = p.insert(rec).unwrap() {
+                    stored.push((slot, rec.clone()));
+                }
+            }
+            for (slot, rec) in stored {
+                prop_assert_eq!(p.get(slot).unwrap(), Some(rec.as_slice()));
+            }
+        }
+    }
+}

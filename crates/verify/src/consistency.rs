@@ -1,0 +1,300 @@
+//! Cross-subset share consistency and faulty-provider identification.
+//!
+//! With n > k shares of the same value, every k-subset of *honest* shares
+//! reconstructs the same secret; a corrupted share contaminates exactly
+//! the subsets containing it. Majority voting over subsets therefore both
+//! recovers the value and pinpoints the liars — the secret-sharing
+//! analogue of the paper's "verify that data has been corrupted" demand.
+//!
+//! Complexity is C(n, k) reconstructions; deployments here have n ≤ 8, so
+//! this is at most 70 cheap interpolations.
+
+use crate::VerifyError;
+use dasp_field::Fp;
+use dasp_sss::{FieldShare, FieldSharing, OpSharing};
+use std::collections::HashMap;
+
+/// Result of a majority reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MajorityOutcome<T> {
+    /// The value agreed by the majority of k-subsets.
+    pub value: T,
+    /// Providers whose shares disagree with the majority value.
+    pub faulty: Vec<usize>,
+    /// How many subsets voted for the winning value.
+    pub votes: usize,
+    /// Total subsets examined.
+    pub subsets: usize,
+}
+
+fn k_subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.clone());
+        // Find the rightmost position that can still advance.
+        let mut i = k;
+        while i > 0 && idx[i - 1] == i - 1 + n - k {
+            i -= 1;
+        }
+        if i == 0 {
+            return out;
+        }
+        idx[i - 1] += 1;
+        for j in i..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Plurality winner among subset votes. A corrupted share scatters its
+/// subsets across *distinct* wrong values (two degree-(k−1) polynomials
+/// agree on at most k−1 points), so the honest value wins the plurality
+/// with a unique maximum whenever honest shares outnumber the corrupt
+/// ones. A tie for the maximum is reported as [`VerifyError::NoMajority`].
+/// Guaranteed identification against *crafted* (not just random) shares
+/// needs n ≥ k + 2f, the Reed–Solomon bound.
+fn plurality<T: Copy + Eq + std::hash::Hash>(
+    votes: &HashMap<T, usize>,
+) -> Result<(T, usize), VerifyError> {
+    let (&winner, &won) = votes
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .ok_or(VerifyError::NoMajority)?;
+    if votes.values().filter(|&&c| c == won).count() > 1 {
+        return Err(VerifyError::NoMajority);
+    }
+    Ok((winner, won))
+}
+
+/// Majority-reconstruct a field-mode secret from `shares` (all claiming to
+/// be shares of the same value). Needs at least k+1 shares to detect
+/// anything; identifies faulty providers whenever the honest value wins
+/// the subset plurality (unique-maximum vote; ties are rejected).
+pub fn majority_reconstruct_field(
+    sharing: &FieldSharing,
+    shares: &[FieldShare],
+) -> Result<MajorityOutcome<Fp>, VerifyError> {
+    let k = sharing.k();
+    if shares.len() < k {
+        return Err(VerifyError::NotEnoughShares {
+            needed: k,
+            got: shares.len(),
+        });
+    }
+    let subsets = k_subsets(shares.len(), k);
+    let mut votes: HashMap<u64, usize> = HashMap::new();
+    let mut subset_values = Vec::with_capacity(subsets.len());
+    for subset in &subsets {
+        let picked: Vec<FieldShare> = subset.iter().map(|&i| shares[i]).collect();
+        match sharing.reconstruct(&picked) {
+            Ok(v) => {
+                *votes.entry(v.to_u64()).or_insert(0) += 1;
+                subset_values.push(Some(v));
+            }
+            Err(_) => subset_values.push(None),
+        }
+    }
+    let (winner, won) = plurality(&votes)?;
+    let winner = Fp::from_u64(winner);
+    // A provider is faulty iff every subset containing it disagrees.
+    let mut faulty = Vec::new();
+    for (pos, share) in shares.iter().enumerate() {
+        let consistent = subsets
+            .iter()
+            .zip(&subset_values)
+            .any(|(subset, val)| subset.contains(&pos) && *val == Some(winner));
+        if !consistent {
+            faulty.push(share.provider);
+        }
+    }
+    Ok(MajorityOutcome {
+        value: winner,
+        faulty,
+        votes: won,
+        subsets: subsets.len(),
+    })
+}
+
+/// Majority-reconstruct an order-preserving share set (provider index,
+/// share value). Same voting scheme, over exact rational interpolation.
+pub fn majority_reconstruct_op(
+    sharing: &OpSharing,
+    shares: &[(usize, i128)],
+) -> Result<MajorityOutcome<i128>, VerifyError> {
+    let k = sharing.params().k();
+    if shares.len() < k {
+        return Err(VerifyError::NotEnoughShares {
+            needed: k,
+            got: shares.len(),
+        });
+    }
+    let subsets = k_subsets(shares.len(), k);
+    let mut votes: HashMap<i128, usize> = HashMap::new();
+    let mut subset_values = Vec::with_capacity(subsets.len());
+    for subset in &subsets {
+        let picked: Vec<(usize, i128)> = subset.iter().map(|&i| shares[i]).collect();
+        let value = match sharing.reconstruct_interpolate(&picked) {
+            Ok(Some(v)) => Some(v),
+            _ => None, // non-integer constant term = corrupt subset
+        };
+        if let Some(v) = value {
+            *votes.entry(v).or_insert(0) += 1;
+        }
+        subset_values.push(value);
+    }
+    let (winner, won) = plurality(&votes)?;
+    let mut faulty = Vec::new();
+    for (pos, &(provider, _)) in shares.iter().enumerate() {
+        let consistent = subsets
+            .iter()
+            .zip(&subset_values)
+            .any(|(subset, val)| subset.contains(&pos) && *val == Some(winner));
+        if !consistent {
+            faulty.push(provider);
+        }
+    }
+    Ok(MajorityOutcome {
+        value: winner,
+        faulty,
+        votes: won,
+        subsets: subsets.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_sss::{DomainKey, OpssParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k_subsets_counts() {
+        assert_eq!(k_subsets(4, 2).len(), 6);
+        assert_eq!(k_subsets(5, 3).len(), 10);
+        assert_eq!(k_subsets(3, 3).len(), 1);
+        assert_eq!(k_subsets(6, 1).len(), 6);
+    }
+
+    fn field_setup() -> (FieldSharing, Vec<FieldShare>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let sharing = FieldSharing::generate(2, 5, &mut rng).unwrap();
+        let shares = sharing.split_random(Fp::from_u64(777_000), &mut rng);
+        (sharing, shares, rng)
+    }
+
+    #[test]
+    fn all_honest_field() {
+        let (sharing, shares, _) = field_setup();
+        let out = majority_reconstruct_field(&sharing, &shares).unwrap();
+        assert_eq!(out.value, Fp::from_u64(777_000));
+        assert!(out.faulty.is_empty());
+        assert_eq!(out.votes, out.subsets);
+    }
+
+    #[test]
+    fn one_corrupt_field_share_identified() {
+        let (sharing, mut shares, _) = field_setup();
+        shares[2].y += Fp::ONE;
+        let out = majority_reconstruct_field(&sharing, &shares).unwrap();
+        assert_eq!(out.value, Fp::from_u64(777_000));
+        assert_eq!(out.faulty, vec![shares[2].provider]);
+        // 4 honest of 5: C(4,2)=6 clean subsets of C(5,2)=10.
+        assert_eq!((out.votes, out.subsets), (6, 10));
+    }
+
+    #[test]
+    fn two_corrupt_of_five_identified_by_plurality() {
+        let (sharing, mut shares, _) = field_setup();
+        shares[0].y += Fp::ONE;
+        shares[4].y += Fp::from_u64(7);
+        // 3 honest → C(3,2)=3 votes for the true value; every contaminated
+        // subset lands on a distinct wrong value (1 vote each), so the
+        // plurality still picks the truth and names both liars.
+        let out = majority_reconstruct_field(&sharing, &shares).unwrap();
+        assert_eq!(out.value, Fp::from_u64(777_000));
+        let mut faulty = out.faulty.clone();
+        faulty.sort_unstable();
+        let mut expect = vec![shares[0].provider, shares[4].provider];
+        expect.sort_unstable();
+        assert_eq!(faulty, expect);
+        assert_eq!((out.votes, out.subsets), (3, 10));
+    }
+
+    #[test]
+    fn equal_corruption_split_is_rejected() {
+        // 1 honest + 1 corrupt with k=2, n=2 → a single subset votes for a
+        // wrong-but-unique value... make a genuine tie instead: two shares
+        // of DIFFERENT secrets, two subsets impossible (C(2,2)=1). Use 4
+        // shares where 2+2 split ties.
+        let mut rng = StdRng::seed_from_u64(77);
+        let sharing = FieldSharing::generate(2, 4, &mut rng).unwrap();
+        let a = sharing.split_random(Fp::from_u64(111), &mut rng);
+        let b = sharing.split_random(Fp::from_u64(222), &mut rng);
+        // Providers 0,1 hold shares of 111; providers 2,3 hold shares of 222.
+        let mixed = vec![a[0], a[1], b[2], b[3]];
+        // Votes: {0,1}→111 (1 vote), {2,3}→222 (1 vote), cross subsets →
+        // scattered values. Tie at the top → NoMajority.
+        assert_eq!(
+            majority_reconstruct_field(&sharing, &mixed),
+            Err(VerifyError::NoMajority)
+        );
+    }
+
+    #[test]
+    fn too_few_shares_field() {
+        let (sharing, shares, _) = field_setup();
+        assert!(matches!(
+            majority_reconstruct_field(&sharing, &shares[..1]),
+            Err(VerifyError::NotEnoughShares { .. })
+        ));
+    }
+
+    fn op_setup() -> (OpSharing, Vec<(usize, i128)>) {
+        let params = OpssParams::new(1, 12, 1 << 20, vec![2, 4, 1, 7, 11]).unwrap();
+        let sharing = OpSharing::new(params, DomainKey::derive(b"m", "salary"));
+        let shares: Vec<(usize, i128)> = sharing
+            .share(54_321)
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .collect();
+        (sharing, shares)
+    }
+
+    #[test]
+    fn all_honest_op() {
+        let (sharing, shares) = op_setup();
+        let out = majority_reconstruct_op(&sharing, &shares).unwrap();
+        assert_eq!(out.value, 54_321);
+        assert!(out.faulty.is_empty());
+    }
+
+    #[test]
+    fn corrupt_op_share_identified() {
+        let (sharing, mut shares) = op_setup();
+        shares[1].1 += 1_000_000;
+        let out = majority_reconstruct_op(&sharing, &shares).unwrap();
+        assert_eq!(out.value, 54_321);
+        assert_eq!(out.faulty, vec![1]);
+    }
+
+    #[test]
+    fn corrupt_op_share_large_negative() {
+        let (sharing, mut shares) = op_setup();
+        shares[3].1 = -shares[3].1;
+        let out = majority_reconstruct_op(&sharing, &shares).unwrap();
+        assert_eq!(out.value, 54_321);
+        assert_eq!(out.faulty, vec![3]);
+    }
+
+    #[test]
+    fn op_not_enough_shares() {
+        let (sharing, shares) = op_setup();
+        assert!(matches!(
+            majority_reconstruct_op(&sharing, &shares[..1]),
+            Err(VerifyError::NotEnoughShares { .. })
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! Trust mechanisms for outsourced data (paper §I issue 3, refs \[17\]–\[21\]).
+//!
+//! The paper names "providing a trust mechanism to ensure both DBSPs and
+//! clients behave honestly" as the gating problem for data outsourcing.
+//! This crate implements the three complementary mechanisms the
+//! literature it cites proposes, adapted to the secret-sharing setting:
+//!
+//! * [`consistency`] — *correctness*: with more than k shares in hand,
+//!   reconstruct via majority vote over k-subsets and identify which
+//!   provider returned a corrupted share. Secret sharing gives this
+//!   almost for free — a key advantage over single-server encryption.
+//! * [`merkle_table`] — *authenticity and range completeness*: the client
+//!   commits to each provider's share table with a Merkle tree over
+//!   share-sorted rows; results carry membership proofs, and range
+//!   results carry boundary proofs that no matching row was withheld.
+//! * [`ringers`] — *execution assurance* (Sion, VLDB'05): the client
+//!   plants synthetic rows whose predicates it knows; a lazy provider
+//!   that skips work fails to return the expected ringers.
+
+pub mod consistency;
+pub mod merkle_table;
+pub mod ringers;
+
+pub use consistency::{majority_reconstruct_field, majority_reconstruct_op, MajorityOutcome};
+pub use merkle_table::{AuthenticatedTable, RangeProof};
+pub use ringers::RingerSet;
+
+/// Verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// No value was consistent with a majority of shares.
+    NoMajority,
+    /// Fewer shares than the threshold k.
+    NotEnoughShares { needed: usize, got: usize },
+    /// A Merkle proof failed.
+    BadProof,
+    /// A range result omitted rows the commitment proves exist.
+    IncompleteRange,
+    /// Expected ringer rows were missing from a result.
+    MissingRingers(Vec<u64>),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::NoMajority => write!(f, "no majority among share subsets"),
+            VerifyError::NotEnoughShares { needed, got } => {
+                write!(f, "need {needed} shares, got {got}")
+            }
+            VerifyError::BadProof => write!(f, "merkle proof rejected"),
+            VerifyError::IncompleteRange => write!(f, "range result incomplete"),
+            VerifyError::MissingRingers(ids) => write!(f, "missing ringers {ids:?}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}

@@ -1,0 +1,177 @@
+//! Ringer-based query execution assurance (Sion, VLDB'05 — the paper's
+//! ref \[19\]).
+//!
+//! The client plants synthetic rows ("ringers") among the outsourced data
+//! at known positions in value space. Because shares are indistinguishable
+//! from real data, a provider cannot tell ringers apart; a provider that
+//! skips work (returns partial results, or fabricates them without
+//! touching the data) will, with high probability, omit a ringer that the
+//! client knows must appear.
+
+use crate::VerifyError;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// The client's private registry of planted ringer rows for one table.
+#[derive(Debug, Clone, Default)]
+pub struct RingerSet {
+    /// value → row id of the planted ringer.
+    planted: BTreeMap<u64, u64>,
+}
+
+impl RingerSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plant `count` ringers with values drawn uniformly from
+    /// `[0, domain)` and row ids from `id_base` upward. Returns the
+    /// `(row id, value)` pairs the caller must insert as ordinary rows.
+    pub fn plant<R: Rng + ?Sized>(
+        &mut self,
+        count: usize,
+        domain: u64,
+        id_base: u64,
+        rng: &mut R,
+    ) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(count);
+        let mut next_id = id_base;
+        while out.len() < count {
+            let v = rng.gen_range(0..domain);
+            if let std::collections::btree_map::Entry::Vacant(e) = self.planted.entry(v) {
+                e.insert(next_id);
+                out.push((next_id, v));
+                next_id += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of planted ringers.
+    pub fn len(&self) -> usize {
+        self.planted.len()
+    }
+
+    /// True iff nothing is planted.
+    pub fn is_empty(&self) -> bool {
+        self.planted.is_empty()
+    }
+
+    /// Row ids of ringers whose value lies in `[lo, hi]` — these MUST
+    /// appear in any honest answer to that range query.
+    pub fn expected_in_range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        self.planted.range(lo..=hi).map(|(_, &id)| id).collect()
+    }
+
+    /// Is this row id a ringer (to strip from results before the app sees
+    /// them)?
+    pub fn is_ringer(&self, row_id: u64) -> bool {
+        self.planted.values().any(|&id| id == row_id)
+    }
+
+    /// Check a range-query result: every expected ringer must be present.
+    pub fn check_range_result(
+        &self,
+        lo: u64,
+        hi: u64,
+        returned_ids: &[u64],
+    ) -> Result<(), VerifyError> {
+        let missing: Vec<u64> = self
+            .expected_in_range(lo, hi)
+            .into_iter()
+            .filter(|id| !returned_ids.contains(id))
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(VerifyError::MissingRingers(missing))
+        }
+    }
+
+    /// Detection probability for a provider that silently drops each
+    /// matching row independently with probability `drop_p`, against a
+    /// range containing `ringers_in_range` ringers: 1 − (1 − p)^r.
+    pub fn detection_probability(ringers_in_range: usize, drop_p: f64) -> f64 {
+        1.0 - (1.0 - drop_p).powi(ringers_in_range as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn planted_set() -> (RingerSet, Vec<(u64, u64)>) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut set = RingerSet::new();
+        let rows = set.plant(20, 10_000, 1_000_000, &mut rng);
+        (set, rows)
+    }
+
+    #[test]
+    fn plant_returns_unique_ids_and_values() {
+        let (set, rows) = planted_set();
+        assert_eq!(set.len(), 20);
+        assert_eq!(rows.len(), 20);
+        let mut values: Vec<u64> = rows.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 20, "values unique");
+        for (id, _) in &rows {
+            assert!(set.is_ringer(*id));
+        }
+        assert!(!set.is_ringer(5));
+    }
+
+    #[test]
+    fn expected_in_range_matches_plants() {
+        let (set, rows) = planted_set();
+        let expected = set.expected_in_range(0, 9_999);
+        assert_eq!(expected.len(), 20, "full domain contains all");
+        let in_half: Vec<u64> = rows
+            .iter()
+            .filter(|&&(_, v)| v <= 5_000)
+            .map(|&(id, _)| id)
+            .collect();
+        let mut got = set.expected_in_range(0, 5_000);
+        got.sort_unstable();
+        let mut want = in_half;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn honest_result_passes() {
+        let (set, rows) = planted_set();
+        let all_ids: Vec<u64> = rows.iter().map(|&(id, _)| id).collect();
+        set.check_range_result(0, 9_999, &all_ids).unwrap();
+    }
+
+    #[test]
+    fn lazy_provider_caught() {
+        let (set, rows) = planted_set();
+        let mut ids: Vec<u64> = rows.iter().map(|&(id, _)| id).collect();
+        let dropped = ids.pop().unwrap();
+        let err = set.check_range_result(0, 9_999, &ids).unwrap_err();
+        assert_eq!(err, VerifyError::MissingRingers(vec![dropped]));
+    }
+
+    #[test]
+    fn empty_range_always_passes() {
+        let (set, _) = planted_set();
+        // A range with no ringers imposes no constraint.
+        let lo = 10_001;
+        set.check_range_result(lo, lo + 5, &[]).unwrap();
+    }
+
+    #[test]
+    fn detection_probability_grows_with_ringers() {
+        let p1 = RingerSet::detection_probability(1, 0.5);
+        let p10 = RingerSet::detection_probability(10, 0.5);
+        assert!((p1 - 0.5).abs() < 1e-9);
+        assert!(p10 > 0.999);
+        assert_eq!(RingerSet::detection_probability(0, 0.9), 0.0);
+    }
+}

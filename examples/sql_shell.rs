@@ -1,0 +1,123 @@
+//! Interactive SQL shell against a live outsourced deployment.
+//!
+//! ```text
+//! cargo run --release -p dasp-apps --bin sql_shell
+//! dasp> CREATE TABLE t (name VARCHAR(8) MODE DETERMINISTIC, v INT(1000000) MODE ORDERED);
+//! dasp> INSERT INTO t VALUES ('ANNE', 10), ('BEN', 20);
+//! dasp> SELECT * FROM t WHERE v BETWEEN 5 AND 15;
+//! dasp> .stats        -- traffic counters
+//! dasp> .verify on    -- majority-verify every read
+//! dasp> .quit
+//! ```
+//!
+//! Also accepts statements on stdin non-interactively:
+//! `echo "SELECT ..." | cargo run -p dasp-apps --bin sql_shell`.
+
+use dasp_core::{OutsourcedDatabase, QueryOutput};
+use std::io::{self, BufRead, Write};
+
+fn print_output(out: QueryOutput) {
+    match out {
+        QueryOutput::None => println!("ok"),
+        QueryOutput::Inserted(ids) => println!("inserted {} row(s)", ids.len()),
+        QueryOutput::Affected(n) => println!("{n} row(s) affected"),
+        QueryOutput::Rows { columns, rows } => {
+            println!("  {}", columns.join(" | "));
+            for (id, values) in &rows {
+                let rendered: Vec<String> = values
+                    .iter()
+                    .map(|v| match v {
+                        dasp_core::client::Value::Int(i) => i.to_string(),
+                        dasp_core::client::Value::Str(s) => format!("'{s}'"),
+                    })
+                    .collect();
+                println!("  [{id}] {}", rendered.join(" | "));
+            }
+            println!("({} row(s))", rows.len());
+        }
+        QueryOutput::Joined { pairs } => {
+            for ((lid, l), (rid, r)) in &pairs {
+                println!("  [{lid}]{l:?} ⋈ [{rid}]{r:?}");
+            }
+            println!("({} pair(s))", pairs.len());
+        }
+        QueryOutput::Aggregate(agg) => {
+            println!("  {:?} over {} row(s)", agg.value, agg.count)
+        }
+        QueryOutput::Plan(plan) => println!("{plan}"),
+        QueryOutput::Groups(groups) => {
+            for g in &groups {
+                println!("  {:?}: sum={:?} count={}", g.group, g.sum, g.count);
+            }
+            println!("({} group(s))", groups.len());
+        }
+    }
+}
+
+fn main() {
+    let (k, n) = (2usize, 3usize);
+    let mut db = OutsourcedDatabase::deploy(k, n).expect("deploy cluster");
+    println!("dasp SQL shell — {n} providers, threshold {k}. '.help' for meta commands.");
+
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("dasp> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ".quit" | ".exit" => break,
+            ".help" => {
+                println!(".stats       traffic counters");
+                println!(".verify on   majority-verify every read");
+                println!(".verify off  trust first k responses (default)");
+                println!(".quit        exit");
+                continue;
+            }
+            ".stats" => {
+                let s = db.cluster().stats().snapshot();
+                println!(
+                    "sent {} msgs / {} bytes; received {} msgs / {} bytes; {} round trips",
+                    s.messages_sent, s.bytes_sent, s.messages_received, s.bytes_received,
+                    s.round_trips
+                );
+                continue;
+            }
+            ".verify on" => {
+                db.verify_reads = true;
+                println!("verification on");
+                continue;
+            }
+            ".verify off" => {
+                db.verify_reads = false;
+                println!("verification off");
+                continue;
+            }
+            _ => {}
+        }
+        match db.execute(line) {
+            Ok(out) => print_output(out),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Rough interactivity detection without libc: honor a NO_PROMPT env var
+/// and otherwise assume interactive.
+fn atty_stdin() -> bool {
+    std::env::var_os("NO_PROMPT").is_none()
+}

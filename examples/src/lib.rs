@@ -1,0 +1,12 @@
+//! `dasp-apps`: runnable example applications and the cross-crate
+//! integration test suite.
+//!
+//! The examples live beside this crate as `[[bin]]` targets:
+//!
+//! * `quickstart` — reproduce the paper's Figure 1, then the SQL stack.
+//! * `payroll` — the §V-A query taxonomy over 10k outsourced rows.
+//! * `agencies` — §V-D watchlist ⋈ travelers + the E2 intersection costs.
+//! * `fault_tolerance` — crashes, Byzantine providers, ringers.
+//! * `pir_demo` — trivial vs IT-PIR vs computational PIR (E3).
+//!
+//! Integration tests spanning the whole workspace are in `/tests`.

@@ -1,0 +1,143 @@
+//! Failure-model integration tests (paper conclusion, challenge (b)):
+//! crash, omission and Byzantine providers against the full stack.
+
+use dasp_client::{ColumnSpec, DataSource, Predicate, QueryOptions, TableSchema, Value};
+use dasp_core::client::ClientKeys;
+use dasp_net::{Cluster, FailureMode};
+use dasp_server::service::provider_fleet;
+use dasp_sss::ShareMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn deploy(k: usize, n: usize) -> DataSource {
+    let mut rng = StdRng::seed_from_u64(9000 + n as u64);
+    let keys = ClientKeys::generate(k, n, &mut rng).unwrap();
+    let cluster = Cluster::spawn(provider_fleet(n), Duration::from_millis(300));
+    let mut ds = DataSource::with_seed(keys, cluster, 17).unwrap();
+    ds.create_table(
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnSpec::numeric("k", 1 << 16, ShareMode::Deterministic),
+                ColumnSpec::numeric("v", 1 << 20, ShareMode::OrderPreserving),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..300u64)
+        .map(|i| vec![Value::Int(i % 30), Value::Int(i * 17 % (1 << 20))])
+        .collect();
+    ds.insert("t", &rows).unwrap();
+    ds
+}
+
+#[test]
+fn tolerates_n_minus_k_crashes_exactly() {
+    let (k, n) = (2usize, 5usize);
+    let mut ds = deploy(k, n);
+    let pred = [Predicate::eq("k", 7u64)];
+    let healthy = ds.select("t", &pred).unwrap().len();
+    assert_eq!(healthy, 10);
+    // Crash providers one at a time.
+    for dead in 0..n {
+        ds.cluster().set_failure(dead, FailureMode::Crashed);
+        let alive = n - dead - 1;
+        let result = ds.select("t", &pred);
+        if alive >= k {
+            assert_eq!(result.unwrap().len(), healthy, "{alive} alive");
+        } else {
+            assert!(result.is_err(), "{alive} alive should fail");
+        }
+    }
+}
+
+#[test]
+fn recovery_after_healing() {
+    let mut ds = deploy(2, 3);
+    ds.cluster().set_failure(0, FailureMode::Crashed);
+    ds.cluster().set_failure(1, FailureMode::Crashed);
+    assert!(ds.select("t", &[]).is_err());
+    ds.cluster().set_failure(0, FailureMode::Healthy);
+    ds.cluster().set_failure(1, FailureMode::Healthy);
+    assert_eq!(ds.select("t", &[]).unwrap().len(), 300);
+}
+
+#[test]
+fn omission_faults_slow_but_do_not_break_quorum() {
+    let mut ds = deploy(2, 4);
+    ds.cluster().set_failure(1, FailureMode::Omission(1.0));
+    let rows = ds.select("t", &[Predicate::eq("k", 3u64)]).unwrap();
+    assert_eq!(rows.len(), 10);
+}
+
+#[test]
+fn writes_fail_loudly_when_any_provider_is_down() {
+    // Inserts are all-or-nothing across providers: a down provider makes
+    // the write fail rather than silently diverge.
+    let mut ds = deploy(2, 3);
+    ds.cluster().set_failure(2, FailureMode::Crashed);
+    let err = ds.insert("t", &[vec![Value::Int(1), Value::Int(1)]]);
+    assert!(err.is_err());
+    // After healing, writes work again.
+    ds.cluster().set_failure(2, FailureMode::Healthy);
+    ds.insert("t", &[vec![Value::Int(1), Value::Int(1)]]).unwrap();
+}
+
+#[test]
+fn byzantine_minority_is_survived_with_verification() {
+    let mut ds = deploy(2, 5);
+    ds.cluster().set_failure(4, FailureMode::Byzantine(1.0));
+    let rows = ds
+        .select_opts(
+            "t",
+            &[Predicate::between("v", 0u64, (1 << 20) - 1)],
+            QueryOptions { verify: true },
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 300);
+    // Ground truth intact for a sample.
+    assert!(rows.iter().all(|(_, v)| matches!(v[1], Value::Int(x) if x < 1 << 20)));
+}
+
+#[test]
+fn unverified_reads_may_fail_or_heal_under_byzantine_but_never_wrong_silently() {
+    // With probabilistic corruption, an unverified read either errors
+    // (decode failure / inconsistent shares detected via OP search) or
+    // returns correct data from an honest quorum — across many trials we
+    // must never observe a silently wrong value.
+    let mut ds = deploy(2, 4);
+    ds.cluster().set_failure(0, FailureMode::Byzantine(0.5));
+    let mut wrong = 0;
+    for i in 0..20u64 {
+        match ds.select("t", &[Predicate::eq("k", i % 30)]) {
+            Err(_) => {} // detected — acceptable
+            Ok(rows) => {
+                for (_, v) in rows {
+                    let Value::Int(k) = v[0] else { panic!() };
+                    let Value::Int(val) = v[1] else { panic!() };
+                    // Value must belong to the generated data set.
+                    let valid = (0..300u64)
+                        .any(|j| j % 30 == k && j * 17 % (1 << 20) == val);
+                    if !valid {
+                        wrong += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(wrong, 0, "silent corruption leaked into results");
+}
+
+#[test]
+fn aggregate_queries_survive_crash_minority() {
+    let mut ds = deploy(2, 4);
+    ds.cluster().set_failure(3, FailureMode::Crashed);
+    let sum = ds.sum("t", "v", &[Predicate::eq("k", 0u64)]).unwrap();
+    let expected: u64 = (0..300u64)
+        .filter(|i| i % 30 == 0)
+        .map(|i| i * 17 % (1 << 20))
+        .sum();
+    assert_eq!(sum.value, Some(Value::Int(expected)));
+}

@@ -1,0 +1,171 @@
+//! Security-property tests: what each share mode does and does not leak,
+//! checked statistically against live share constructions.
+
+use dasp_core::client::ClientKeys;
+use dasp_core::sss::{DomainKey, FieldShare, FieldSharing, OpSharing, OpssParams, ShareMode};
+use dasp_field::Fp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random-mode shares of DIFFERENT secrets are statistically
+/// indistinguishable at a single provider: compare the distribution of
+/// share low bits for secret A vs secret B.
+#[test]
+fn random_mode_single_share_leaks_nothing_statistical() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let sharing = FieldSharing::generate(2, 3, &mut rng).unwrap();
+    let trials = 4000;
+    let mut ones_a = 0u32;
+    let mut ones_b = 0u32;
+    for _ in 0..trials {
+        let a = sharing.split_random(Fp::from_u64(0), &mut rng);
+        let b = sharing.split_random(Fp::from_u64(999_999), &mut rng);
+        ones_a += (a[0].y.to_u64() & 1) as u32;
+        ones_b += (b[0].y.to_u64() & 1) as u32;
+    }
+    // Both should be ~50% regardless of the secret.
+    for (label, ones) in [("secret 0", ones_a), ("secret 999999", ones_b)] {
+        let frac = ones as f64 / trials as f64;
+        assert!(
+            (0.45..0.55).contains(&frac),
+            "{label}: low-bit frequency {frac} not ~0.5"
+        );
+    }
+}
+
+/// Perfect-secrecy witness: for any single share and ANY candidate
+/// secret, there exists a consistent polynomial — so one share supports
+/// all secrets equally.
+#[test]
+fn one_share_consistent_with_every_secret() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let sharing = FieldSharing::generate(2, 2, &mut rng).unwrap();
+    let shares = sharing.split_random(Fp::from_u64(12_345), &mut rng);
+    let x1 = sharing.point(shares[0].provider).unwrap();
+    let y1 = shares[0].y;
+    for candidate in [0u64, 1, 12_345, 999_999, 1 << 40] {
+        let s = Fp::from_u64(candidate);
+        // Line through (0, candidate) and (x1, y1).
+        let slope = (y1 - s) * x1.inv().unwrap();
+        let poly = dasp_field::Poly::new(vec![s, slope]);
+        assert_eq!(poly.eval(x1), y1, "candidate {candidate} must be consistent");
+    }
+}
+
+/// Deterministic mode leaks exactly equality: equal plaintexts collide,
+/// unequal plaintexts differ, and share values carry no order signal.
+#[test]
+fn deterministic_mode_leaks_equality_only() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let sharing = FieldSharing::generate(2, 3, &mut rng).unwrap();
+    let key = DomainKey::derive(b"master", "salary");
+    // Equality preserved.
+    assert_eq!(
+        sharing.split_deterministic(42, &key),
+        sharing.split_deterministic(42, &key)
+    );
+    // Order destroyed: count order-agreements between value order and
+    // share order across consecutive pairs; should be ~50%.
+    let mut agree = 0u32;
+    let total = 500u32;
+    for v in 0..total as u64 {
+        let a = sharing.split_deterministic(v, &key)[0].y.to_u64();
+        let b = sharing.split_deterministic(v + 1, &key)[0].y.to_u64();
+        if a < b {
+            agree += 1;
+        }
+    }
+    let frac = agree as f64 / total as f64;
+    assert!(
+        (0.4..0.6).contains(&frac),
+        "share order should be uncorrelated with value order, got {frac}"
+    );
+}
+
+/// Order-preserving mode leaks order (by design) but the jitter destroys
+/// the affine structure that would let a provider extrapolate values.
+#[test]
+fn op_mode_leaks_order_but_not_spacing() {
+    let params = OpssParams::new(2, 12, 1 << 20, vec![3, 5, 9]).unwrap();
+    let sharing = OpSharing::new(params, DomainKey::derive(b"m", "salary"));
+    // Order preserved exactly.
+    let mut prev = None;
+    for v in (0..10_000u64).step_by(11) {
+        let s = sharing.share_for(v, 0).unwrap();
+        if let Some(p) = prev {
+            assert!(s > p);
+        }
+        prev = Some(s);
+    }
+    // Spacing hidden: the gap between consecutive shares varies.
+    let gaps: Vec<i128> = (0..100u64)
+        .map(|v| {
+            sharing.share_for(v + 1, 0).unwrap() - sharing.share_for(v, 0).unwrap()
+        })
+        .collect();
+    let distinct: std::collections::HashSet<i128> = gaps.iter().copied().collect();
+    assert!(
+        distinct.len() > 50,
+        "gaps should be jittered, only {} distinct",
+        distinct.len()
+    );
+}
+
+/// Mode capability matrix is enforced end to end: what the type system
+/// claims each mode supports matches what the sharing layer accepts.
+#[test]
+fn capability_matrix() {
+    assert!(!ShareMode::Random.supports_equality());
+    assert!(!ShareMode::Random.supports_range());
+    assert!(ShareMode::Deterministic.supports_equality());
+    assert!(!ShareMode::Deterministic.supports_range());
+    assert!(ShareMode::OrderPreserving.supports_equality());
+    assert!(ShareMode::OrderPreserving.supports_range());
+}
+
+/// Collusion below the threshold cannot reconstruct; at the threshold it
+/// can — the exact boundary.
+#[test]
+fn threshold_boundary() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let keys = ClientKeys::generate(3, 5, &mut rng).unwrap();
+    let secret = Fp::from_u64(31_415_926);
+    let shares = keys.field().split_random(secret, &mut rng);
+    // 3 shares: reconstructs.
+    assert_eq!(keys.field().reconstruct(&shares[..3]).unwrap(), secret);
+    // 2 shares: refused (and information-theoretically useless anyway).
+    assert!(keys.field().reconstruct(&shares[..2]).is_err());
+}
+
+/// Two providers' shares of the same order-preserving value differ, and
+/// neither matches the plaintext.
+#[test]
+fn shares_never_equal_plaintext() {
+    let params = OpssParams::new(1, 12, 1 << 20, vec![2, 4, 1]).unwrap();
+    let sharing = OpSharing::new(params, DomainKey::derive(b"m", "salary"));
+    for v in [0u64, 1, 500, 999_999] {
+        let shares = sharing.share(v).unwrap();
+        for (i, &s) in shares.iter().enumerate() {
+            // Shares embed v·W ≫ v, so a share equals the plaintext only
+            // in the degenerate v=0 jitter-free case, which the +1 offset
+            // in the coefficient construction rules out.
+            assert_ne!(s, v as i128, "provider {i} share equals plaintext");
+        }
+        let distinct: std::collections::HashSet<i128> = shares.iter().copied().collect();
+        assert_eq!(distinct.len(), shares.len(), "providers get distinct shares");
+    }
+}
+
+/// The deterministic PRF is domain-separated: the same value in two
+/// domains yields unrelated shares, so cross-domain frequency analysis
+/// does not transfer.
+#[test]
+fn domain_separation() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let sharing = FieldSharing::generate(2, 3, &mut rng).unwrap();
+    let salary_key = DomainKey::derive(b"master", "salary");
+    let age_key = DomainKey::derive(b"master", "age");
+    let a: Vec<FieldShare> = sharing.split_deterministic(40, &salary_key);
+    let b: Vec<FieldShare> = sharing.split_deterministic(40, &age_key);
+    assert_ne!(a, b);
+}

@@ -1,0 +1,100 @@
+//! Large-scale soak tests. The expensive ones are `#[ignore]`d so the
+//! default `cargo test` stays fast; run them with
+//! `cargo test --release -p dasp-apps --test soak -- --ignored`.
+
+use dasp_core::client::Value;
+use dasp_core::{OutsourcedDatabase, QueryOutput};
+use dasp_net::NetworkModel;
+use dasp_workload::employees::{self, SalaryDist};
+
+/// A fast smoke version of the soak path that always runs.
+#[test]
+fn soak_smoke_5k() {
+    run_soak(5_000);
+}
+
+/// The real thing: 100k rows through the full stack.
+#[test]
+#[ignore = "several seconds in release; run with -- --ignored"]
+fn soak_100k() {
+    run_soak(100_000);
+}
+
+fn run_soak(n: usize) {
+    let mut db = OutsourcedDatabase::deploy_seeded(2, 3, n as u64).unwrap();
+    db.execute(
+        "CREATE TABLE employees (name VARCHAR(8) MODE DETERMINISTIC, \
+         salary INT(1048576) MODE ORDERED, ssn INT(1073741824) MODE RANDOM)",
+    )
+    .unwrap();
+    let data = employees::generate(n, 1 << 20, SalaryDist::Zipf(1.05), 42);
+    {
+        let ds = db.source();
+        let rows: Vec<Vec<Value>> = data
+            .iter()
+            .map(|e| {
+                vec![
+                    Value::Str(e.name.clone()),
+                    Value::Int(e.salary),
+                    Value::Int(e.ssn),
+                ]
+            })
+            .collect();
+        for chunk in rows.chunks(2500) {
+            ds.insert("employees", chunk).unwrap();
+        }
+    }
+
+    // Count.
+    let out = db.execute("SELECT COUNT(*) FROM employees").unwrap();
+    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    assert_eq!(agg.count as usize, n);
+
+    // A spread of range queries, all checked against ground truth.
+    for (lo, hi) in [(0u64, 5_000u64), (100_000, 120_000), (1_000_000, 1_048_575)] {
+        let out = db
+            .execute(&format!(
+                "SELECT COUNT(*) FROM employees WHERE salary BETWEEN {lo} AND {hi}"
+            ))
+            .unwrap();
+        let QueryOutput::Aggregate(agg) = out else { panic!() };
+        let want = data
+            .iter()
+            .filter(|e| (lo..=hi).contains(&e.salary))
+            .count();
+        assert_eq!(agg.count as usize, want, "[{lo},{hi}]");
+    }
+
+    // SUM over everything (exercises share-sum accumulation at scale).
+    let out = db.execute("SELECT SUM(salary) FROM employees").unwrap();
+    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    let want: u64 = data.iter().map(|e| e.salary).sum();
+    assert_eq!(agg.value, Some(Value::Int(want)));
+
+    // Grouped aggregation over many distinct groups.
+    let out = db
+        .execute("SELECT COUNT(*) FROM employees GROUP BY name")
+        .unwrap();
+    let QueryOutput::Groups(groups) = out else { panic!() };
+    let distinct: std::collections::HashSet<&String> =
+        data.iter().map(|e| &e.name).collect();
+    assert_eq!(groups.len(), distinct.len());
+    let total: u64 = groups.iter().map(|g| g.count).sum();
+    assert_eq!(total as usize, n);
+
+    // Top-k stays cheap regardless of table size.
+    let before = db.cluster().stats().snapshot();
+    let out = db
+        .execute("SELECT * FROM employees ORDER BY salary DESC LIMIT 10")
+        .unwrap();
+    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    assert_eq!(rows.len(), 10);
+    let delta = db.cluster().stats().snapshot().since(&before);
+    assert!(
+        delta.bytes_received < 8 * 1024,
+        "top-k moved {} bytes at n={n}",
+        delta.bytes_received
+    );
+    let wan = delta.modeled_time(&NetworkModel::wan());
+    assert!(wan < std::time::Duration::from_secs(1));
+}

@@ -1,0 +1,243 @@
+//! Differential SQL testing: random statements executed both against the
+//! outsourced stack and against a plaintext oracle table; results must
+//! coincide exactly.
+
+use dasp_core::client::Value;
+use dasp_core::{OutsourcedDatabase, QueryOutput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DOMAIN: u64 = 10_000;
+
+/// Plaintext mirror of the outsourced table.
+#[derive(Default)]
+struct Oracle {
+    rows: Vec<(u64, u64)>, // (key, value)
+}
+
+impl Oracle {
+    fn select_range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.rows
+            .iter()
+            .copied()
+            .filter(|&(_, v)| v >= lo && v <= hi)
+            .collect()
+    }
+
+    fn select_eq(&self, k: u64) -> Vec<(u64, u64)> {
+        self.rows.iter().copied().filter(|&(rk, _)| rk == k).collect()
+    }
+}
+
+fn sorted_values(rows: &[(u64, Vec<Value>)]) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = rows
+        .iter()
+        .map(|(_, v)| {
+            let Value::Int(k) = v[0] else { panic!() };
+            let Value::Int(val) = v[1] else { panic!() };
+            (k, val)
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn randomized_differential_run() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff);
+    let mut db = OutsourcedDatabase::deploy_seeded(2, 3, 0xd1ff).unwrap();
+    db.execute(&format!(
+        "CREATE TABLE t (k INT({DOMAIN}) MODE DETERMINISTIC, v INT({DOMAIN}) MODE ORDERED)"
+    ))
+    .unwrap();
+    let mut oracle = Oracle::default();
+
+    // Seed data.
+    let initial: Vec<(u64, u64)> = (0..200)
+        .map(|_| (rng.gen_range(0..50), rng.gen_range(0..DOMAIN)))
+        .collect();
+    let values: Vec<String> = initial.iter().map(|(k, v)| format!("({k}, {v})")).collect();
+    db.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    oracle.rows.extend(initial);
+
+    for step in 0..60 {
+        match rng.gen_range(0..6) {
+            // Insert a row.
+            0 => {
+                let (k, v) = (rng.gen_range(0..50), rng.gen_range(0..DOMAIN));
+                db.execute(&format!("INSERT INTO t VALUES ({k}, {v})")).unwrap();
+                oracle.rows.push((k, v));
+            }
+            // Range select.
+            1 => {
+                let lo = rng.gen_range(0..DOMAIN);
+                let hi = (lo + rng.gen_range(0..DOMAIN / 4)).min(DOMAIN - 1);
+                let out = db
+                    .execute(&format!("SELECT * FROM t WHERE v BETWEEN {lo} AND {hi}"))
+                    .unwrap();
+                let QueryOutput::Rows { rows, .. } = out else { panic!() };
+                let mut want = oracle.select_range(lo, hi);
+                want.sort_unstable();
+                assert_eq!(sorted_values(&rows), want, "step {step} range [{lo},{hi}]");
+            }
+            // Exact select.
+            2 => {
+                let k = rng.gen_range(0..50);
+                let out = db
+                    .execute(&format!("SELECT * FROM t WHERE k = {k}"))
+                    .unwrap();
+                let QueryOutput::Rows { rows, .. } = out else { panic!() };
+                let mut want = oracle.select_eq(k);
+                want.sort_unstable();
+                assert_eq!(sorted_values(&rows), want, "step {step} eq {k}");
+            }
+            // Aggregate.
+            3 => {
+                let lo = rng.gen_range(0..DOMAIN / 2);
+                let hi = lo + DOMAIN / 4;
+                let out = db
+                    .execute(&format!(
+                        "SELECT SUM(v) FROM t WHERE v BETWEEN {lo} AND {hi}"
+                    ))
+                    .unwrap();
+                let QueryOutput::Aggregate(agg) = out else { panic!() };
+                let want: u64 = oracle.select_range(lo, hi).iter().map(|&(_, v)| v).sum();
+                assert_eq!(agg.value, Some(Value::Int(want)), "step {step} sum");
+            }
+            // Update by key.
+            4 => {
+                let k = rng.gen_range(0..50);
+                let nv = rng.gen_range(0..DOMAIN);
+                let out = db
+                    .execute(&format!("UPDATE t SET v = {nv} WHERE k = {k}"))
+                    .unwrap();
+                let QueryOutput::Affected(n) = out else { panic!() };
+                let mut touched = 0;
+                for row in oracle.rows.iter_mut() {
+                    if row.0 == k {
+                        row.1 = nv;
+                        touched += 1;
+                    }
+                }
+                assert_eq!(n, touched, "step {step} update {k}");
+            }
+            // Delete by key.
+            _ => {
+                let k = rng.gen_range(0..50);
+                let out = db
+                    .execute(&format!("DELETE FROM t WHERE k = {k}"))
+                    .unwrap();
+                let QueryOutput::Affected(n) = out else { panic!() };
+                let before = oracle.rows.len();
+                oracle.rows.retain(|&(rk, _)| rk != k);
+                assert_eq!(n, before - oracle.rows.len(), "step {step} delete {k}");
+            }
+        }
+    }
+
+    // Final full-table consistency.
+    let out = db.execute("SELECT * FROM t").unwrap();
+    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let mut want = oracle.rows.clone();
+    want.sort_unstable();
+    assert_eq!(sorted_values(&rows), want);
+}
+
+#[test]
+fn group_by_and_order_by_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x6e0);
+    let mut db = OutsourcedDatabase::deploy_seeded(2, 3, 0x6e0).unwrap();
+    db.execute("CREATE TABLE t (g INT(50) MODE DETERMINISTIC, v INT(10000) MODE ORDERED)")
+        .unwrap();
+    let data: Vec<(u64, u64)> = (0..300)
+        .map(|_| (rng.gen_range(0..20), rng.gen_range(0..10_000)))
+        .collect();
+    let vals: Vec<String> = data.iter().map(|(g, v)| format!("({g}, {v})")).collect();
+    db.execute(&format!("INSERT INTO t VALUES {}", vals.join(", ")))
+        .unwrap();
+
+    // GROUP BY sums.
+    let out = db.execute("SELECT SUM(v) FROM t GROUP BY g").unwrap();
+    let QueryOutput::Groups(groups) = out else { panic!() };
+    let mut oracle: std::collections::HashMap<u64, (u64, u64)> = Default::default();
+    for &(g, v) in &data {
+        let e = oracle.entry(g).or_insert((0, 0));
+        e.0 += v;
+        e.1 += 1;
+    }
+    assert_eq!(groups.len(), oracle.len());
+    for grp in &groups {
+        let Value::Int(g) = grp.group else { panic!() };
+        let (want_sum, want_count) = oracle[&g];
+        assert_eq!(grp.sum, Some(Value::Int(want_sum)), "group {g}");
+        assert_eq!(grp.count, want_count, "group {g}");
+    }
+
+    // ORDER BY v DESC LIMIT 15 against a sorted oracle.
+    let out = db.execute("SELECT * FROM t ORDER BY v DESC LIMIT 15").unwrap();
+    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    assert_eq!(rows.len(), 15);
+    let mut sorted: Vec<u64> = data.iter().map(|&(_, v)| v).collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let got: Vec<u64> = rows
+        .iter()
+        .map(|(_, v)| match v[1] {
+            Value::Int(x) => x,
+            _ => panic!(),
+        })
+        .collect();
+    assert_eq!(got, sorted[..15].to_vec());
+
+    // Top-k with a predicate.
+    let out = db
+        .execute("SELECT * FROM t WHERE v BETWEEN 2000 AND 8000 ORDER BY v LIMIT 5")
+        .unwrap();
+    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let mut in_range: Vec<u64> = data
+        .iter()
+        .map(|&(_, v)| v)
+        .filter(|v| (2000..=8000).contains(v))
+        .collect();
+    in_range.sort_unstable();
+    let got: Vec<u64> = rows
+        .iter()
+        .map(|(_, v)| match v[1] {
+            Value::Int(x) => x,
+            _ => panic!(),
+        })
+        .collect();
+    assert_eq!(got, in_range[..5.min(in_range.len())].to_vec());
+}
+
+#[test]
+fn text_columns_roundtrip_through_sql() {
+    let mut db = OutsourcedDatabase::deploy_seeded(2, 3, 5150).unwrap();
+    db.execute("CREATE TABLE names (n VARCHAR(6) MODE ORDERED)").unwrap();
+    let names = ["ABE", "ABEL", "ADA", "JACK", "JACKIE", "ZED"];
+    let vals: Vec<String> = names.iter().map(|n| format!("('{n}')")).collect();
+    db.execute(&format!("INSERT INTO names VALUES {}", vals.join(", ")))
+        .unwrap();
+
+    // §V-B queries: prefix and lexicographic range, server-side.
+    let out = db
+        .execute("SELECT * FROM names WHERE n LIKE 'AB%'")
+        .unwrap();
+    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    assert_eq!(rows.len(), 2);
+
+    let out = db
+        .execute("SELECT * FROM names WHERE n BETWEEN 'ABEL' AND 'JACK'")
+        .unwrap();
+    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    // ABEL, ADA, JACK, and JACKIE (extensions of the upper bound count,
+    // matching the paper's base-27 range semantics).
+    assert_eq!(rows.len(), 4);
+
+    let out = db.execute("SELECT MIN(n) FROM names").unwrap();
+    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    assert_eq!(agg.value, Some(Value::Str("ABE".into())));
+    let out = db.execute("SELECT MAX(n) FROM names").unwrap();
+    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    assert_eq!(agg.value, Some(Value::Str("ZED".into())));
+}
