@@ -1,0 +1,174 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Provides the `Buf` / `BufMut` traits and a `Vec<u8>`-backed `BytesMut`
+//! covering exactly the little-endian accessors the wire codec uses. No
+//! zero-copy machinery — the workspace only appends and reads linearly.
+
+/// Sequential big-picture reader over a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Take `n` bytes off the front, panicking if short (callers bound-check).
+    fn copy_front(&mut self, n: usize) -> [u8; 16];
+
+    /// Read a `u8`.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_front(1)[0]
+    }
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let b = self.copy_front(2);
+        u16::from_le_bytes([b[0], b[1]])
+    }
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.copy_front(4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let b = self.copy_front(8);
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+    /// Read a little-endian `u128`.
+    fn get_u128_le(&mut self) -> u128 {
+        u128::from_le_bytes(self.copy_front(16))
+    }
+    /// Read a little-endian `i128`.
+    fn get_i128_le(&mut self) -> i128 {
+        i128::from_le_bytes(self.copy_front(16))
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_front(&mut self, n: usize) -> [u8; 16] {
+        assert!(n <= 16 && self.len() >= n, "buffer underflow");
+        let (head, tail) = self.split_at(n);
+        let mut out = [0u8; 16];
+        out[..n].copy_from_slice(head);
+        *self = tail;
+        out
+    }
+}
+
+/// Sequential writer of scalar values.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u128`.
+    fn put_u128_le(&mut self, v: u128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `i128`.
+    fn put_i128_le(&mut self, v: i128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Fresh empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out the contents.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_all_widths() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16_le(300);
+        buf.put_u32_le(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_u128_le(1 << 90);
+        buf.put_i128_le(-5);
+        buf.put_slice(b"xyz");
+        let v = buf.to_vec();
+        let mut r: &[u8] = &v;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 300);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_u128_le(), 1 << 90);
+        assert_eq!(r.get_i128_le(), -5);
+        assert_eq!(r, b"xyz");
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1];
+        let _ = r.get_u16_le();
+    }
+}

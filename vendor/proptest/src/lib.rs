@@ -1,0 +1,599 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy subset this workspace uses — integer ranges,
+//! `any::<T>()`, `collection::vec`, tuples, and regex-like string patterns
+//! (alternation groups, character classes, `.`, `*`/`{lo,hi}` repetition)
+//! — driven by a per-test deterministic RNG seeded from the test's module
+//! path and name. No shrinking: a failing case panics with the case number
+//! so it can be replayed (the seed is a pure function of the test name).
+
+use std::marker::PhantomData;
+
+/// Run-shaping knobs (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed or rejected property case (produced by the `prop_assert*` and
+/// `prop_assume!` macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+    reject: bool,
+}
+
+impl TestCaseError {
+    /// Failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            msg: msg.into(),
+            reject: false,
+        }
+    }
+
+    /// Rejection: the sampled inputs don't satisfy the property's
+    /// precondition; the runner skips the case instead of failing.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            msg: msg.into(),
+            reject: true,
+        }
+    }
+
+    /// True for rejections (skipped cases).
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Deterministic per-test random source (SplitMix64 over an FNV-1a seed).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded purely from `name`, so every run replays the same cases.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, span)` (rejection sampled).
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+
+    fn below_u128(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        if let Ok(narrow) = u64::try_from(span) {
+            return self.below(narrow) as u128;
+        }
+        let zone = u128::MAX - (u128::MAX % span);
+        loop {
+            let v = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// Generator of values for one property parameter.
+pub trait Strategy {
+    /// Produced value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Entry point used by the `proptest!` expansion (UFCS-friendly).
+pub fn sample_strategy<S: Strategy>(s: &S, rng: &mut TestRng) -> S::Value {
+    s.sample(rng)
+}
+
+/// Types with a whole-domain uniform generator.
+pub trait Arbitrary {
+    /// Draw one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII with an occasional wider scalar, like real inputs.
+        if rng.below(4) == 0 {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+        } else {
+            (0x20u8 + rng.below(95) as u8) as char
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// Strategy form of [`Arbitrary`]; construct with [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128).wrapping_add(rng.below_u128(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128).wrapping_add(rng.below_u128(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).sample(rng)
+            }
+        }
+    )*};
+}
+strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, u128, i128);
+
+macro_rules! strategy_tuple {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.sample(rng),)+)
+            }
+        }
+    };
+}
+strategy_tuple!(A / a);
+strategy_tuple!(A / a, B / b);
+strategy_tuple!(A / a, B / b, C / c);
+strategy_tuple!(A / a, B / b, C / c, D / d);
+strategy_tuple!(A / a, B / b, C / c, D / d, E / e);
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        pattern::sample(self, rng)
+    }
+}
+
+mod pattern {
+    //! Tiny regex-shaped string generator: enough for the patterns the
+    //! workspace tests use (literals, `(a|b|c)`, `[A-Z0-9...]`, `.`, and
+    //! `*` / `{lo,hi}` / `{n}` repetition). Unsupported syntax is treated
+    //! as literal characters.
+
+    use super::TestRng;
+
+    pub fn sample(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '(' => {
+                    let close = find(&chars, i, ')');
+                    let body: String = chars[i + 1..close].iter().collect();
+                    let alts: Vec<&str> = body.split('|').collect();
+                    out.push_str(alts[rng.below(alts.len() as u64) as usize]);
+                    i = close + 1;
+                }
+                '[' => {
+                    let close = find(&chars, i, ']');
+                    let set = parse_class(&chars[i + 1..close]);
+                    let (lo, hi, next) = repetition(&chars, close + 1);
+                    emit_repeated(rng, lo, hi, &mut out, |rng, out| {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    });
+                    i = next;
+                }
+                '.' => {
+                    let (lo, hi, next) = repetition(&chars, i + 1);
+                    emit_repeated(rng, lo, hi, &mut out, |rng, out| {
+                        out.push((0x20u8 + rng.below(95) as u8) as char);
+                    });
+                    i = next;
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn find(chars: &[char], from: usize, target: char) -> usize {
+        chars[from..]
+            .iter()
+            .position(|&c| c == target)
+            .map(|p| from + p)
+            .unwrap_or_else(|| panic!("pattern missing closing '{target}'"))
+    }
+
+    fn parse_class(body: &[char]) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                for c in body[i]..=body[i + 2] {
+                    set.push(c);
+                }
+                i += 3;
+            } else {
+                set.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty character class");
+        set
+    }
+
+    /// Parse an optional repetition suffix at `i`; returns (lo, hi, next_i).
+    fn repetition(chars: &[char], i: usize) -> (u64, u64, usize) {
+        match chars.get(i) {
+            Some('*') => (0, 16, i + 1),
+            Some('+') => (1, 16, i + 1),
+            Some('?') => (0, 1, i + 1),
+            Some('{') => {
+                let close = find(chars, i, '}');
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repetition lower bound"),
+                        hi.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                };
+                (lo, hi, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+
+    fn emit_repeated(
+        rng: &mut TestRng,
+        lo: u64,
+        hi: u64,
+        out: &mut String,
+        mut emit: impl FnMut(&mut TestRng, &mut String),
+    ) {
+        let count = lo + rng.below(hi - lo + 1);
+        for _ in 0..count {
+            emit(rng, out);
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Strategy, TestRng};
+
+    /// Length bound for [`vec`]; `hi` is exclusive (like `0..200`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy yielding vectors of `element` samples.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Define property tests: each runs `cases` deterministic random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(let $pat = $crate::sample_strategy(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        if __e.is_reject() {
+                            continue; // precondition not met; skip this case
+                        }
+                        panic!("{} case {}/{}: {}", stringify!($name), __case + 1, __config.cases, __e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Reject the surrounding property case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "precondition failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Fail the surrounding property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the surrounding property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fail the surrounding property case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::deterministic("x::y");
+        let mut b = TestRng::deterministic("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("x::z");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn pattern_alternation_and_classes() {
+        let mut rng = TestRng::deterministic("patterns");
+        for _ in 0..50 {
+            let s = crate::sample_strategy(&"(AB|CD|EF)", &mut rng);
+            assert!(["AB", "CD", "EF"].contains(&s.as_str()), "{s:?}");
+            let c = crate::sample_strategy(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&c.len()), "{c:?}");
+            assert!(c.chars().all(|ch| ('a'..='c').contains(&ch)), "{c:?}");
+            let d = crate::sample_strategy(&".{0,5}", &mut rng);
+            assert!(d.len() <= 5);
+            let lit = crate::sample_strategy(&"x=1", &mut rng);
+            assert_eq!(lit, "x=1");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_in_bounds(a in 5u64..10, b in 1usize..4, c in -3i32..3) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((1..4).contains(&b));
+            prop_assert!((-3..3).contains(&c));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+        }
+
+        #[test]
+        fn tuples_sample_both(pair in (1u64.., any::<bool>())) {
+            prop_assert!(pair.0 >= 1);
+            prop_assert_eq!(pair.1, pair.1);
+            prop_assert_ne!(pair.0, 0);
+        }
+    }
+}
