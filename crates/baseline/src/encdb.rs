@@ -130,8 +130,7 @@ impl EncClient {
     /// Deterministic index value for (col, value) — domain-separated so
     /// equal values in different columns don't collide.
     fn det_index(&self, col: usize, value: u64) -> u128 {
-        self.det
-            .encrypt_u128(((col as u128) << 64) | value as u128)
+        self.det.encrypt_u128(((col as u128) << 64) | value as u128)
     }
 
     /// Encrypt one row of values; increments crypto counters.
@@ -252,10 +251,16 @@ mod tests {
         let mut client = EncClient::new(b"0123456789abcdef", vec![1 << 20, 1 << 20], n_buckets);
         let mut server = EncServer::new();
         let mut cost = BaselineCost::default();
-        let rows: Vec<EncRow> = [(100u64, 10_000u64), (200, 20_000), (100, 40_000), (300, 60_000), (400, 80_000)]
-            .iter()
-            .map(|&(a, b)| client.encrypt_row(&[a, b], &mut cost))
-            .collect();
+        let rows: Vec<EncRow> = [
+            (100u64, 10_000u64),
+            (200, 20_000),
+            (100, 40_000),
+            (300, 60_000),
+            (400, 80_000),
+        ]
+        .iter()
+        .map(|&(a, b)| client.encrypt_row(&[a, b], &mut cost))
+        .collect();
         server.insert(rows);
         (client, server, cost)
     }
@@ -302,8 +307,14 @@ mod tests {
         let (client_many, server_many, _) = setup(256);
         let mut c1 = BaselineCost::default();
         let mut c2 = BaselineCost::default();
-        let (_, s_few) =
-            client_few.range(&server_few, 1, 10_000, 12_000, RangeStrategy::Bucketized, &mut c1);
+        let (_, s_few) = client_few.range(
+            &server_few,
+            1,
+            10_000,
+            12_000,
+            RangeStrategy::Bucketized,
+            &mut c1,
+        );
         let (_, s_many) = client_many.range(
             &server_many,
             1,

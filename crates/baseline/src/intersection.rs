@@ -131,8 +131,7 @@ mod tests {
     fn disjoint_sets_empty() {
         let mut rng = StdRng::seed_from_u64(52);
         let p = shared_test_prime();
-        let (hits, _) =
-            commutative_intersection(&p, &items(&["x", "y"]), &items(&["z"]), &mut rng);
+        let (hits, _) = commutative_intersection(&p, &items(&["x", "y"]), &items(&["z"]), &mut rng);
         assert!(hits.is_empty());
     }
 

@@ -107,7 +107,11 @@ fn bench_bigint(c: &mut Criterion) {
     });
     // Ablation: Montgomery (used by mod_pow for odd moduli) vs the
     // division-based reference path.
-    let n_odd = if n.is_even() { n.add(&BigUint::one()) } else { n.clone() };
+    let n_odd = if n.is_even() {
+        n.add(&BigUint::one())
+    } else {
+        n.clone()
+    };
     g.bench_function("modexp_512_plain_division", |bench| {
         bench.iter(|| mod_pow_plain(black_box(&a), &e, &n_odd))
     });
@@ -124,14 +128,19 @@ fn bench_storage(c: &mut Criterion) {
     let pool = BufferPool::new(Pager::in_memory(), 512);
     let mut tree = BTree::create(&pool).unwrap();
     for i in 0..50_000u64 {
-        tree.insert(&pool, &compose_key(i as i128 * 3, i), i).unwrap();
+        tree.insert(&pool, &compose_key(i as i128 * 3, i), i)
+            .unwrap();
     }
     g.bench_function("btree_probe_50k", |bench| {
         bench.iter(|| tree.get(&pool, &compose_key(black_box(74_997), 24_999)))
     });
     g.bench_function("btree_range_100_of_50k", |bench| {
         bench.iter(|| {
-            tree.range(&pool, &compose_key(30_000, 0), &compose_key(30_300, u64::MAX))
+            tree.range(
+                &pool,
+                &compose_key(30_000, 0),
+                &compose_key(30_300, u64::MAX),
+            )
         })
     });
     g.bench_function("btree_insert", |bench| {

@@ -93,7 +93,14 @@ fn bench_encdb(c: &mut Criterion) {
     g.bench_function("range_bucketized_5k", |bench| {
         let mut qc = BaselineCost::default();
         bench.iter(|| {
-            client.range(&server, 0, 100_000, 110_000, RangeStrategy::Bucketized, &mut qc)
+            client.range(
+                &server,
+                0,
+                100_000,
+                110_000,
+                RangeStrategy::Bucketized,
+                &mut qc,
+            )
         })
     });
     g.bench_function("range_ope_5k", |bench| {

@@ -76,13 +76,19 @@ fn bench_join(c: &mut Criterion) {
     ds.create_table(
         TableSchema::new(
             "emp",
-            vec![eid(), ColumnSpec::numeric("x", 1 << 20, ShareMode::OrderPreserving)],
+            vec![
+                eid(),
+                ColumnSpec::numeric("x", 1 << 20, ShareMode::OrderPreserving),
+            ],
         )
         .unwrap(),
     )
     .unwrap();
-    ds.create_table(TableSchema::new("mgr", vec![eid()]).unwrap()).unwrap();
-    let emp: Vec<Vec<Value>> = (0..2000u64).map(|i| vec![Value::Int(i), Value::Int(i)]).collect();
+    ds.create_table(TableSchema::new("mgr", vec![eid()]).unwrap())
+        .unwrap();
+    let emp: Vec<Vec<Value>> = (0..2000u64)
+        .map(|i| vec![Value::Int(i), Value::Int(i)])
+        .collect();
     let mgr: Vec<Vec<Value>> = (0..200u64).map(|i| vec![Value::Int(i * 10)]).collect();
     for chunk in emp.chunks(1000) {
         ds.insert("emp", chunk).unwrap();
@@ -149,10 +155,18 @@ fn bench_extensions(c: &mut Criterion) {
     let mut g = c.benchmark_group("extensions");
     let mut dep = deploy_employees(2, 3, ROWS, 0xe5);
     g.bench_function("group_by_name_sum_salary", |bench| {
-        bench.iter(|| dep.ds.group_by("employees", "name", Some("salary"), &[]).unwrap())
+        bench.iter(|| {
+            dep.ds
+                .group_by("employees", "name", Some("salary"), &[])
+                .unwrap()
+        })
     });
     g.bench_function("top_10_by_salary", |bench| {
-        bench.iter(|| dep.ds.select_top("employees", "salary", true, 10, &[]).unwrap())
+        bench.iter(|| {
+            dep.ds
+                .select_top("employees", "salary", true, 10, &[])
+                .unwrap()
+        })
     });
     dep.ds.commit_table("employees", "salary").unwrap();
     g.bench_function("verified_range_1pct", |bench| {

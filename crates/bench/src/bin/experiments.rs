@@ -18,7 +18,7 @@ use dasp_client::{BucketJoin, ColumnSpec, Predicate, QueryOptions, TableSchema, 
 use dasp_core::client::{ClientKeys, DataSource};
 use dasp_crypto::commutative::shared_test_prime;
 use dasp_field::{Fp, Poly};
-use dasp_net::{Cluster, FailureMode, NetworkModel};
+use dasp_net::{Cluster, FailureMode, NetworkModel, RetryPolicy};
 use dasp_pir::{
     BitDatabase, MultiServerClient, QrClient, QrServer, TrivialPir, TwoServerClient,
     TwoServerServer,
@@ -51,22 +51,54 @@ fn main() {
 
     println!("dasp experiment harness — reproducing ICDE'09 DaaS paper claims");
     println!("(quick mode: {})\n", quick);
-    if run("e1") { e1_figure1(); }
-    if run("e2") { e2_intersection(&cfg); }
-    if run("e3") { e3_pir(&cfg); }
-    if run("e4") { e4_exact_match(&cfg); }
-    if run("e5") { e5_range(&cfg); }
-    if run("e6") { e6_aggregates(&cfg); }
-    if run("e7") { e7_join(&cfg); }
-    if run("e8") { e8_fault_tolerance(&cfg); }
-    if run("e9") { e9_updates(&cfg); }
-    if run("e10") { e10_mashup(&cfg); }
-    if run("e11") { e11_storage(&cfg); }
-    if run("e12") { e12_scaling(&cfg); }
-    if run("e13") { e13_leakage(); }
-    if run("e14") { e14_ablations(&cfg); }
-    if run("e15") { e15_extensions(&cfg); }
-    if run("e16") { e16_recovery(&cfg); }
+    if run("e1") {
+        e1_figure1();
+    }
+    if run("e2") {
+        e2_intersection(&cfg);
+    }
+    if run("e3") {
+        e3_pir(&cfg);
+    }
+    if run("e4") {
+        e4_exact_match(&cfg);
+    }
+    if run("e5") {
+        e5_range(&cfg);
+    }
+    if run("e6") {
+        e6_aggregates(&cfg);
+    }
+    if run("e7") {
+        e7_join(&cfg);
+    }
+    if run("e8") {
+        e8_fault_tolerance(&cfg);
+    }
+    if run("e9") {
+        e9_updates(&cfg);
+    }
+    if run("e10") {
+        e10_mashup(&cfg);
+    }
+    if run("e11") {
+        e11_storage(&cfg);
+    }
+    if run("e12") {
+        e12_scaling(&cfg);
+    }
+    if run("e13") {
+        e13_leakage();
+    }
+    if run("e14") {
+        e14_ablations(&cfg);
+    }
+    if run("e15") {
+        e15_extensions(&cfg);
+    }
+    if run("e16") {
+        e16_recovery(&cfg);
+    }
 }
 
 /// E1 — Figure 1: the share table, byte for byte.
@@ -83,25 +115,31 @@ fn e1_figure1() {
             q.eval(Fp::from_u64(1)).to_u64()
         );
     }
-    let sharing = FieldSharing::new(
-        2,
-        vec![Fp::from_u64(2), Fp::from_u64(4), Fp::from_u64(1)],
-    )
-    .unwrap();
+    let sharing =
+        FieldSharing::new(2, vec![Fp::from_u64(2), Fp::from_u64(4), Fp::from_u64(1)]).unwrap();
     let ok = polys.iter().all(|&(salary, slope)| {
         let q = Poly::new(vec![Fp::from_u64(salary), Fp::from_u64(slope)]);
         [(0usize, 1usize), (0, 2), (1, 2)].iter().all(|&(a, b)| {
             let xs = [Fp::from_u64(2), Fp::from_u64(4), Fp::from_u64(1)];
             sharing
                 .reconstruct(&[
-                    dasp_sss::FieldShare { provider: a, y: q.eval(xs[a]) },
-                    dasp_sss::FieldShare { provider: b, y: q.eval(xs[b]) },
+                    dasp_sss::FieldShare {
+                        provider: a,
+                        y: q.eval(xs[a]),
+                    },
+                    dasp_sss::FieldShare {
+                        provider: b,
+                        y: q.eval(xs[b]),
+                    },
                 ])
                 .unwrap()
                 == Fp::from_u64(salary)
         })
     });
-    println!("  every 2-of-3 subset reconstructs: {}\n", if ok { "PASS" } else { "FAIL" });
+    println!(
+        "  every 2-of-3 subset reconstructs: {}\n",
+        if ok { "PASS" } else { "FAIL" }
+    );
 }
 
 /// E2 — encryption-based intersection vs share-equality join.
@@ -114,7 +152,9 @@ fn e2_intersection(cfg: &Config) {
     } else {
         &[(10, 100), (50, 500), (200, 2000)]
     };
-    println!("  |A|     |B|     commutative-enc time  modexps    bytes      share-join time  bytes");
+    println!(
+        "  |A|     |B|     commutative-enc time  modexps    bytes      share-join time  bytes"
+    );
     for &(na, nb) in sizes {
         let docs_a = documents::generate(1, na, 100);
         let docs_b = documents::generate(1, nb, 101);
@@ -133,8 +173,10 @@ fn e2_intersection(cfg: &Config) {
         let mut ds = DataSource::with_seed(keys, cluster, 4).unwrap();
         let word_col =
             || ColumnSpec::numeric("w", 1 << 30, ShareMode::Deterministic).in_domain("word");
-        ds.create_table(TableSchema::new("set_a", vec![word_col()]).unwrap()).unwrap();
-        ds.create_table(TableSchema::new("set_b", vec![word_col()]).unwrap()).unwrap();
+        ds.create_table(TableSchema::new("set_a", vec![word_col()]).unwrap())
+            .unwrap();
+        ds.create_table(TableSchema::new("set_b", vec![word_col()]).unwrap())
+            .unwrap();
         let encode = |w: &[u8]| {
             // Stable 30-bit token id from the word bytes.
             let mut h = 0u64;
@@ -159,7 +201,9 @@ fn e2_intersection(cfg: &Config) {
         );
         let _ = pairs;
     }
-    println!("\n  paper-quoted configurations (closed-form, 1024-bit group, ~30 modexp/s 2003 hw):");
+    println!(
+        "\n  paper-quoted configurations (closed-form, 1024-bit group, ~30 modexp/s 2003 hw):"
+    );
     for (label, a, b) in [
         ("10+100 docs x 1000 words", 10_000u64, 100_000u64),
         ("1M medical records", 1_000_000u64, 1_000_000),
@@ -251,7 +295,11 @@ fn e3_pir(cfg: &Config) {
 /// E4 — exact match: shares vs encrypted DBSP vs naive.
 fn e4_exact_match(cfg: &Config) {
     println!("== E4 (§V-A): exact-match query — secret shares vs det-enc vs fetch-all ==");
-    let sizes: &[usize] = if cfg.quick { &[1_000, 10_000] } else { &[1_000, 10_000, 50_000] };
+    let sizes: &[usize] = if cfg.quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 50_000]
+    };
     println!("  rows     system        compute      bytes       e2e(WAN)");
     let model = NetworkModel::wan();
     for &n in sizes {
@@ -351,7 +399,12 @@ fn e5_range(cfg: &Config) {
         let plain: Vec<Vec<u64>> = enc_rows_cache
             .get_or_insert_with(|| dep.data.iter().map(|e| vec![e.salary]).collect())
             .clone();
-        server.insert(plain.iter().map(|r| client.encrypt_row(r, &mut lc)).collect());
+        server.insert(
+            plain
+                .iter()
+                .map(|r| client.encrypt_row(r, &mut lc))
+                .collect(),
+        );
         let mut qc = BaselineCost::default();
         let mut supersets = Vec::new();
         let start = Instant::now();
@@ -470,7 +523,11 @@ fn e6_aggregates(cfg: &Config) {
 /// E7 — joins: provider-side share join vs client-side.
 fn e7_join(cfg: &Config) {
     println!("== E7 (§V-A): Employees ⋈ Managers on EID ==");
-    let sizes: &[(usize, usize)] = if cfg.quick { &[(1000, 100)] } else { &[(1000, 100), (10_000, 1000)] };
+    let sizes: &[(usize, usize)] = if cfg.quick {
+        &[(1000, 100)]
+    } else {
+        &[(1000, 100), (10_000, 1000)]
+    };
     let model = NetworkModel::wan();
     println!("  |emp|    |mgr|   strategy       compute      bytes       e2e(WAN)");
     for &(ne, nm) in sizes {
@@ -482,13 +539,20 @@ fn e7_join(cfg: &Config) {
         ds.create_table(
             TableSchema::new(
                 "emp",
-                vec![eid(), ColumnSpec::numeric("salary", SALARY_DOMAIN, ShareMode::OrderPreserving)],
+                vec![
+                    eid(),
+                    ColumnSpec::numeric("salary", SALARY_DOMAIN, ShareMode::OrderPreserving),
+                ],
             )
             .unwrap(),
         )
         .unwrap();
         ds.create_table(
-            TableSchema::new("mgr", vec![eid(), ColumnSpec::numeric("level", 16, ShareMode::Random)]).unwrap(),
+            TableSchema::new(
+                "mgr",
+                vec![eid(), ColumnSpec::numeric("level", 16, ShareMode::Random)],
+            )
+            .unwrap(),
         )
         .unwrap();
         let emp_rows: Vec<Vec<Value>> = (0..ne as u64)
@@ -520,7 +584,9 @@ fn e7_join(cfg: &Config) {
             for (id, v) in &emp {
                 by_eid.insert(v[0].clone(), *id);
             }
-            mgr.iter().filter(|(_, v)| by_eid.contains_key(&v[0])).count()
+            mgr.iter()
+                .filter(|(_, v)| by_eid.contains_key(&v[0]))
+                .count()
         });
         assert_eq!(pairs2, nm);
         println!(
@@ -540,6 +606,14 @@ fn e8_fault_tolerance(cfg: &Config) {
     println!("  (k, n)   crashed  query outcome");
     for (k, n) in [(2usize, 3usize), (2, 5), (3, 5), (4, 5)] {
         let mut dep = deploy_employees(k, n, n_rows, 80 + (k * 10 + n) as u64);
+        // The bench cluster's 30s timeout is meant for heavyweight
+        // queries; cap attempts here so "unavailable" is detected in
+        // milliseconds rather than retried against dead providers.
+        dep.ds.set_retry_policy(RetryPolicy {
+            max_attempts: 1,
+            per_attempt_timeout: Some(std::time::Duration::from_millis(500)),
+            ..RetryPolicy::default()
+        });
         let pred = [Predicate::between("salary", 0u64, 50_000u64)];
         let healthy = dep.ds.select("employees", &pred).unwrap().len();
         for crashed in 0..n {
@@ -570,7 +644,46 @@ fn e8_fault_tolerance(cfg: &Config) {
         rows.len(),
         dep.ds.last_faulty
     );
-    println!("  expected shape: available iff alive ≥ k; corruption detected+attributed\n");
+
+    // Degraded-read latency: with first-k-wins quorums a crashed
+    // provider is absorbed concurrently, so reads never serialize
+    // behind its timeout (the cluster timeout here is a generous 30s).
+    println!("\n  degraded-read latency (n=5, k=2, {} samples):", {
+        if cfg.quick {
+            20
+        } else {
+            40
+        }
+    });
+    let samples = if cfg.quick { 20 } else { 40 };
+    let pctl = |lat: &mut Vec<std::time::Duration>, p: f64| {
+        lat.sort();
+        lat[((lat.len() as f64 - 1.0) * p).round() as usize]
+    };
+    let mut dep = deploy_employees(2, 5, n_rows, 86);
+    let pred = [Predicate::between("salary", 0u64, 50_000u64)];
+    println!("    state     p50          p99");
+    for (label, crash) in [("healthy", false), ("degraded", true)] {
+        if crash {
+            dep.ds.cluster().set_failure(0, FailureMode::Crashed);
+        }
+        let mut lat = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = std::time::Instant::now();
+            dep.ds.select("employees", &pred).unwrap();
+            lat.push(t.elapsed());
+        }
+        println!(
+            "    {label:<9} {:<12} {}",
+            fmt_dur(pctl(&mut lat, 0.5)),
+            fmt_dur(pctl(&mut lat, 0.99)),
+        );
+    }
+    println!("\n  provider health after the degraded run (provider 0 serves nothing):");
+    for line in dep.ds.health().to_string().lines() {
+        println!("    {line}");
+    }
+    println!("  expected shape: available iff alive ≥ k; corruption detected+attributed;\n  degraded p99 ≈ healthy p99 (crashed provider absorbed, not awaited)\n");
 }
 
 /// E9 — update strategies.
@@ -692,8 +805,12 @@ fn e11_storage(cfg: &Config) {
     let mut tree = BTree::create(&pool).unwrap();
     let start = Instant::now();
     for i in 0..n as u64 {
-        tree.insert(&pool, &compose_key((i * 2654435761 % n as u64) as i128, i), i)
-            .unwrap();
+        tree.insert(
+            &pool,
+            &compose_key((i * 2654435761 % n as u64) as i128, i),
+            i,
+        )
+        .unwrap();
     }
     let insert_t = start.elapsed();
     let start = Instant::now();
@@ -763,7 +880,10 @@ fn e12_scaling(cfg: &Config) {
         let stats = dep.ds.cluster().stats().clone();
         let (r, m) = measure(&stats, || {
             dep.ds
-                .select("employees", &[Predicate::between("salary", 100_000u64, 150_000u64)])
+                .select(
+                    "employees",
+                    &[Predicate::between("salary", 100_000u64, 150_000u64)],
+                )
                 .unwrap()
         });
         let _ = r;
@@ -857,7 +977,9 @@ fn e15_extensions(cfg: &Config) {
 
     // GROUP BY server-side vs client-side-equivalent (fetch + group).
     let (groups, m) = measure(&stats, || {
-        dep.ds.group_by("employees", "name", Some("salary"), &[]).unwrap()
+        dep.ds
+            .group_by("employees", "name", Some("salary"), &[])
+            .unwrap()
     });
     println!(
         "  GROUP BY name SUM(salary): {} groups, server-side   {:<10} {:<10} e2e {}",
@@ -877,7 +999,9 @@ fn e15_extensions(cfg: &Config) {
 
     // Top-k.
     let (top, m) = measure(&stats, || {
-        dep.ds.select_top("employees", "salary", true, 10, &[]).unwrap()
+        dep.ds
+            .select_top("employees", "salary", true, 10, &[])
+            .unwrap()
     });
     println!(
         "  ORDER BY salary DESC LIMIT 10: {} rows moved        {:<10} {:<10} e2e {}",
@@ -893,11 +1017,16 @@ fn e15_extensions(cfg: &Config) {
     let commit_t = commit_start.elapsed();
     let (plain, m_plain) = measure(&stats, || {
         dep.ds
-            .select("employees", &[Predicate::between("salary", 100_000u64, 150_000u64)])
+            .select(
+                "employees",
+                &[Predicate::between("salary", 100_000u64, 150_000u64)],
+            )
             .unwrap()
     });
     let (proved, m_proved) = measure(&stats, || {
-        dep.ds.verified_range("employees", "salary", 100_000, 150_000).unwrap()
+        dep.ds
+            .verified_range("employees", "salary", 100_000, 150_000)
+            .unwrap()
     });
     assert_eq!(plain.len(), proved.len());
     println!(
@@ -923,7 +1052,11 @@ fn e15_extensions(cfg: &Config) {
 /// E16 — disaster recovery: rebuild a wiped provider from the quorum.
 fn e16_recovery(cfg: &Config) {
     println!("== E16 (paper §I: 'a mechanism to recover the data'): provider rebuild ==");
-    let sizes: &[usize] = if cfg.quick { &[1_000, 5_000] } else { &[1_000, 10_000, 50_000] };
+    let sizes: &[usize] = if cfg.quick {
+        &[1_000, 5_000]
+    } else {
+        &[1_000, 10_000, 50_000]
+    };
     println!("  rows     wipe+rebuild time  rows/s     bytes moved");
     for &n in sizes {
         let mut dep = deploy_employees(2, 4, n, 160 + n as u64);

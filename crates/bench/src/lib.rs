@@ -134,7 +134,10 @@ mod tests {
         let stats = dep.ds.cluster().stats().clone();
         let (rows, m) = measure(&stats, || {
             dep.ds
-                .select("employees", &[Predicate::between("salary", 0u64, SALARY_DOMAIN - 1)])
+                .select(
+                    "employees",
+                    &[Predicate::between("salary", 0u64, SALARY_DOMAIN - 1)],
+                )
                 .unwrap()
         });
         assert_eq!(rows.len(), 100);

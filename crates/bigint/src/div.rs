@@ -52,9 +52,7 @@ fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
         let mut q_hat = top / vn[n - 1] as u128;
         let mut r_hat = top % vn[n - 1] as u128;
         // Correct q_hat down at most twice.
-        while q_hat >= b
-            || q_hat * vn[n - 2] as u128 > ((r_hat << 64) | un[j + n - 2] as u128)
-        {
+        while q_hat >= b || q_hat * vn[n - 2] as u128 > ((r_hat << 64) | un[j + n - 2] as u128) {
             q_hat -= 1;
             r_hat += vn[n - 1] as u128;
             if r_hat >= b {

@@ -56,7 +56,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigUint { limbs: vec![lo, hi] };
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }
@@ -399,7 +401,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for c in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for c in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let n = BigUint::from_hex(c).unwrap();
             assert_eq!(n.to_hex(), c);
         }

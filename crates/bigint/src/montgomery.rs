@@ -71,7 +71,10 @@ impl MontgomeryCtx {
     ///
     /// Panics if `n` is even or < 3.
     pub fn new(n: &BigUint) -> Self {
-        assert!(!n.is_even() && n.bits() >= 2, "Montgomery needs an odd modulus ≥ 3");
+        assert!(
+            !n.is_even() && n.bits() >= 2,
+            "Montgomery needs an odd modulus ≥ 3"
+        );
         let len = n.limbs.len();
         let n0_inv = inv_u64(n.limbs[0]).wrapping_neg();
         // R² mod n via ordinary arithmetic (one-time cost).

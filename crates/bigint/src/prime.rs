@@ -6,8 +6,8 @@ use rand::Rng;
 
 /// Small primes used for cheap trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 30] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113,
 ];
 
 /// Miller–Rabin probable-prime test with `rounds` random bases.
@@ -106,7 +106,19 @@ mod tests {
     #[test]
     fn small_primes_recognised() {
         let mut rng = StdRng::seed_from_u64(1);
-        for p in [2u64, 3, 5, 7, 97, 101, 113, 127, 8191, 131071, 1_000_000_007] {
+        for p in [
+            2u64,
+            3,
+            5,
+            7,
+            97,
+            101,
+            113,
+            127,
+            8191,
+            131071,
+            1_000_000_007,
+        ] {
             assert!(
                 is_probable_prime(&BigUint::from_u64(p), 16, &mut rng),
                 "{p} should be prime"
@@ -117,7 +129,20 @@ mod tests {
     #[test]
     fn small_composites_rejected() {
         let mut rng = StdRng::seed_from_u64(2);
-        for c in [0u64, 1, 4, 6, 9, 15, 91, 561, 1105, 6601, 8911, 1_000_000_006] {
+        for c in [
+            0u64,
+            1,
+            4,
+            6,
+            9,
+            15,
+            91,
+            561,
+            1105,
+            6601,
+            8911,
+            1_000_000_006,
+        ] {
             assert!(
                 !is_probable_prime(&BigUint::from_u64(c), 16, &mut rng),
                 "{c} should be composite"

@@ -108,9 +108,15 @@ mod tests {
     fn generate_validates_parameters() {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(ClientKeys::generate(1, 3, &mut rng).is_err(), "k too small");
-        assert!(ClientKeys::generate(5, 8, &mut rng).is_err(), "k too big for OP");
+        assert!(
+            ClientKeys::generate(5, 8, &mut rng).is_err(),
+            "k too big for OP"
+        );
         assert!(ClientKeys::generate(3, 2, &mut rng).is_err(), "k > n");
-        assert!(ClientKeys::generate(2, 100, &mut rng).is_err(), "too many n");
+        assert!(
+            ClientKeys::generate(2, 100, &mut rng).is_err(),
+            "too many n"
+        );
         let keys = ClientKeys::generate(2, 3, &mut rng).unwrap();
         assert_eq!((keys.k(), keys.n()), (2, 3));
     }

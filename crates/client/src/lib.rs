@@ -25,7 +25,7 @@ pub use mashup::{BucketJoin, MashupStats};
 pub use schema::{ColumnSpec, ColumnType, Predicate, TableSchema, Value};
 pub use source::{AggResult, DataSource, ExplainConjunct, ExplainReport, GroupRow, QueryOptions};
 
-use dasp_net::{RpcError, WireError};
+use dasp_net::{QuorumError, RpcError, WireError};
 use dasp_sss::SssError;
 
 /// Client-side errors.
@@ -33,6 +33,8 @@ use dasp_sss::SssError;
 pub enum ClientError {
     /// Transport failure.
     Rpc(RpcError),
+    /// A quorum call fell short, with a per-provider post-mortem.
+    Quorum(QuorumError),
     /// A provider replied with an application error.
     Provider(String),
     /// A provider's reply failed to decode.
@@ -51,6 +53,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Rpc(e) => write!(f, "rpc: {e}"),
+            ClientError::Quorum(e) => write!(f, "quorum: {e}"),
             ClientError::Provider(msg) => write!(f, "provider error: {msg}"),
             ClientError::Wire(e) => write!(f, "wire: {e}"),
             ClientError::Sss(e) => write!(f, "secret sharing: {e}"),
@@ -66,6 +69,12 @@ impl std::error::Error for ClientError {}
 impl From<RpcError> for ClientError {
     fn from(e: RpcError) -> Self {
         ClientError::Rpc(e)
+    }
+}
+
+impl From<QuorumError> for ClientError {
+    fn from(e: QuorumError) -> Self {
+        ClientError::Quorum(e)
     }
 }
 

@@ -86,11 +86,16 @@ impl TableSchema {
     /// Build and validate a schema.
     pub fn new(name: &str, columns: Vec<ColumnSpec>) -> Result<Self, ClientError> {
         if columns.is_empty() {
-            return Err(ClientError::Schema(format!("table {name:?} has no columns")));
+            return Err(ClientError::Schema(format!(
+                "table {name:?} has no columns"
+            )));
         }
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|o| o.name == c.name) {
-                return Err(ClientError::Schema(format!("duplicate column {:?}", c.name)));
+                return Err(ClientError::Schema(format!(
+                    "duplicate column {:?}",
+                    c.name
+                )));
             }
             if let ColumnType::Text { width } = c.ctype {
                 StringCodec::uppercase(width)
@@ -166,12 +171,9 @@ impl Value {
             }
             ColumnType::Text { width } => {
                 let codec = StringCodec::uppercase(*width).expect("validated");
-                codec
-                    .decode(code)
-                    .map(Value::Str)
-                    .ok_or_else(|| {
-                        ClientError::Reconstruction(format!("code {code} is not a valid string"))
-                    })
+                codec.decode(code).map(Value::Str).ok_or_else(|| {
+                    ClientError::Reconstruction(format!("code {code} is not a valid string"))
+                })
             }
         }
     }
@@ -279,7 +281,9 @@ impl Predicate {
                     let codec = StringCodec::uppercase(*width).expect("validated");
                     codec.prefix_range(prefix).map_err(ClientError::Sss)
                 }
-                _ => Err(ClientError::Schema("prefix predicate on numeric column".into())),
+                _ => Err(ClientError::Schema(
+                    "prefix predicate on numeric column".into(),
+                )),
             },
         }
     }
@@ -320,16 +324,12 @@ mod tests {
             ],
         )
         .is_err());
-        assert!(TableSchema::new(
-            "t",
-            vec![ColumnSpec::numeric("a", 0, ShareMode::Random)],
-        )
-        .is_err());
-        assert!(TableSchema::new(
-            "t",
-            vec![ColumnSpec::text("a", 99, ShareMode::Random)],
-        )
-        .is_err());
+        assert!(
+            TableSchema::new("t", vec![ColumnSpec::numeric("a", 0, ShareMode::Random)],).is_err()
+        );
+        assert!(
+            TableSchema::new("t", vec![ColumnSpec::text("a", 99, ShareMode::Random)],).is_err()
+        );
     }
 
     #[test]
@@ -365,16 +365,22 @@ mod tests {
 
     #[test]
     fn predicate_intervals() {
-        let num = ColumnType::Numeric { domain_size: 1 << 20 };
+        let num = ColumnType::Numeric {
+            domain_size: 1 << 20,
+        };
         assert_eq!(
             Predicate::eq("c", 7u64).code_interval(&num).unwrap(),
             (7, 7)
         );
         assert_eq!(
-            Predicate::between("c", 10u64, 40u64).code_interval(&num).unwrap(),
+            Predicate::between("c", 10u64, 40u64)
+                .code_interval(&num)
+                .unwrap(),
             (10, 40)
         );
-        assert!(Predicate::between("c", 40u64, 10u64).code_interval(&num).is_err());
+        assert!(Predicate::between("c", 40u64, 10u64)
+            .code_interval(&num)
+            .is_err());
 
         let text = ColumnType::Text { width: 5 };
         let (lo, hi) = Predicate::prefix("c", "AB").code_interval(&text).unwrap();

@@ -14,12 +14,12 @@
 use crate::keys::ClientKeys;
 use crate::schema::{Predicate, TableSchema, Value};
 use crate::{ClientError, Result};
-use dasp_field::{lagrange_eval_at, Fp};
-use dasp_server::proto::{AggOp, PredAtom, Request, Response, Row};
-use dasp_sss::{FieldShare, OpSharing, ShareMode};
-use dasp_net::{Cluster, ProviderId};
 use dasp_crypto::merkle::MerkleProof;
+use dasp_field::{lagrange_eval_at, Fp};
+use dasp_net::{Cluster, HealthSnapshot, ProviderId, QuorumMode, QuorumOptions, RetryPolicy};
+use dasp_server::proto::{AggOp, PredAtom, Request, Response, Row};
 use dasp_server::proto::{WireMerkleProof, WireRangeProof};
+use dasp_sss::{FieldShare, OpSharing, ShareMode};
 use dasp_verify::merkle_table::{CommittedRow, RangeProof};
 use dasp_verify::{majority_reconstruct_field, majority_reconstruct_op, RingerSet};
 use rand::rngs::StdRng;
@@ -27,15 +27,13 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// Per-query options.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct QueryOptions {
     /// Query all n providers and majority-verify every reconstructed
     /// value (detects and identifies Byzantine providers). Default:
     /// query providers until k respond, trust them.
     pub verify: bool,
 }
-
 
 /// Result of an aggregate query.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,7 +93,11 @@ impl std::fmt::Display for ExplainReport {
                 f,
                 "  {} -> {}{}",
                 c.predicate,
-                if c.server_side { "server-side" } else { "RESIDUAL (client-side)" },
+                if c.server_side {
+                    "server-side"
+                } else {
+                    "RESIDUAL (client-side)"
+                },
                 match &c.rewritten {
                     Some(r) => format!("; provider 0 sees {r}; leaks {}", c.leaks),
                     None => format!("; leaks {}", c.leaks),
@@ -126,6 +128,12 @@ pub struct DataSource {
     op_cache: HashMap<(String, u64), OpSharing>,
     rng: StdRng,
     lazy: bool,
+    /// Retry schedule for idempotent reads (writes are never retried —
+    /// an omission-faulty provider applies the write before dropping the
+    /// ack, so a retry could double-apply it).
+    retry: RetryPolicy,
+    /// Extra providers contacted up front on reads, racing stragglers.
+    hedge: usize,
     /// Faulty providers identified by the last verified query.
     pub last_faulty: Vec<ProviderId>,
 }
@@ -148,20 +156,42 @@ impl DataSource {
             op_cache: HashMap::new(),
             rng: StdRng::from_entropy(),
             lazy: false,
+            retry: RetryPolicy::default(),
+            hedge: 1,
             last_faulty: Vec::new(),
         })
     }
 
-    /// Deterministic RNG variant for reproducible tests/benchmarks.
+    /// Deterministic RNG variant for reproducible tests/benchmarks. The
+    /// seed also fixes retry-backoff jitter, so fault-injection runs
+    /// replay with identical timing decisions.
     pub fn with_seed(keys: ClientKeys, cluster: Cluster, seed: u64) -> Result<Self> {
         let mut ds = Self::new(keys, cluster)?;
         ds.rng = StdRng::seed_from_u64(seed);
+        ds.retry.jitter_seed = seed;
         Ok(ds)
     }
 
     /// The underlying cluster (failure injection, traffic stats).
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Replace the read-retry schedule.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Set how many extra providers reads contact up front (hedged
+    /// requests). 0 disables hedging.
+    pub fn set_hedge(&mut self, hedge: usize) {
+        self.hedge = hedge;
+    }
+
+    /// Point-in-time provider health: breaker states, failure streaks,
+    /// latency EWMAs.
+    pub fn health(&self) -> HealthSnapshot {
+        self.cluster.health().snapshot()
     }
 
     /// The key material (for direct share computations in tests).
@@ -328,9 +358,7 @@ impl DataSource {
             let col = &schema.columns[schema.col(pred.col())?];
             let evaluable = match pred {
                 Predicate::Eq { .. } => col.mode.supports_equality(),
-                Predicate::Between { .. } | Predicate::Prefix { .. } => {
-                    col.mode.supports_range()
-                }
+                Predicate::Between { .. } | Predicate::Prefix { .. } => col.mode.supports_range(),
             };
             if evaluable {
                 server.push(pred);
@@ -362,7 +390,10 @@ impl DataSource {
                         .field()
                         .deterministic_share(lo, &key, provider)?
                         .to_u64() as i128;
-                    atoms.push(PredAtom::Eq { col: col_idx, share });
+                    atoms.push(PredAtom::Eq {
+                        col: col_idx,
+                        share,
+                    });
                 }
                 ShareMode::OrderPreserving => {
                     let sharing = self.op_sharing(&col.domain, col.ctype.domain_size())?;
@@ -399,30 +430,40 @@ impl DataSource {
         self.send_all_ack(reqs)
     }
 
+    /// Every listed provider must acknowledge. Writes: [`QuorumMode::All`]
+    /// (a write silently skipping a provider would fork the share state)
+    /// and no retries (a provider that applied the write but dropped the
+    /// ack would apply a retried write twice).
     fn send_all_ack(&self, reqs: Vec<(ProviderId, Vec<u8>)>) -> Result<()> {
-        for (p, result) in self.cluster.call_many(reqs) {
-            let bytes = result.map_err(ClientError::Rpc)?;
-            match Response::decode(&bytes)? {
-                Response::Ack => {}
-                Response::Error(msg) => {
-                    return Err(ClientError::Provider(format!("provider {p}: {msg}")))
-                }
-                other => {
-                    return Err(ClientError::Provider(format!(
-                        "provider {p}: unexpected {other:?}"
-                    )))
-                }
-            }
-        }
+        let need = reqs.len();
+        let validate = |p: ProviderId, bytes: &[u8]| match Response::decode(bytes) {
+            Ok(Response::Ack) => Ok(()),
+            Ok(Response::Error(msg)) => Err(format!("provider {p}: {msg}")),
+            Ok(other) => Err(format!("provider {p}: unexpected {other:?}")),
+            Err(e) => Err(format!("provider {p}: undecodable response: {e}")),
+        };
+        let opts = QuorumOptions {
+            mode: QuorumMode::All,
+            validate: Some(&validate),
+            ..Default::default()
+        };
+        self.cluster.call_quorum_opts(reqs, need, &opts)?;
         Ok(())
     }
 
-    /// Fan a per-provider request out and return at least `want`
-    /// successfully decoded responses.
+    /// Fan a per-provider request out through the resilient quorum engine
+    /// and return at least `need` (up to `need + extra`) successfully
+    /// decoded responses. [`QuorumMode::FirstK`] reads return as soon as
+    /// the target is met, retry timed-out attempts, skip providers with
+    /// open breakers, and hedge against stragglers; [`QuorumMode::All`]
+    /// waits for every provider (verified reads, which want the full
+    /// response set for fault identification).
     fn gather(
         &mut self,
         make_req: impl FnMut(&mut Self, ProviderId) -> Result<Vec<u8>>,
-        want: usize,
+        need: usize,
+        extra: usize,
+        mode: QuorumMode,
     ) -> Result<Vec<(ProviderId, Response)>> {
         let mut make_req = make_req;
         let n = self.cluster.n();
@@ -430,36 +471,27 @@ impl DataSource {
         for p in 0..n {
             reqs.push((p, make_req(self, p)?));
         }
-        let results = self.cluster.call_many(reqs);
-        let mut responses = Vec::with_capacity(n);
-        let mut last_error = None;
-        for (p, result) in results {
-            let Ok(bytes) = result else { continue };
-            let Ok(resp) = Response::decode(&bytes) else {
-                continue; // corrupted response: treat the provider as failed
-            };
-            if let Response::Error(msg) = resp {
-                // An erroring provider (e.g. freshly re-imaged, missing the
-                // table) drops out of the quorum like a crashed one; reads
-                // must survive any n-k such failures. The message is kept
-                // for diagnostics if the quorum collapses entirely.
-                last_error = Some(format!("provider {p}: {msg}"));
-                continue;
-            }
-            responses.push((p, resp));
-        }
-        if responses.len() < want {
-            return Err(ClientError::Reconstruction(format!(
-                "only {} of the required {} providers responded{}",
-                responses.len(),
-                want,
-                match last_error {
-                    Some(e) => format!(" (last provider error: {e})"),
-                    None => String::new(),
-                }
-            )));
-        }
-        Ok(responses)
+        // An erroring provider (e.g. freshly re-imaged, missing the
+        // table) drops out of the quorum like a crashed one; reads must
+        // survive any n-k such failures. The rejection reason lands in
+        // the QuorumError post-mortem if the quorum collapses entirely.
+        let validate = |p: ProviderId, bytes: &[u8]| match Response::decode(bytes) {
+            Ok(Response::Error(msg)) => Err(format!("provider {p}: {msg}")),
+            Ok(_) => Ok(()),
+            Err(e) => Err(format!("provider {p}: undecodable response: {e}")),
+        };
+        let opts = QuorumOptions {
+            retry: self.retry.clone(),
+            hedge: self.hedge,
+            extra,
+            mode,
+            validate: Some(&validate),
+        };
+        self.cluster
+            .call_quorum_opts(reqs, need, &opts)?
+            .into_iter()
+            .map(|(p, bytes)| Ok((p, Response::decode(&bytes)?)))
+            .collect()
     }
 
     // ---- reconstruction ----
@@ -477,9 +509,8 @@ impl DataSource {
             ShareMode::OrderPreserving => {
                 let sharing = self.op_sharing(&col.domain, col.ctype.domain_size())?;
                 if verify {
-                    let out = majority_reconstruct_op(&sharing, shares).map_err(|e| {
-                        ClientError::Reconstruction(format!("op majority: {e}"))
-                    })?;
+                    let out = majority_reconstruct_op(&sharing, shares)
+                        .map_err(|e| ClientError::Reconstruction(format!("op majority: {e}")))?;
                     for f in out.faulty {
                         if !self.last_faulty.contains(&f) {
                             self.last_faulty.push(f);
@@ -490,16 +521,14 @@ impl DataSource {
                     })
                 } else {
                     // Fast path: binary-search decode from a single share.
-                    let &(p, y) = shares.first().ok_or_else(|| {
-                        ClientError::Reconstruction("no shares".into())
-                    })?;
-                    sharing
-                        .reconstruct_search(p, y)?
-                        .ok_or_else(|| {
-                            ClientError::Reconstruction(
-                                "share is not on the expected polynomial".into(),
-                            )
-                        })
+                    let &(p, y) = shares
+                        .first()
+                        .ok_or_else(|| ClientError::Reconstruction("no shares".into()))?;
+                    sharing.reconstruct_search(p, y)?.ok_or_else(|| {
+                        ClientError::Reconstruction(
+                            "share is not on the expected polynomial".into(),
+                        )
+                    })
                 }
             }
             ShareMode::Deterministic | ShareMode::Random => {
@@ -518,10 +547,8 @@ impl DataSource {
                     })
                     .collect();
                 if verify {
-                    let out =
-                        majority_reconstruct_field(self.keys.field(), &field_shares).map_err(
-                            |e| ClientError::Reconstruction(format!("field majority: {e}")),
-                        )?;
+                    let out = majority_reconstruct_field(self.keys.field(), &field_shares)
+                        .map_err(|e| ClientError::Reconstruction(format!("field majority: {e}")))?;
                     for f in out.faulty {
                         if !self.last_faulty.contains(&f) {
                             self.last_faulty.push(f);
@@ -535,7 +562,15 @@ impl DataSource {
                             field_shares.len()
                         )));
                     }
-                    Ok(self.keys.field().reconstruct(&field_shares)?.to_u64())
+                    // Cross-check any shares beyond k instead of silently
+                    // trusting the first k — with the quorum layer's one
+                    // extra response this turns a Byzantine share into a
+                    // loud InconsistentShares error (no-op at exactly k).
+                    Ok(self
+                        .keys
+                        .field()
+                        .reconstruct_checked(&field_shares)?
+                        .to_u64())
                 }
             }
         }
@@ -579,9 +614,7 @@ impl DataSource {
                             .get(col_idx)
                             .copied()
                             .map(|s| (*p, s))
-                            .ok_or_else(|| {
-                                ClientError::Reconstruction("row arity mismatch".into())
-                            })
+                            .ok_or_else(|| ClientError::Reconstruction("row arity mismatch".into()))
                     })
                     .collect::<Result<_>>()?;
                 codes.push(self.decode_column(schema, col_idx, &shares, verify)?);
@@ -654,9 +687,7 @@ impl DataSource {
         } else if predicate.is_empty() {
             format!("full scan at each provider, {k}-of-{n} quorum")
         } else {
-            format!(
-                "index probe/range on share space at each provider, {k}-of-{n} quorum"
-            )
+            format!("index probe/range on share space at each provider, {k}-of-{n} quorum")
         };
         Ok(ExplainReport {
             table: table.to_string(),
@@ -682,10 +713,16 @@ impl DataSource {
         }
         let schema = self.table(table)?.schema.clone();
         let (server_preds, residual) = self.split_predicate(&schema, predicate)?;
-        let want = if opts.verify {
-            self.keys.k() + 1
+        let (need, extra, mode) = if opts.verify {
+            // Verified reads wait for every provider (fault identification
+            // wants the full response set); the floor is k+1 so a lone
+            // corrupt share is always outvoted.
+            ((self.keys.k() + 1).min(self.keys.n()), 0, QuorumMode::All)
         } else {
-            self.keys.k()
+            // First-k-wins, but ask for one share beyond k when available:
+            // reconstruction then cross-checks instead of silently
+            // trusting the first k (detects a corrupt share).
+            (self.keys.k(), 1, QuorumMode::FirstK)
         };
         let table_name = table.to_string();
         let server_preds: Vec<Predicate> = server_preds.into_iter().cloned().collect();
@@ -700,7 +737,9 @@ impl DataSource {
                 }
                 .encode())
             },
-            want.min(self.keys.n()),
+            need,
+            extra,
+            mode,
         )?;
         let rows: Vec<(ProviderId, Vec<Row>)> = responses
             .into_iter()
@@ -754,9 +793,7 @@ impl DataSource {
             }
         }
         // Strip all ringer rows from what the application sees.
-        decoded.retain(|(id, _)| {
-            !state.ringers.values().any(|set| set.is_ringer(*id))
-        });
+        decoded.retain(|(id, _)| !state.ringers.values().any(|set| set.is_ringer(*id)));
         Ok(())
     }
 
@@ -868,6 +905,8 @@ impl DataSource {
                 .encode())
             },
             k,
+            0,
+            QuorumMode::FirstK,
         )?;
         let rows: Vec<(ProviderId, Vec<Row>)> = responses
             .into_iter()
@@ -921,7 +960,9 @@ impl DataSource {
         }
         let agg = match sum_col {
             None => AggOp::Count,
-            Some(c) => AggOp::Sum { col: schema.col(c)? },
+            Some(c) => AggOp::Sum {
+                col: schema.col(c)?,
+            },
         };
         let table_name = table.to_string();
         let server_preds: Vec<Predicate> = server_preds.into_iter().cloned().collect();
@@ -939,6 +980,8 @@ impl DataSource {
                 .encode())
             },
             k,
+            0,
+            QuorumMode::FirstK,
         )?;
         // Zip group partials across providers by rep_row.
         let mut by_rep: HashMap<u64, Vec<(ProviderId, dasp_server::proto::GroupPartial)>> =
@@ -958,10 +1001,8 @@ impl DataSource {
             }
             let count = partials[0].1.count;
             // Reconstruct the group value from its shares.
-            let g_shares: Vec<(ProviderId, i128)> = partials
-                .iter()
-                .map(|(p, g)| (*p, g.group_share))
-                .collect();
+            let g_shares: Vec<(ProviderId, i128)> =
+                partials.iter().map(|(p, g)| (*p, g.group_share)).collect();
             let g_code = self.decode_column(&schema, g_idx, &g_shares, false)?;
             let group = Value::decode(g_code, &g_spec.ctype)?;
             // Reconstruct the sum (mode-dependent), if requested.
@@ -1037,9 +1078,7 @@ impl DataSource {
             entry.count += 1;
             if let (Some(i), Some(Value::Int(acc))) = (s_idx, entry.sum.as_mut()) {
                 let Value::Int(v) = values[i] else {
-                    return Err(ClientError::Unsupported(
-                        "SUM over a text column".into(),
-                    ));
+                    return Err(ClientError::Unsupported("SUM over a text column".into()));
                 };
                 *acc += v;
             }
@@ -1099,6 +1138,8 @@ impl DataSource {
                 .encode())
             },
             k,
+            0,
+            QuorumMode::FirstK,
         )?;
         let partials: Vec<(ProviderId, i128, u64, Option<Row>)> = responses
             .into_iter()
@@ -1112,21 +1153,22 @@ impl DataSource {
             AggKind::Count => Ok(AggResult { value: None, count }),
             AggKind::Sum => {
                 if count == 0 {
-                    return Ok(AggResult { value: Some(Value::Int(0)), count: 0 });
+                    return Ok(AggResult {
+                        value: Some(Value::Int(0)),
+                        count: 0,
+                    });
                 }
                 let spec = col_spec.expect("sum has a column");
                 let sum_code = match spec.mode {
                     ShareMode::OrderPreserving => {
-                        let sharing =
-                            self.op_sharing(&spec.domain, spec.ctype.domain_size())?;
+                        let sharing = self.op_sharing(&spec.domain, spec.ctype.domain_size())?;
                         let pairs: Vec<(usize, i128)> =
                             partials.iter().map(|&(p, s, _, _)| (p, s)).collect();
                         let v = sharing.reconstruct_interpolate(&pairs)?.ok_or_else(|| {
                             ClientError::Reconstruction("inconsistent sum shares".into())
                         })?;
-                        u64::try_from(v).map_err(|_| {
-                            ClientError::Reconstruction("negative sum".into())
-                        })?
+                        u64::try_from(v)
+                            .map_err(|_| ClientError::Reconstruction("negative sum".into()))?
                     }
                     ShareMode::Deterministic | ShareMode::Random => {
                         let p_mod = dasp_field::MODULUS as i128;
@@ -1147,16 +1189,18 @@ impl DataSource {
             }
             AggKind::Min | AggKind::Max | AggKind::Median => {
                 if count == 0 {
-                    return Ok(AggResult { value: None, count: 0 });
+                    return Ok(AggResult {
+                        value: None,
+                        count: 0,
+                    });
                 }
                 // Every provider returns the same logical row (order is
                 // preserved identically); zip and reconstruct it.
                 let rows: Vec<(ProviderId, Vec<Row>)> = partials
                     .into_iter()
                     .map(|(p, _, _, row)| {
-                        row.map(|r| (p, vec![r])).ok_or_else(|| {
-                            ClientError::Provider("missing extremal row".into())
-                        })
+                        row.map(|r| (p, vec![r]))
+                            .ok_or_else(|| ClientError::Provider("missing extremal row".into()))
                     })
                     .collect::<Result<_>>()?;
                 let decoded = self.reconstruct_rows(&schema, rows, false)?;
@@ -1254,7 +1298,7 @@ impl DataSource {
         }
         .encode();
         let k = self.keys.k();
-        let responses = self.gather(|_, _| Ok(req.clone()), k)?;
+        let responses = self.gather(|_, _| Ok(req.clone()), k, 0, QuorumMode::FirstK)?;
         // Zip pairs by (left id, right id); reconstruct each side.
         let mut left_rows: Vec<(ProviderId, Vec<Row>)> = Vec::new();
         let mut right_rows: Vec<(ProviderId, Vec<Row>)> = Vec::new();
@@ -1405,9 +1449,9 @@ impl DataSource {
             let Value::Int(current) = values[col_idx] else {
                 return Err(ClientError::Unsupported("increment on text column".into()));
             };
-            let new = current.checked_add(delta).ok_or_else(|| {
-                ClientError::Schema("increment overflows u64".into())
-            })?;
+            let new = current
+                .checked_add(delta)
+                .ok_or_else(|| ClientError::Schema("increment overflows u64".into()))?;
             if new >= spec.ctype.domain_size() {
                 return Err(ClientError::Schema(format!(
                     "row {id}: {current} + {delta} leaves the domain"
@@ -1482,10 +1526,8 @@ impl DataSource {
             .and_then(|t| t.ringers.get(col).cloned())
             .unwrap_or_default();
         let planted = set.plant(count, domain, id_base + set.len() as u64, &mut self.rng);
-        let (ids, rows): (Vec<u64>, Vec<Vec<Value>>) = planted
-            .iter()
-            .map(|&(id, v)| (id, filler(v)))
-            .unzip();
+        let (ids, rows): (Vec<u64>, Vec<Vec<Value>>) =
+            planted.iter().map(|&(id, v)| (id, filler(v))).unzip();
         // Sanity: filler must put the ringer value in `col`.
         for (&(_, v), row) in planted.iter().zip(&rows) {
             let encoded = row[idx].encode(&schema.columns[idx].ctype)?;
@@ -1527,11 +1569,7 @@ impl DataSource {
             return Err(ClientError::Schema(format!("no provider {target}")));
         }
         // Start the replacement from a clean slate.
-        let resp = Response::decode(
-            &self
-                .cluster
-                .call(target, Request::DropAllTables.encode())?,
-        )?;
+        let resp = Response::decode(&self.cluster.call(target, Request::DropAllTables.encode())?)?;
         if !matches!(resp, Response::Ack) {
             return Err(ClientError::Provider(format!("wipe failed: {resp:?}")));
         }
@@ -1553,7 +1591,7 @@ impl DataSource {
                 if p == target || healthy.len() == k {
                     continue;
                 }
-                let Ok(bytes) = self.cluster.call(p, req.clone()) else {
+                let Ok(bytes) = self.cluster.call_with_retry(p, req.clone(), &self.retry) else {
                     continue;
                 };
                 let Ok(Response::Rows(rows)) = Response::decode(&bytes) else {
@@ -1599,10 +1637,8 @@ impl DataSource {
                 }
                 let mut shares = Vec::with_capacity(schema.columns.len());
                 for (col_idx, spec) in schema.columns.iter().enumerate() {
-                    let col_shares: Vec<(ProviderId, i128)> = per_provider
-                        .iter()
-                        .map(|(p, s)| (*p, s[col_idx]))
-                        .collect();
+                    let col_shares: Vec<(ProviderId, i128)> =
+                        per_provider.iter().map(|(p, s)| (*p, s[col_idx])).collect();
                     let regenerated: i128 = match spec.mode {
                         ShareMode::Random => {
                             // Evaluate the original polynomial at x_target.
@@ -1621,8 +1657,7 @@ impl DataSource {
                                 .to_u64() as i128
                         }
                         ShareMode::Deterministic => {
-                            let code =
-                                self.decode_column(&schema, col_idx, &col_shares, false)?;
+                            let code = self.decode_column(&schema, col_idx, &col_shares, false)?;
                             let key = self.keys.domain_key(&spec.domain);
                             self.keys
                                 .field()
@@ -1630,8 +1665,7 @@ impl DataSource {
                                 .to_u64() as i128
                         }
                         ShareMode::OrderPreserving => {
-                            let code =
-                                self.decode_column(&schema, col_idx, &col_shares, false)?;
+                            let code = self.decode_column(&schema, col_idx, &col_shares, false)?;
                             let sharing =
                                 self.op_sharing(&spec.domain, spec.ctype.domain_size())?;
                             sharing.share_for(code, target)?
@@ -1649,9 +1683,7 @@ impl DataSource {
                 };
                 let resp = Response::decode(&self.cluster.call(target, req.encode())?)?;
                 if !matches!(resp, Response::Ack) {
-                    return Err(ClientError::Provider(format!(
-                        "reinsert failed: {resp:?}"
-                    )));
+                    return Err(ClientError::Provider(format!("reinsert failed: {resp:?}")));
                 }
             }
         }
@@ -1680,7 +1712,7 @@ impl DataSource {
         }
         .encode();
         let want = (self.keys.k() + 1).min(self.keys.n());
-        let responses = self.gather(|_, _| Ok(req.clone()), want)?;
+        let responses = self.gather(|_, _| Ok(req.clone()), want, 0, QuorumMode::All)?;
         let rows: Vec<(ProviderId, Vec<Row>)> = responses
             .into_iter()
             .map(|(p, resp)| match resp {
@@ -1705,12 +1737,20 @@ impl DataSource {
             }
             let leaves: Vec<CommittedRow> = provider_rows
                 .iter()
-                .map(|r| CommittedRow { id: r.id, shares: r.shares.clone() })
+                .map(|r| CommittedRow {
+                    id: r.id,
+                    shares: r.shares.clone(),
+                })
                 .collect();
             let expected = dasp_verify::AuthenticatedTable::build(leaves, col_idx);
-            let resp_bytes = self
-                .cluster
-                .call(provider, Request::Commit { table: table.to_string(), col: col_idx }.encode())?;
+            let resp_bytes = self.cluster.call(
+                provider,
+                Request::Commit {
+                    table: table.to_string(),
+                    col: col_idx,
+                }
+                .encode(),
+            )?;
             let resp = Response::decode(&resp_bytes)?;
             let Response::Committed { root, total_rows } = resp else {
                 return Err(ClientError::Provider(format!(
@@ -1777,7 +1817,7 @@ impl DataSource {
                 hi: shi,
             }
             .encode();
-            let Ok(resp_bytes) = self.cluster.call(provider, req) else {
+            let Ok(resp_bytes) = self.cluster.call_with_retry(provider, req, &self.retry) else {
                 continue; // crashed provider: try others
             };
             let Ok(resp) = Response::decode(&resp_bytes) else {
@@ -1804,7 +1844,10 @@ impl DataSource {
                 proof
                     .rows
                     .into_iter()
-                    .map(|r| Row { id: r.id, shares: r.shares })
+                    .map(|r| Row {
+                        id: r.id,
+                        shares: r.shares,
+                    })
                     .collect(),
             ));
         }
@@ -1823,7 +1866,10 @@ fn wire_to_range_proof(p: &WireRangeProof) -> RangeProof {
         index: wp.index as usize,
         siblings: wp.siblings.clone(),
     };
-    let row = |r: &Row| CommittedRow { id: r.id, shares: r.shares.clone() };
+    let row = |r: &Row| CommittedRow {
+        id: r.id,
+        shares: r.shares.clone(),
+    };
     RangeProof {
         start: p.start as usize,
         rows: p.rows.iter().map(row).collect(),

@@ -352,7 +352,12 @@ fn lazy_updates_buffer_then_flush() {
     let flushed = ds.flush("employees").unwrap();
     assert_eq!(flushed, 1);
     assert!(
-        ds.cluster().stats().snapshot().since(&traffic_before).messages_sent > 0,
+        ds.cluster()
+            .stats()
+            .snapshot()
+            .since(&traffic_before)
+            .messages_sent
+            > 0,
         "flush must talk to providers"
     );
     ds.set_lazy(false);
@@ -399,7 +404,22 @@ fn fails_cleanly_when_quorum_lost() {
         ds.cluster().set_failure(p, FailureMode::Crashed);
     }
     let err = ds.select("employees", &[]).unwrap_err();
-    assert!(matches!(err, ClientError::Reconstruction(_)), "{err:?}");
+    // The typed quorum post-mortem names the crashed providers.
+    let ClientError::Quorum(q) = err else {
+        panic!("expected ClientError::Quorum, got {err:?}");
+    };
+    assert!(q.got < q.needed, "{q:?}");
+    for p in 0..2u32 {
+        let (_, outcome) = q
+            .per_provider
+            .iter()
+            .find(|(id, _)| *id == p as usize)
+            .expect("crashed provider present in post-mortem");
+        assert!(
+            !matches!(outcome, dasp_net::ProviderOutcome::Ok),
+            "crashed provider {p} reported Ok"
+        );
+    }
 }
 
 #[test]
@@ -433,7 +453,10 @@ fn ringers_detect_withheld_rows() {
     .unwrap();
     // Honest providers: queries pass and ringers never surface.
     let rows = ds
-        .select("employees", &[Predicate::between("salary", 0u64, 1_000_000u64)])
+        .select(
+            "employees",
+            &[Predicate::between("salary", 0u64, 1_000_000u64)],
+        )
         .unwrap();
     assert_eq!(rows.len(), 5, "ringers are stripped");
     assert!(rows.iter().all(|(_, v)| v[0] != Value::from("RINGER")));
@@ -457,15 +480,10 @@ fn mashup_bucketed_public_join() {
         .unwrap(),
     )
     .unwrap();
-    ds.insert(
-        "friends",
-        &[vec!["CAROL".into(), Value::Int(5_430)]],
-    )
-    .unwrap();
+    ds.insert("friends", &[vec!["CAROL".into(), Value::Int(5_430)]])
+        .unwrap();
     // Public restaurants table at provider 0.
-    let restaurants: Vec<(u64, Vec<u64>)> = (0..200u64)
-        .map(|i| (i, vec![i * 50, i]))
-        .collect(); // locations 0, 50, ..., 9950
+    let restaurants: Vec<(u64, Vec<u64>)> = (0..200u64).map(|i| (i, vec![i * 50, i])).collect(); // locations 0, 50, ..., 9950
     BucketJoin::new(ds.cluster(), 0)
         .upload_public("restaurants", &["location", "rid"], 0, &restaurants)
         .unwrap();
@@ -473,7 +491,9 @@ fn mashup_bucketed_public_join() {
     let rows = ds
         .select("friends", &[Predicate::eq("name", "CAROL")])
         .unwrap();
-    let Value::Int(loc) = rows[0].1[1] else { panic!() };
+    let Value::Int(loc) = rows[0].1[1] else {
+        panic!()
+    };
     assert_eq!(loc, 5_430);
     // …and fetch nearby restaurants through a bucket.
     let (near, stats) = BucketJoin::new(ds.cluster(), 0)
@@ -503,7 +523,10 @@ fn group_by_server_side() {
         .unwrap();
     assert_eq!(john.sum, Some(Value::Int(50_000)));
     assert_eq!(john.count, 2);
-    let bob = groups.iter().find(|g| g.group == Value::from("BOB")).unwrap();
+    let bob = groups
+        .iter()
+        .find(|g| g.group == Value::from("BOB"))
+        .unwrap();
     assert_eq!(bob.sum, Some(Value::Int(80_000)));
     assert_eq!(bob.count, 1);
 
@@ -565,15 +588,17 @@ fn top_k_server_side() {
     let mut ds = source(2, 3);
     setup_employees(&mut ds);
     let before = ds.cluster().stats().snapshot();
-    let top = ds
-        .select_top("employees", "salary", true, 2, &[])
-        .unwrap();
+    let top = ds.select_top("employees", "salary", true, 2, &[]).unwrap();
     assert_eq!(top.len(), 2);
     assert_eq!(top[0].1[1], Value::Int(80_000));
     assert_eq!(top[1].1[1], Value::Int(60_000));
     // Only the top rows crossed the wire.
     let delta = ds.cluster().stats().snapshot().since(&before);
-    assert!(delta.bytes_received < 1000, "{} bytes", delta.bytes_received);
+    assert!(
+        delta.bytes_received < 1000,
+        "{} bytes",
+        delta.bytes_received
+    );
 
     // Ascending bottom-3 with a predicate.
     let bottom = ds
@@ -588,7 +613,11 @@ fn top_k_server_side() {
     let got: Vec<&Value> = bottom.iter().map(|(_, v)| &v[1]).collect();
     assert_eq!(
         got,
-        vec![&Value::Int(20_000), &Value::Int(40_000), &Value::Int(60_000)]
+        vec![
+            &Value::Int(20_000),
+            &Value::Int(40_000),
+            &Value::Int(60_000)
+        ]
     );
 }
 
@@ -619,7 +648,10 @@ fn incremental_update_without_retrieval() {
         .unwrap();
     let mut ssns: Vec<&Value> = rows.iter().map(|(_, v)| &v[2]).collect();
     ssns.sort();
-    assert_eq!(ssns, vec![&Value::Int(111 + 10_000), &Value::Int(333 + 10_000)]);
+    assert_eq!(
+        ssns,
+        vec![&Value::Int(111 + 10_000), &Value::Int(333 + 10_000)]
+    );
     // Untouched rows unchanged.
     let rows = ds
         .select("employees", &[Predicate::eq("name", "MARY")])
@@ -633,9 +665,7 @@ fn incremental_update_guards() {
     setup_employees(&mut ds);
     // Structured (deterministic/OP) columns refuse increments.
     for col in ["name", "salary"] {
-        let err = ds
-            .increment_where("employees", &[], col, 1)
-            .unwrap_err();
+        let err = ds.increment_where("employees", &[], col, 1).unwrap_err();
         assert!(matches!(err, ClientError::Unsupported(_)), "{col}");
     }
     // Domain overflow is caught before any provider is touched.
@@ -691,10 +721,9 @@ fn rebuild_provider_restores_bit_identical_shares() {
         agg: None,
     }
     .encode();
-    let before = dasp_server::proto::Response::decode(
-        &ds.cluster().call(2, snapshot_req.clone()).unwrap(),
-    )
-    .unwrap();
+    let before =
+        dasp_server::proto::Response::decode(&ds.cluster().call(2, snapshot_req.clone()).unwrap())
+            .unwrap();
 
     // Wipe provider 2, then rebuild it from the other three.
     ds.cluster()
@@ -703,10 +732,8 @@ fn rebuild_provider_restores_bit_identical_shares() {
     let rebuilt = ds.rebuild_provider(2).unwrap();
     assert_eq!(rebuilt, 5);
 
-    let after = dasp_server::proto::Response::decode(
-        &ds.cluster().call(2, snapshot_req).unwrap(),
-    )
-    .unwrap();
+    let after =
+        dasp_server::proto::Response::decode(&ds.cluster().call(2, snapshot_req).unwrap()).unwrap();
     let (dasp_server::proto::Response::Rows(mut b), dasp_server::proto::Response::Rows(mut a)) =
         (before, after)
     else {
@@ -718,7 +745,10 @@ fn rebuild_provider_restores_bit_identical_shares() {
 
     // And the fleet behaves normally, including through provider 2.
     let rows = ds
-        .select("employees", &[Predicate::between("salary", 10_000u64, 40_000u64)])
+        .select(
+            "employees",
+            &[Predicate::between("salary", 10_000u64, 40_000u64)],
+        )
         .unwrap();
     assert_eq!(rows.len(), 3);
 }
@@ -765,7 +795,11 @@ fn authenticated_range_happy_path() {
     let salaries: Vec<&Value> = rows.iter().map(|(_, v)| &v[1]).collect();
     assert_eq!(
         salaries,
-        vec![&Value::Int(10_000), &Value::Int(20_000), &Value::Int(40_000)]
+        vec![
+            &Value::Int(10_000),
+            &Value::Int(20_000),
+            &Value::Int(40_000)
+        ]
     );
     // Empty and full ranges verify too.
     assert!(ds
@@ -843,7 +877,11 @@ fn dictionary_codec_handles_arbitrary_text_end_to_end() {
     ds.create_table(
         TableSchema::new(
             "notes",
-            vec![ColumnSpec::numeric("author", 1 << 20, ShareMode::Deterministic)],
+            vec![ColumnSpec::numeric(
+                "author",
+                1 << 20,
+                ShareMode::Deterministic,
+            )],
         )
         .unwrap(),
     )
@@ -857,7 +895,9 @@ fn dictionary_codec_handles_arbitrary_text_end_to_end() {
     ds.insert("notes", &rows).unwrap();
     // Query by arbitrary string: rewrite through the dictionary.
     let code = dict.lookup("Dr. Müller").unwrap();
-    let hits = ds.select("notes", &[Predicate::eq("author", code)]).unwrap();
+    let hits = ds
+        .select("notes", &[Predicate::eq("author", code)])
+        .unwrap();
     assert_eq!(hits.len(), 2);
     for (_, v) in &hits {
         let Value::Int(c) = v[0] else { panic!() };
@@ -873,7 +913,11 @@ fn top_k_deterministic_under_duplicate_order_keys() {
     ds.create_table(
         TableSchema::new(
             "t",
-            vec![ColumnSpec::numeric("v", 1 << 20, ShareMode::OrderPreserving)],
+            vec![ColumnSpec::numeric(
+                "v",
+                1 << 20,
+                ShareMode::OrderPreserving,
+            )],
         )
         .unwrap(),
     )
@@ -912,7 +956,10 @@ fn group_by_stays_correct_across_updates_and_deletes() {
         .group_by("employees", "name", Some("salary"), &[])
         .unwrap();
     assert_eq!(groups.len(), 3); // JOHN, ALICE, BOB
-    let bob = groups.iter().find(|g| g.group == Value::from("BOB")).unwrap();
+    let bob = groups
+        .iter()
+        .find(|g| g.group == Value::from("BOB"))
+        .unwrap();
     assert_eq!(bob.sum, Some(Value::Int(5)));
     assert!(groups.iter().all(|g| g.group != Value::from("MARY")));
 }
@@ -957,10 +1004,7 @@ fn explain_reports_placement_without_executing() {
     let delta = ds.cluster().stats().snapshot().since(&before);
     assert_eq!(delta.messages_sent, 0);
     assert_eq!(plan.conjuncts.len(), 3);
-    assert_eq!(
-        plan.conjuncts.iter().filter(|c| c.server_side).count(),
-        2
-    );
+    assert_eq!(plan.conjuncts.iter().filter(|c| c.server_side).count(), 2);
     assert!(plan.strategy.contains("residual"));
 }
 
@@ -973,9 +1017,10 @@ fn schema_errors_are_clean() {
     assert!(ds
         .select("employees", &[Predicate::eq("bogus", 1u64)])
         .is_err());
-    assert!(ds
-        .insert("employees", &[vec![Value::Int(1)]])
-        .is_err(), "arity");
+    assert!(
+        ds.insert("employees", &[vec![Value::Int(1)]]).is_err(),
+        "arity"
+    );
     assert!(ds
         .insert(
             "employees",
@@ -1023,7 +1068,11 @@ fn providers_never_see_plaintext() {
     ds.create_table(
         TableSchema::new(
             "secrets",
-            vec![ColumnSpec::numeric("salary", 1 << 32, ShareMode::OrderPreserving)],
+            vec![ColumnSpec::numeric(
+                "salary",
+                1 << 32,
+                ShareMode::OrderPreserving,
+            )],
         )
         .unwrap(),
     )

@@ -172,7 +172,10 @@ impl OutsourcedDatabase {
     fn run(&mut self, stmt: Statement) -> Result<QueryOutput, DbError> {
         match stmt {
             Statement::Explain(inner) => {
-                let Statement::Select { table, conditions, .. } = *inner else {
+                let Statement::Select {
+                    table, conditions, ..
+                } = *inner
+                else {
                     return Err(DbError::Unsupported("EXPLAIN supports only SELECT".into()));
                 };
                 let preds = lower_conditions(&conditions);
@@ -202,7 +205,9 @@ impl OutsourcedDatabase {
                 group_by,
                 order_by,
                 limit,
-            } => self.run_select(projection, table, join, conditions, group_by, order_by, limit),
+            } => self.run_select(
+                projection, table, join, conditions, group_by, order_by, limit,
+            ),
             Statement::Update {
                 table,
                 assignments,
@@ -265,13 +270,9 @@ impl OutsourcedDatabase {
                     "ORDER BY supports only SELECT *".into(),
                 ));
             }
-            let rows = self.ds.select_top(
-                &table,
-                &order_col,
-                desc,
-                limit.unwrap_or(u64::MAX),
-                &preds,
-            )?;
+            let rows =
+                self.ds
+                    .select_top(&table, &order_col, desc, limit.unwrap_or(u64::MAX), &preds)?;
             let columns = self
                 .ds
                 .schema_columns(&table)?
@@ -282,7 +283,9 @@ impl OutsourcedDatabase {
         }
         if let Some(n) = limit {
             // LIMIT without ORDER BY: plain select then truncate.
-            let opts = QueryOptions { verify: self.verify_reads };
+            let opts = QueryOptions {
+                verify: self.verify_reads,
+            };
             let mut rows = self.ds.select_opts(&table, &preds, opts)?;
             rows.truncate(n as usize);
             let columns = self
@@ -300,9 +303,7 @@ impl OutsourcedDatabase {
                 ));
             }
             if !matches!(projection, Projection::All) {
-                return Err(DbError::Unsupported(
-                    "JOIN supports only SELECT *".into(),
-                ));
+                return Err(DbError::Unsupported("JOIN supports only SELECT *".into()));
             }
             let pairs = self
                 .ds
@@ -444,7 +445,9 @@ mod tests {
         let out = db
             .execute("SELECT * FROM employees WHERE salary BETWEEN 10000 AND 40000")
             .unwrap();
-        let QueryOutput::Rows { columns, rows } = out else { panic!() };
+        let QueryOutput::Rows { columns, rows } = out else {
+            panic!()
+        };
         assert_eq!(columns, vec!["name", "salary", "ssn"]);
         assert_eq!(rows.len(), 3);
 
@@ -452,7 +455,9 @@ mod tests {
         let out = db
             .execute("SELECT AVG(salary) FROM employees WHERE name = 'JOHN'")
             .unwrap();
-        let QueryOutput::Aggregate(agg) = out else { panic!() };
+        let QueryOutput::Aggregate(agg) = out else {
+            panic!()
+        };
         assert_eq!(agg.value, Some(Value::Int(25000)));
         assert_eq!(agg.count, 2);
 
@@ -462,7 +467,9 @@ mod tests {
             .unwrap();
         assert_eq!(out, QueryOutput::Affected(1));
         let out = db.execute("SELECT MAX(salary) FROM employees").unwrap();
-        let QueryOutput::Aggregate(agg) = out else { panic!() };
+        let QueryOutput::Aggregate(agg) = out else {
+            panic!()
+        };
         assert_eq!(agg.value, Some(Value::Int(99000)));
 
         // Delete.
@@ -471,7 +478,9 @@ mod tests {
             .unwrap();
         assert_eq!(out, QueryOutput::Affected(2));
         let out = db.execute("SELECT COUNT(*) FROM employees").unwrap();
-        let QueryOutput::Aggregate(agg) = out else { panic!() };
+        let QueryOutput::Aggregate(agg) = out else {
+            panic!()
+        };
         assert_eq!(agg.count, 3);
     }
 
@@ -481,7 +490,9 @@ mod tests {
         let out = db
             .execute("SELECT salary, name FROM employees WHERE name = 'MARY'")
             .unwrap();
-        let QueryOutput::Rows { columns, rows } = out else { panic!() };
+        let QueryOutput::Rows { columns, rows } = out else {
+            panic!()
+        };
         assert_eq!(columns, vec!["salary", "name"]);
         assert_eq!(rows[0].1, vec![Value::Int(20000), Value::from("MARY")]);
     }
@@ -492,7 +503,9 @@ mod tests {
         let out = db
             .execute("SELECT * FROM employees WHERE ssn = 444")
             .unwrap();
-        let QueryOutput::Rows { rows, .. } = out else { panic!() };
+        let QueryOutput::Rows { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1[0], Value::from("ALICE"));
     }
@@ -509,7 +522,9 @@ mod tests {
         let out = db
             .execute("SELECT * FROM employees JOIN managers ON employees.name = managers.name")
             .unwrap();
-        let QueryOutput::Joined { pairs } = out else { panic!() };
+        let QueryOutput::Joined { pairs } = out else {
+            panic!()
+        };
         assert_eq!(pairs.len(), 3); // JOHN×2, ALICE×1
     }
 
@@ -545,7 +560,9 @@ mod tests {
         let out = db
             .execute("SELECT SUM(salary) FROM employees GROUP BY name")
             .unwrap();
-        let QueryOutput::Groups(groups) = out else { panic!("{out:?}") };
+        let QueryOutput::Groups(groups) = out else {
+            panic!("{out:?}")
+        };
         assert_eq!(groups.len(), 4);
         let john = groups
             .iter()
@@ -555,9 +572,13 @@ mod tests {
         assert_eq!(john.count, 2);
 
         let out = db
-            .execute("SELECT COUNT(*) FROM employees WHERE salary BETWEEN 0 AND 45000 GROUP BY name")
+            .execute(
+                "SELECT COUNT(*) FROM employees WHERE salary BETWEEN 0 AND 45000 GROUP BY name",
+            )
             .unwrap();
-        let QueryOutput::Groups(groups) = out else { panic!() };
+        let QueryOutput::Groups(groups) = out else {
+            panic!()
+        };
         assert_eq!(groups.len(), 2);
 
         // GROUP BY needs an aggregate projection.
@@ -570,7 +591,9 @@ mod tests {
         let out = db
             .execute("SELECT * FROM employees ORDER BY salary DESC LIMIT 2")
             .unwrap();
-        let QueryOutput::Rows { rows, .. } = out else { panic!() };
+        let QueryOutput::Rows { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].1[1], Value::Int(80_000));
         assert_eq!(rows[1].1[1], Value::Int(60_000));
@@ -578,12 +601,16 @@ mod tests {
         let out = db
             .execute("SELECT * FROM employees ORDER BY salary LIMIT 1")
             .unwrap();
-        let QueryOutput::Rows { rows, .. } = out else { panic!() };
+        let QueryOutput::Rows { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows[0].1[1], Value::Int(10_000));
 
         // Plain LIMIT truncates.
         let out = db.execute("SELECT * FROM employees LIMIT 3").unwrap();
-        let QueryOutput::Rows { rows, .. } = out else { panic!() };
+        let QueryOutput::Rows { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 3);
     }
 
@@ -595,7 +622,9 @@ mod tests {
                 "EXPLAIN SELECT * FROM employees WHERE name = 'JOHN'                  AND salary BETWEEN 10000 AND 40000 AND ssn = 111",
             )
             .unwrap();
-        let QueryOutput::Plan(plan) = out else { panic!("{out:?}") };
+        let QueryOutput::Plan(plan) = out else {
+            panic!("{out:?}")
+        };
         assert_eq!(plan.table, "employees");
         assert_eq!(plan.conjuncts.len(), 3);
         let server: Vec<bool> = plan.conjuncts.iter().map(|c| c.server_side).collect();
@@ -617,7 +646,9 @@ mod tests {
         let out = db
             .execute("SELECT * FROM employees WHERE name LIKE 'JO%'")
             .unwrap();
-        let QueryOutput::Rows { rows, .. } = out else { panic!() };
+        let QueryOutput::Rows { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 2);
     }
 }

@@ -138,12 +138,15 @@ mod tests {
 
         let a_items = [shared.clone(), only_a];
         let b_items = [shared, only_b];
-        let a_double: Vec<_> = a_items.iter().map(|m| bob.encrypt(&alice.encrypt(m))).collect();
-        let b_double: Vec<_> = b_items.iter().map(|m| alice.encrypt(&bob.encrypt(m))).collect();
-        let matches = a_double
+        let a_double: Vec<_> = a_items
             .iter()
-            .filter(|c| b_double.contains(c))
-            .count();
+            .map(|m| bob.encrypt(&alice.encrypt(m)))
+            .collect();
+        let b_double: Vec<_> = b_items
+            .iter()
+            .map(|m| alice.encrypt(&bob.encrypt(m)))
+            .collect();
+        let matches = a_double.iter().filter(|c| b_double.contains(c)).count();
         assert_eq!(matches, 1);
     }
 

@@ -186,10 +186,7 @@ mod tests {
             (Fp::from_u64(2), Fp::from_u64(210)),
             (Fp::from_u64(2), Fp::from_u64(410)),
         ];
-        assert_eq!(
-            lagrange_at_zero(&pts),
-            Err(FieldError::DuplicatePoint(2))
-        );
+        assert_eq!(lagrange_at_zero(&pts), Err(FieldError::DuplicatePoint(2)));
     }
 
     #[test]

@@ -27,7 +27,9 @@ impl Poly {
 
     /// The zero polynomial.
     pub fn zero() -> Self {
-        Poly { coeffs: vec![Fp::ZERO] }
+        Poly {
+            coeffs: vec![Fp::ZERO],
+        }
     }
 
     /// A random polynomial of exactly degree `degree` with the given

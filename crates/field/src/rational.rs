@@ -67,10 +67,16 @@ impl Rational {
         let g = gcd(self.den, o.den);
         let lhs_scale = o.den / g;
         let rhs_scale = self.den / g;
-        let a = self.num.checked_mul(lhs_scale).ok_or(FieldError::Overflow)?;
+        let a = self
+            .num
+            .checked_mul(lhs_scale)
+            .ok_or(FieldError::Overflow)?;
         let b = o.num.checked_mul(rhs_scale).ok_or(FieldError::Overflow)?;
         let num = a.checked_add(b).ok_or(FieldError::Overflow)?;
-        let den = self.den.checked_mul(lhs_scale).ok_or(FieldError::Overflow)?;
+        let den = self
+            .den
+            .checked_mul(lhs_scale)
+            .ok_or(FieldError::Overflow)?;
         Rational::new(num, den)
     }
 

@@ -14,11 +14,21 @@
 //!   channels, with per-provider failure injection (crash, omission,
 //!   response corruption) for the paper's benign/malicious failure-model
 //!   challenge (conclusion, challenge (b)).
+//! * [`resilience`] — retry policies with jittered backoff, per-provider
+//!   health tracking (latency EWMAs), and circuit breakers backing the
+//!   first-k-wins quorum engine in [`rpc`].
 
 pub mod cost;
+pub mod resilience;
 pub mod rpc;
 pub mod wire;
 
 pub use cost::{NetworkModel, TrafficStats};
-pub use rpc::{Cluster, FailureMode, ProviderId, RpcError, Service};
+pub use resilience::{
+    Admission, BreakerConfig, BreakerState, Clock, HealthSnapshot, HealthTracker, ManualClock,
+    ProviderHealthView, ProviderOutcome, QuorumError, RetryPolicy, SystemClock,
+};
+pub use rpc::{
+    Cluster, FailureMode, FailureSwitch, ProviderId, QuorumMode, QuorumOptions, RpcError, Service,
+};
 pub use wire::{WireError, WireReader, WireWriter};

@@ -1,0 +1,695 @@
+//! Resilience primitives for the quorum transport: retry policies with
+//! deterministic jittered backoff, per-provider health tracking with
+//! latency EWMAs, and circuit breakers with half-open probes.
+//!
+//! The paper's availability argument (§V-A) is that any k of the n
+//! providers suffice; this module supplies the client-side machinery that
+//! makes that true *operationally* — a sick provider is retried (omission
+//! faults), skipped (open breaker), or raced against a hedge request
+//! (stragglers), and every decision is observable via [`HealthSnapshot`].
+//!
+//! Everything here is deterministic under test: time comes from the
+//! [`Clock`] trait (swap in [`ManualClock`]), and backoff jitter is a pure
+//! function of `(seed, provider, attempt)`.
+
+use crate::rpc::ProviderId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- clock --
+
+/// Monotonic time source; swappable so breaker tests control time.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since the clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// Wall-clock time relative to construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Clock whose origin is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// Hand-cranked clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualClock(Mutex<Duration>);
+
+impl ManualClock {
+    /// Clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance time by `d`.
+    pub fn advance(&self, d: Duration) {
+        *self.0.lock() += d;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        *self.0.lock()
+    }
+}
+
+// ---------------------------------------------------------------- retry --
+
+/// Retry schedule for idempotent requests: bounded attempts with
+/// exponentially growing, deterministically jittered backoff.
+///
+/// Only *reads* should carry a multi-attempt policy — an omission-faulty
+/// provider applies a write before dropping the response, so retrying a
+/// write could double-apply it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: Duration,
+    /// Cap on the exponential growth.
+    pub max_backoff: Duration,
+    /// Per-attempt response deadline; `None` uses the transport timeout.
+    pub per_attempt_timeout: Option<Duration>,
+    /// Seed for the jitter, so retry timing replays exactly per seed.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(80),
+            per_attempt_timeout: None,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Single attempt, no retries (appropriate for writes).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Policy with the given attempt budget and default backoff shape.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Same policy with a different jitter seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Backoff to sleep after `attempt` (1-based) fails. Exponential in
+    /// the attempt number, capped, then scaled by a deterministic jitter
+    /// factor in [0.5, 1.0) derived from `(seed, provider, attempt)`.
+    pub fn backoff_for(&self, provider: ProviderId, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_backoff);
+        let h = splitmix64(
+            self.jitter_seed
+                ^ (provider as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ (attempt as u64).wrapping_mul(0xd1b5_4a32_d192_ed03),
+        );
+        let jitter = 0.5 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64);
+        exp.mul_f64(jitter)
+    }
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// -------------------------------------------------------------- breaker --
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Breaker state for one provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests rejected until the cooldown elapses.
+    Open,
+    /// Probing: one trial request decides re-admission.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Verdict of [`HealthTracker::admit`] for one provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: send freely.
+    Yes,
+    /// Breaker cooled down: send one probe request.
+    Probe,
+    /// Breaker open (or a probe is already in flight): skip.
+    No,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed,
+    Open { until: Duration },
+    HalfOpen { since: Duration },
+}
+
+#[derive(Debug)]
+struct ProviderHealth {
+    state: State,
+    consecutive_failures: u32,
+    total_successes: u64,
+    total_failures: u64,
+    ewma_latency: Option<Duration>,
+}
+
+impl ProviderHealth {
+    fn new() -> Self {
+        ProviderHealth {
+            state: State::Closed,
+            consecutive_failures: 0,
+            total_successes: 0,
+            total_failures: 0,
+            ewma_latency: None,
+        }
+    }
+}
+
+/// EWMA smoothing factor for latency (higher = more reactive).
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Per-provider health: success/failure counters, latency EWMAs, and the
+/// circuit-breaker state machine. All methods take `&self` (internally
+/// locked) so the tracker can be shared across a cluster.
+pub struct HealthTracker {
+    providers: Vec<Mutex<ProviderHealth>>,
+    cfg: BreakerConfig,
+    clock: Arc<dyn Clock>,
+}
+
+impl HealthTracker {
+    /// Tracker for `n` providers, all initially closed/unknown.
+    pub fn new(n: usize, cfg: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
+        HealthTracker {
+            providers: (0..n).map(|_| Mutex::new(ProviderHealth::new())).collect(),
+            cfg,
+            clock,
+        }
+    }
+
+    /// Number of tracked providers.
+    pub fn n(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// The breaker configuration in force.
+    pub fn config(&self) -> BreakerConfig {
+        self.cfg
+    }
+
+    /// Should a request go to `provider` right now? Open breakers reject
+    /// until the cooldown elapses, then admit exactly one probe; a stuck
+    /// probe (no verdict within another cooldown) is re-admitted.
+    pub fn admit(&self, provider: ProviderId) -> Admission {
+        let Some(cell) = self.providers.get(provider) else {
+            return Admission::No;
+        };
+        let mut h = cell.lock();
+        let now = self.clock.now();
+        match h.state {
+            State::Closed => Admission::Yes,
+            State::Open { until } => {
+                if now >= until {
+                    h.state = State::HalfOpen { since: now };
+                    Admission::Probe
+                } else {
+                    Admission::No
+                }
+            }
+            State::HalfOpen { since } => {
+                // A probe is outstanding; re-probe only if it looks stuck.
+                if now >= since + self.cfg.cooldown {
+                    h.state = State::HalfOpen { since: now };
+                    Admission::Probe
+                } else {
+                    Admission::No
+                }
+            }
+        }
+    }
+
+    /// Record a successful exchange and its observed latency. Closes the
+    /// breaker from any state.
+    pub fn record_success(&self, provider: ProviderId, latency: Duration) {
+        let Some(cell) = self.providers.get(provider) else {
+            return;
+        };
+        let mut h = cell.lock();
+        h.consecutive_failures = 0;
+        h.total_successes += 1;
+        h.state = State::Closed;
+        h.ewma_latency = Some(match h.ewma_latency {
+            None => latency,
+            Some(prev) => {
+                let blended =
+                    EWMA_ALPHA * latency.as_secs_f64() + (1.0 - EWMA_ALPHA) * prev.as_secs_f64();
+                Duration::from_secs_f64(blended)
+            }
+        });
+    }
+
+    /// Record a failed exchange (timeout, rejected response, transport
+    /// error). Opens the breaker at the failure threshold, and re-opens it
+    /// immediately when a half-open probe fails.
+    pub fn record_failure(&self, provider: ProviderId) {
+        let Some(cell) = self.providers.get(provider) else {
+            return;
+        };
+        let mut h = cell.lock();
+        h.consecutive_failures += 1;
+        h.total_failures += 1;
+        let now = self.clock.now();
+        match h.state {
+            State::HalfOpen { .. } => {
+                h.state = State::Open {
+                    until: now + self.cfg.cooldown,
+                };
+            }
+            State::Closed if h.consecutive_failures >= self.cfg.failure_threshold => {
+                h.state = State::Open {
+                    until: now + self.cfg.cooldown,
+                };
+            }
+            _ => {}
+        }
+    }
+
+    /// Smoothed latency estimate, if the provider ever answered.
+    pub fn ewma_latency(&self, provider: ProviderId) -> Option<Duration> {
+        self.providers.get(provider)?.lock().ewma_latency
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self, provider: ProviderId) -> BreakerState {
+        match self.providers.get(provider) {
+            None => BreakerState::Closed,
+            Some(cell) => match cell.lock().state {
+                State::Closed => BreakerState::Closed,
+                State::Open { .. } => BreakerState::Open,
+                State::HalfOpen { .. } => BreakerState::HalfOpen,
+            },
+        }
+    }
+
+    /// Point-in-time view of every provider, printable as a table.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            providers: self
+                .providers
+                .iter()
+                .enumerate()
+                .map(|(id, cell)| {
+                    let h = cell.lock();
+                    ProviderHealthView {
+                        provider: id,
+                        state: match h.state {
+                            State::Closed => BreakerState::Closed,
+                            State::Open { .. } => BreakerState::Open,
+                            State::HalfOpen { .. } => BreakerState::HalfOpen,
+                        },
+                        consecutive_failures: h.consecutive_failures,
+                        total_successes: h.total_successes,
+                        total_failures: h.total_failures,
+                        ewma_latency: h.ewma_latency,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One provider's row in a [`HealthSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProviderHealthView {
+    /// Provider index.
+    pub provider: ProviderId,
+    /// Breaker state.
+    pub state: BreakerState,
+    /// Current consecutive-failure streak.
+    pub consecutive_failures: u32,
+    /// Lifetime successes.
+    pub total_successes: u64,
+    /// Lifetime failures.
+    pub total_failures: u64,
+    /// Smoothed response latency.
+    pub ewma_latency: Option<Duration>,
+}
+
+/// Printable point-in-time cluster health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// One view per provider, in provider order.
+    pub providers: Vec<ProviderHealthView>,
+}
+
+impl std::fmt::Display for HealthSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "provider  breaker    streak  ok      fail    ewma")?;
+        for p in &self.providers {
+            writeln!(
+                f,
+                "{:<8}  {:<9}  {:<6}  {:<6}  {:<6}  {}",
+                p.provider,
+                p.state.to_string(),
+                p.consecutive_failures,
+                p.total_successes,
+                p.total_failures,
+                match p.ewma_latency {
+                    Some(d) => format!("{:.2?}", d),
+                    None => "-".to_string(),
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- error --
+
+/// How one provider fared during a quorum call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProviderOutcome {
+    /// Responded and validated.
+    Ok,
+    /// All attempts timed out.
+    TimedOut {
+        /// Attempts launched.
+        attempts: u32,
+    },
+    /// Responded, but the response failed validation every attempt.
+    Rejected {
+        /// Attempts launched.
+        attempts: u32,
+        /// Last validation failure.
+        reason: String,
+    },
+    /// Skipped: the provider's circuit breaker was open.
+    BreakerOpen,
+    /// Never contacted (quorum resolved or failed without it).
+    Unsent,
+    /// The cluster was shut down mid-call.
+    Disconnected,
+}
+
+impl std::fmt::Display for ProviderOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProviderOutcome::Ok => write!(f, "ok"),
+            ProviderOutcome::TimedOut { attempts } => {
+                write!(f, "timed out after {attempts} attempt(s)")
+            }
+            ProviderOutcome::Rejected { attempts, reason } => {
+                write!(f, "rejected after {attempts} attempt(s): {reason}")
+            }
+            ProviderOutcome::BreakerOpen => write!(f, "skipped (breaker open)"),
+            ProviderOutcome::Unsent => write!(f, "not contacted"),
+            ProviderOutcome::Disconnected => write!(f, "cluster shut down"),
+        }
+    }
+}
+
+/// A quorum call that could not gather enough valid responses, with a
+/// per-provider post-mortem (replaces the old stringly-typed
+/// reconstruction error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumError {
+    /// Responses required.
+    pub needed: usize,
+    /// Valid responses obtained.
+    pub got: usize,
+    /// What happened at each contacted (or skipped) provider.
+    pub per_provider: Vec<(ProviderId, ProviderOutcome)>,
+}
+
+impl std::fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "quorum unreachable: {} of the required {} providers responded",
+            self.got, self.needed
+        )?;
+        for (p, outcome) in &self.per_provider {
+            if !matches!(outcome, ProviderOutcome::Ok) {
+                write!(f, "; provider {p}: {outcome}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(threshold: u32, cooldown_ms: u64) -> (Arc<ManualClock>, HealthTracker) {
+        let clock = Arc::new(ManualClock::new());
+        let t = HealthTracker::new(
+            3,
+            BreakerConfig {
+                failure_threshold: threshold,
+                cooldown: Duration::from_millis(cooldown_ms),
+            },
+            clock.clone(),
+        );
+        (clock, t)
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_skips() {
+        let (_clock, t) = tracker(3, 100);
+        assert_eq!(t.admit(1), Admission::Yes);
+        t.record_failure(1);
+        t.record_failure(1);
+        assert_eq!(t.breaker_state(1), BreakerState::Closed, "below threshold");
+        assert_eq!(t.admit(1), Admission::Yes);
+        t.record_failure(1);
+        assert_eq!(t.breaker_state(1), BreakerState::Open);
+        assert_eq!(t.admit(1), Admission::No);
+        // Other providers unaffected.
+        assert_eq!(t.admit(0), Admission::Yes);
+        assert_eq!(t.admit(2), Admission::Yes);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let (_clock, t) = tracker(3, 100);
+        t.record_failure(0);
+        t.record_failure(0);
+        t.record_success(0, Duration::from_millis(1));
+        t.record_failure(0);
+        t.record_failure(0);
+        assert_eq!(t.breaker_state(0), BreakerState::Closed, "streak was reset");
+    }
+
+    #[test]
+    fn half_open_probe_readmits_on_success() {
+        let (clock, t) = tracker(2, 100);
+        t.record_failure(2);
+        t.record_failure(2);
+        assert_eq!(t.admit(2), Admission::No);
+        clock.advance(Duration::from_millis(99));
+        assert_eq!(t.admit(2), Admission::No, "cooldown not elapsed");
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(t.admit(2), Admission::Probe, "cooldown elapsed: probe");
+        assert_eq!(t.breaker_state(2), BreakerState::HalfOpen);
+        // While the probe is in flight, no further traffic.
+        assert_eq!(t.admit(2), Admission::No);
+        t.record_success(2, Duration::from_millis(2));
+        assert_eq!(t.breaker_state(2), BreakerState::Closed);
+        assert_eq!(t.admit(2), Admission::Yes);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let (clock, t) = tracker(2, 100);
+        t.record_failure(0);
+        t.record_failure(0);
+        clock.advance(Duration::from_millis(100));
+        assert_eq!(t.admit(0), Admission::Probe);
+        t.record_failure(0);
+        assert_eq!(t.breaker_state(0), BreakerState::Open);
+        assert_eq!(t.admit(0), Admission::No);
+        // Full new cooldown before the next probe.
+        clock.advance(Duration::from_millis(99));
+        assert_eq!(t.admit(0), Admission::No);
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(t.admit(0), Admission::Probe);
+    }
+
+    #[test]
+    fn stuck_probe_is_reissued_after_another_cooldown() {
+        let (clock, t) = tracker(1, 50);
+        t.record_failure(1);
+        clock.advance(Duration::from_millis(50));
+        assert_eq!(t.admit(1), Admission::Probe);
+        // Probe never resolves (e.g. caller dropped it). After another
+        // cooldown the tracker allows a fresh probe instead of wedging.
+        clock.advance(Duration::from_millis(49));
+        assert_eq!(t.admit(1), Admission::No);
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(t.admit(1), Admission::Probe);
+    }
+
+    #[test]
+    fn ewma_tracks_latency_and_snapshot_reports() {
+        let (_clock, t) = tracker(5, 100);
+        t.record_success(0, Duration::from_millis(10));
+        assert_eq!(t.ewma_latency(0), Some(Duration::from_millis(10)));
+        t.record_success(0, Duration::from_millis(20));
+        let ewma = t.ewma_latency(0).unwrap();
+        // 0.3·20ms + 0.7·10ms = 13ms
+        assert!((ewma.as_secs_f64() - 0.013).abs() < 1e-6, "{ewma:?}");
+        t.record_failure(1);
+        let snap = t.snapshot();
+        assert_eq!(snap.providers.len(), 3);
+        assert_eq!(snap.providers[0].total_successes, 2);
+        assert_eq!(snap.providers[1].total_failures, 1);
+        assert_eq!(snap.providers[2].ewma_latency, None);
+        let rendered = snap.to_string();
+        assert!(rendered.contains("breaker"), "{rendered}");
+        assert!(rendered.contains("closed"), "{rendered}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+            per_attempt_timeout: None,
+            jitter_seed: 42,
+        };
+        // Deterministic: same (seed, provider, attempt) → same backoff.
+        assert_eq!(policy.backoff_for(1, 1), policy.backoff_for(1, 1));
+        // Jitter varies across providers and attempts.
+        assert_ne!(policy.backoff_for(1, 1), policy.backoff_for(2, 1));
+        assert_ne!(policy.backoff_for(1, 1), policy.backoff_for(1, 2));
+        // Jitter keeps every backoff within [0.5, 1.0)× the raw value.
+        for attempt in 1..=6u32 {
+            for provider in 0..4usize {
+                let raw = Duration::from_millis(10)
+                    .saturating_mul(1 << (attempt - 1))
+                    .min(Duration::from_millis(50));
+                let b = policy.backoff_for(provider, attempt);
+                assert!(
+                    b >= raw / 2 && b < raw,
+                    "attempt {attempt}: {b:?} vs raw {raw:?}"
+                );
+            }
+        }
+        // Different seed shifts the schedule.
+        let reseeded = policy.clone().seeded(43);
+        assert_ne!(reseeded.backoff_for(1, 1), policy.backoff_for(1, 1));
+    }
+
+    #[test]
+    fn quorum_error_display_names_the_sick_providers() {
+        let err = QuorumError {
+            needed: 3,
+            got: 1,
+            per_provider: vec![
+                (0, ProviderOutcome::Ok),
+                (1, ProviderOutcome::TimedOut { attempts: 3 }),
+                (
+                    2,
+                    ProviderOutcome::Rejected {
+                        attempts: 1,
+                        reason: "bad table".into(),
+                    },
+                ),
+                (3, ProviderOutcome::BreakerOpen),
+            ],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("1 of the required 3"), "{msg}");
+        assert!(
+            msg.contains("provider 1: timed out after 3 attempt(s)"),
+            "{msg}"
+        );
+        assert!(msg.contains("provider 2: rejected"), "{msg}");
+        assert!(msg.contains("breaker open"), "{msg}");
+        assert!(
+            !msg.contains("provider 0"),
+            "healthy providers stay out of the message: {msg}"
+        );
+    }
+
+    #[test]
+    fn retry_policy_none_is_single_attempt() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::with_attempts(0).max_attempts, 1);
+    }
+}

@@ -1,10 +1,20 @@
-//! Threaded RPC fabric with failure injection.
+//! Threaded RPC fabric with failure injection and a resilient quorum
+//! engine.
 //!
 //! Each provider runs as an OS thread owning a [`Service`] implementation
 //! and serving requests from a crossbeam channel — the closest laptop
 //! analogue of the paper's independent DAS sites. The client side fans
 //! requests out to any subset of providers and waits with a timeout, so a
 //! crashed provider degrades into a timeout exactly as a dead site would.
+//!
+//! Quorum calls are *first-k-wins*: every in-flight attempt replies onto
+//! one shared channel tagged with an attempt token, and the engine
+//! returns the moment enough valid responses have arrived — stragglers
+//! are abandoned, timed-out attempts are retried per [`RetryPolicy`],
+//! failures escalate to hedge launches at the next-fastest provider, and
+//! providers with open circuit breakers (see
+//! [`HealthTracker`](crate::resilience::HealthTracker)) are skipped
+//! unless the quorum cannot be met without them.
 //!
 //! Failure injection (per provider, switchable at runtime):
 //! * [`FailureMode::Crashed`] — requests are dropped (client times out).
@@ -13,13 +23,17 @@
 //!   probability p (exercises share-consistency detection).
 
 use crate::cost::TrafficStats;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::resilience::{
+    Admission, BreakerConfig, HealthTracker, ProviderOutcome, QuorumError, RetryPolicy, SystemClock,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Index of a provider within a cluster (0-based).
 pub type ProviderId = usize;
@@ -60,6 +74,13 @@ pub enum RpcError {
     Timeout(ProviderId),
     /// The provider id does not exist.
     UnknownProvider(ProviderId),
+    /// A quorum call could not gather enough valid responses.
+    QuorumUnreachable {
+        /// Responses required.
+        needed: usize,
+        /// Valid responses obtained.
+        got: usize,
+    },
     /// The cluster was shut down.
     Closed,
 }
@@ -69,6 +90,10 @@ impl std::fmt::Display for RpcError {
         match self {
             RpcError::Timeout(p) => write!(f, "provider {p} timed out"),
             RpcError::UnknownProvider(p) => write!(f, "unknown provider {p}"),
+            RpcError::QuorumUnreachable { needed, got } => write!(
+                f,
+                "quorum unreachable: {got} of the required {needed} providers responded"
+            ),
             RpcError::Closed => write!(f, "cluster closed"),
         }
     }
@@ -76,28 +101,104 @@ impl std::fmt::Display for RpcError {
 
 impl std::error::Error for RpcError {}
 
+/// How a quorum call fans out and when it returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumMode {
+    /// Return as soon as enough valid responses arrive; stragglers are
+    /// abandoned and providers with open breakers are skipped when the
+    /// quorum can be met without them. For idempotent reads.
+    FirstK,
+    /// Contact every listed provider (breakers notwithstanding) and wait
+    /// for each to resolve. Required for writes, which must reach all
+    /// replicas and must not be silently skipped.
+    All,
+}
+
+/// Tuning for [`Cluster::call_quorum_opts`].
+pub struct QuorumOptions<'a> {
+    /// Retry schedule for failed attempts. Use [`RetryPolicy::none`] for
+    /// non-idempotent requests.
+    pub retry: RetryPolicy,
+    /// Extra providers contacted up front beyond the response target, to
+    /// race stragglers (hedged requests). [`QuorumMode::FirstK`] only.
+    pub hedge: usize,
+    /// Extra responses collected beyond `need` when available (the quorum
+    /// still succeeds with `need`). Lets callers cross-check shares.
+    pub extra: usize,
+    /// Fan-out / return discipline.
+    pub mode: QuorumMode,
+    /// Application-level response check; a rejected response counts as a
+    /// failed attempt (retried, then reported as
+    /// [`ProviderOutcome::Rejected`]).
+    #[allow(clippy::type_complexity)]
+    pub validate: Option<&'a dyn Fn(ProviderId, &[u8]) -> Result<(), String>>,
+}
+
+impl Default for QuorumOptions<'_> {
+    fn default() -> Self {
+        QuorumOptions {
+            retry: RetryPolicy::none(),
+            hedge: 0,
+            extra: 0,
+            mode: QuorumMode::FirstK,
+            validate: None,
+        }
+    }
+}
+
 struct Envelope {
     request: Vec<u8>,
-    reply_to: Sender<Vec<u8>>,
+    reply_to: Sender<(u64, Vec<u8>)>,
+    token: u64,
+}
+
+/// A cloneable switch over one provider's failure mode, detached from
+/// the [`Cluster`] borrow so another thread can inject churn mid-call.
+#[derive(Clone)]
+pub struct FailureSwitch(Arc<Mutex<FailureMode>>);
+
+impl FailureSwitch {
+    /// Flip the provider's failure mode.
+    pub fn set(&self, mode: FailureMode) {
+        *self.0.lock() = mode;
+    }
+
+    /// The current failure mode.
+    pub fn get(&self) -> FailureMode {
+        *self.0.lock()
+    }
 }
 
 struct ProviderHandle {
-    tx: Sender<Envelope>,
+    /// `None` once the cluster has been shut down.
+    tx: Option<Sender<Envelope>>,
     failure: Arc<Mutex<FailureMode>>,
     latency: Arc<Mutex<Duration>>,
     thread: Option<JoinHandle<()>>,
 }
 
-/// A running cluster of provider threads plus client-side metering.
+/// A running cluster of provider threads plus client-side metering and
+/// per-provider health tracking.
 pub struct Cluster {
     providers: Vec<ProviderHandle>,
     stats: TrafficStats,
     timeout: Duration,
+    health: HealthTracker,
 }
 
 impl Cluster {
     /// Spawn one thread per service. `timeout` bounds every call.
     pub fn spawn(services: Vec<Box<dyn Service>>, timeout: Duration) -> Self {
+        Self::spawn_with_breaker(services, timeout, BreakerConfig::default())
+    }
+
+    /// [`Cluster::spawn`] with custom circuit-breaker tuning.
+    pub fn spawn_with_breaker(
+        services: Vec<Box<dyn Service>>,
+        timeout: Duration,
+        breaker: BreakerConfig,
+    ) -> Self {
+        let n = services.len();
         let providers = services
             .into_iter()
             .enumerate()
@@ -125,26 +226,28 @@ impl Cluster {
                                 FailureMode::Omission(p) => {
                                     let response = service.handle(&env.request);
                                     if rng.gen::<f64>() >= p {
-                                        let _ = env.reply_to.send(response);
+                                        let _ = env.reply_to.send((env.token, response));
                                     }
                                 }
                                 FailureMode::Byzantine(p) => {
                                     let mut response = service.handle(&env.request);
                                     if !response.is_empty() && rng.gen::<f64>() < p {
                                         let idx = rng.gen_range(0..response.len());
-                                        response[idx] ^= 1 << rng.gen_range(0..8);
+                                        response[idx] ^= 1u8 << rng.gen_range(0u32..8);
                                     }
-                                    let _ = env.reply_to.send(response);
+                                    let _ = env.reply_to.send((env.token, response));
                                 }
                                 FailureMode::Healthy => {
-                                    let _ = env.reply_to.send(service.handle(&env.request));
+                                    let _ = env
+                                        .reply_to
+                                        .send((env.token, service.handle(&env.request)));
                                 }
                             }
                         }
                     })
                     .expect("spawn provider thread");
                 ProviderHandle {
-                    tx,
+                    tx: Some(tx),
                     failure,
                     latency,
                     thread: Some(thread),
@@ -155,6 +258,7 @@ impl Cluster {
             providers,
             stats: TrafficStats::new(),
             timeout,
+            health: HealthTracker::new(n, breaker, Arc::new(SystemClock::new())),
         }
     }
 
@@ -168,11 +272,31 @@ impl Cluster {
         &self.stats
     }
 
+    /// Per-provider health: breaker states, failure streaks, latency
+    /// EWMAs. Print `health().snapshot()` for a table.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The per-call (and default per-attempt) timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
     /// Set a provider's failure mode.
     pub fn set_failure(&self, provider: ProviderId, mode: FailureMode) {
         if let Some(h) = self.providers.get(provider) {
             *h.failure.lock() = mode;
         }
+    }
+
+    /// A cloneable, thread-safe handle to one provider's failure switch.
+    /// Lets a churn thread flip failure modes while the owner of the
+    /// cluster keeps issuing calls (soak tests).
+    pub fn failure_switch(&self, provider: ProviderId) -> Option<FailureSwitch> {
+        self.providers
+            .get(provider)
+            .map(|h| FailureSwitch(Arc::clone(&h.failure)))
     }
 
     /// Inject real per-request latency at every provider (live WAN
@@ -184,34 +308,89 @@ impl Cluster {
         }
     }
 
+    /// Inject latency at a single provider (a straggler, not a WAN).
+    pub fn set_latency_for(&self, provider: ProviderId, delay: Duration) {
+        if let Some(h) = self.providers.get(provider) {
+            *h.latency.lock() = delay;
+        }
+    }
+
+    /// Stop accepting requests and join every provider thread. In-flight
+    /// requests are abandoned; subsequent calls return
+    /// [`RpcError::Closed`]. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        for p in &mut self.providers {
+            p.tx = None;
+        }
+        for p in &mut self.providers {
+            if let Some(t) = p.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
     /// Call one provider, counting the exchange as a round trip.
     pub fn call(&self, provider: ProviderId, request: Vec<u8>) -> Result<Vec<u8>, RpcError> {
-        let result = self.send_one(provider, request);
+        let result = self.send_one(provider, request, self.timeout);
         self.stats.record_round_trip();
         result
     }
 
-    fn send_one(&self, provider: ProviderId, request: Vec<u8>) -> Result<Vec<u8>, RpcError> {
+    /// Call one provider, retrying timed-out attempts per `policy` with
+    /// jittered exponential backoff. Counts one round trip. Only use for
+    /// idempotent requests.
+    pub fn call_with_retry(
+        &self,
+        provider: ProviderId,
+        request: Vec<u8>,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<u8>, RpcError> {
+        self.stats.record_round_trip();
+        let per_attempt = policy.per_attempt_timeout.unwrap_or(self.timeout);
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.send_one(provider, request.clone(), per_attempt) {
+                Ok(response) => return Ok(response),
+                Err(RpcError::Timeout(_)) if attempt < max_attempts => {
+                    std::thread::sleep(policy.backoff_for(provider, attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn send_one(
+        &self,
+        provider: ProviderId,
+        request: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, RpcError> {
         let handle = self
             .providers
             .get(provider)
             .ok_or(RpcError::UnknownProvider(provider))?;
+        let tx = handle.tx.as_ref().ok_or(RpcError::Closed)?;
         self.stats.record_send(request.len());
         let (reply_tx, reply_rx) = bounded(1);
-        handle
-            .tx
-            .send(Envelope {
-                request,
-                reply_to: reply_tx,
-            })
-            .map_err(|_| RpcError::Closed)?;
-        match reply_rx.recv_timeout(self.timeout) {
-            Ok(response) => {
+        let start = Instant::now();
+        tx.send(Envelope {
+            request,
+            reply_to: reply_tx,
+            token: 0,
+        })
+        .map_err(|_| RpcError::Closed)?;
+        match reply_rx.recv_timeout(timeout) {
+            Ok((_token, response)) => {
                 self.stats.record_recv(response.len());
+                self.health.record_success(provider, start.elapsed());
                 Ok(response)
             }
-            Err(RecvTimeoutError::Timeout) => Err(RpcError::Timeout(provider)),
-            Err(RecvTimeoutError::Disconnected) => Err(RpcError::Timeout(provider)),
+            Err(_) => {
+                self.health.record_failure(provider);
+                Err(RpcError::Timeout(provider))
+            }
         }
     }
 
@@ -221,53 +400,401 @@ impl Cluster {
         &self,
         requests: Vec<(ProviderId, Vec<u8>)>,
     ) -> Vec<(ProviderId, Result<Vec<u8>, RpcError>)> {
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = requests
-                .into_iter()
-                .map(|(provider, request)| {
-                    scope.spawn(move || (provider, self.send_one(provider, request)))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("no panic")).collect::<Vec<_>>()
-        });
-        self.stats.record_round_trip();
-        results
+        type Slot = Option<(ProviderId, Result<Vec<u8>, RpcError>)>;
+        let n = self.providers.len();
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut valid = Vec::new();
+        let mut valid_pos = Vec::new();
+        for (i, (provider, request)) in requests.into_iter().enumerate() {
+            if provider < n {
+                valid_pos.push(i);
+                valid.push((provider, request));
+                slots.push(None);
+            } else {
+                slots.push(Some((provider, Err(RpcError::UnknownProvider(provider)))));
+            }
+        }
+        let opts = QuorumOptions {
+            mode: QuorumMode::All,
+            ..Default::default()
+        };
+        let resolutions = self.run_quorum(valid, 0, &opts);
+        for (pos, (provider, resolution)) in valid_pos.into_iter().zip(resolutions) {
+            slots[pos] = Some((
+                provider,
+                match resolution {
+                    Ok(response) => Ok(response),
+                    Err(ProviderOutcome::Disconnected) => Err(RpcError::Closed),
+                    Err(_) => Err(RpcError::Timeout(provider)),
+                },
+            ));
+        }
+        slots.into_iter().map(|s| s.expect("slot filled")).collect()
     }
 
     /// Fan out and return as soon as `k` successes arrive (the paper's
-    /// "any k of the service providers must be available"). Results
+    /// "any k of the service providers must be available"). Responses
     /// beyond the first k successes may be discarded.
     pub fn call_quorum(
         &self,
         requests: Vec<(ProviderId, Vec<u8>)>,
         k: usize,
     ) -> Result<Vec<(ProviderId, Vec<u8>)>, RpcError> {
-        let all = self.call_many(requests);
-        let mut successes = Vec::with_capacity(k);
-        for (provider, result) in all {
-            if let Ok(response) = result {
-                successes.push((provider, response));
-                if successes.len() == k {
-                    return Ok(successes);
+        let opts = QuorumOptions {
+            hedge: usize::MAX,
+            ..Default::default()
+        };
+        self.call_quorum_opts(requests, k, &opts)
+            .map_err(|e| RpcError::QuorumUnreachable {
+                needed: e.needed,
+                got: e.got,
+            })
+    }
+
+    /// First-k-wins quorum call with retries, hedging, and breaker-aware
+    /// provider selection. Returns the successful `(provider, response)`
+    /// pairs in request order — at least `need` of them, up to
+    /// `need + extra` — or a [`QuorumError`] post-mortem.
+    pub fn call_quorum_opts(
+        &self,
+        requests: Vec<(ProviderId, Vec<u8>)>,
+        need: usize,
+        opts: &QuorumOptions<'_>,
+    ) -> Result<Vec<(ProviderId, Vec<u8>)>, QuorumError> {
+        let resolutions = self.run_quorum(requests, need, opts);
+        let got = resolutions.iter().filter(|(_, r)| r.is_ok()).count();
+        if got >= need {
+            Ok(resolutions
+                .into_iter()
+                .filter_map(|(p, r)| r.ok().map(|v| (p, v)))
+                .collect())
+        } else {
+            Err(QuorumError {
+                needed: need,
+                got,
+                per_provider: resolutions
+                    .into_iter()
+                    .map(|(p, r)| {
+                        (
+                            p,
+                            match r {
+                                Ok(_) => ProviderOutcome::Ok,
+                                Err(outcome) => outcome,
+                            },
+                        )
+                    })
+                    .collect(),
+            })
+        }
+    }
+
+    /// The quorum engine: one shared reply channel, token-tagged
+    /// attempts, an event loop over response/timeout/retry deadlines.
+    /// Returns each request's resolution in request order.
+    fn run_quorum(
+        &self,
+        requests: Vec<(ProviderId, Vec<u8>)>,
+        need: usize,
+        opts: &QuorumOptions<'_>,
+    ) -> Vec<(ProviderId, Result<Vec<u8>, ProviderOutcome>)> {
+        self.stats.record_round_trip();
+        let n_req = requests.len();
+        let want = match opts.mode {
+            QuorumMode::All => n_req,
+            QuorumMode::FirstK => need.saturating_add(opts.extra).min(n_req),
+        };
+        let per_attempt = opts.retry.per_attempt_timeout.unwrap_or(self.timeout);
+        let max_attempts = opts.retry.max_attempts.max(1);
+
+        struct Cand {
+            provider: ProviderId,
+            request: Vec<u8>,
+            attempts: u32,
+            /// (token, sent_at, deadline) of the attempt in flight.
+            live: Option<(u64, Instant, Instant)>,
+            retry_at: Option<Instant>,
+            held: bool,
+            done: Option<Result<Vec<u8>, ProviderOutcome>>,
+        }
+
+        let mut cands: Vec<Cand> = requests
+            .into_iter()
+            .map(|(provider, request)| Cand {
+                provider,
+                request,
+                attempts: 0,
+                live: None,
+                retry_at: None,
+                held: false,
+                done: if provider < self.providers.len() {
+                    None
+                } else {
+                    Some(Err(ProviderOutcome::Unsent))
+                },
+            })
+            .collect();
+
+        // Launch order: admitted candidates, fastest EWMA first with
+        // never-measured providers leading (so they get sampled), then —
+        // only when the quorum cannot be met otherwise — providers whose
+        // breaker is open.
+        let mut admitted: Vec<usize> = Vec::new();
+        let mut held: VecDeque<usize> = VecDeque::new();
+        for (idx, c) in cands.iter_mut().enumerate() {
+            if c.done.is_some() {
+                continue;
+            }
+            let admit = match opts.mode {
+                QuorumMode::All => Admission::Yes,
+                QuorumMode::FirstK => self.health.admit(c.provider),
+            };
+            if admit == Admission::No {
+                c.held = true;
+                held.push_back(idx);
+            } else {
+                admitted.push(idx);
+            }
+        }
+        admitted.sort_by_key(|&i| {
+            let p = cands[i].provider;
+            match self.health.ewma_latency(p) {
+                None => (0u8, Duration::ZERO, p),
+                Some(d) => (1u8, d, p),
+            }
+        });
+        let mut ready: VecDeque<usize> = admitted.into();
+
+        let (reply_tx, reply_rx) = unbounded::<(u64, Vec<u8>)>();
+        // token → (candidate index, sent_at); stale tokens stay mapped so
+        // a slow first attempt can still satisfy its candidate.
+        let mut token_map: HashMap<u64, (usize, Instant)> = HashMap::new();
+        let mut next_token: u64 = 0;
+        let mut successes = 0usize;
+
+        let launch = |cands: &mut [Cand],
+                      idx: usize,
+                      token_map: &mut HashMap<u64, (usize, Instant)>,
+                      next_token: &mut u64| {
+            let c = &mut cands[idx];
+            c.attempts += 1;
+            let token = *next_token;
+            *next_token += 1;
+            let now = Instant::now();
+            let sent = match self.providers[c.provider].tx.as_ref() {
+                Some(tx) => {
+                    self.stats.record_send(c.request.len());
+                    tx.send(Envelope {
+                        request: c.request.clone(),
+                        reply_to: reply_tx.clone(),
+                        token,
+                    })
+                    .is_ok()
+                }
+                None => false,
+            };
+            if sent {
+                token_map.insert(token, (idx, now));
+                c.live = Some((token, now, now + per_attempt));
+            } else {
+                c.done = Some(Err(ProviderOutcome::Disconnected));
+            }
+        };
+
+        // Initial wave: everything in All mode; the response target plus
+        // the hedge allowance in FirstK mode.
+        let wave = match opts.mode {
+            QuorumMode::All => ready.len(),
+            QuorumMode::FirstK => want.saturating_add(opts.hedge).min(ready.len()),
+        };
+        for _ in 0..wave {
+            let idx = ready.pop_front().expect("wave within ready");
+            launch(&mut cands, idx, &mut token_map, &mut next_token);
+        }
+
+        loop {
+            let now = Instant::now();
+
+            // Finalize attempts past their deadline: record the failure,
+            // schedule a retry if budget and the quorum still need it,
+            // and escalate by launching the next-best unsent provider.
+            let timed_out: Vec<usize> = cands
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    c.done.is_none() && matches!(c.live, Some((_, _, dl)) if now >= dl)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            for idx in timed_out {
+                let provider = cands[idx].provider;
+                self.health.record_failure(provider);
+                cands[idx].live = None;
+                if cands[idx].attempts < max_attempts && successes < need {
+                    cands[idx].retry_at =
+                        Some(now + opts.retry.backoff_for(provider, cands[idx].attempts));
+                } else {
+                    let attempts = cands[idx].attempts;
+                    cands[idx].done = Some(Err(ProviderOutcome::TimedOut { attempts }));
+                }
+                if successes < want {
+                    if let Some(next) = ready.pop_front() {
+                        launch(&mut cands, next, &mut token_map, &mut next_token);
+                    }
+                }
+            }
+
+            // Fire retries that have cooled down.
+            let due: Vec<usize> = cands
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    c.done.is_none()
+                        && c.live.is_none()
+                        && matches!(c.retry_at, Some(at) if now >= at)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            for idx in due {
+                cands[idx].retry_at = None;
+                if successes < need {
+                    launch(&mut cands, idx, &mut token_map, &mut next_token);
+                } else {
+                    let attempts = cands[idx].attempts;
+                    cands[idx].done = Some(Err(ProviderOutcome::TimedOut { attempts }));
+                }
+            }
+
+            // Quorum met: cancel pending retries so only live attempts
+            // can still add responses (bounds degraded-read latency).
+            if successes >= need {
+                for c in cands.iter_mut() {
+                    if c.done.is_none() && c.live.is_none() && c.retry_at.take().is_some() {
+                        c.done = Some(Err(ProviderOutcome::TimedOut {
+                            attempts: c.attempts,
+                        }));
+                    }
+                }
+            }
+
+            // Top up: the quorum must stay reachable — force-include
+            // held (breaker-open) providers when nothing else remains.
+            // (`successes` is fixed here; each `launch` grows `live`
+            // until the invariant holds or the queues run dry.)
+            loop {
+                if successes >= need {
+                    break;
+                }
+                let live = cands
+                    .iter()
+                    .filter(|c| c.done.is_none() && c.live.is_some())
+                    .count();
+                let retries = cands
+                    .iter()
+                    .filter(|c| c.done.is_none() && c.retry_at.is_some())
+                    .count();
+                if successes + live + retries >= need {
+                    break;
+                }
+                let Some(idx) = ready.pop_front().or_else(|| held.pop_front()) else {
+                    break;
+                };
+                launch(&mut cands, idx, &mut token_map, &mut next_token);
+            }
+
+            if successes >= want {
+                break;
+            }
+            let live = cands
+                .iter()
+                .filter(|c| c.done.is_none() && c.live.is_some())
+                .count();
+            let retries = cands
+                .iter()
+                .filter(|c| c.done.is_none() && c.retry_at.is_some())
+                .count();
+            if live == 0 && retries == 0 {
+                break;
+            }
+
+            // Sleep until the next deadline or the next response.
+            let next_event = cands
+                .iter()
+                .filter(|c| c.done.is_none())
+                .flat_map(|c| c.live.map(|(_, _, dl)| dl).into_iter().chain(c.retry_at))
+                .min();
+            let Some(next_event) = next_event else { break };
+            let wait = next_event
+                .checked_duration_since(Instant::now())
+                .unwrap_or(Duration::ZERO);
+            let Ok((token, payload)) = reply_rx.recv_timeout(wait) else {
+                continue;
+            };
+            let Some(&(idx, sent_at)) = token_map.get(&token) else {
+                continue;
+            };
+            if cands[idx].done.is_some() {
+                continue; // duplicate/late response for a settled candidate
+            }
+            self.stats.record_recv(payload.len());
+            let provider = cands[idx].provider;
+            let verdict = match opts.validate {
+                Some(f) => f(provider, &payload),
+                None => Ok(()),
+            };
+            match verdict {
+                Ok(()) => {
+                    self.health.record_success(provider, sent_at.elapsed());
+                    cands[idx].live = None;
+                    cands[idx].retry_at = None;
+                    cands[idx].done = Some(Ok(payload));
+                    successes += 1;
+                }
+                Err(reason) => {
+                    self.health.record_failure(provider);
+                    if cands[idx].live.map(|(t, _, _)| t) == Some(token) {
+                        cands[idx].live = None;
+                    }
+                    if cands[idx].live.is_none() && cands[idx].retry_at.is_none() {
+                        if cands[idx].attempts < max_attempts && successes < need {
+                            cands[idx].retry_at = Some(
+                                Instant::now()
+                                    + opts.retry.backoff_for(provider, cands[idx].attempts),
+                            );
+                        } else {
+                            let attempts = cands[idx].attempts;
+                            cands[idx].done =
+                                Some(Err(ProviderOutcome::Rejected { attempts, reason }));
+                        }
+                    }
+                    if successes < want {
+                        if let Some(next) = ready.pop_front() {
+                            launch(&mut cands, next, &mut token_map, &mut next_token);
+                        }
+                    }
                 }
             }
         }
-        Err(RpcError::Closed) // quorum unreachable
+
+        cands
+            .into_iter()
+            .map(|c| {
+                let resolution = match c.done {
+                    Some(r) => r,
+                    None if c.attempts > 0 => Err(ProviderOutcome::TimedOut {
+                        attempts: c.attempts,
+                    }),
+                    None if c.held => Err(ProviderOutcome::BreakerOpen),
+                    None => Err(ProviderOutcome::Unsent),
+                };
+                (c.provider, resolution)
+            })
+            .collect()
     }
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        // Close channels, then join threads.
-        for p in &mut self.providers {
-            let (dead_tx, _) = unbounded();
-            p.tx = dead_tx;
-        }
-        for p in &mut self.providers {
-            if let Some(t) = p.thread.take() {
-                let _ = t.join();
-            }
-        }
+        self.shutdown();
     }
 }
 
@@ -298,10 +825,7 @@ mod tests {
     #[test]
     fn unknown_provider() {
         let cluster = echo_cluster(2);
-        assert_eq!(
-            cluster.call(5, vec![]),
-            Err(RpcError::UnknownProvider(5))
-        );
+        assert_eq!(cluster.call(5, vec![]), Err(RpcError::UnknownProvider(5)));
     }
 
     #[test]
@@ -329,6 +853,16 @@ mod tests {
     }
 
     #[test]
+    fn fan_out_reports_unknown_providers_in_order() {
+        let cluster = echo_cluster(2);
+        let results = cluster.call_many(vec![(0, vec![1]), (7, vec![2]), (1, vec![3])]);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].1.is_ok());
+        assert_eq!(results[1].1, Err(RpcError::UnknownProvider(7)));
+        assert!(results[2].1.is_ok());
+    }
+
+    #[test]
     fn quorum_tolerates_crashes() {
         let cluster = echo_cluster(4);
         cluster.set_failure(2, FailureMode::Crashed);
@@ -344,7 +878,211 @@ mod tests {
         cluster.set_failure(0, FailureMode::Crashed);
         cluster.set_failure(1, FailureMode::Crashed);
         let reqs = (0..3).map(|i| (i, vec![])).collect();
-        assert!(cluster.call_quorum(reqs, 2).is_err());
+        assert_eq!(
+            cluster.call_quorum(reqs, 2),
+            Err(RpcError::QuorumUnreachable { needed: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn first_k_wins_ignores_a_slow_straggler() {
+        let cluster = echo_cluster(5);
+        cluster.set_latency_for(4, Duration::from_millis(120));
+        let reqs = (0..5).map(|i| (i, vec![7])).collect();
+        let start = Instant::now();
+        let got = cluster.call_quorum(reqs, 3).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|(p, _)| *p != 4), "straggler not awaited");
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "first-k-wins returned in {elapsed:?}, must beat the straggler"
+        );
+    }
+
+    #[test]
+    fn hedged_extra_responses_are_returned_when_available() {
+        let cluster = echo_cluster(4);
+        let opts = QuorumOptions {
+            extra: 1,
+            hedge: 1,
+            ..Default::default()
+        };
+        let reqs = (0..4).map(|i| (i, vec![1])).collect();
+        let got = cluster.call_quorum_opts(reqs, 2, &opts).unwrap();
+        assert_eq!(got.len(), 3, "need + extra responses collected");
+    }
+
+    #[test]
+    fn quorum_succeeds_with_need_when_extra_is_unavailable() {
+        let cluster = echo_cluster(3);
+        cluster.set_failure(2, FailureMode::Crashed);
+        let opts = QuorumOptions {
+            extra: 1,
+            hedge: 2,
+            ..Default::default()
+        };
+        let reqs = (0..3).map(|i| (i, vec![1])).collect();
+        let got = cluster.call_quorum_opts(reqs, 2, &opts).unwrap();
+        assert_eq!(got.len(), 2, "extra is best-effort, need is the floor");
+    }
+
+    #[test]
+    fn validator_rejections_do_not_count_toward_quorum() {
+        let cluster = echo_cluster(3);
+        let reject_p0 = |p: ProviderId, _resp: &[u8]| {
+            if p == 0 {
+                Err("untrusted share".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let opts = QuorumOptions {
+            hedge: usize::MAX,
+            validate: Some(&reject_p0),
+            ..Default::default()
+        };
+        let reqs: Vec<_> = (0..3).map(|i| (i, vec![1])).collect();
+        let got = cluster.call_quorum_opts(reqs.clone(), 2, &opts).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|(p, _)| *p != 0));
+
+        let err = cluster.call_quorum_opts(reqs, 3, &opts).unwrap_err();
+        assert_eq!(err.needed, 3);
+        assert_eq!(err.got, 2);
+        assert!(err.per_provider.iter().any(|(p, o)| {
+            *p == 0 && matches!(o, ProviderOutcome::Rejected { reason, .. } if reason == "untrusted share")
+        }));
+    }
+
+    #[test]
+    fn retry_heals_an_omitting_provider() {
+        let cluster = echo_cluster(1);
+        cluster.set_failure(0, FailureMode::Omission(0.7));
+        let policy = RetryPolicy {
+            max_attempts: 30,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            per_attempt_timeout: Some(Duration::from_millis(25)),
+            jitter_seed: 7,
+        };
+        let resp = cluster
+            .call_with_retry(0, b"hi".to_vec(), &policy)
+            .expect("retries ride out omission faults");
+        assert_eq!(resp, b"\x00hi");
+        assert_eq!(cluster.stats().snapshot().round_trips, 1);
+    }
+
+    #[test]
+    fn quorum_retries_heal_omission_faults() {
+        let cluster = echo_cluster(3);
+        cluster.set_failure(1, FailureMode::Omission(0.9));
+        let opts = QuorumOptions {
+            retry: RetryPolicy {
+                max_attempts: 40,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                per_attempt_timeout: Some(Duration::from_millis(20)),
+                jitter_seed: 3,
+            },
+            mode: QuorumMode::All,
+            ..Default::default()
+        };
+        let reqs = (0..3).map(|i| (i, vec![5])).collect();
+        let got = cluster.call_quorum_opts(reqs, 3, &opts).unwrap();
+        assert_eq!(got.len(), 3, "omitting provider healed by retries");
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_recovers() {
+        let services: Vec<Box<dyn Service>> = (0..2)
+            .map(|_| Box::new(|req: &[u8]| req.to_vec()) as Box<dyn Service>)
+            .collect();
+        let mut cluster = Cluster::spawn_with_breaker(
+            services,
+            Duration::from_millis(50),
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(80),
+            },
+        );
+        cluster.set_failure(0, FailureMode::Crashed);
+        assert!(cluster.call(0, vec![1]).is_err());
+        assert!(cluster.call(0, vec![1]).is_err());
+        assert_eq!(
+            cluster.health().breaker_state(0),
+            crate::resilience::BreakerState::Open
+        );
+
+        // FirstK quorum skips the sick provider entirely.
+        let reqs: Vec<_> = (0..2).map(|i| (i, vec![2])).collect();
+        let opts = QuorumOptions {
+            hedge: usize::MAX,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let got = cluster.call_quorum_opts(reqs.clone(), 1, &opts).unwrap();
+        assert_eq!(got, vec![(1, vec![2])]);
+        assert!(
+            start.elapsed() < Duration::from_millis(40),
+            "open breaker must not cost a timeout"
+        );
+
+        // After healing + cooldown, a half-open probe re-admits it.
+        cluster.set_failure(0, FailureMode::Healthy);
+        std::thread::sleep(Duration::from_millis(100));
+        let got = cluster.call_quorum_opts(reqs, 2, &opts).unwrap();
+        assert_eq!(got.len(), 2, "probe re-admits the healed provider");
+        assert_eq!(
+            cluster.health().breaker_state(0),
+            crate::resilience::BreakerState::Closed
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn open_breaker_is_force_included_when_quorum_requires_it() {
+        let services: Vec<Box<dyn Service>> = (0..2)
+            .map(|_| Box::new(|req: &[u8]| req.to_vec()) as Box<dyn Service>)
+            .collect();
+        let cluster = Cluster::spawn_with_breaker(
+            services,
+            Duration::from_millis(50),
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(3600),
+            },
+        );
+        cluster.set_failure(0, FailureMode::Crashed);
+        assert!(cluster.call(0, vec![1]).is_err());
+        cluster.set_failure(0, FailureMode::Healthy);
+        // Breaker on 0 is open with an hour of cooldown left, but a
+        // quorum of 2 of 2 cannot be met without it.
+        let reqs: Vec<_> = (0..2).map(|i| (i, vec![3])).collect();
+        let got = cluster
+            .call_quorum_opts(reqs, 2, &QuorumOptions::default())
+            .unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn shutdown_makes_subsequent_calls_fail_fast() {
+        let mut cluster = echo_cluster(2);
+        assert!(cluster.call(0, vec![1]).is_ok());
+        cluster.shutdown();
+        cluster.shutdown(); // idempotent
+        let start = Instant::now();
+        assert_eq!(cluster.call(0, vec![1]), Err(RpcError::Closed));
+        assert!(
+            start.elapsed() < Duration::from_millis(50),
+            "no timeout wait"
+        );
+        let results = cluster.call_many(vec![(0, vec![1]), (1, vec![2])]);
+        assert!(results.iter().all(|(_, r)| *r == Err(RpcError::Closed)));
+        let err = cluster
+            .call_quorum((0..2).map(|i| (i, vec![])).collect(), 1)
+            .unwrap_err();
+        assert_eq!(err, RpcError::QuorumUnreachable { needed: 1, got: 0 });
     }
 
     #[test]
@@ -386,7 +1124,10 @@ mod tests {
         cluster.set_latency(Duration::from_millis(30));
         let start = std::time::Instant::now();
         cluster.call(0, vec![1]).unwrap();
-        assert!(start.elapsed() >= Duration::from_millis(30), "serial call delayed");
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "serial call delayed"
+        );
         // Fan-out to all three in parallel: latency is paid once, not 3×.
         let start = std::time::Instant::now();
         let results = cluster.call_many((0..3).map(|p| (p, vec![2])).collect());
@@ -400,7 +1141,22 @@ mod tests {
         cluster.set_latency(Duration::ZERO);
         let start = std::time::Instant::now();
         cluster.call(0, vec![3]).unwrap();
-        assert!(start.elapsed() < Duration::from_millis(25), "latency cleared");
+        assert!(
+            start.elapsed() < Duration::from_millis(25),
+            "latency cleared"
+        );
+    }
+
+    #[test]
+    fn health_snapshot_reflects_call_outcomes() {
+        let cluster = echo_cluster(2);
+        cluster.call(0, vec![1]).unwrap();
+        cluster.set_failure(1, FailureMode::Crashed);
+        let _ = cluster.call(1, vec![1]);
+        let snap = cluster.health().snapshot();
+        assert_eq!(snap.providers[0].total_successes, 1);
+        assert!(snap.providers[0].ewma_latency.is_some());
+        assert_eq!(snap.providers[1].total_failures, 1);
     }
 
     #[test]
@@ -412,10 +1168,7 @@ mod tests {
                 self.0.to_le_bytes().to_vec()
             }
         }
-        let cluster = Cluster::spawn(
-            vec![Box::new(Counter(0))],
-            Duration::from_millis(200),
-        );
+        let cluster = Cluster::spawn(vec![Box::new(Counter(0))], Duration::from_millis(200));
         cluster.call(0, vec![]).unwrap();
         let second = cluster.call(0, vec![]).unwrap();
         assert_eq!(u64::from_le_bytes(second.try_into().unwrap()), 2);

@@ -258,7 +258,13 @@ mod tests {
     #[test]
     fn scalar_roundtrip() {
         let mut w = WireWriter::new();
-        w.u8(7).u16(300).u32(70_000).u64(1 << 40).i128(-5).u128(1 << 90).bool(true);
+        w.u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(1 << 40)
+            .i128(-5)
+            .u128(1 << 90)
+            .bool(true);
         let bytes = w.finish();
         let mut r = WireReader::new(&bytes);
         assert_eq!(r.u8().unwrap(), 7);
@@ -291,9 +297,7 @@ mod tests {
         });
         let bytes = w.finish();
         let mut r = WireReader::new(&bytes);
-        let got = r
-            .seq(|r| Ok((r.u64()?, r.string()?)))
-            .unwrap();
+        let got = r.seq(|r| Ok((r.u64()?, r.string()?))).unwrap();
         assert_eq!(got, items);
     }
 

@@ -65,7 +65,13 @@ impl QrClient {
         };
         let n = p.mul(&q);
         let (rows, cols) = shape(n_bits);
-        QrClient { p, q, n, rows, cols }
+        QrClient {
+            p,
+            q,
+            n,
+            rows,
+            cols,
+        }
     }
 
     /// The public modulus the server uses.

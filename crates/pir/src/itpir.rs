@@ -187,7 +187,15 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup(n: usize, seed: u64) -> (BitDatabase, TwoServerServer, TwoServerServer, TwoServerClient) {
+    fn setup(
+        n: usize,
+        seed: u64,
+    ) -> (
+        BitDatabase,
+        TwoServerServer,
+        TwoServerServer,
+        TwoServerClient,
+    ) {
         let db = BitDatabase::random(n, seed);
         let s1 = TwoServerServer::new(db.clone());
         let s2 = TwoServerServer::new(db.clone());
@@ -300,7 +308,10 @@ mod tests {
             ones += last.iter().filter(|&&b| b).count() as u32;
         }
         let frac = ones as f64 / (trials * 16) as f64;
-        assert!((0.45..0.55).contains(&frac), "masked query not uniform: {frac}");
+        assert!(
+            (0.45..0.55).contains(&frac),
+            "masked query not uniform: {frac}"
+        );
     }
 
     #[test]

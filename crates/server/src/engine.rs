@@ -8,10 +8,10 @@
 
 use crate::proto::{AggOp, PredAtom, Request, Response, Row, WireMerkleProof, WireRangeProof};
 use dasp_crypto::merkle::MerkleProof;
-use dasp_verify::merkle_table::{AuthenticatedTable, CommittedRow};
 use dasp_net::{WireReader, WireWriter};
 use dasp_storage::btree::{compose_key, BTree};
 use dasp_storage::{BufferPool, HeapFile, Pager, RecordId};
+use dasp_verify::merkle_table::{AuthenticatedTable, CommittedRow};
 use std::collections::HashMap;
 
 /// Execution statistics, used by benchmarks to separate index probes from
@@ -303,14 +303,12 @@ impl ProviderEngine {
             Some(atom) => {
                 let tree = t.indexes[atom.col()].as_ref().expect("picked indexed col");
                 let (lo, hi) = match *atom {
-                    PredAtom::Eq { share, .. } => (
-                        compose_key(share, 0),
-                        compose_key(share, u64::MAX),
-                    ),
-                    PredAtom::Range { lo, hi, .. } => (
-                        compose_key(lo, 0),
-                        compose_key(hi, u64::MAX),
-                    ),
+                    PredAtom::Eq { share, .. } => {
+                        (compose_key(share, 0), compose_key(share, u64::MAX))
+                    }
+                    PredAtom::Range { lo, hi, .. } => {
+                        (compose_key(lo, 0), compose_key(hi, u64::MAX))
+                    }
                 };
                 let hits = tree
                     .range(&self.pool, &lo, &hi)
@@ -337,11 +335,7 @@ impl ProviderEngine {
         }
     }
 
-    fn matching_rows(
-        &mut self,
-        table: &str,
-        predicate: &[PredAtom],
-    ) -> Result<Vec<Row>, String> {
+    fn matching_rows(&mut self, table: &str, predicate: &[PredAtom]) -> Result<Vec<Row>, String> {
         let (candidates, _) = self.candidates(table, predicate)?;
         let t = self.tables.get(table).expect("checked above");
         let mut out = Vec::new();
@@ -563,7 +557,10 @@ impl ProviderEngine {
         }
         let committed: Vec<CommittedRow> = rows
             .into_iter()
-            .map(|r| CommittedRow { id: r.id, shares: r.shares })
+            .map(|r| CommittedRow {
+                id: r.id,
+                shares: r.shares,
+            })
             .collect();
         let total = committed.len() as u64;
         let at = AuthenticatedTable::build(committed, col);
@@ -703,7 +700,9 @@ mod tests {
             predicate: vec![PredAtom::Eq { col: 0, share: 100 }],
             agg: None,
         });
-        let Response::Rows(got) = resp else { panic!("{resp:?}") };
+        let Response::Rows(got) = resp else {
+            panic!("{resp:?}")
+        };
         assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 3]);
         assert_eq!(e.stats().index_probes, 1);
         assert_eq!(e.stats().full_scans, 0);
@@ -714,10 +713,16 @@ mod tests {
         let mut e = engine_with_table();
         let resp = e.execute(&Request::Query {
             table: "emp".into(),
-            predicate: vec![PredAtom::Range { col: 1, lo: 40, hi: 90 }],
+            predicate: vec![PredAtom::Range {
+                col: 1,
+                lo: 40,
+                hi: 90,
+            }],
             agg: None,
         });
-        let Response::Rows(got) = resp else { panic!("{resp:?}") };
+        let Response::Rows(got) = resp else {
+            panic!("{resp:?}")
+        };
         assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![3, 4, 5]);
     }
 
@@ -728,11 +733,17 @@ mod tests {
             table: "emp".into(),
             predicate: vec![
                 PredAtom::Eq { col: 0, share: 100 },
-                PredAtom::Range { col: 1, lo: 0, hi: 50 },
+                PredAtom::Range {
+                    col: 1,
+                    lo: 0,
+                    hi: 50,
+                },
             ],
             agg: None,
         });
-        let Response::Rows(got) = resp else { panic!("{resp:?}") };
+        let Response::Rows(got) = resp else {
+            panic!("{resp:?}")
+        };
         assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![3]);
     }
 
@@ -744,7 +755,9 @@ mod tests {
             predicate: vec![],
             agg: None,
         });
-        let Response::Rows(got) = resp else { panic!("{resp:?}") };
+        let Response::Rows(got) = resp else {
+            panic!("{resp:?}")
+        };
         assert_eq!(got.len(), 5);
         assert_eq!(e.stats().full_scans, 1);
     }
@@ -759,7 +772,11 @@ mod tests {
         });
         assert_eq!(
             resp,
-            Response::Agg { sum: 210 + 30 + 42 + 64 + 88, count: 5, row: None }
+            Response::Agg {
+                sum: 210 + 30 + 42 + 64 + 88,
+                count: 5,
+                row: None
+            }
         );
 
         let resp = e.execute(&Request::Query {
@@ -767,7 +784,12 @@ mod tests {
             predicate: vec![],
             agg: Some(AggOp::Min { col: 1 }),
         });
-        let Response::Agg { row: Some(row), count: 5, .. } = resp else {
+        let Response::Agg {
+            row: Some(row),
+            count: 5,
+            ..
+        } = resp
+        else {
             panic!("{resp:?}")
         };
         assert_eq!(row.id, 2); // share 30 is minimal
@@ -777,7 +799,9 @@ mod tests {
             predicate: vec![],
             agg: Some(AggOp::Max { col: 1 }),
         });
-        let Response::Agg { row: Some(row), .. } = resp else { panic!() };
+        let Response::Agg { row: Some(row), .. } = resp else {
+            panic!()
+        };
         assert_eq!(row.id, 1); // share 210 is maximal
 
         let resp = e.execute(&Request::Query {
@@ -785,7 +809,9 @@ mod tests {
             predicate: vec![],
             agg: Some(AggOp::Median { col: 1 }),
         });
-        let Response::Agg { row: Some(row), .. } = resp else { panic!() };
+        let Response::Agg { row: Some(row), .. } = resp else {
+            panic!()
+        };
         assert_eq!(row.id, 4); // shares sorted: 30,42,64,88,210 → median 64
 
         let resp = e.execute(&Request::Query {
@@ -793,7 +819,14 @@ mod tests {
             predicate: vec![PredAtom::Eq { col: 0, share: 999 }],
             agg: Some(AggOp::Median { col: 1 }),
         });
-        assert_eq!(resp, Response::Agg { sum: 0, count: 0, row: None });
+        assert_eq!(
+            resp,
+            Response::Agg {
+                sum: 0,
+                count: 0,
+                row: None
+            }
+        );
     }
 
     #[test]
@@ -801,16 +834,30 @@ mod tests {
         let mut e = engine_with_table();
         let resp = e.execute(&Request::Query {
             table: "emp".into(),
-            predicate: vec![PredAtom::Range { col: 1, lo: 0, hi: 100 }],
+            predicate: vec![PredAtom::Range {
+                col: 1,
+                lo: 0,
+                hi: 100,
+            }],
             agg: Some(AggOp::Count),
         });
-        assert_eq!(resp, Response::Agg { sum: 0, count: 4, row: None });
+        assert_eq!(
+            resp,
+            Response::Agg {
+                sum: 0,
+                count: 4,
+                row: None
+            }
+        );
     }
 
     #[test]
     fn delete_removes_from_index_too() {
         let mut e = engine_with_table();
-        e.execute(&Request::Delete { table: "emp".into(), ids: vec![1, 3] });
+        e.execute(&Request::Delete {
+            table: "emp".into(),
+            ids: vec![1, 3],
+        });
         let resp = e.execute(&Request::Query {
             table: "emp".into(),
             predicate: vec![PredAtom::Eq { col: 0, share: 100 }],
@@ -819,7 +866,10 @@ mod tests {
         assert_eq!(resp, Response::Rows(vec![]));
         // Deleting a missing id is a no-op Ack.
         assert_eq!(
-            e.execute(&Request::Delete { table: "emp".into(), ids: vec![99] }),
+            e.execute(&Request::Delete {
+                table: "emp".into(),
+                ids: vec![99]
+            }),
             Response::Ack
         );
     }
@@ -887,7 +937,9 @@ mod tests {
             left_col: 0,
             right_col: 0,
         });
-        let Response::Joined(pairs) = resp else { panic!("{resp:?}") };
+        let Response::Joined(pairs) = resp else {
+            panic!("{resp:?}")
+        };
         // emp rows 1 and 3 have name-share 100; mgr row 10 matches.
         let mut ids: Vec<(u64, u64)> = pairs.iter().map(|(l, r)| (l.id, r.id)).collect();
         ids.sort_unstable();
@@ -898,8 +950,15 @@ mod tests {
     fn errors_are_responses_not_panics() {
         let mut e = engine_with_table();
         for req in [
-            Request::Insert { table: "nope".into(), rows: vec![] },
-            Request::Query { table: "nope".into(), predicate: vec![], agg: None },
+            Request::Insert {
+                table: "nope".into(),
+                rows: vec![],
+            },
+            Request::Query {
+                table: "nope".into(),
+                predicate: vec![],
+                agg: None,
+            },
             Request::Insert {
                 table: "emp".into(),
                 rows: rows(&[(9, &[1])]), // wrong arity
@@ -932,7 +991,9 @@ mod tests {
             desc: false,
             limit: 3,
         });
-        let Response::Rows(rows) = resp else { panic!("{resp:?}") };
+        let Response::Rows(rows) = resp else {
+            panic!("{resp:?}")
+        };
         let shares: Vec<i128> = rows.iter().map(|r| r.shares[1]).collect();
         assert_eq!(shares, vec![30, 42, 64]);
         // Descending top 2.
@@ -944,17 +1005,27 @@ mod tests {
             limit: 2,
         });
         let Response::Rows(rows) = resp else { panic!() };
-        assert_eq!(rows.iter().map(|r| r.shares[1]).collect::<Vec<_>>(), vec![210, 88]);
+        assert_eq!(
+            rows.iter().map(|r| r.shares[1]).collect::<Vec<_>>(),
+            vec![210, 88]
+        );
         // With a predicate.
         let resp = e.execute(&Request::QueryOrdered {
             table: "emp".into(),
-            predicate: vec![PredAtom::Range { col: 1, lo: 40, hi: 100 }],
+            predicate: vec![PredAtom::Range {
+                col: 1,
+                lo: 40,
+                hi: 100,
+            }],
             order_col: 1,
             desc: true,
             limit: 10,
         });
         let Response::Rows(rows) = resp else { panic!() };
-        assert_eq!(rows.iter().map(|r| r.shares[1]).collect::<Vec<_>>(), vec![88, 64, 42]);
+        assert_eq!(
+            rows.iter().map(|r| r.shares[1]).collect::<Vec<_>>(),
+            vec![88, 64, 42]
+        );
         // Bad column errors.
         let resp = e.execute(&Request::QueryOrdered {
             table: "emp".into(),
@@ -976,7 +1047,9 @@ mod tests {
             group_col: 0,
             agg: AggOp::Sum { col: 1 },
         });
-        let Response::Groups(groups) = resp else { panic!("{resp:?}") };
+        let Response::Groups(groups) = resp else {
+            panic!("{resp:?}")
+        };
         // name shares: 100 → rows 1,3; 200 → row 2; 300 → row 4; 400 → row 5.
         assert_eq!(groups.len(), 4);
         assert_eq!(groups[0].rep_row, 1);
@@ -992,7 +1065,9 @@ mod tests {
             group_col: 0,
             agg: AggOp::Count,
         });
-        let Response::Groups(groups) = resp else { panic!() };
+        let Response::Groups(groups) = resp else {
+            panic!()
+        };
         assert_eq!(groups[0].count, 2);
         assert_eq!(groups[0].sum, 0);
         // Min is not groupable.
@@ -1010,11 +1085,17 @@ mod tests {
         let mut e = engine_with_table();
         let resp = e.execute(&Request::GroupedAggregate {
             table: "emp".into(),
-            predicate: vec![PredAtom::Range { col: 1, lo: 0, hi: 100 }],
+            predicate: vec![PredAtom::Range {
+                col: 1,
+                lo: 0,
+                hi: 100,
+            }],
             group_col: 0,
             agg: AggOp::Sum { col: 1 },
         });
-        let Response::Groups(groups) = resp else { panic!() };
+        let Response::Groups(groups) = resp else {
+            panic!()
+        };
         // Rows with salary share ≤ 100: ids 2,3,4,5 → name groups 200,100,300,400.
         assert_eq!(groups.len(), 4);
         let g100 = groups.iter().find(|g| g.group_share == 100).unwrap();
@@ -1024,8 +1105,13 @@ mod tests {
     #[test]
     fn commit_and_verified_range() {
         let mut e = engine_with_table();
-        let resp = e.execute(&Request::Commit { table: "emp".into(), col: 1 });
-        let Response::Committed { root, total_rows } = resp else { panic!("{resp:?}") };
+        let resp = e.execute(&Request::Commit {
+            table: "emp".into(),
+            col: 1,
+        });
+        let Response::Committed { root, total_rows } = resp else {
+            panic!("{resp:?}")
+        };
         assert_eq!(total_rows, 5);
 
         let resp = e.execute(&Request::VerifiedRange {
@@ -1034,7 +1120,9 @@ mod tests {
             lo: 40,
             hi: 90,
         });
-        let Response::ProvedRows { total_rows, proof } = resp else { panic!("{resp:?}") };
+        let Response::ProvedRows { total_rows, proof } = resp else {
+            panic!("{resp:?}")
+        };
         assert_eq!(total_rows, 5);
         assert_eq!(
             proof.rows.iter().map(|r| r.shares[1]).collect::<Vec<_>>(),
@@ -1045,15 +1133,23 @@ mod tests {
         assert!(proof.right_boundary.is_some()); // share 210 above
 
         // Re-committing is idempotent in root for unchanged data.
-        let resp = e.execute(&Request::Commit { table: "emp".into(), col: 1 });
-        let Response::Committed { root: root2, .. } = resp else { panic!() };
+        let resp = e.execute(&Request::Commit {
+            table: "emp".into(),
+            col: 1,
+        });
+        let Response::Committed { root: root2, .. } = resp else {
+            panic!()
+        };
         assert_eq!(root, root2);
     }
 
     #[test]
     fn verified_range_refused_after_mutation() {
         let mut e = engine_with_table();
-        e.execute(&Request::Commit { table: "emp".into(), col: 1 });
+        e.execute(&Request::Commit {
+            table: "emp".into(),
+            col: 1,
+        });
         e.execute(&Request::Insert {
             table: "emp".into(),
             rows: rows(&[(9, &[500, 70])]),
@@ -1066,8 +1162,14 @@ mod tests {
         });
         assert!(matches!(resp, Response::Error(_)), "{resp:?}");
         // Deleting also invalidates.
-        e.execute(&Request::Commit { table: "emp".into(), col: 1 });
-        e.execute(&Request::Delete { table: "emp".into(), ids: vec![9] });
+        e.execute(&Request::Commit {
+            table: "emp".into(),
+            col: 1,
+        });
+        e.execute(&Request::Delete {
+            table: "emp".into(),
+            ids: vec![9],
+        });
         let resp = e.execute(&Request::VerifiedRange {
             table: "emp".into(),
             col: 1,
@@ -1105,13 +1207,23 @@ mod tests {
             indexed: vec![true],
         });
         let data: Vec<Row> = (0..5000u64)
-            .map(|i| Row { id: i, shares: vec![i as i128 * 3] })
+            .map(|i| Row {
+                id: i,
+                shares: vec![i as i128 * 3],
+            })
             .collect();
-        e.execute(&Request::Insert { table: "big".into(), rows: data });
+        e.execute(&Request::Insert {
+            table: "big".into(),
+            rows: data,
+        });
         let before = e.stats().rows_examined;
         let resp = e.execute(&Request::Query {
             table: "big".into(),
-            predicate: vec![PredAtom::Range { col: 0, lo: 300, hi: 330 }],
+            predicate: vec![PredAtom::Range {
+                col: 0,
+                lo: 300,
+                hi: 330,
+            }],
             agg: None,
         });
         let Response::Rows(got) = resp else { panic!() };

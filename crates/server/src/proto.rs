@@ -50,9 +50,7 @@ impl PredAtom {
     pub fn matches(&self, shares: &[i128]) -> bool {
         match *self {
             PredAtom::Eq { col, share } => shares.get(col).is_some_and(|&s| s == share),
-            PredAtom::Range { col, lo, hi } => {
-                shares.get(col).is_some_and(|&s| s >= lo && s <= hi)
-            }
+            PredAtom::Range { col, lo, hi } => shares.get(col).is_some_and(|&s| s >= lo && s <= hi),
         }
     }
 }
@@ -352,10 +350,18 @@ fn write_agg(w: &mut WireWriter, agg: &AggOp) {
 fn read_agg(r: &mut WireReader) -> Result<AggOp, WireError> {
     Ok(match r.u8()? {
         1 => AggOp::Count,
-        2 => AggOp::Sum { col: r.u64()? as usize },
-        3 => AggOp::Min { col: r.u64()? as usize },
-        4 => AggOp::Max { col: r.u64()? as usize },
-        5 => AggOp::Median { col: r.u64()? as usize },
+        2 => AggOp::Sum {
+            col: r.u64()? as usize,
+        },
+        3 => AggOp::Min {
+            col: r.u64()? as usize,
+        },
+        4 => AggOp::Max {
+            col: r.u64()? as usize,
+        },
+        5 => AggOp::Median {
+            col: r.u64()? as usize,
+        },
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -565,10 +571,18 @@ impl Request {
                     } else {
                         Some(match tag_probe {
                             1 => AggOp::Count,
-                            2 => AggOp::Sum { col: r.u64()? as usize },
-                            3 => AggOp::Min { col: r.u64()? as usize },
-                            4 => AggOp::Max { col: r.u64()? as usize },
-                            5 => AggOp::Median { col: r.u64()? as usize },
+                            2 => AggOp::Sum {
+                                col: r.u64()? as usize,
+                            },
+                            3 => AggOp::Min {
+                                col: r.u64()? as usize,
+                            },
+                            4 => AggOp::Max {
+                                col: r.u64()? as usize,
+                            },
+                            5 => AggOp::Median {
+                                col: r.u64()? as usize,
+                            },
                             t => return Err(WireError::BadTag(t)),
                         })
                     }
@@ -664,7 +678,10 @@ impl Response {
             Response::Groups(groups) => {
                 w.u8(6);
                 w.seq(groups, |w, g| {
-                    w.u64(g.rep_row).i128(g.group_share).i128(g.sum).u64(g.count);
+                    w.u64(g.rep_row)
+                        .i128(g.group_share)
+                        .i128(g.sum)
+                        .u64(g.count);
                 });
             }
             Response::Stats { tables, rows } => {
@@ -761,8 +778,14 @@ mod tests {
         roundtrip_req(Request::Insert {
             table: "t".into(),
             rows: vec![
-                Row { id: 1, shares: vec![210, -5] },
-                Row { id: 2, shares: vec![] },
+                Row {
+                    id: 1,
+                    shares: vec![210, -5],
+                },
+                Row {
+                    id: 2,
+                    shares: vec![],
+                },
             ],
         });
         roundtrip_req(Request::Delete {
@@ -771,13 +794,20 @@ mod tests {
         });
         roundtrip_req(Request::Update {
             table: "t".into(),
-            rows: vec![Row { id: 1, shares: vec![9] }],
+            rows: vec![Row {
+                id: 1,
+                shares: vec![9],
+            }],
         });
         roundtrip_req(Request::Query {
             table: "t".into(),
             predicate: vec![
                 PredAtom::Eq { col: 0, share: 42 },
-                PredAtom::Range { col: 1, lo: -10, hi: 10 },
+                PredAtom::Range {
+                    col: 1,
+                    lo: -10,
+                    hi: 10,
+                },
             ],
             agg: Some(AggOp::Sum { col: 1 }),
         });
@@ -807,7 +837,11 @@ mod tests {
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::QueryOrdered {
             table: "t".into(),
-            predicate: vec![PredAtom::Range { col: 1, lo: -3, hi: 5 }],
+            predicate: vec![PredAtom::Range {
+                col: 1,
+                lo: -3,
+                hi: 5,
+            }],
             order_col: 1,
             desc: true,
             limit: 10,
@@ -824,7 +858,10 @@ mod tests {
             group_col: 0,
             agg: AggOp::Count,
         });
-        roundtrip_req(Request::Commit { table: "t".into(), col: 1 });
+        roundtrip_req(Request::Commit {
+            table: "t".into(),
+            col: 1,
+        });
         roundtrip_req(Request::VerifiedRange {
             table: "t".into(),
             col: 1,
@@ -843,40 +880,84 @@ mod tests {
     fn proved_rows_roundtrip() {
         let proof = WireRangeProof {
             start: 3,
-            rows: vec![Row { id: 5, shares: vec![7, 8] }],
+            rows: vec![Row {
+                id: 5,
+                shares: vec![7, 8],
+            }],
             proofs: vec![WireMerkleProof {
                 index: 3,
                 siblings: vec![Some([9u8; 32]), None, Some([1u8; 32])],
             }],
             left_boundary: Some((
-                Row { id: 4, shares: vec![1] },
-                WireMerkleProof { index: 2, siblings: vec![] },
+                Row {
+                    id: 4,
+                    shares: vec![1],
+                },
+                WireMerkleProof {
+                    index: 2,
+                    siblings: vec![],
+                },
             )),
             right_boundary: None,
         };
-        roundtrip_resp(Response::ProvedRows { total_rows: 10, proof });
-        roundtrip_resp(Response::Committed { root: [0xab; 32], total_rows: 4 });
+        roundtrip_resp(Response::ProvedRows {
+            total_rows: 10,
+            proof,
+        });
+        roundtrip_resp(Response::Committed {
+            root: [0xab; 32],
+            total_rows: 4,
+        });
     }
 
     #[test]
     fn response_roundtrips() {
         roundtrip_resp(Response::Ack);
-        roundtrip_resp(Response::Rows(vec![Row { id: 7, shares: vec![1, 2, 3] }]));
+        roundtrip_resp(Response::Rows(vec![Row {
+            id: 7,
+            shares: vec![1, 2, 3],
+        }]));
         roundtrip_resp(Response::Joined(vec![(
-            Row { id: 1, shares: vec![5] },
-            Row { id: 9, shares: vec![5, 6] },
+            Row {
+                id: 1,
+                shares: vec![5],
+            },
+            Row {
+                id: 9,
+                shares: vec![5, 6],
+            },
         )]));
         roundtrip_resp(Response::Agg {
             sum: -123,
             count: 45,
-            row: Some(Row { id: 3, shares: vec![] }),
+            row: Some(Row {
+                id: 3,
+                shares: vec![],
+            }),
         });
-        roundtrip_resp(Response::Agg { sum: 0, count: 0, row: None });
-        roundtrip_resp(Response::Stats { tables: 2, rows: 100 });
+        roundtrip_resp(Response::Agg {
+            sum: 0,
+            count: 0,
+            row: None,
+        });
+        roundtrip_resp(Response::Stats {
+            tables: 2,
+            rows: 100,
+        });
         roundtrip_resp(Response::Error("no such table".into()));
         roundtrip_resp(Response::Groups(vec![
-            GroupPartial { rep_row: 1, group_share: -5, sum: 99, count: 2 },
-            GroupPartial { rep_row: 7, group_share: 0, sum: 0, count: 0 },
+            GroupPartial {
+                rep_row: 1,
+                group_share: -5,
+                sum: 99,
+                count: 2,
+            },
+            GroupPartial {
+                rep_row: 7,
+                group_share: 0,
+                sum: 0,
+                count: 0,
+            },
         ]));
         roundtrip_resp(Response::Groups(vec![]));
     }
@@ -886,9 +967,22 @@ mod tests {
         let shares = [10i128, 20, 30];
         assert!(PredAtom::Eq { col: 1, share: 20 }.matches(&shares));
         assert!(!PredAtom::Eq { col: 1, share: 21 }.matches(&shares));
-        assert!(PredAtom::Range { col: 2, lo: 30, hi: 30 }.matches(&shares));
-        assert!(!PredAtom::Range { col: 2, lo: 31, hi: 99 }.matches(&shares));
-        assert!(!PredAtom::Eq { col: 9, share: 0 }.matches(&shares), "oob col");
+        assert!(PredAtom::Range {
+            col: 2,
+            lo: 30,
+            hi: 30
+        }
+        .matches(&shares));
+        assert!(!PredAtom::Range {
+            col: 2,
+            lo: 31,
+            hi: 99
+        }
+        .matches(&shares));
+        assert!(
+            !PredAtom::Eq { col: 9, share: 0 }.matches(&shares),
+            "oob col"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ mod tests {
             assert_eq!(resp, Response::Ack);
             let req = Request::Insert {
                 table: "emp".into(),
-                rows: vec![Row { id: 1, shares: vec![100 + p as i128] }],
+                rows: vec![Row {
+                    id: 1,
+                    shares: vec![100 + p as i128],
+                }],
             };
             let resp = Response::decode(&cluster.call(p, req.encode()).unwrap()).unwrap();
             assert_eq!(resp, Response::Ack);
@@ -80,7 +83,10 @@ mod tests {
         for p in 0..3 {
             let req = Request::Query {
                 table: "emp".into(),
-                predicate: vec![PredAtom::Eq { col: 0, share: 100 + p as i128 }],
+                predicate: vec![PredAtom::Eq {
+                    col: 0,
+                    share: 100 + p as i128,
+                }],
                 agg: None,
             };
             let resp = Response::decode(&cluster.call(p, req.encode()).unwrap()).unwrap();
@@ -105,10 +111,16 @@ mod tests {
             indexed: vec![true],
         });
         let rows: Vec<Row> = (0..2000u64)
-            .map(|i| Row { id: i + 1, shares: vec![i as i128 * 5] })
+            .map(|i| Row {
+                id: i + 1,
+                shares: vec![i as i128 * 5],
+            })
             .collect();
         assert_eq!(
-            engine.execute(&Request::Insert { table: "t".into(), rows }),
+            engine.execute(&Request::Insert {
+                table: "t".into(),
+                rows
+            }),
             Response::Ack
         );
         engine.sync().unwrap();
@@ -116,10 +128,16 @@ mod tests {
         // through evictions and write-backs.
         let resp = engine.execute(&Request::Query {
             table: "t".into(),
-            predicate: vec![PredAtom::Range { col: 0, lo: 100, hi: 200 }],
+            predicate: vec![PredAtom::Range {
+                col: 0,
+                lo: 100,
+                hi: 200,
+            }],
             agg: None,
         });
-        let Response::Rows(got) = resp else { panic!("{resp:?}") };
+        let Response::Rows(got) = resp else {
+            panic!("{resp:?}")
+        };
         assert_eq!(got.len(), 21); // shares 100,105,...,200
         assert!(
             std::fs::metadata(&path).unwrap().len() > 0,
@@ -132,10 +150,8 @@ mod tests {
     fn concurrent_clients_share_one_cluster() {
         // The Cluster is used from multiple client threads at once; every
         // call must get its own reply (no cross-talk).
-        let cluster = std::sync::Arc::new(Cluster::spawn(
-            provider_fleet(2),
-            Duration::from_secs(2),
-        ));
+        let cluster =
+            std::sync::Arc::new(Cluster::spawn(provider_fleet(2), Duration::from_secs(2)));
         // One shared table.
         let req = Request::CreateTable {
             name: "t".into(),
@@ -153,22 +169,26 @@ mod tests {
                         let id = worker * 1000 + i + 1;
                         let req = Request::Insert {
                             table: "t".into(),
-                            rows: vec![Row { id, shares: vec![id as i128] }],
+                            rows: vec![Row {
+                                id,
+                                shares: vec![id as i128],
+                            }],
                         };
                         for p in 0..2 {
                             let resp =
-                                Response::decode(&cluster.call(p, req.encode()).unwrap())
-                                    .unwrap();
+                                Response::decode(&cluster.call(p, req.encode()).unwrap()).unwrap();
                             assert_eq!(resp, Response::Ack, "worker {worker} row {id}");
                         }
                         // Read own write back.
                         let q = Request::Query {
                             table: "t".into(),
-                            predicate: vec![PredAtom::Eq { col: 0, share: id as i128 }],
+                            predicate: vec![PredAtom::Eq {
+                                col: 0,
+                                share: id as i128,
+                            }],
                             agg: None,
                         };
-                        let resp =
-                            Response::decode(&cluster.call(0, q.encode()).unwrap()).unwrap();
+                        let resp = Response::decode(&cluster.call(0, q.encode()).unwrap()).unwrap();
                         let Response::Rows(rows) = resp else { panic!() };
                         assert_eq!(rows.len(), 1);
                         assert_eq!(rows[0].id, id);
@@ -178,7 +198,13 @@ mod tests {
         });
         // Total row count is exact: no lost or duplicated writes.
         let resp = Response::decode(&cluster.call(0, Request::Stats.encode()).unwrap()).unwrap();
-        assert_eq!(resp, Response::Stats { tables: 1, rows: 400 });
+        assert_eq!(
+            resp,
+            Response::Stats {
+                tables: 1,
+                rows: 400
+            }
+        );
     }
 
     #[test]

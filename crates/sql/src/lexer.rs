@@ -52,31 +52,52 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 }
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: i });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: i });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, offset: i });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { token: Token::Semicolon, offset: i });
+                out.push(Spanned {
+                    token: Token::Semicolon,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { token: Token::Eq, offset: i });
+                out.push(Spanned {
+                    token: Token::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { token: Token::Star, offset: i });
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { token: Token::Dot, offset: i });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '\'' => {
@@ -105,7 +126,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         }
                     }
                 }
-                out.push(Spanned { token: Token::Str(s), offset: start });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let start = i;
@@ -117,13 +141,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     message: format!("number {text} out of range"),
                     offset: start,
                 })?;
-                out.push(Spanned { token: Token::Number(n), offset: start });
+                out.push(Spanned {
+                    token: Token::Number(n),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Spanned {

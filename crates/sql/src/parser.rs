@@ -66,7 +66,10 @@ impl Parser {
     /// Consume a keyword (case-insensitive identifier).
     fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.next() {
-            Some(Spanned { token: Token::Ident(s), .. }) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) if s.eq_ignore_ascii_case(kw) => Ok(()),
             Some(t) => Err(ParseError {
                 message: format!("expected keyword {kw}, found {:?}", t.token),
                 offset: t.offset,
@@ -87,7 +90,10 @@ impl Parser {
 
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
-            Some(Spanned { token: Token::Ident(s), .. }) => Ok(s),
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) => Ok(s),
             Some(t) => Err(ParseError {
                 message: format!("expected identifier, found {:?}", t.token),
                 offset: t.offset,
@@ -101,7 +107,10 @@ impl Parser {
 
     fn number(&mut self) -> Result<u64, ParseError> {
         match self.next() {
-            Some(Spanned { token: Token::Number(n), .. }) => Ok(n),
+            Some(Spanned {
+                token: Token::Number(n),
+                ..
+            }) => Ok(n),
             Some(t) => Err(ParseError {
                 message: format!("expected number, found {:?}", t.token),
                 offset: t.offset,
@@ -115,8 +124,14 @@ impl Parser {
 
     fn literal(&mut self) -> Result<Literal, ParseError> {
         match self.next() {
-            Some(Spanned { token: Token::Number(n), .. }) => Ok(Literal::Int(n)),
-            Some(Spanned { token: Token::Str(s), .. }) => Ok(Literal::Str(s)),
+            Some(Spanned {
+                token: Token::Number(n),
+                ..
+            }) => Ok(Literal::Int(n)),
+            Some(Spanned {
+                token: Token::Str(s),
+                ..
+            }) => Ok(Literal::Str(s)),
             Some(t) => Err(ParseError {
                 message: format!("expected literal, found {:?}", t.token),
                 offset: t.offset,
@@ -130,7 +145,10 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement, ParseError> {
         let head = match self.peek() {
-            Some(Spanned { token: Token::Ident(s), .. }) => s.to_ascii_uppercase(),
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) => s.to_ascii_uppercase(),
             _ => return Err(self.err_at("expected a statement".into())),
         };
         match head.as_str() {
@@ -160,8 +178,14 @@ impl Parser {
         loop {
             columns.push(self.column_def()?);
             match self.next() {
-                Some(Spanned { token: Token::Comma, .. }) => continue,
-                Some(Spanned { token: Token::RParen, .. }) => break,
+                Some(Spanned {
+                    token: Token::Comma,
+                    ..
+                }) => continue,
+                Some(Spanned {
+                    token: Token::RParen,
+                    ..
+                }) => break,
                 Some(t) => {
                     return Err(ParseError {
                         message: format!("expected , or ) in column list, found {:?}", t.token),
@@ -200,7 +224,10 @@ impl Parser {
             } else if self.peek_keyword("DOMAIN") {
                 self.keyword("DOMAIN")?;
                 match self.next() {
-                    Some(Spanned { token: Token::Str(s), .. }) => domain = Some(s),
+                    Some(Spanned {
+                        token: Token::Str(s),
+                        ..
+                    }) => domain = Some(s),
                     Some(t) => {
                         return Err(ParseError {
                             message: "DOMAIN expects a quoted name".into(),
@@ -233,8 +260,14 @@ impl Parser {
             loop {
                 row.push(self.literal()?);
                 match self.next() {
-                    Some(Spanned { token: Token::Comma, .. }) => continue,
-                    Some(Spanned { token: Token::RParen, .. }) => break,
+                    Some(Spanned {
+                        token: Token::Comma,
+                        ..
+                    }) => continue,
+                    Some(Spanned {
+                        token: Token::RParen,
+                        ..
+                    }) => break,
                     Some(t) => {
                         return Err(ParseError {
                             message: format!("expected , or ) in row, found {:?}", t.token),
@@ -272,9 +305,9 @@ impl Parser {
             } else if t1 == join_table && t2 == table {
                 (c2, c1)
             } else {
-                return Err(self.err_at(
-                    "JOIN ON must reference both tables as table.column".into(),
-                ));
+                return Err(
+                    self.err_at("JOIN ON must reference both tables as table.column".into())
+                );
             };
             Some(JoinClause {
                 table: join_table,
@@ -339,10 +372,16 @@ impl Parser {
             return Ok(Projection::All);
         }
         // Aggregate?
-        if let Some(Spanned { token: Token::Ident(name), .. }) = self.peek() {
+        if let Some(Spanned {
+            token: Token::Ident(name),
+            ..
+        }) = self.peek()
+        {
             let upper = name.to_ascii_uppercase();
-            if matches!(upper.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "MEDIAN")
-                && self.tokens.get(self.pos + 1).map(|t| &t.token) == Some(&Token::LParen)
+            if matches!(
+                upper.as_str(),
+                "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "MEDIAN"
+            ) && self.tokens.get(self.pos + 1).map(|t| &t.token) == Some(&Token::LParen)
             {
                 self.pos += 2; // name (
                 let agg = if upper == "COUNT" {
@@ -404,7 +443,10 @@ impl Parser {
         if self.peek_keyword("LIKE") {
             self.keyword("LIKE")?;
             let pat = match self.next() {
-                Some(Spanned { token: Token::Str(s), .. }) => s,
+                Some(Spanned {
+                    token: Token::Str(s),
+                    ..
+                }) => s,
                 _ => return Err(self.err_at("LIKE expects a string pattern".into())),
             };
             let Some(prefix) = pat.strip_suffix('%') else {
@@ -465,12 +507,19 @@ mod tests {
              ssn INT(100) MODE RANDOM DOMAIN 'national_id')",
         )
         .unwrap();
-        let Statement::CreateTable { name, columns } = stmt else { panic!() };
+        let Statement::CreateTable { name, columns } = stmt else {
+            panic!()
+        };
         assert_eq!(name, "emp");
         assert_eq!(columns.len(), 3);
         assert_eq!(columns[0].mode, ColumnMode::Deterministic);
         assert_eq!(columns[1].mode, ColumnMode::Ordered);
-        assert_eq!(columns[1].ctype, ColumnTypeDef::Int { domain_size: 1048576 });
+        assert_eq!(
+            columns[1].ctype,
+            ColumnTypeDef::Int {
+                domain_size: 1048576
+            }
+        );
         assert_eq!(columns[2].mode, ColumnMode::Random);
         assert_eq!(columns[2].domain.as_deref(), Some("national_id"));
     }
@@ -478,7 +527,9 @@ mod tests {
     #[test]
     fn default_mode_is_deterministic() {
         let stmt = parse("CREATE TABLE t (a INT(10))").unwrap();
-        let Statement::CreateTable { columns, .. } = stmt else { panic!() };
+        let Statement::CreateTable { columns, .. } = stmt else {
+            panic!()
+        };
         assert_eq!(columns[0].mode, ColumnMode::Deterministic);
         assert_eq!(columns[0].domain, None);
     }
@@ -486,7 +537,9 @@ mod tests {
     #[test]
     fn insert_multi_row() {
         let stmt = parse("INSERT INTO emp VALUES ('JOHN', 10000), ('MARY', 20000);").unwrap();
-        let Statement::Insert { table, rows } = stmt else { panic!() };
+        let Statement::Insert { table, rows } = stmt else {
+            panic!()
+        };
         assert_eq!(table, "emp");
         assert_eq!(
             rows,
@@ -502,7 +555,14 @@ mod tests {
         let stmt =
             parse("SELECT * FROM emp WHERE salary BETWEEN 10000 AND 40000 AND name = 'JOHN'")
                 .unwrap();
-        let Statement::Select { projection, table, join, conditions, .. } = stmt else {
+        let Statement::Select {
+            projection,
+            table,
+            join,
+            conditions,
+            ..
+        } = stmt
+        else {
             panic!()
         };
         assert_eq!(projection, Projection::All);
@@ -527,17 +587,21 @@ mod tests {
             ("SELECT AVG(salary) FROM t", Aggregate::Avg("salary".into())),
             ("SELECT MIN(salary) FROM t", Aggregate::Min("salary".into())),
             ("SELECT MAX(salary) FROM t", Aggregate::Max("salary".into())),
-            ("SELECT MEDIAN(salary) FROM t", Aggregate::Median("salary".into())),
+            (
+                "SELECT MEDIAN(salary) FROM t",
+                Aggregate::Median("salary".into()),
+            ),
         ] {
-            let Statement::Select { projection, .. } = parse(sql).unwrap() else { panic!() };
+            let Statement::Select { projection, .. } = parse(sql).unwrap() else {
+                panic!()
+            };
             assert_eq!(projection, Projection::Aggregate(agg), "{sql}");
         }
     }
 
     #[test]
     fn select_column_list() {
-        let Statement::Select { projection, .. } =
-            parse("SELECT name, salary FROM emp").unwrap()
+        let Statement::Select { projection, .. } = parse("SELECT name, salary FROM emp").unwrap()
         else {
             panic!()
         };
@@ -550,7 +614,12 @@ mod tests {
     #[test]
     fn select_join_normalizes_sides() {
         let sql = "SELECT * FROM employees JOIN managers ON managers.eid = employees.eid";
-        let Statement::Select { join: Some(join), .. } = parse(sql).unwrap() else { panic!() };
+        let Statement::Select {
+            join: Some(join), ..
+        } = parse(sql).unwrap()
+        else {
+            panic!()
+        };
         assert_eq!(join.table, "managers");
         assert_eq!(join.left_col, "eid");
         assert_eq!(join.right_col, "eid");
@@ -565,7 +634,10 @@ mod tests {
         };
         assert_eq!(
             conditions[0],
-            Condition::Prefix { col: "name".into(), prefix: "AB".into() }
+            Condition::Prefix {
+                col: "name".into(),
+                prefix: "AB".into()
+            }
         );
         assert!(parse("SELECT * FROM t WHERE name LIKE '%AB'").is_err());
         assert!(parse("SELECT * FROM t WHERE name LIKE 'A_B%'").is_err());
@@ -574,18 +646,29 @@ mod tests {
     #[test]
     fn update_and_delete() {
         let stmt = parse("UPDATE emp SET salary = 99000, bonus = 1 WHERE name = 'JOHN'").unwrap();
-        let Statement::Update { table, assignments, conditions } = stmt else { panic!() };
+        let Statement::Update {
+            table,
+            assignments,
+            conditions,
+        } = stmt
+        else {
+            panic!()
+        };
         assert_eq!(table, "emp");
         assert_eq!(assignments.len(), 2);
         assert_eq!(conditions.len(), 1);
 
         let stmt = parse("DELETE FROM emp WHERE name = 'BOB'").unwrap();
-        let Statement::Delete { table, conditions } = stmt else { panic!() };
+        let Statement::Delete { table, conditions } = stmt else {
+            panic!()
+        };
         assert_eq!(table, "emp");
         assert_eq!(conditions.len(), 1);
 
         let stmt = parse("DELETE FROM emp").unwrap();
-        let Statement::Delete { conditions, .. } = stmt else { panic!() };
+        let Statement::Delete { conditions, .. } = stmt else {
+            panic!()
+        };
         assert!(conditions.is_empty());
     }
 
@@ -593,21 +676,38 @@ mod tests {
     fn group_by_order_by_limit() {
         let stmt = parse("SELECT SUM(salary) FROM emp WHERE salary BETWEEN 1 AND 9 GROUP BY dept")
             .unwrap();
-        let Statement::Select { group_by, .. } = stmt else { panic!() };
+        let Statement::Select { group_by, .. } = stmt else {
+            panic!()
+        };
         assert_eq!(group_by.as_deref(), Some("dept"));
 
         let stmt = parse("SELECT * FROM emp ORDER BY salary DESC LIMIT 10").unwrap();
-        let Statement::Select { order_by, limit, .. } = stmt else { panic!() };
+        let Statement::Select {
+            order_by, limit, ..
+        } = stmt
+        else {
+            panic!()
+        };
         assert_eq!(order_by, Some(("salary".into(), true)));
         assert_eq!(limit, Some(10));
 
         let stmt = parse("SELECT * FROM emp ORDER BY salary ASC").unwrap();
-        let Statement::Select { order_by, limit, .. } = stmt else { panic!() };
+        let Statement::Select {
+            order_by, limit, ..
+        } = stmt
+        else {
+            panic!()
+        };
         assert_eq!(order_by, Some(("salary".into(), false)));
         assert_eq!(limit, None);
 
         let stmt = parse("SELECT * FROM emp LIMIT 3").unwrap();
-        let Statement::Select { order_by, limit, .. } = stmt else { panic!() };
+        let Statement::Select {
+            order_by, limit, ..
+        } = stmt
+        else {
+            panic!()
+        };
         assert_eq!(order_by, None);
         assert_eq!(limit, Some(3));
 
@@ -619,7 +719,9 @@ mod tests {
     #[test]
     fn explain_wraps_select() {
         let stmt = parse("EXPLAIN SELECT * FROM t WHERE a = 1").unwrap();
-        let Statement::Explain(inner) = stmt else { panic!() };
+        let Statement::Explain(inner) = stmt else {
+            panic!()
+        };
         assert!(matches!(*inner, Statement::Select { .. }));
         assert!(parse("EXPLAIN DELETE FROM t").is_err());
         assert!(parse("EXPLAIN").is_err());

@@ -361,7 +361,10 @@ mod tests {
 
     #[test]
     fn domain_size_is_base_pow_width() {
-        assert_eq!(StringCodec::uppercase(3).unwrap().domain_size(), 27 * 27 * 27);
+        assert_eq!(
+            StringCodec::uppercase(3).unwrap().domain_size(),
+            27 * 27 * 27
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl FieldSharing {
 
     /// The secret evaluation point of provider `i`.
     pub fn point(&self, i: usize) -> Result<Fp, SssError> {
-        self.points.get(i).copied().ok_or(SssError::BadProviderIndex(i))
+        self.points
+            .get(i)
+            .copied()
+            .ok_or(SssError::BadProviderIndex(i))
     }
 
     /// Split `secret` with a *fresh random* polynomial ([`crate::ShareMode::Random`]).
@@ -172,11 +175,7 @@ mod tests {
 
     fn fig1_sharing() -> FieldSharing {
         // Figure 1: n = 3, k = 2, X = {2, 4, 1}.
-        FieldSharing::new(
-            2,
-            vec![Fp::from_u64(2), Fp::from_u64(4), Fp::from_u64(1)],
-        )
-        .unwrap()
+        FieldSharing::new(2, vec![Fp::from_u64(2), Fp::from_u64(4), Fp::from_u64(1)]).unwrap()
     }
 
     /// Reproduces the paper's Figure 1 exactly: salaries {10,20,40,60,80}
@@ -202,8 +201,14 @@ mod tests {
             // Any 2 of 3 shares reconstruct the salary.
             for pair in [(0usize, 1usize), (0, 2), (1, 2)] {
                 let shares = [
-                    FieldShare { provider: pair.0, y: Fp::from_u64([s1, s2, s3][pair.0]) },
-                    FieldShare { provider: pair.1, y: Fp::from_u64([s1, s2, s3][pair.1]) },
+                    FieldShare {
+                        provider: pair.0,
+                        y: Fp::from_u64([s1, s2, s3][pair.0]),
+                    },
+                    FieldShare {
+                        provider: pair.1,
+                        y: Fp::from_u64([s1, s2, s3][pair.1]),
+                    },
                 ];
                 assert_eq!(sharing.reconstruct(&shares).unwrap(), Fp::from_u64(salary));
             }

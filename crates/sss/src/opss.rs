@@ -153,7 +153,11 @@ impl OpSharing {
     /// Reconstruct `v` from a single share by binary search over the
     /// deterministic monotone construction (requires the domain key — this
     /// is the client's fast path, O(log N) share evaluations).
-    pub fn reconstruct_search(&self, provider: usize, share: i128) -> Result<Option<u64>, SssError> {
+    pub fn reconstruct_search(
+        &self,
+        provider: usize,
+        share: i128,
+    ) -> Result<Option<u64>, SssError> {
         if provider >= self.params.n() {
             return Err(SssError::BadProviderIndex(provider));
         }
@@ -206,12 +210,7 @@ impl OpSharing {
 
     /// Translate a client-side value range `[lo, hi]` into the share-space
     /// range provider `i` should scan — the §V-A range-query rewriting.
-    pub fn range_for(
-        &self,
-        lo: u64,
-        hi: u64,
-        provider: usize,
-    ) -> Result<(i128, i128), SssError> {
+    pub fn range_for(&self, lo: u64, hi: u64, provider: usize) -> Result<(i128, i128), SssError> {
         if lo > hi {
             return Err(SssError::BadParameters("empty range".into()));
         }
@@ -380,7 +379,10 @@ mod tests {
         }
         let pairs: Vec<(usize, i128)> = sums.iter().enumerate().map(|(i, &y)| (i, y)).collect();
         let total: u64 = values.iter().sum();
-        assert_eq!(s.reconstruct_interpolate(&pairs).unwrap(), Some(total as i128));
+        assert_eq!(
+            s.reconstruct_interpolate(&pairs).unwrap(),
+            Some(total as i128)
+        );
     }
 
     #[test]
@@ -432,9 +434,7 @@ mod tests {
         // Applying the same affine inversion to the slotted scheme fails:
         // shares are not an affine function of v.
         let s = sharing(3);
-        let xs: Vec<i128> = (0..4)
-            .map(|v| s.share_for(v, 0).unwrap())
-            .collect();
+        let xs: Vec<i128> = (0..4).map(|v| s.share_for(v, 0).unwrap()).collect();
         let d1 = xs[1] - xs[0];
         let d2 = xs[2] - xs[1];
         let d3 = xs[3] - xs[2];

@@ -519,8 +519,8 @@ mod tests {
     use super::*;
     use crate::pager::Pager;
     use proptest::prelude::*;
-    use rand::seq::SliceRandom;
     use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
     use rand::SeedableRng;
 
     fn setup() -> (BufferPool, BTree) {
@@ -559,7 +559,9 @@ mod tests {
     fn insert_get_small() {
         let (pool, mut tree) = setup();
         for i in 0..50i128 {
-            assert!(tree.insert(&pool, &compose_key(i, i as u64), i as u64 * 10).unwrap());
+            assert!(tree
+                .insert(&pool, &compose_key(i, i as u64), i as u64 * 10)
+                .unwrap());
         }
         for i in 0..50i128 {
             assert_eq!(
@@ -586,7 +588,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         keys.shuffle(&mut rng);
         for &k in &keys {
-            tree.insert(&pool, &compose_key(k, k as u64), k as u64).unwrap();
+            tree.insert(&pool, &compose_key(k, k as u64), k as u64)
+                .unwrap();
         }
         assert!(tree.height(&pool).unwrap() >= 2);
         let all = tree.scan_all(&pool).unwrap();
@@ -617,7 +620,8 @@ mod tests {
     fn range_scan_inclusive() {
         let (pool, mut tree) = setup();
         for k in 0..500i128 {
-            tree.insert(&pool, &compose_key(k * 2, 0), k as u64).unwrap();
+            tree.insert(&pool, &compose_key(k * 2, 0), k as u64)
+                .unwrap();
         }
         // [100, 200] covers even shares 100..=200 → 51 entries.
         let got = tree
@@ -632,7 +636,8 @@ mod tests {
     fn range_scan_with_negative_shares() {
         let (pool, mut tree) = setup();
         for k in -100..100i128 {
-            tree.insert(&pool, &compose_key(k, 0), (k + 100) as u64).unwrap();
+            tree.insert(&pool, &compose_key(k, 0), (k + 100) as u64)
+                .unwrap();
         }
         let got = tree
             .range(&pool, &compose_key(-50, 0), &compose_key(50, u64::MAX))

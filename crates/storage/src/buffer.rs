@@ -242,7 +242,10 @@ mod tests {
         })
         .unwrap();
         pool.discard(1).unwrap();
-        assert_eq!(pool.pager().read(1).unwrap().get(0).unwrap(), Some(&b"bye"[..]));
+        assert_eq!(
+            pool.pager().read(1).unwrap().get(0).unwrap(),
+            Some(&b"bye"[..])
+        );
         // Next access is a miss again.
         let before = pool.stats().misses;
         pool.with_page(1, |_| ()).unwrap();

@@ -78,12 +78,7 @@ impl HeapFile {
 
     /// Replace a record in place if the new bytes fit the page (after
     /// compaction); otherwise delete + reinsert, returning the new id.
-    pub fn update(
-        &mut self,
-        pool: &BufferPool,
-        rid: RecordId,
-        record: &[u8],
-    ) -> Result<RecordId> {
+    pub fn update(&mut self, pool: &BufferPool, rid: RecordId, record: &[u8]) -> Result<RecordId> {
         let existed = self.delete(pool, rid)?;
         if !existed {
             return Err(StorageError::BadSlot(rid));
@@ -169,9 +164,15 @@ mod tests {
         let (pool, mut heap) = setup();
         let rid = heap.insert(&pool, b"old").unwrap();
         let new_rid = heap.update(&pool, rid, b"new-and-longer").unwrap();
-        assert_eq!(heap.get(&pool, new_rid).unwrap(), Some(b"new-and-longer".to_vec()));
+        assert_eq!(
+            heap.get(&pool, new_rid).unwrap(),
+            Some(b"new-and-longer".to_vec())
+        );
         // Updating a dangling id errors.
-        let dangling = RecordId { page: rid.page, slot: 999 };
+        let dangling = RecordId {
+            page: rid.page,
+            slot: 999,
+        };
         assert!(heap.update(&pool, dangling, b"x").is_err());
     }
 

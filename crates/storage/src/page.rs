@@ -206,9 +206,8 @@ impl Page {
 
     /// Iterate over live `(slot, record)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
-        (0..self.slot_count()).filter_map(move |slot| {
-            self.get(slot).ok().flatten().map(|rec| (slot, rec))
-        })
+        (0..self.slot_count())
+            .filter_map(move |slot| self.get(slot).ok().flatten().map(|rec| (slot, rec)))
     }
 
     // ---- raw field accessors used by the B+tree (fixed layouts) ----

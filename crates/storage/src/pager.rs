@@ -265,7 +265,10 @@ mod tests {
         {
             let pager = Pager::new(FileBackend::open(&path).unwrap());
             assert_eq!(pager.page_count(), 1);
-            assert_eq!(pager.read(0).unwrap().get(0).unwrap(), Some(&b"durable"[..]));
+            assert_eq!(
+                pager.read(0).unwrap().get(0).unwrap(),
+                Some(&b"durable"[..])
+            );
         }
         std::fs::remove_file(&path).unwrap();
     }

@@ -109,19 +109,15 @@ impl AuthenticatedTable {
 
     /// Answer `lo ≤ share(sort_col) ≤ hi` with a completeness proof.
     pub fn prove_range(&self, lo: i128, hi: i128) -> RangeProof {
-        let start = self
-            .rows
-            .partition_point(|r| r.shares[self.sort_col] < lo);
-        let end = self
-            .rows
-            .partition_point(|r| r.shares[self.sort_col] <= hi);
+        let start = self.rows.partition_point(|r| r.shares[self.sort_col] < lo);
+        let end = self.rows.partition_point(|r| r.shares[self.sort_col] <= hi);
         let rows = self.rows[start..end].to_vec();
         let proofs = (start..end).map(|i| self.tree.prove(i)).collect();
         let left_boundary = start
             .checked_sub(1)
             .map(|i| (self.rows[i].clone(), self.tree.prove(i)));
-        let right_boundary = (end < self.rows.len())
-            .then(|| (self.rows[end].clone(), self.tree.prove(end)));
+        let right_boundary =
+            (end < self.rows.len()).then(|| (self.rows[end].clone(), self.tree.prove(end)));
         RangeProof {
             start,
             rows,
@@ -295,7 +291,10 @@ mod tests {
         let mut proof = t.prove_range(40, 90);
         // Provider pads with a legitimate but out-of-range row (id 2, 210).
         let idx = 4; // position of share 210 in sorted order
-        proof.rows.push(CommittedRow { id: 2, shares: vec![210] });
+        proof.rows.push(CommittedRow {
+            id: 2,
+            shares: vec![210],
+        });
         proof.proofs.push(
             AuthenticatedTable::build(
                 (1..=5)
@@ -338,7 +337,10 @@ mod tests {
     #[test]
     fn single_row_table() {
         let t = AuthenticatedTable::build(
-            vec![CommittedRow { id: 9, shares: vec![5] }],
+            vec![CommittedRow {
+                id: 9,
+                shares: vec![5],
+            }],
             0,
         );
         let proof = t.prove_range(0, 10);

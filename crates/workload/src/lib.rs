@@ -75,8 +75,8 @@ pub mod employees {
     }
 
     const FIRST: [&str; 16] = [
-        "JOHN", "MARY", "ALICE", "BOB", "CAROL", "DAVE", "ERIN", "FRANK", "GRACE", "HEIDI",
-        "IVAN", "JUDY", "KARL", "LINDA", "MIKE", "NINA",
+        "JOHN", "MARY", "ALICE", "BOB", "CAROL", "DAVE", "ERIN", "FRANK", "GRACE", "HEIDI", "IVAN",
+        "JUDY", "KARL", "LINDA", "MIKE", "NINA",
     ];
 
     /// Generate `n` employees, deterministically from `seed`.
@@ -186,7 +186,12 @@ pub mod places {
     pub fn friends(n: usize, domain: u64, seed: u64) -> Vec<(String, u64)> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xf00d);
         (0..n)
-            .map(|i| (format!("FRIEND{}", char::from(b'A' + (i % 26) as u8)), rng.gen_range(0..domain)))
+            .map(|i| {
+                (
+                    format!("FRIEND{}", char::from(b'A' + (i % 26) as u8)),
+                    rng.gen_range(0..domain),
+                )
+            })
             .collect()
     }
 }

@@ -31,7 +31,10 @@ fn main() {
     ds.create_table(
         TableSchema::new(
             "watchlist",
-            vec![person("pid"), ColumnSpec::numeric("threat", 10, ShareMode::Random)],
+            vec![
+                person("pid"),
+                ColumnSpec::numeric("threat", 10, ShareMode::Random),
+            ],
         )
         .expect("schema"),
     )
@@ -80,8 +83,12 @@ fn main() {
     println!("\n== E2: the encryption-based comparator (Agrawal et al. [26]) ==");
     // Small instance, measured.
     let p = shared_test_prime();
-    let a_items: Vec<Vec<u8>> = (0..200u64).map(|i| (1000 + i * 7).to_le_bytes().to_vec()).collect();
-    let b_items: Vec<Vec<u8>> = (0..2000u64).map(|i| (1000 + i).to_le_bytes().to_vec()).collect();
+    let a_items: Vec<Vec<u8>> = (0..200u64)
+        .map(|i| (1000 + i * 7).to_le_bytes().to_vec())
+        .collect();
+    let b_items: Vec<Vec<u8>> = (0..2000u64)
+        .map(|i| (1000 + i).to_le_bytes().to_vec())
+        .collect();
     let start = Instant::now();
     let (enc_hits, cost) = commutative_intersection(&p, &a_items, &b_items, &mut rng);
     let enc_elapsed = start.elapsed();
@@ -95,7 +102,11 @@ fn main() {
         "  -> the share join moved {} bytes ({} than the encrypted protocol) \
          and did zero public-key operations",
         delta.total_bytes(),
-        if delta.total_bytes() < cost.bytes { "less" } else { "more" },
+        if delta.total_bytes() < cost.bytes {
+            "less"
+        } else {
+            "more"
+        },
     );
 
     // The paper's quoted configurations, via the closed-form cost model.

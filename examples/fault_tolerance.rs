@@ -14,7 +14,7 @@
 
 use dasp_client::{ColumnSpec, DataSource, Predicate, QueryOptions, TableSchema, Value};
 use dasp_core::client::ClientKeys;
-use dasp_net::{Cluster, FailureMode};
+use dasp_net::{Cluster, FailureMode, RetryPolicy};
 use dasp_server::service::provider_fleet;
 use dasp_sss::ShareMode;
 use rand::rngs::StdRng;
@@ -80,7 +80,9 @@ fn main() {
         rows.len()
     );
     if ds.last_faulty.is_empty() {
-        println!("  (its frames were mangled beyond decoding, so it simply fell out of the quorum)");
+        println!(
+            "  (its frames were mangled beyond decoding, so it simply fell out of the quorum)"
+        );
     } else {
         println!("  identified faulty providers: {:?}", ds.last_faulty);
         assert_eq!(ds.last_faulty, vec![3]);
@@ -94,7 +96,10 @@ fn main() {
     .expect("plant");
     println!("  planted 16 ringer rows (indistinguishable shares)");
     let rows = ds
-        .select("accounts", &[Predicate::between("balance", 0u64, (1 << 24) - 1)])
+        .select(
+            "accounts",
+            &[Predicate::between("balance", 0u64, (1 << 24) - 1)],
+        )
         .expect("full range");
     println!(
         "  honest providers: full-range query passes assurance, returns {} real rows \
@@ -139,7 +144,65 @@ Lagrange-evaluating k survivors at the lost secret point — bit-identical state
     for p in 0..3 {
         ds.cluster().set_failure(p, FailureMode::Crashed);
     }
-    let rows = ds.select("accounts", &probe).expect("query via rebuilt provider");
+    let rows = ds
+        .select("accounts", &probe)
+        .expect("query via rebuilt provider");
     assert_eq!(rows.len(), n_rows);
-    println!("    with providers 0-2 crashed, {{3,4}} alone answer: {} rows ✓", rows.len());
+    println!(
+        "    with providers 0-2 crashed, {{3,4}} alone answer: {} rows ✓",
+        rows.len()
+    );
+
+    println!("\n== 5. Resilience: first-k-wins, retries, circuit breakers ==");
+    let mut ds = deploy();
+    // 5a. A straggler does not set the pace: reads return as soon as
+    // the k needed shares (plus one cross-check) arrive.
+    ds.cluster().set_latency_for(4, Duration::from_millis(250));
+    let start = std::time::Instant::now();
+    let rows = ds.select("accounts", &pred).expect("select with straggler");
+    let elapsed = start.elapsed();
+    println!(
+        "  provider 4 straggling at 250ms: query answered {} rows in {:.2?} \
+         (first-k-wins, straggler abandoned)",
+        rows.len(),
+        elapsed
+    );
+    assert!(elapsed < Duration::from_millis(200));
+    ds.cluster().set_latency_for(4, Duration::ZERO);
+
+    // 5b. Retries with jittered exponential backoff heal omission
+    // faults that would otherwise starve the quorum.
+    ds.set_retry_policy(RetryPolicy {
+        max_attempts: 20,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+        per_attempt_timeout: Some(Duration::from_millis(30)),
+        jitter_seed: 404,
+    });
+    for p in 0..3 {
+        ds.cluster().set_failure(p, FailureMode::Crashed);
+    }
+    ds.cluster().set_failure(3, FailureMode::Omission(0.8));
+    let rows = ds
+        .select("accounts", &pred)
+        .expect("retries must heal the omitting provider");
+    println!(
+        "  providers 0-2 down, provider 3 dropping 80% of replies: retries still \
+         assemble a quorum → {} rows",
+        rows.len()
+    );
+
+    // 5c. The health tracker remembers who misbehaved; repeated
+    // failures open a circuit breaker that steers load away until a
+    // half-open probe readmits the provider.
+    println!("  per-provider health after the ordeal:");
+    for line in ds.health().to_string().lines() {
+        println!("    {line}");
+    }
+    for p in 0..3 {
+        println!(
+            "  provider {p} breaker: {}",
+            ds.cluster().health().breaker_state(p)
+        );
+    }
 }

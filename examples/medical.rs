@@ -93,8 +93,14 @@ fn main() {
     }
     // Ground truth check for the top group.
     let top = by_total[0];
-    let Value::Int(top_code) = top.group else { panic!() };
-    let want: u64 = data.iter().filter(|r| r.code == top_code).map(|r| r.cost).sum();
+    let Value::Int(top_code) = top.group else {
+        panic!()
+    };
+    let want: u64 = data
+        .iter()
+        .filter(|r| r.code == top_code)
+        .map(|r| r.cost)
+        .sum();
     assert_eq!(top.sum, Some(Value::Int(want)), "top group total verified");
 
     // Cost distribution: median and extremes (order statistics).

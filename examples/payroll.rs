@@ -91,9 +91,12 @@ fn main() {
     println!("    -> {} rows", rows_found.len());
 
     let range_pred = [Predicate::between("salary", 10_000u64, 40_000u64)];
-    let in_range = timed("range: salary BETWEEN 10000 AND 40000", &mut ds, &model, |ds| {
-        ds.select("employees", &range_pred)
-    })
+    let in_range = timed(
+        "range: salary BETWEEN 10000 AND 40000",
+        &mut ds,
+        &model,
+        |ds| ds.select("employees", &range_pred),
+    )
     .expect("select");
     println!("    -> {} rows", in_range.len());
     let expected = data
@@ -102,9 +105,12 @@ fn main() {
         .count();
     assert_eq!(in_range.len(), expected, "range result must be exact");
 
-    let sum = timed("SUM(salary) over that range (server-side)", &mut ds, &model, |ds| {
-        ds.sum("employees", "salary", &range_pred)
-    })
+    let sum = timed(
+        "SUM(salary) over that range (server-side)",
+        &mut ds,
+        &model,
+        |ds| ds.sum("employees", "salary", &range_pred),
+    )
     .expect("sum");
     let expected_sum: u64 = data
         .iter()
@@ -114,9 +120,12 @@ fn main() {
     assert_eq!(sum.value, Some(Value::Int(expected_sum)));
     println!("    -> {:?} (matches plaintext ground truth)", sum.value);
 
-    let med = timed("MEDIAN(salary) over the whole table", &mut ds, &model, |ds| {
-        ds.median("employees", "salary", &[])
-    })
+    let med = timed(
+        "MEDIAN(salary) over the whole table",
+        &mut ds,
+        &model,
+        |ds| ds.median("employees", "salary", &[]),
+    )
     .expect("median");
     println!("    -> {:?} over {} rows", med.value, med.count);
 
@@ -124,7 +133,13 @@ fn main() {
         &format!("AVG(salary) WHERE name = {probe_name:?}"),
         &mut ds,
         &model,
-        |ds| ds.avg("employees", "salary", &[Predicate::eq("name", probe_name.as_str())]),
+        |ds| {
+            ds.avg(
+                "employees",
+                "salary",
+                &[Predicate::eq("name", probe_name.as_str())],
+            )
+        },
     )
     .expect("avg");
     println!("    -> {:?} over {} rows", avg.value, avg.count);
@@ -148,8 +163,10 @@ fn main() {
             &[("salary", Value::Int(123_457))],
         )
         .expect("lazy update");
-    let flushed = timed("lazy batch flush", &mut ds, &model, |ds| ds.flush("employees"))
-        .expect("flush");
+    let flushed = timed("lazy batch flush", &mut ds, &model, |ds| {
+        ds.flush("employees")
+    })
+    .expect("flush");
     assert_eq!(buffered, flushed);
     println!("    -> {flushed} buffered updates flushed in one batch per provider");
 

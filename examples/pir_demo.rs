@@ -12,7 +12,9 @@
 //! ```
 
 use dasp_net::NetworkModel;
-use dasp_pir::{BitDatabase, ProtocolCost, QrClient, QrServer, TrivialPir, TwoServerClient, TwoServerServer};
+use dasp_pir::{
+    BitDatabase, ProtocolCost, QrClient, QrServer, TrivialPir, TwoServerClient, TwoServerServer,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -33,9 +35,7 @@ fn main() {
     let db = BitDatabase::random(n_bits, 1);
     let expected = db.get(target);
     let model = NetworkModel::broadband();
-    println!(
-        "== Fetch bit #{target} of a {n_bits}-bit database privately (broadband model) =="
-    );
+    println!("== Fetch bit #{target} of a {n_bits}-bit database privately (broadband model) ==");
 
     // Trivial: ship everything.
     let trivial = TrivialPir::new(db.clone());
@@ -52,7 +52,12 @@ fn main() {
     let start = Instant::now();
     let (bit, cost) = client.retrieve(target, &s1, &s2, &mut rng);
     assert_eq!(bit, expected);
-    report("2-server IT-PIR (Chor et al.)", &cost, start.elapsed(), &model);
+    report(
+        "2-server IT-PIR (Chor et al.)",
+        &cost,
+        start.elapsed(),
+        &model,
+    );
 
     // Single-server computational (QR) — the expensive one.
     let mut rng = StdRng::seed_from_u64(3);

@@ -41,8 +41,14 @@ fn figure1() {
         for (a, b) in [(0usize, 1usize), (0, 2), (1, 2)] {
             let got = sharing
                 .reconstruct(&[
-                    FieldShare { provider: a, y: Fp::from_u64(shares[a]) },
-                    FieldShare { provider: b, y: Fp::from_u64(shares[b]) },
+                    FieldShare {
+                        provider: a,
+                        y: Fp::from_u64(shares[a]),
+                    },
+                    FieldShare {
+                        provider: b,
+                        y: Fp::from_u64(shares[b]),
+                    },
                 ])
                 .expect("reconstructs");
             assert_eq!(got.to_u64(), *salary);
@@ -89,7 +95,10 @@ fn sql_walkthrough() {
     let snap = db.cluster().stats().snapshot();
     println!(
         "\n  traffic: {} msgs / {} bytes sent, {} msgs / {} bytes received, {} round trips",
-        snap.messages_sent, snap.bytes_sent, snap.messages_received, snap.bytes_received,
+        snap.messages_sent,
+        snap.bytes_sent,
+        snap.messages_received,
+        snap.bytes_received,
         snap.round_trips
     );
     println!("  (every byte on that wire is a share — no provider ever saw a salary)");

@@ -92,7 +92,10 @@ fn main() {
                 let s = db.cluster().stats().snapshot();
                 println!(
                     "sent {} msgs / {} bytes; received {} msgs / {} bytes; {} round trips",
-                    s.messages_sent, s.bytes_sent, s.messages_received, s.bytes_received,
+                    s.messages_sent,
+                    s.bytes_sent,
+                    s.messages_received,
+                    s.bytes_received,
                     s.round_trips
                 );
                 continue;

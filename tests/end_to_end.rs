@@ -47,13 +47,20 @@ fn deploy() -> (OutsourcedDatabase, Oracle) {
 #[test]
 fn range_queries_match_oracle() {
     let (mut db, oracle) = deploy();
-    for (lo, hi) in [(0u64, 1000u64), (10_000, 40_000), (500_000, DOMAIN - 1), (7, 7)] {
+    for (lo, hi) in [
+        (0u64, 1000u64),
+        (10_000, 40_000),
+        (500_000, DOMAIN - 1),
+        (7, 7),
+    ] {
         let out = db
             .execute(&format!(
                 "SELECT * FROM employees WHERE salary BETWEEN {lo} AND {hi}"
             ))
             .unwrap();
-        let QueryOutput::Rows { rows, .. } = out else { panic!() };
+        let QueryOutput::Rows { rows, .. } = out else {
+            panic!()
+        };
         let expect = oracle.range(lo, hi);
         assert_eq!(rows.len(), expect.len(), "range [{lo}, {hi}]");
         let mut got: Vec<u64> = rows
@@ -81,29 +88,39 @@ fn aggregates_match_oracle() {
             "SELECT SUM(salary) FROM employees WHERE salary BETWEEN {lo} AND {hi}"
         ))
         .unwrap();
-    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    let QueryOutput::Aggregate(agg) = out else {
+        panic!()
+    };
     let want: u64 = in_range.iter().map(|e| e.salary).sum();
     assert_eq!(agg.value, Some(Value::Int(want)));
     assert_eq!(agg.count, in_range.len() as u64);
 
     let out = db.execute("SELECT MIN(salary) FROM employees").unwrap();
-    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    let QueryOutput::Aggregate(agg) = out else {
+        panic!()
+    };
     let want = oracle.rows.iter().map(|e| e.salary).min().unwrap();
     assert_eq!(agg.value, Some(Value::Int(want)));
 
     let out = db.execute("SELECT MAX(salary) FROM employees").unwrap();
-    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    let QueryOutput::Aggregate(agg) = out else {
+        panic!()
+    };
     let want = oracle.rows.iter().map(|e| e.salary).max().unwrap();
     assert_eq!(agg.value, Some(Value::Int(want)));
 
     let out = db.execute("SELECT MEDIAN(salary) FROM employees").unwrap();
-    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    let QueryOutput::Aggregate(agg) = out else {
+        panic!()
+    };
     let mut sal: Vec<u64> = oracle.rows.iter().map(|e| e.salary).collect();
     sal.sort_unstable();
     assert_eq!(agg.value, Some(Value::Int(sal[sal.len() / 2])));
 
     let out = db.execute("SELECT COUNT(*) FROM employees").unwrap();
-    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    let QueryOutput::Aggregate(agg) = out else {
+        panic!()
+    };
     assert_eq!(agg.count, N as u64);
 }
 
@@ -114,14 +131,18 @@ fn exact_match_and_name_prefix_match_oracle() {
     let out = db
         .execute(&format!("SELECT * FROM employees WHERE name = '{probe}'"))
         .unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     let want = oracle.rows.iter().filter(|e| e.name == probe).count();
     assert_eq!(rows.len(), want);
 
     let out = db
         .execute("SELECT * FROM employees WHERE name LIKE 'JOHN%'")
         .unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     let want = oracle
         .rows
         .iter()
@@ -146,7 +167,9 @@ fn update_delete_lifecycle_matches_oracle() {
     let out = db
         .execute("SELECT COUNT(*) FROM employees WHERE salary = 999999")
         .unwrap();
-    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    let QueryOutput::Aggregate(agg) = out else {
+        panic!()
+    };
     assert_eq!(agg.count as usize, n_probe);
 
     let out = db
@@ -154,7 +177,9 @@ fn update_delete_lifecycle_matches_oracle() {
         .unwrap();
     assert_eq!(out, QueryOutput::Affected(n_probe));
     let out = db.execute("SELECT COUNT(*) FROM employees").unwrap();
-    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    let QueryOutput::Aggregate(agg) = out else {
+        panic!()
+    };
     assert_eq!(agg.count as usize, N - n_probe);
 }
 
@@ -169,7 +194,9 @@ fn random_mode_column_queries_work_but_cost_full_scans() {
             target.ssn
         ))
         .unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     assert!(!rows.is_empty());
     assert!(rows
         .iter()

@@ -3,7 +3,7 @@
 
 use dasp_client::{ColumnSpec, DataSource, Predicate, QueryOptions, TableSchema, Value};
 use dasp_core::client::ClientKeys;
-use dasp_net::{Cluster, FailureMode};
+use dasp_net::{Cluster, FailureMode, RetryPolicy};
 use dasp_server::service::provider_fleet;
 use dasp_sss::ShareMode;
 use rand::rngs::StdRng;
@@ -82,7 +82,8 @@ fn writes_fail_loudly_when_any_provider_is_down() {
     assert!(err.is_err());
     // After healing, writes work again.
     ds.cluster().set_failure(2, FailureMode::Healthy);
-    ds.insert("t", &[vec![Value::Int(1), Value::Int(1)]]).unwrap();
+    ds.insert("t", &[vec![Value::Int(1), Value::Int(1)]])
+        .unwrap();
 }
 
 #[test]
@@ -98,7 +99,9 @@ fn byzantine_minority_is_survived_with_verification() {
         .unwrap();
     assert_eq!(rows.len(), 300);
     // Ground truth intact for a sample.
-    assert!(rows.iter().all(|(_, v)| matches!(v[1], Value::Int(x) if x < 1 << 20)));
+    assert!(rows
+        .iter()
+        .all(|(_, v)| matches!(v[1], Value::Int(x) if x < 1 << 20)));
 }
 
 #[test]
@@ -118,8 +121,7 @@ fn unverified_reads_may_fail_or_heal_under_byzantine_but_never_wrong_silently() 
                     let Value::Int(k) = v[0] else { panic!() };
                     let Value::Int(val) = v[1] else { panic!() };
                     // Value must belong to the generated data set.
-                    let valid = (0..300u64)
-                        .any(|j| j % 30 == k && j * 17 % (1 << 20) == val);
+                    let valid = (0..300u64).any(|j| j % 30 == k && j * 17 % (1 << 20) == val);
                     if !valid {
                         wrong += 1;
                     }
@@ -128,6 +130,44 @@ fn unverified_reads_may_fail_or_heal_under_byzantine_but_never_wrong_silently() 
         }
     }
     assert_eq!(wrong, 0, "silent corruption leaked into results");
+}
+
+#[test]
+fn first_k_wins_returns_well_before_the_cluster_timeout() {
+    // One crashed provider must not make reads wait out the full RPC
+    // timeout: the first-k-wins engine returns the moment k (+1 cross
+    // check) responses arrive, and the crashed provider's timeout is
+    // absorbed concurrently, never serialized after the healthy ones.
+    let (k, n) = (2usize, 5usize);
+    let mut ds = deploy(k, n);
+    ds.cluster().set_failure(0, FailureMode::Crashed);
+    let timeout = Duration::from_millis(300); // deploy()'s cluster timeout
+    let start = std::time::Instant::now();
+    let rows = ds.select("t", &[Predicate::eq("k", 11u64)]).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(rows.len(), 10);
+    assert!(
+        elapsed < timeout / 2,
+        "degraded read took {elapsed:?}, want < {:?}",
+        timeout / 2
+    );
+}
+
+#[test]
+fn retries_heal_a_heavily_omitting_provider() {
+    // With n = k every provider must answer, so an Omission(0.8) fault
+    // can only be survived by per-provider retries with backoff.
+    let mut ds = deploy(2, 2);
+    ds.set_retry_policy(RetryPolicy {
+        max_attempts: 30,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        per_attempt_timeout: Some(Duration::from_millis(25)),
+        jitter_seed: 7,
+    });
+    ds.cluster().set_failure(1, FailureMode::Omission(0.8));
+    let rows = ds.select("t", &[Predicate::eq("k", 5u64)]).unwrap();
+    assert_eq!(rows.len(), 10);
 }
 
 #[test]

@@ -48,7 +48,11 @@ fn one_share_consistent_with_every_secret() {
         // Line through (0, candidate) and (x1, y1).
         let slope = (y1 - s) * x1.inv().unwrap();
         let poly = dasp_field::Poly::new(vec![s, slope]);
-        assert_eq!(poly.eval(x1), y1, "candidate {candidate} must be consistent");
+        assert_eq!(
+            poly.eval(x1),
+            y1,
+            "candidate {candidate} must be consistent"
+        );
     }
 }
 
@@ -99,9 +103,7 @@ fn op_mode_leaks_order_but_not_spacing() {
     }
     // Spacing hidden: the gap between consecutive shares varies.
     let gaps: Vec<i128> = (0..100u64)
-        .map(|v| {
-            sharing.share_for(v + 1, 0).unwrap() - sharing.share_for(v, 0).unwrap()
-        })
+        .map(|v| sharing.share_for(v + 1, 0).unwrap() - sharing.share_for(v, 0).unwrap())
         .collect();
     let distinct: std::collections::HashSet<i128> = gaps.iter().copied().collect();
     assert!(
@@ -152,7 +154,11 @@ fn shares_never_equal_plaintext() {
             assert_ne!(s, v as i128, "provider {i} share equals plaintext");
         }
         let distinct: std::collections::HashSet<i128> = shares.iter().copied().collect();
-        assert_eq!(distinct.len(), shares.len(), "providers get distinct shares");
+        assert_eq!(
+            distinct.len(),
+            shares.len(),
+            "providers get distinct shares"
+        );
     }
 }
 

@@ -25,7 +25,11 @@ impl Oracle {
     }
 
     fn select_eq(&self, k: u64) -> Vec<(u64, u64)> {
-        self.rows.iter().copied().filter(|&(rk, _)| rk == k).collect()
+        self.rows
+            .iter()
+            .copied()
+            .filter(|&(rk, _)| rk == k)
+            .collect()
     }
 }
 
@@ -66,7 +70,8 @@ fn randomized_differential_run() {
             // Insert a row.
             0 => {
                 let (k, v) = (rng.gen_range(0..50), rng.gen_range(0..DOMAIN));
-                db.execute(&format!("INSERT INTO t VALUES ({k}, {v})")).unwrap();
+                db.execute(&format!("INSERT INTO t VALUES ({k}, {v})"))
+                    .unwrap();
                 oracle.rows.push((k, v));
             }
             // Range select.
@@ -76,7 +81,9 @@ fn randomized_differential_run() {
                 let out = db
                     .execute(&format!("SELECT * FROM t WHERE v BETWEEN {lo} AND {hi}"))
                     .unwrap();
-                let QueryOutput::Rows { rows, .. } = out else { panic!() };
+                let QueryOutput::Rows { rows, .. } = out else {
+                    panic!()
+                };
                 let mut want = oracle.select_range(lo, hi);
                 want.sort_unstable();
                 assert_eq!(sorted_values(&rows), want, "step {step} range [{lo},{hi}]");
@@ -87,7 +94,9 @@ fn randomized_differential_run() {
                 let out = db
                     .execute(&format!("SELECT * FROM t WHERE k = {k}"))
                     .unwrap();
-                let QueryOutput::Rows { rows, .. } = out else { panic!() };
+                let QueryOutput::Rows { rows, .. } = out else {
+                    panic!()
+                };
                 let mut want = oracle.select_eq(k);
                 want.sort_unstable();
                 assert_eq!(sorted_values(&rows), want, "step {step} eq {k}");
@@ -101,7 +110,9 @@ fn randomized_differential_run() {
                         "SELECT SUM(v) FROM t WHERE v BETWEEN {lo} AND {hi}"
                     ))
                     .unwrap();
-                let QueryOutput::Aggregate(agg) = out else { panic!() };
+                let QueryOutput::Aggregate(agg) = out else {
+                    panic!()
+                };
                 let want: u64 = oracle.select_range(lo, hi).iter().map(|&(_, v)| v).sum();
                 assert_eq!(agg.value, Some(Value::Int(want)), "step {step} sum");
             }
@@ -112,7 +123,9 @@ fn randomized_differential_run() {
                 let out = db
                     .execute(&format!("UPDATE t SET v = {nv} WHERE k = {k}"))
                     .unwrap();
-                let QueryOutput::Affected(n) = out else { panic!() };
+                let QueryOutput::Affected(n) = out else {
+                    panic!()
+                };
                 let mut touched = 0;
                 for row in oracle.rows.iter_mut() {
                     if row.0 == k {
@@ -125,10 +138,10 @@ fn randomized_differential_run() {
             // Delete by key.
             _ => {
                 let k = rng.gen_range(0..50);
-                let out = db
-                    .execute(&format!("DELETE FROM t WHERE k = {k}"))
-                    .unwrap();
-                let QueryOutput::Affected(n) = out else { panic!() };
+                let out = db.execute(&format!("DELETE FROM t WHERE k = {k}")).unwrap();
+                let QueryOutput::Affected(n) = out else {
+                    panic!()
+                };
                 let before = oracle.rows.len();
                 oracle.rows.retain(|&(rk, _)| rk != k);
                 assert_eq!(n, before - oracle.rows.len(), "step {step} delete {k}");
@@ -138,7 +151,9 @@ fn randomized_differential_run() {
 
     // Final full-table consistency.
     let out = db.execute("SELECT * FROM t").unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     let mut want = oracle.rows.clone();
     want.sort_unstable();
     assert_eq!(sorted_values(&rows), want);
@@ -159,7 +174,9 @@ fn group_by_and_order_by_match_oracle() {
 
     // GROUP BY sums.
     let out = db.execute("SELECT SUM(v) FROM t GROUP BY g").unwrap();
-    let QueryOutput::Groups(groups) = out else { panic!() };
+    let QueryOutput::Groups(groups) = out else {
+        panic!()
+    };
     let mut oracle: std::collections::HashMap<u64, (u64, u64)> = Default::default();
     for &(g, v) in &data {
         let e = oracle.entry(g).or_insert((0, 0));
@@ -175,8 +192,12 @@ fn group_by_and_order_by_match_oracle() {
     }
 
     // ORDER BY v DESC LIMIT 15 against a sorted oracle.
-    let out = db.execute("SELECT * FROM t ORDER BY v DESC LIMIT 15").unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let out = db
+        .execute("SELECT * FROM t ORDER BY v DESC LIMIT 15")
+        .unwrap();
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     assert_eq!(rows.len(), 15);
     let mut sorted: Vec<u64> = data.iter().map(|&(_, v)| v).collect();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
@@ -193,7 +214,9 @@ fn group_by_and_order_by_match_oracle() {
     let out = db
         .execute("SELECT * FROM t WHERE v BETWEEN 2000 AND 8000 ORDER BY v LIMIT 5")
         .unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     let mut in_range: Vec<u64> = data
         .iter()
         .map(|&(_, v)| v)
@@ -213,7 +236,8 @@ fn group_by_and_order_by_match_oracle() {
 #[test]
 fn text_columns_roundtrip_through_sql() {
     let mut db = OutsourcedDatabase::deploy_seeded(2, 3, 5150).unwrap();
-    db.execute("CREATE TABLE names (n VARCHAR(6) MODE ORDERED)").unwrap();
+    db.execute("CREATE TABLE names (n VARCHAR(6) MODE ORDERED)")
+        .unwrap();
     let names = ["ABE", "ABEL", "ADA", "JACK", "JACKIE", "ZED"];
     let vals: Vec<String> = names.iter().map(|n| format!("('{n}')")).collect();
     db.execute(&format!("INSERT INTO names VALUES {}", vals.join(", ")))
@@ -223,21 +247,29 @@ fn text_columns_roundtrip_through_sql() {
     let out = db
         .execute("SELECT * FROM names WHERE n LIKE 'AB%'")
         .unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     assert_eq!(rows.len(), 2);
 
     let out = db
         .execute("SELECT * FROM names WHERE n BETWEEN 'ABEL' AND 'JACK'")
         .unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     // ABEL, ADA, JACK, and JACKIE (extensions of the upper bound count,
     // matching the paper's base-27 range semantics).
     assert_eq!(rows.len(), 4);
 
     let out = db.execute("SELECT MIN(n) FROM names").unwrap();
-    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    let QueryOutput::Aggregate(agg) = out else {
+        panic!()
+    };
     assert_eq!(agg.value, Some(Value::Str("ABE".into())));
     let out = db.execute("SELECT MAX(n) FROM names").unwrap();
-    let QueryOutput::Aggregate(agg) = out else { panic!() };
+    let QueryOutput::Aggregate(agg) = out else {
+        panic!()
+    };
     assert_eq!(agg.value, Some(Value::Str("ZED".into())));
 }
