@@ -15,4 +15,7 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== cargo bench --no-run =="
+cargo bench --no-run --workspace
+
 echo "CI green."

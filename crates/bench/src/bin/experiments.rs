@@ -28,6 +28,7 @@ use dasp_sss::opss::AffineStrawman;
 use dasp_sss::{DomainKey, FieldSharing, OpSharing, OpssParams, ShareMode};
 use dasp_storage::btree::compose_key;
 use dasp_storage::{BTree, BufferPool, Pager};
+use dasp_workload::employees::{self, SalaryDist};
 use dasp_workload::{documents, places, queries};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,6 +99,9 @@ fn main() {
     }
     if run("e16") {
         e16_recovery(&cfg);
+    }
+    if run("e17") {
+        e17_codec(&cfg);
     }
 }
 
@@ -1112,4 +1116,87 @@ fn e13_leakage() {
     println!("  Deterministic     exact match, joins    equality pattern");
     println!("  OrderPreserving   + ranges, order stats equality + total order");
     println!("  (verified in tests/security_properties.rs with statistical checks)\n");
+}
+
+/// E17 — batch codec throughput (the ISSUE-2 pipeline): rows/s for
+/// INSERT encoding and SELECT reconstruction at statement batch sizes
+/// {1, 64, 1024} across encode/decode worker counts {1, 2, 4}. The same
+/// number of rows flows through every cell, only the statement batching
+/// and fan-out change. Results are also written to BENCH_codec.json so
+/// the scalar-vs-batch ratio is tracked alongside the code.
+fn e17_codec(cfg: &Config) {
+    println!("== E17 (batch codec): insert + SELECT reconstruction throughput ==");
+    let total: usize = if cfg.quick { 1024 } else { 4096 };
+    let batches = [1usize, 64, 1024];
+    let workers_sweep = [1usize, 2, 4];
+    let mut results: Vec<(&'static str, usize, usize, f64)> = Vec::new();
+    println!("  op      batch  workers       rows/s");
+    for &batch in &batches {
+        for &workers in &workers_sweep {
+            // Insert: load `total` rows as `total / batch` statements.
+            let mut dep = deploy_employees(2, 3, 0, 1700 + batch as u64);
+            dep.ds.set_workers(workers);
+            let data = employees::generate(total, SALARY_DOMAIN, SalaryDist::Uniform, 42);
+            let values: Vec<Vec<Value>> = data
+                .iter()
+                .map(|e| {
+                    vec![
+                        Value::Str(e.name.clone()),
+                        Value::Int(e.salary),
+                        Value::Int(e.ssn),
+                    ]
+                })
+                .collect();
+            let start = Instant::now();
+            for chunk in values.chunks(batch) {
+                dep.ds.insert("employees", chunk).unwrap();
+            }
+            let ins = total as f64 / start.elapsed().as_secs_f64();
+            results.push(("insert", batch, workers, ins));
+
+            // Select: full scans of a `batch`-row table, repeated until
+            // `total` rows have been reconstructed end to end.
+            let mut dep = deploy_employees(2, 3, batch, 1800 + batch as u64);
+            dep.ds.set_workers(workers);
+            dep.ds.select("employees", &[]).unwrap(); // warm the basis cache
+            let reps = (total / batch).max(1);
+            let start = Instant::now();
+            let mut decoded = 0usize;
+            for _ in 0..reps {
+                decoded += dep.ds.select("employees", &[]).unwrap().len();
+            }
+            let sel = decoded as f64 / start.elapsed().as_secs_f64();
+            results.push(("select", batch, workers, sel));
+            println!("  insert {batch:>6} {workers:>8} {ins:>12.0}");
+            println!("  select {batch:>6} {workers:>8} {sel:>12.0}");
+        }
+    }
+    let get = |op: &str, b: usize, w: usize| {
+        results
+            .iter()
+            .find(|r| r.0 == op && r.1 == b && r.2 == w)
+            .map(|r| r.3)
+            .unwrap_or(f64::NAN)
+    };
+    let ins_speedup = get("insert", 1024, 1) / get("insert", 1, 1);
+    let sel_speedup = get("select", 1024, 1) / get("select", 1, 1);
+    println!(
+        "  batch-1024 vs batch-1 (workers=1): insert {ins_speedup:.1}x, select {sel_speedup:.1}x"
+    );
+    let mut json = String::from("{\n  \"experiment\": \"e17_batch_codec\",\n");
+    json.push_str(&format!("  \"rows_total\": {total},\n  \"results\": [\n"));
+    for (i, (op, b, w, rps)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"op\": \"{op}\", \"batch\": {b}, \"workers\": {w}, \"rows_per_s\": {rps:.1}}}{}\n",
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"speedup_batch1024_vs_batch1_workers1\": \
+         {{\"insert\": {ins_speedup:.2}, \"select\": {sel_speedup:.2}}}\n}}\n"
+    ));
+    if let Err(e) = std::fs::write("BENCH_codec.json", json) {
+        println!("  (could not write BENCH_codec.json: {e})");
+    }
+    println!();
 }

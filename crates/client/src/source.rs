@@ -12,18 +12,18 @@
 //!    pending lazy updates.
 
 use crate::keys::ClientKeys;
-use crate::schema::{Predicate, TableSchema, Value};
+use crate::schema::{ColumnType, Predicate, TableSchema, Value};
 use crate::{ClientError, Result};
 use dasp_crypto::merkle::MerkleProof;
 use dasp_field::{lagrange_eval_at, Fp};
 use dasp_net::{Cluster, HealthSnapshot, ProviderId, QuorumMode, QuorumOptions, RetryPolicy};
 use dasp_server::proto::{AggOp, PredAtom, Request, Response, Row};
 use dasp_server::proto::{WireMerkleProof, WireRangeProof};
-use dasp_sss::{FieldShare, OpSharing, ShareMode};
+use dasp_sss::{DomainKey, FieldBasis, FieldShare, FieldSharing, OpSharing, ShareMode};
 use dasp_verify::merkle_table::{CommittedRow, RangeProof};
 use dasp_verify::{majority_reconstruct_field, majority_reconstruct_op, RingerSet};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Per-query options.
@@ -108,6 +108,112 @@ impl std::fmt::Display for ExplainReport {
     }
 }
 
+/// Per-statement encode plan: one entry per column with the codec state
+/// (domain key, OPSS sharer) resolved up front.
+struct EncodePlan {
+    columns: Vec<(ColumnType, ColumnCodec)>,
+}
+
+enum ColumnCodec {
+    Random,
+    Deterministic(DomainKey),
+    OrderPreserving(OpSharing),
+}
+
+/// Encode one chunk of rows column-major: per column, encode the codes
+/// for the whole chunk and drive the sss batch APIs, so per-column setup
+/// (PRF derivation, coefficient evaluation) amortizes across rows.
+/// `seeds[r]` seeds row r's RNG stream for random-mode columns.
+fn encode_chunk(
+    field: &FieldSharing,
+    plan: &EncodePlan,
+    rows: &[Vec<Value>],
+    seeds: &[u64],
+) -> Result<Vec<Vec<Vec<i128>>>> {
+    let n = field.n();
+    let ncols = plan.columns.len();
+    let mut out: Vec<Vec<Vec<i128>>> = rows
+        .iter()
+        .map(|_| (0..n).map(|_| Vec::with_capacity(ncols)).collect())
+        .collect();
+    let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+    let mut codes = Vec::with_capacity(rows.len());
+    for (c, (ctype, codec)) in plan.columns.iter().enumerate() {
+        codes.clear();
+        for row in rows {
+            codes.push(row[c].encode(ctype)?);
+        }
+        match codec {
+            ColumnCodec::Random => {
+                for (r, &code) in codes.iter().enumerate() {
+                    for s in field.split_random(Fp::from_u64(code), &mut rngs[r]) {
+                        out[r][s.provider].push(s.y.to_u64() as i128);
+                    }
+                }
+            }
+            ColumnCodec::Deterministic(key) => {
+                let split = field.split_deterministic_batch(&codes, key);
+                for (r, shares) in split.into_iter().enumerate() {
+                    for s in shares {
+                        out[r][s.provider].push(s.y.to_u64() as i128);
+                    }
+                }
+            }
+            ColumnCodec::OrderPreserving(sharing) => {
+                let split = sharing.share_batch(&codes)?;
+                for (r, row_shares) in split.into_iter().enumerate() {
+                    for (p, y) in row_shares.into_iter().enumerate() {
+                        out[r][p].push(y);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One zipped result row: its id plus, per responding provider, one
+/// share per column.
+type ZippedRow = (u64, Vec<(ProviderId, Vec<i128>)>);
+
+enum DecodeCodec {
+    /// Order-preserving: binary-search decode against this sharer.
+    Op(OpSharing),
+    /// Random/deterministic: Lagrange dot product over the group basis.
+    Field,
+}
+
+/// Decode the field-mode columns of one chunk of rows against a
+/// precomputed basis. Stored field shares are canonical (< p) when
+/// written, but provider-side additive increments (§V-C) accumulate
+/// without reduction — so reduce mod p first. Corrupt values (including
+/// negatives) reduce to *wrong* field elements and fail the basis
+/// cross-check.
+fn decode_field_chunk(
+    entries: &[ZippedRow],
+    rows_idx: &[usize],
+    field_cols: &[usize],
+    basis: &FieldBasis,
+) -> Result<Vec<Vec<u64>>> {
+    let p_mod = dasp_field::MODULUS as i128;
+    rows_idx
+        .iter()
+        .map(|&r| {
+            let per_provider = &entries[r].1;
+            field_cols
+                .iter()
+                .map(|&c| {
+                    let ys: Vec<Fp> = per_provider
+                        .iter()
+                        .map(|(_, shares)| Fp::from_u64(shares[c].rem_euclid(p_mod) as u64))
+                        .collect();
+                    Ok(basis.reconstruct_row(&ys)?.to_u64())
+                })
+                .collect()
+        })
+        .collect()
+}
+
 struct TableState {
     schema: TableSchema,
     next_id: u64,
@@ -134,6 +240,12 @@ pub struct DataSource {
     retry: RetryPolicy,
     /// Extra providers contacted up front on reads, racing stragglers.
     hedge: usize,
+    /// Reconstruction bases keyed by provider subset (in response order).
+    /// Reads from a healthy cluster hit the same subset over and over, so
+    /// the O(k²) Lagrange solve happens once per subset, not per value.
+    basis_cache: HashMap<Vec<usize>, FieldBasis>,
+    /// Worker threads for batch encode/decode fan-out (1 = inline).
+    workers: usize,
     /// Faulty providers identified by the last verified query.
     pub last_faulty: Vec<ProviderId>,
 }
@@ -158,6 +270,8 @@ impl DataSource {
             lazy: false,
             retry: RetryPolicy::default(),
             hedge: 1,
+            basis_cache: HashMap::new(),
+            workers: 1,
             last_faulty: Vec::new(),
         })
     }
@@ -186,6 +300,15 @@ impl DataSource {
     /// requests). 0 disables hedging.
     pub fn set_hedge(&mut self, hedge: usize) {
         self.hedge = hedge;
+    }
+
+    /// Set how many scoped worker threads batch encode/decode fans out
+    /// across (clamped to ≥ 1; 1 keeps everything on the calling thread).
+    /// Results are identical for every setting: rows keep their order and
+    /// random-mode sharing draws from per-row seeded RNG streams, so the
+    /// output depends only on the session RNG, not the thread schedule.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
     }
 
     /// Point-in-time provider health: breaker states, failure streaks,
@@ -260,46 +383,73 @@ impl DataSource {
         Ok(s)
     }
 
-    /// Build the n per-provider share tuples for one row of values.
-    fn shares_for_row(&mut self, table: &str, values: &[Value]) -> Result<Vec<Vec<i128>>> {
-        let schema = self.table(table)?.schema.clone();
-        if values.len() != schema.columns.len() {
-            return Err(ClientError::Schema(format!(
-                "row has {} values, table {table:?} has {} columns",
-                values.len(),
-                schema.columns.len()
-            )));
-        }
-        let n = self.keys.n();
-        let mut per_provider: Vec<Vec<i128>> = vec![Vec::with_capacity(values.len()); n];
-        for (col, value) in schema.columns.iter().zip(values) {
-            let code = value.encode(&col.ctype)?;
-            match col.mode {
-                ShareMode::Random => {
-                    let shares = self
-                        .keys
-                        .field()
-                        .split_random(Fp::from_u64(code), &mut self.rng);
-                    for s in shares {
-                        per_provider[s.provider].push(s.y.to_u64() as i128);
-                    }
-                }
+    /// Resolve everything encoding needs — column types, domain keys,
+    /// OPSS sharers — once per statement, so the per-row loop touches no
+    /// table metadata and clones no schema.
+    fn encode_plan(&mut self, table: &str) -> Result<EncodePlan> {
+        let ncols = self.table(table)?.schema.columns.len();
+        let mut columns = Vec::with_capacity(ncols);
+        for idx in 0..ncols {
+            let col = self.table(table)?.schema.columns[idx].clone();
+            let codec = match col.mode {
+                ShareMode::Random => ColumnCodec::Random,
                 ShareMode::Deterministic => {
-                    let key = self.keys.domain_key(&col.domain);
-                    let shares = self.keys.field().split_deterministic(code, &key);
-                    for s in shares {
-                        per_provider[s.provider].push(s.y.to_u64() as i128);
-                    }
+                    ColumnCodec::Deterministic(self.keys.domain_key(&col.domain))
                 }
-                ShareMode::OrderPreserving => {
-                    let sharing = self.op_sharing(&col.domain, col.ctype.domain_size())?;
-                    for (p, y) in sharing.share(code)?.into_iter().enumerate() {
-                        per_provider[p].push(y);
-                    }
-                }
+                ShareMode::OrderPreserving => ColumnCodec::OrderPreserving(
+                    self.op_sharing(&col.domain, col.ctype.domain_size())?,
+                ),
+            };
+            columns.push((col.ctype, codec));
+        }
+        Ok(EncodePlan { columns })
+    }
+
+    /// Encode a batch of rows into per-provider share tuples, shape
+    /// `[row][provider][column]`, fanned across scoped worker threads.
+    ///
+    /// Output is deterministic regardless of worker count: chunk results
+    /// are reassembled in row order, and each row's random-mode sharing
+    /// draws from its own RNG stream seeded up front from the session RNG.
+    fn encode_rows(
+        &mut self,
+        table: &str,
+        plan: &EncodePlan,
+        rows: &[Vec<Value>],
+    ) -> Result<Vec<Vec<Vec<i128>>>> {
+        let ncols = plan.columns.len();
+        for values in rows {
+            if values.len() != ncols {
+                return Err(ClientError::Schema(format!(
+                    "row has {} values, table {table:?} has {ncols} columns",
+                    values.len()
+                )));
             }
         }
-        Ok(per_provider)
+        let seeds: Vec<u64> = rows.iter().map(|_| self.rng.gen()).collect();
+        let field = self.keys.field();
+        let workers = self.workers.min(rows.len()).max(1);
+        if workers == 1 {
+            return encode_chunk(field, plan, rows, &seeds);
+        }
+        let chunk = rows.len().div_ceil(workers);
+        let results = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = rows
+                .chunks(chunk)
+                .zip(seeds.chunks(chunk))
+                .map(|(rows, seeds)| s.spawn(move |_| encode_chunk(field, plan, rows, seeds)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("encode worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("encode scope panicked");
+        let mut out = Vec::with_capacity(rows.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
     }
 
     /// Insert rows; returns the assigned row ids.
@@ -319,11 +469,12 @@ impl DataSource {
     }
 
     fn insert_with_ids(&mut self, table: &str, ids: &[u64], rows: &[Vec<Value>]) -> Result<()> {
+        let plan = self.encode_plan(table)?;
+        let encoded = self.encode_rows(table, &plan, rows)?;
         let n = self.keys.n();
         let mut per_provider: Vec<Vec<Row>> = vec![Vec::with_capacity(rows.len()); n];
-        for (id, values) in ids.iter().zip(rows) {
-            let shares = self.shares_for_row(table, values)?;
-            for (p, shares) in shares.into_iter().enumerate() {
+        for (id, row_shares) in ids.iter().zip(encoded) {
+            for (p, shares) in row_shares.into_iter().enumerate() {
                 per_provider[p].push(Row { id: *id, shares });
             }
         }
@@ -596,43 +747,157 @@ impl DataSource {
                 }
             }
         }
-        let mut out = Vec::with_capacity(by_id.len());
-        for (id, per_provider) in by_id {
-            if per_provider.len() < k {
-                // A row not confirmed by k providers cannot be
-                // reconstructed; under verification this is suspicious but
-                // non-fatal (the row may genuinely not match at a lagging
-                // provider after an update race).
-                continue;
+        // Rows not confirmed by k providers cannot be reconstructed;
+        // under verification this is suspicious but non-fatal (the row
+        // may genuinely not match at a lagging provider after an update
+        // race).
+        let mut entries: Vec<ZippedRow> = by_id
+            .into_iter()
+            .filter(|(_, per_provider)| per_provider.len() >= k)
+            .collect();
+        entries.sort_by_key(|(id, _)| *id);
+        let codes = if verify {
+            // Verified reads majority-vote per value and record faulty
+            // providers — inherently per-share bookkeeping, kept scalar.
+            let mut all = Vec::with_capacity(entries.len());
+            for (_, per_provider) in &entries {
+                let mut row_codes = Vec::with_capacity(schema.columns.len());
+                for col_idx in 0..schema.columns.len() {
+                    let shares: Vec<(ProviderId, i128)> = per_provider
+                        .iter()
+                        .map(|(p, shares)| {
+                            shares
+                                .get(col_idx)
+                                .copied()
+                                .map(|s| (*p, s))
+                                .ok_or_else(|| {
+                                    ClientError::Reconstruction("row arity mismatch".into())
+                                })
+                        })
+                        .collect::<Result<_>>()?;
+                    row_codes.push(self.decode_column(schema, col_idx, &shares, true)?);
+                }
+                all.push(row_codes);
             }
-            let mut codes = Vec::with_capacity(schema.columns.len());
-            for col_idx in 0..schema.columns.len() {
-                let shares: Vec<(ProviderId, i128)> = per_provider
-                    .iter()
-                    .map(|(p, shares)| {
-                        shares
-                            .get(col_idx)
-                            .copied()
-                            .map(|s| (*p, s))
-                            .ok_or_else(|| ClientError::Reconstruction("row arity mismatch".into()))
-                    })
-                    .collect::<Result<_>>()?;
-                codes.push(self.decode_column(schema, col_idx, &shares, verify)?);
-            }
-            out.push((id, codes));
-        }
-        out.sort_by_key(|(id, _)| *id);
+            all
+        } else {
+            self.decode_rows_batched(schema, &entries)?
+        };
         // Decode codes into typed values.
-        out.into_iter()
-            .map(|(id, codes)| {
-                let values = codes
+        entries
+            .iter()
+            .zip(codes)
+            .map(|((id, _), row_codes)| {
+                let values = row_codes
                     .into_iter()
                     .zip(&schema.columns)
                     .map(|(code, col)| Value::decode(code, &col.ctype))
                     .collect::<Result<Vec<Value>>>()?;
-                Ok((id, values))
+                Ok((*id, values))
             })
             .collect()
+    }
+
+    /// Decode all rows' column codes (no verification), batched: rows are
+    /// grouped by the provider subset that answered them, each group pays
+    /// one Lagrange basis solve (cached across queries) plus one monotone
+    /// binary-search pass per order-preserving column, and the field-mode
+    /// dot products fan across scoped worker threads.
+    fn decode_rows_batched(
+        &mut self,
+        schema: &TableSchema,
+        entries: &[ZippedRow],
+    ) -> Result<Vec<Vec<u64>>> {
+        let ncols = schema.columns.len();
+        for (_, per_provider) in entries {
+            if per_provider.iter().any(|(_, shares)| shares.len() < ncols) {
+                return Err(ClientError::Reconstruction("row arity mismatch".into()));
+            }
+        }
+        // Resolve per-column decode state once per statement.
+        let mut codecs = Vec::with_capacity(ncols);
+        for idx in 0..ncols {
+            let col = &schema.columns[idx];
+            codecs.push(match col.mode {
+                ShareMode::OrderPreserving => {
+                    let sharing = self.op_sharing(&col.domain, col.ctype.domain_size())?;
+                    DecodeCodec::Op(sharing)
+                }
+                ShareMode::Deterministic | ShareMode::Random => DecodeCodec::Field,
+            });
+        }
+        let field_cols: Vec<usize> = (0..ncols)
+            .filter(|&c| matches!(codecs[c], DecodeCodec::Field))
+            .collect();
+        let mut groups: HashMap<Vec<usize>, Vec<usize>> = HashMap::new();
+        for (r, (_, per_provider)) in entries.iter().enumerate() {
+            let sig: Vec<usize> = per_provider.iter().map(|&(p, _)| p).collect();
+            groups.entry(sig).or_default().push(r);
+        }
+        let mut out = vec![vec![0u64; ncols]; entries.len()];
+        for (providers, rows_idx) in groups {
+            // Order-preserving columns: one share per row from the first
+            // responder, all decoded in one narrowing binary-search pass.
+            for (c, codec) in codecs.iter().enumerate() {
+                let DecodeCodec::Op(sharing) = codec else {
+                    continue;
+                };
+                let shares: Vec<i128> = rows_idx.iter().map(|&r| entries[r].1[0].1[c]).collect();
+                let decoded = sharing.reconstruct_search_batch(providers[0], &shares)?;
+                for (&r, d) in rows_idx.iter().zip(decoded) {
+                    out[r][c] = d.ok_or_else(|| {
+                        ClientError::Reconstruction(
+                            "share is not on the expected polynomial".into(),
+                        )
+                    })?;
+                }
+            }
+            if field_cols.is_empty() {
+                continue;
+            }
+            let basis = self.cached_basis(&providers)?;
+            let workers = self.workers.min(rows_idx.len()).max(1);
+            let flat: Vec<Vec<u64>> = if workers == 1 {
+                decode_field_chunk(entries, &rows_idx, &field_cols, &basis)?
+            } else {
+                let chunk = rows_idx.len().div_ceil(workers);
+                let results = crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = rows_idx
+                        .chunks(chunk)
+                        .map(|idx| {
+                            let (basis, field_cols) = (&basis, &field_cols);
+                            s.spawn(move |_| decode_field_chunk(entries, idx, field_cols, basis))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("decode worker panicked"))
+                        .collect::<Vec<_>>()
+                })
+                .expect("decode scope panicked");
+                let mut flat = Vec::with_capacity(rows_idx.len());
+                for r in results {
+                    flat.extend(r?);
+                }
+                flat
+            };
+            for (&r, vals) in rows_idx.iter().zip(flat) {
+                for (&c, v) in field_cols.iter().zip(vals) {
+                    out[r][c] = v;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The cached reconstruction basis for one provider subset.
+    fn cached_basis(&mut self, providers: &[usize]) -> Result<FieldBasis> {
+        if let Some(b) = self.basis_cache.get(providers) {
+            return Ok(b.clone());
+        }
+        let b = self.keys.field().basis_for(providers)?;
+        self.basis_cache.insert(providers.to_vec(), b.clone());
+        Ok(b)
     }
 
     // ---- queries ----
@@ -1389,11 +1654,13 @@ impl DataSource {
         if updated.is_empty() {
             return Ok(());
         }
+        let plan = self.encode_plan(table)?;
+        let (ids, rows): (Vec<u64>, Vec<Vec<Value>>) = updated.iter().cloned().unzip();
+        let encoded = self.encode_rows(table, &plan, &rows)?;
         let n = self.keys.n();
         let mut per_provider: Vec<Vec<Row>> = vec![Vec::with_capacity(updated.len()); n];
-        for (id, values) in updated {
-            let shares = self.shares_for_row(table, values)?;
-            for (p, shares) in shares.into_iter().enumerate() {
+        for (id, row_shares) in ids.iter().zip(encoded) {
+            for (p, shares) in row_shares.into_iter().enumerate() {
                 per_provider[p].push(Row { id: *id, shares });
             }
         }

@@ -20,7 +20,9 @@ pub mod rational;
 
 pub use fp::{Fp, MODULUS};
 pub use poly::Poly;
-pub use rational::{rational_interpolate_at_zero, Rational};
+pub use rational::{
+    rational_apply_at_zero, rational_basis_at_zero, rational_interpolate_at_zero, Rational,
+};
 
 /// Errors produced by interpolation and field operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,43 +52,72 @@ impl std::fmt::Display for FieldError {
 
 impl std::error::Error for FieldError {}
 
-/// Interpolate the unique degree-(n−1) polynomial through `points`
-/// (given as `(x, y)` pairs in GF(p)) and evaluate it at x = 0.
+/// Precompute the Lagrange weights `l_i(0)` for a fixed set of distinct
+/// evaluation points.
 ///
-/// This is the reconstruction step of Shamir's scheme: the constant term
-/// *is* the secret. Runs in O(n²).
+/// Reconstructing any polynomial sampled at these points is then a single
+/// dot product `Σ yᵢ·wᵢ` — the batch-codec fast path: one O(k²) weight
+/// solve amortized over every row sharing the same provider subset,
+/// instead of a full solve per row.
 ///
 /// # Errors
 ///
-/// Returns [`FieldError::DuplicatePoint`] if two points share an x
-/// coordinate and [`FieldError::NotEnoughPoints`] if `points` is empty.
-pub fn lagrange_at_zero(points: &[(Fp, Fp)]) -> Result<Fp, FieldError> {
-    if points.is_empty() {
+/// Returns [`FieldError::DuplicatePoint`] if two x coordinates coincide
+/// and [`FieldError::NotEnoughPoints`] if `xs` is empty.
+pub fn lagrange_basis_at_zero(xs: &[Fp]) -> Result<Vec<Fp>, FieldError> {
+    if xs.is_empty() {
         return Err(FieldError::NotEnoughPoints { needed: 1, got: 0 });
     }
-    for (i, (xi, _)) in points.iter().enumerate() {
-        for (xj, _) in points.iter().skip(i + 1) {
+    for (i, xi) in xs.iter().enumerate() {
+        for xj in xs.iter().skip(i + 1) {
             if xi == xj {
                 return Err(FieldError::DuplicatePoint(xi.to_u64()));
             }
         }
     }
-    let mut acc = Fp::ZERO;
-    for (i, &(xi, yi)) in points.iter().enumerate() {
+    let mut weights = Vec::with_capacity(xs.len());
+    for (i, &xi) in xs.iter().enumerate() {
         // l_i(0) = prod_{j != i} x_j / (x_j - x_i)
         let mut num = Fp::ONE;
         let mut den = Fp::ONE;
-        for (j, &(xj, _)) in points.iter().enumerate() {
+        for (j, &xj) in xs.iter().enumerate() {
             if i == j {
                 continue;
             }
             num *= xj;
             den *= xj - xi;
         }
-        let li0 = num * den.inv().ok_or(FieldError::DivisionByZero)?;
-        acc += yi * li0;
+        weights.push(num * den.inv().ok_or(FieldError::DivisionByZero)?);
     }
-    Ok(acc)
+    Ok(weights)
+}
+
+/// Apply precomputed [`lagrange_basis_at_zero`] weights to one share row:
+/// `Σ yᵢ·wᵢ`. The caller guarantees `ys` is ordered like the `xs` the
+/// weights were built from.
+pub fn lagrange_apply(weights: &[Fp], ys: &[Fp]) -> Fp {
+    weights
+        .iter()
+        .zip(ys)
+        .fold(Fp::ZERO, |acc, (&w, &y)| acc + y * w)
+}
+
+/// Interpolate the unique degree-(n−1) polynomial through `points`
+/// (given as `(x, y)` pairs in GF(p)) and evaluate it at x = 0.
+///
+/// This is the reconstruction step of Shamir's scheme: the constant term
+/// *is* the secret. Runs in O(n²); for many rows over the same points use
+/// [`lagrange_basis_at_zero`] + [`lagrange_apply`].
+///
+/// # Errors
+///
+/// Returns [`FieldError::DuplicatePoint`] if two points share an x
+/// coordinate and [`FieldError::NotEnoughPoints`] if `points` is empty.
+pub fn lagrange_at_zero(points: &[(Fp, Fp)]) -> Result<Fp, FieldError> {
+    let xs: Vec<Fp> = points.iter().map(|&(x, _)| x).collect();
+    let weights = lagrange_basis_at_zero(&xs)?;
+    let ys: Vec<Fp> = points.iter().map(|&(_, y)| y).collect();
+    Ok(lagrange_apply(&weights, &ys))
 }
 
 /// Interpolate the unique polynomial through `points` and evaluate it at
@@ -201,5 +232,41 @@ mod tests {
     fn lagrange_single_point_is_constant() {
         let pts = [(Fp::from_u64(7), Fp::from_u64(42))];
         assert_eq!(lagrange_at_zero(&pts).unwrap(), Fp::from_u64(42));
+    }
+
+    #[test]
+    fn basis_apply_matches_direct_interpolation() {
+        let pts = [
+            (Fp::from_u64(2), Fp::from_u64(210)),
+            (Fp::from_u64(4), Fp::from_u64(410)),
+            (Fp::from_u64(1), Fp::from_u64(110)),
+        ];
+        let xs: Vec<Fp> = pts.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<Fp> = pts.iter().map(|&(_, y)| y).collect();
+        let weights = lagrange_basis_at_zero(&xs).unwrap();
+        assert_eq!(
+            lagrange_apply(&weights, &ys),
+            lagrange_at_zero(&pts).unwrap()
+        );
+        // Reusing the weights on a second row over the same points agrees
+        // with the per-row solve (the batch-codec invariant).
+        let ys2: Vec<Fp> = [30u64, 40, 25].iter().map(|&y| Fp::from_u64(y)).collect();
+        let pts2: Vec<(Fp, Fp)> = xs.iter().copied().zip(ys2.iter().copied()).collect();
+        assert_eq!(
+            lagrange_apply(&weights, &ys2),
+            lagrange_at_zero(&pts2).unwrap()
+        );
+    }
+
+    #[test]
+    fn basis_rejects_bad_inputs() {
+        assert!(matches!(
+            lagrange_basis_at_zero(&[]),
+            Err(FieldError::NotEnoughPoints { .. })
+        ));
+        assert_eq!(
+            lagrange_basis_at_zero(&[Fp::from_u64(3), Fp::from_u64(3)]),
+            Err(FieldError::DuplicatePoint(3))
+        );
     }
 }

@@ -132,20 +132,35 @@ impl Rational {
 /// * [`FieldError::NotEnoughPoints`] — empty input.
 /// * [`FieldError::Overflow`] — intermediate value exceeded `i128`.
 pub fn rational_interpolate_at_zero(points: &[(i128, i128)]) -> Result<Option<i128>, FieldError> {
-    if points.is_empty() {
+    let xs: Vec<i128> = points.iter().map(|&(x, _)| x).collect();
+    let weights = rational_basis_at_zero(&xs)?;
+    let ys: Vec<i128> = points.iter().map(|&(_, y)| y).collect();
+    rational_apply_at_zero(&weights, &ys)
+}
+
+/// Precompute the exact-rational Lagrange weights `l_i(0)` for a fixed set
+/// of distinct integer points. Reconstructing each row over the same
+/// provider subset is then [`rational_apply_at_zero`] — k rational
+/// multiply-adds instead of the O(k²) weight solve per row.
+///
+/// # Errors
+///
+/// Same conditions as [`rational_interpolate_at_zero`].
+pub fn rational_basis_at_zero(xs: &[i128]) -> Result<Vec<Rational>, FieldError> {
+    if xs.is_empty() {
         return Err(FieldError::NotEnoughPoints { needed: 1, got: 0 });
     }
-    for (i, (xi, _)) in points.iter().enumerate() {
-        for (xj, _) in points.iter().skip(i + 1) {
+    for (i, xi) in xs.iter().enumerate() {
+        for xj in xs.iter().skip(i + 1) {
             if xi == xj {
                 return Err(FieldError::DuplicatePoint(*xi as u64));
             }
         }
     }
-    let mut acc = Rational::ZERO;
-    for (i, &(xi, yi)) in points.iter().enumerate() {
+    let mut weights = Vec::with_capacity(xs.len());
+    for (i, &xi) in xs.iter().enumerate() {
         let mut li0 = Rational::ONE;
-        for (j, &(xj, _)) in points.iter().enumerate() {
+        for (j, &xj) in xs.iter().enumerate() {
             if i == j {
                 continue;
             }
@@ -153,7 +168,22 @@ pub fn rational_interpolate_at_zero(points: &[(i128, i128)]) -> Result<Option<i1
             let term = Rational::new(xj, xj - xi)?;
             li0 = li0.mul(&term)?;
         }
-        acc = acc.add(&Rational::from_int(yi).mul(&li0)?)?;
+        weights.push(li0);
+    }
+    Ok(weights)
+}
+
+/// Apply precomputed [`rational_basis_at_zero`] weights to one row of
+/// share values: `Σ yᵢ·wᵢ`. Returns `Ok(None)` when the result is not an
+/// integer (inconsistent shares), mirroring
+/// [`rational_interpolate_at_zero`].
+pub fn rational_apply_at_zero(
+    weights: &[Rational],
+    ys: &[i128],
+) -> Result<Option<i128>, FieldError> {
+    let mut acc = Rational::ZERO;
+    for (&y, w) in ys.iter().zip(weights) {
+        acc = acc.add(&Rational::from_int(y).mul(w)?)?;
     }
     Ok(acc.to_integer())
 }
@@ -246,6 +276,19 @@ mod tests {
             let p = |x: i128| c3 * x * x * x + c2 * x * x + c1 * x + c0;
             let pts: Vec<_> = [1i128, 3, 7, 11].iter().map(|&x| (x, p(x))).collect();
             prop_assert_eq!(rational_interpolate_at_zero(&pts).unwrap(), Some(c0));
+        }
+
+        #[test]
+        fn prop_basis_apply_matches_interpolate(
+            ys in proptest::collection::vec(-1_000_000i128..1_000_000, 4),
+        ) {
+            let xs = [1i128, 3, 7, 11];
+            let pts: Vec<(i128, i128)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+            let weights = rational_basis_at_zero(&xs).unwrap();
+            prop_assert_eq!(
+                rational_apply_at_zero(&weights, &ys).unwrap(),
+                rational_interpolate_at_zero(&pts).unwrap()
+            );
         }
 
         #[test]

@@ -6,7 +6,8 @@
 //! what makes even k colluding providers unable to interpolate without X.
 
 use crate::{DomainKey, SssError};
-use dasp_field::{lagrange_at_zero, Fp, Poly};
+use dasp_crypto::siphash::SipHash24;
+use dasp_field::{lagrange_apply, lagrange_at_zero, lagrange_basis_at_zero, Fp, Poly};
 use rand::Rng;
 
 /// One provider's share of a field-mode value.
@@ -102,15 +103,26 @@ impl FieldSharing {
     }
 
     fn deterministic_poly(&self, secret: u64, key: &DomainKey) -> Poly {
+        let prfs = self.coeff_prfs(key);
+        self.deterministic_poly_with(secret, &prfs)
+    }
+
+    /// The per-coefficient PRFs for `key`, derived once. Each derivation
+    /// is an HMAC-SHA256, which dominates the per-row deterministic-share
+    /// cost — batch paths hoist this out of the row loop.
+    fn coeff_prfs(&self, key: &DomainKey) -> Vec<SipHash24> {
+        (1..self.k).map(|j| key.coeff_prf(j)).collect()
+    }
+
+    fn deterministic_poly_with(&self, secret: u64, prfs: &[SipHash24]) -> Poly {
         let mut coeffs = Vec::with_capacity(self.k);
         coeffs.push(Fp::from_u64(secret));
-        for j in 1..self.k {
-            let prf = key.coeff_prf(j);
+        for (j, prf) in prfs.iter().enumerate() {
             // Two PRF outputs folded to cover the 61-bit field closely; the
             // tiny bias is irrelevant for a deterministic index.
             let raw = prf.hash_u64(secret);
             let mut c = Fp::from_u64(raw);
-            if j == self.k - 1 && c.is_zero() {
+            if j + 1 == self.k - 1 && c.is_zero() {
                 c = Fp::ONE; // keep the polynomial at full degree
             }
             coeffs.push(c);
@@ -164,6 +176,137 @@ impl FieldSharing {
         }
         Ok(first)
     }
+
+    // ---- batch codec ----
+
+    /// Split a batch of secrets with fresh random polynomials
+    /// ([`crate::ShareMode::Random`]). Consumes the RNG in the same order
+    /// as the scalar loop, so the output is bit-identical to calling
+    /// [`FieldSharing::split_random`] per secret.
+    pub fn split_random_batch<R: Rng + ?Sized>(
+        &self,
+        secrets: &[Fp],
+        rng: &mut R,
+    ) -> Vec<Vec<FieldShare>> {
+        secrets.iter().map(|&s| self.split_random(s, rng)).collect()
+    }
+
+    /// Split a batch of secrets in deterministic mode. Bit-identical to
+    /// calling [`FieldSharing::split_deterministic`] per secret, but the
+    /// per-coefficient PRFs (one HMAC-SHA256 derivation each) are derived
+    /// once for the whole batch instead of once per row.
+    pub fn split_deterministic_batch(
+        &self,
+        secrets: &[u64],
+        key: &DomainKey,
+    ) -> Vec<Vec<FieldShare>> {
+        let prfs = self.coeff_prfs(key);
+        secrets
+            .iter()
+            .map(|&s| self.eval_all(&self.deterministic_poly_with(s, &prfs)))
+            .collect()
+    }
+
+    /// Precompute reconstruction weights for a fixed provider subset.
+    ///
+    /// `providers` must hold at least k distinct indices; providers beyond
+    /// the first k become cross-checks, exactly as in
+    /// [`FieldSharing::reconstruct_checked`].
+    pub fn basis_for(&self, providers: &[usize]) -> Result<FieldBasis, SssError> {
+        if providers.len() < self.k {
+            return Err(SssError::NotEnoughShares {
+                needed: self.k,
+                got: providers.len(),
+            });
+        }
+        let mut xs = Vec::with_capacity(providers.len());
+        for &p in providers {
+            let x = self.point(p)?;
+            if xs.contains(&x) {
+                return Err(SssError::BadProviderIndex(p));
+            }
+            xs.push(x);
+        }
+        let primary = lagrange_basis_at_zero(&xs[..self.k])
+            .map_err(|e| SssError::Arithmetic(e.to_string()))?;
+        let mut swaps = Vec::with_capacity(providers.len() - self.k);
+        for extra in &xs[self.k..] {
+            let mut sub: Vec<Fp> = xs[..self.k - 1].to_vec();
+            sub.push(*extra);
+            swaps.push(
+                lagrange_basis_at_zero(&sub).map_err(|e| SssError::Arithmetic(e.to_string()))?,
+            );
+        }
+        Ok(FieldBasis {
+            k: self.k,
+            primary,
+            swaps,
+        })
+    }
+
+    /// Reconstruct a batch of rows all shared by the same provider subset:
+    /// one basis solve plus one dot product per row, with any shares
+    /// beyond k cross-checked per row. Semantically equivalent to calling
+    /// [`FieldSharing::reconstruct_checked`] on each row with the shares
+    /// ordered like `providers`.
+    ///
+    /// `rows[r][i]` is the share provider `providers[i]` holds for row `r`.
+    pub fn reconstruct_batch(
+        &self,
+        providers: &[usize],
+        rows: &[Vec<Fp>],
+    ) -> Result<Vec<Fp>, SssError> {
+        let basis = self.basis_for(providers)?;
+        rows.iter().map(|ys| basis.reconstruct_row(ys)).collect()
+    }
+}
+
+/// Precomputed Lagrange-at-zero weights for one provider subset (built by
+/// [`FieldSharing::basis_for`]), including swap bases for cross-checking
+/// shares beyond the threshold. Reusing one basis across a whole batch —
+/// or across queries hitting the same provider subset — replaces the
+/// per-row O(k²) interpolation with a k-term dot product.
+#[derive(Debug, Clone)]
+pub struct FieldBasis {
+    k: usize,
+    /// Weights for the first k providers of the subset.
+    primary: Vec<Fp>,
+    /// For each extra provider `i` (subset position k+j): weights for the
+    /// subset {first k−1 providers, provider i}, used to verify the extra
+    /// share lies on the same polynomial.
+    swaps: Vec<Vec<Fp>>,
+}
+
+impl FieldBasis {
+    /// Number of providers this basis covers (k + extras).
+    pub fn len(&self) -> usize {
+        self.k + self.swaps.len()
+    }
+
+    /// A basis always covers at least one provider.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Reconstruct one row from shares ordered like the subset the basis
+    /// was built from. Shares beyond k are cross-checked; a disagreement
+    /// is [`SssError::InconsistentShares`].
+    pub fn reconstruct_row(&self, ys: &[Fp]) -> Result<Fp, SssError> {
+        if ys.len() < self.len() {
+            return Err(SssError::NotEnoughShares {
+                needed: self.len(),
+                got: ys.len(),
+            });
+        }
+        let first = lagrange_apply(&self.primary, &ys[..self.k]);
+        for (swap, &extra) in self.swaps.iter().zip(&ys[self.k..]) {
+            let head = lagrange_apply(&swap[..self.k - 1], &ys[..self.k - 1]);
+            if head + extra * swap[self.k - 1] != first {
+                return Err(SssError::InconsistentShares);
+            }
+        }
+        Ok(first)
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +314,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
     use rand::SeedableRng;
 
     fn fig1_sharing() -> FieldSharing {
@@ -322,7 +466,109 @@ mod tests {
         );
     }
 
+    #[test]
+    fn basis_for_validates_subsets() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let sharing = FieldSharing::generate(3, 5, &mut rng).unwrap();
+        assert!(matches!(
+            sharing.basis_for(&[0, 1]),
+            Err(SssError::NotEnoughShares { needed: 3, got: 2 })
+        ));
+        assert!(matches!(
+            sharing.basis_for(&[0, 1, 1]),
+            Err(SssError::BadProviderIndex(1))
+        ));
+        assert!(matches!(
+            sharing.basis_for(&[0, 1, 9]),
+            Err(SssError::BadProviderIndex(9))
+        ));
+        let basis = sharing.basis_for(&[4, 2, 0, 1]).unwrap();
+        assert_eq!(basis.len(), 4);
+    }
+
+    #[test]
+    fn reconstruct_batch_detects_corruption_like_scalar() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let sharing = FieldSharing::generate(2, 4, &mut rng).unwrap();
+        let shares = sharing.split_random(Fp::from_u64(9999), &mut rng);
+        let providers = [0usize, 2, 3];
+        let good: Vec<Fp> = providers.iter().map(|&p| shares[p].y).collect();
+        assert_eq!(
+            sharing
+                .reconstruct_batch(&providers, std::slice::from_ref(&good))
+                .unwrap(),
+            vec![Fp::from_u64(9999)]
+        );
+        let mut bad = good;
+        bad[2] += Fp::ONE; // corrupt the cross-check share
+        assert_eq!(
+            sharing.reconstruct_batch(&providers, &[bad]),
+            Err(SssError::InconsistentShares)
+        );
+    }
+
     proptest! {
+        #[test]
+        fn prop_split_batch_bit_identical_to_scalar(
+            secrets in proptest::collection::vec(0u64..1 << 60, 1..40),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sharing = FieldSharing::generate(2, 4, &mut rng).unwrap();
+            // Random mode: batch must consume the RNG exactly like the
+            // scalar loop (clone the stream to compare).
+            let fps: Vec<Fp> = secrets.iter().map(|&s| Fp::from_u64(s)).collect();
+            let mut rng_scalar = rng.clone();
+            let batch = sharing.split_random_batch(&fps, &mut rng);
+            let scalar: Vec<Vec<FieldShare>> = fps
+                .iter()
+                .map(|&s| sharing.split_random(s, &mut rng_scalar))
+                .collect();
+            prop_assert_eq!(batch, scalar);
+            // Deterministic mode: pure function of (key, value).
+            let key = DomainKey::derive(b"master", "salary");
+            let det_batch = sharing.split_deterministic_batch(&secrets, &key);
+            let det_scalar: Vec<Vec<FieldShare>> = secrets
+                .iter()
+                .map(|&s| sharing.split_deterministic(s, &key))
+                .collect();
+            prop_assert_eq!(det_batch, det_scalar);
+        }
+
+        #[test]
+        fn prop_reconstruct_batch_matches_checked_on_any_subset(
+            secrets in proptest::collection::vec(0u64..1 << 60, 1..20),
+            seed in any::<u64>(),
+            subset_seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sharing = FieldSharing::generate(3, 6, &mut rng).unwrap();
+            // Pick a random ordered subset of 3..=6 providers.
+            let mut subset_rng = StdRng::seed_from_u64(subset_seed);
+            let mut providers: Vec<usize> = (0..6).collect();
+            providers.shuffle(&mut subset_rng);
+            let m = 3 + (subset_seed % 4) as usize;
+            providers.truncate(m);
+            let rows: Vec<Vec<FieldShare>> = secrets
+                .iter()
+                .map(|&s| sharing.split_random(Fp::from_u64(s), &mut rng))
+                .collect();
+            let ys: Vec<Vec<Fp>> = rows
+                .iter()
+                .map(|shares| providers.iter().map(|&p| shares[p].y).collect())
+                .collect();
+            let batch = sharing.reconstruct_batch(&providers, &ys).unwrap();
+            for (row, (got, shares)) in batch.iter().zip(&rows).enumerate() {
+                let subset: Vec<FieldShare> =
+                    providers.iter().map(|&p| shares[p]).collect();
+                prop_assert_eq!(
+                    *got,
+                    sharing.reconstruct_checked(&subset).unwrap(),
+                    "row {}", row
+                );
+            }
+        }
+
         #[test]
         fn prop_random_roundtrip(secret in 0u64..1 << 60, seed in any::<u64>()) {
             let mut rng = StdRng::seed_from_u64(seed);

@@ -22,7 +22,7 @@ pub mod field_sharing;
 pub mod opss;
 
 pub use codec::{DictionaryCodec, StringCodec, UPPERCASE_ALPHABET};
-pub use field_sharing::{FieldShare, FieldSharing};
+pub use field_sharing::{FieldBasis, FieldShare, FieldSharing};
 pub use opss::{AffineStrawman, OpSharing, OpssParams};
 
 use dasp_crypto::hmac_sha256;

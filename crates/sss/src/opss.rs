@@ -21,7 +21,10 @@
 //! overflow for shares or for provider-side sums of up to 2³⁰ shares.
 
 use crate::{DomainKey, SssError};
-use dasp_field::rational_interpolate_at_zero;
+use dasp_crypto::siphash::SipHash24;
+use dasp_field::{
+    rational_apply_at_zero, rational_basis_at_zero, rational_interpolate_at_zero, Rational,
+};
 
 /// Parameters of an order-preserving sharing.
 ///
@@ -102,13 +105,18 @@ impl OpssParams {
 #[derive(Debug, Clone)]
 pub struct OpSharing {
     params: OpssParams,
-    key: DomainKey,
+    /// The per-coefficient jitter PRFs, derived once at construction.
+    /// Each derivation costs an HMAC-SHA256; deriving them lazily made a
+    /// single share evaluation — and hence every binary-search probe —
+    /// pay `degree` HMACs.
+    prfs: Vec<SipHash24>,
 }
 
 impl OpSharing {
     /// Bind parameters to a domain key.
     pub fn new(params: OpssParams, key: DomainKey) -> Self {
-        OpSharing { params, key }
+        let prfs = (1..=params.degree).map(|j| key.coeff_prf(j)).collect();
+        OpSharing { params, prfs }
     }
 
     /// The parameters.
@@ -119,7 +127,7 @@ impl OpSharing {
     /// Coefficient of the degree-`j` term for value `v` (slotted + jittered).
     fn coeff(&self, j: usize, v: u64) -> i128 {
         let w = 1u64 << self.params.slot_bits;
-        let jitter = self.key.coeff_prf(j).hash_u64(v) & (w - 1);
+        let jitter = self.prfs[j - 1].hash_u64(v) & (w - 1);
         (v as i128) * (w as i128) + 1 + jitter as i128
     }
 
@@ -215,6 +223,147 @@ impl OpSharing {
             return Err(SssError::BadParameters("empty range".into()));
         }
         Ok((self.share_for(lo, provider)?, self.share_for(hi, provider)?))
+    }
+
+    // ---- batch codec ----
+
+    /// All n shares for each value in a batch: `out[r] == self.share(vs[r])`,
+    /// bit-identical. The coefficients of each value's polynomial are
+    /// computed once and reused across providers; the scalar path
+    /// recomputes every coefficient (one keyed hash each) per provider.
+    pub fn share_batch(&self, vs: &[u64]) -> Result<Vec<Vec<i128>>, SssError> {
+        let d = self.params.degree;
+        let mut out = Vec::with_capacity(vs.len());
+        let mut coeffs = vec![0i128; d];
+        for &v in vs {
+            if v >= self.params.domain_size {
+                return Err(SssError::OutOfDomain {
+                    value: v,
+                    domain_size: self.params.domain_size,
+                });
+            }
+            for j in 1..=d {
+                coeffs[j - 1] = self.coeff(j, v);
+            }
+            let row: Vec<i128> = self
+                .params
+                .points
+                .iter()
+                .map(|&x| {
+                    let x = x as i128;
+                    let mut acc = 0i128;
+                    for j in (1..=d).rev() {
+                        acc = (acc + coeffs[j - 1]) * x;
+                    }
+                    acc + v as i128
+                })
+                .collect();
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Decode a batch of shares all held by the same provider. Equivalent
+    /// to calling [`OpSharing::reconstruct_search`] per share, with two
+    /// batch-only savings: shares are visited in sorted order so each
+    /// binary search starts at the previous hit (order preservation makes
+    /// the decoded values monotone in share order, so the search space
+    /// only ever narrows), and exact duplicate shares are answered
+    /// without searching at all. Probes are recomputed rather than
+    /// memoized: a probe is one keyed hash plus a Horner step, cheaper
+    /// than a hash-map round trip.
+    pub fn reconstruct_search_batch(
+        &self,
+        provider: usize,
+        shares: &[i128],
+    ) -> Result<Vec<Option<u64>>, SssError> {
+        if provider >= self.params.n() {
+            return Err(SssError::BadProviderIndex(provider));
+        }
+        let mut order: Vec<usize> = (0..shares.len()).collect();
+        order.sort_by_key(|&i| shares[i]);
+        let mut out = vec![None; shares.len()];
+        let probe = |v: u64| self.share_for(v, provider);
+        let mut floor = 0u64;
+        let mut last: Option<(i128, Option<u64>)> = None;
+        for &i in &order {
+            let target = shares[i];
+            if let Some((s, hit)) = last {
+                if s == target {
+                    out[i] = hit; // duplicate share in the batch
+                    continue;
+                }
+            }
+            // Invariant: every value below `floor` has a share below any
+            // share processed so far, so the search window shrinks as the
+            // sorted batch advances.
+            let (mut lo, mut hi) = (floor, self.params.domain_size - 1);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if probe(mid)? < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let hit = (probe(lo)? == target).then_some(lo);
+            out[i] = hit;
+            floor = lo;
+            last = Some((target, hit));
+        }
+        Ok(out)
+    }
+
+    /// Precompute the exact-rational interpolation weights for a provider
+    /// subset of exactly k providers — reconstructing each row (or share
+    /// sum) over the same subset is then k rational multiply-adds.
+    pub fn interpolation_basis(&self, providers: &[usize]) -> Result<Vec<Rational>, SssError> {
+        let k = self.params.k();
+        if providers.len() < k {
+            return Err(SssError::NotEnoughShares {
+                needed: k,
+                got: providers.len(),
+            });
+        }
+        let mut xs = Vec::with_capacity(k);
+        for &p in &providers[..k] {
+            let &x = self
+                .params
+                .points
+                .get(p)
+                .ok_or(SssError::BadProviderIndex(p))?;
+            if xs.contains(&(x as i128)) {
+                return Err(SssError::BadProviderIndex(p));
+            }
+            xs.push(x as i128);
+        }
+        rational_basis_at_zero(&xs).map_err(|e| SssError::Arithmetic(e.to_string()))
+    }
+
+    /// Reconstruct a batch of rows all shared by the same k-provider
+    /// subset via precomputed rational weights. `rows[r][i]` is the share
+    /// provider `providers[i]` holds for row `r`; per-row results match
+    /// [`OpSharing::reconstruct_interpolate`] (including `None` for
+    /// corrupted rows).
+    pub fn reconstruct_interpolate_batch(
+        &self,
+        providers: &[usize],
+        rows: &[Vec<i128>],
+    ) -> Result<Vec<Option<i128>>, SssError> {
+        let k = self.params.k();
+        let weights = self.interpolation_basis(providers)?;
+        rows.iter()
+            .map(|ys| {
+                if ys.len() < k {
+                    return Err(SssError::NotEnoughShares {
+                        needed: k,
+                        got: ys.len(),
+                    });
+                }
+                rational_apply_at_zero(&weights, &ys[..k])
+                    .map_err(|e| SssError::Arithmetic(e.to_string()))
+            })
+            .collect()
     }
 }
 
@@ -442,6 +591,171 @@ mod tests {
             !(d1 == d2 && d2 == d3),
             "consecutive share gaps must not be constant"
         );
+    }
+
+    #[test]
+    fn share_batch_matches_scalar() {
+        let s = sharing(2);
+        let vs = [0u64, 1, 531, 531, 99_999, (1 << 20) - 1];
+        let batch = s.share_batch(&vs).unwrap();
+        for (r, &v) in vs.iter().enumerate() {
+            assert_eq!(batch[r], s.share(v).unwrap(), "row {r}");
+        }
+        assert!(matches!(
+            s.share_batch(&[5, 1 << 20]),
+            Err(SssError::OutOfDomain { .. })
+        ));
+        assert!(s.share_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn search_batch_handles_boundaries_duplicates_and_non_shares() {
+        let s = sharing(3);
+        let max = (1 << 20) - 1;
+        // Domain boundaries, duplicates in one batch, and out-of-order input.
+        let vs = [max, 0u64, 777, 0, max, 777];
+        for provider in 0..5 {
+            let shares: Vec<i128> = vs
+                .iter()
+                .map(|&v| s.share_for(v, provider).unwrap())
+                .collect();
+            let got = s.reconstruct_search_batch(provider, &shares).unwrap();
+            let want: Vec<Option<u64>> = vs.iter().map(|&v| Some(v)).collect();
+            assert_eq!(got, want, "provider {provider}");
+        }
+        // Non-share inputs decode to None without disturbing neighbours,
+        // exactly like the scalar search.
+        let good = s.share_for(1000, 0).unwrap();
+        let mixed = [good + 1, good, good - 1, i128::MAX / 2, 0];
+        let got = s.reconstruct_search_batch(0, &mixed).unwrap();
+        for (i, (&share, &hit)) in mixed.iter().zip(&got).enumerate() {
+            assert_eq!(
+                hit,
+                s.reconstruct_search(0, share).unwrap(),
+                "index {i} diverges from scalar search"
+            );
+        }
+        assert_eq!(got[1], Some(1000));
+        // Bad provider and empty batch.
+        assert!(matches!(
+            s.reconstruct_search_batch(9, &[0]),
+            Err(SssError::BadProviderIndex(9))
+        ));
+        assert!(s.reconstruct_search_batch(0, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn interpolation_basis_validates_subsets() {
+        let s = sharing(2); // k = 3
+        assert!(matches!(
+            s.interpolation_basis(&[0, 1]),
+            Err(SssError::NotEnoughShares { needed: 3, got: 2 })
+        ));
+        assert!(matches!(
+            s.interpolation_basis(&[0, 1, 9]),
+            Err(SssError::BadProviderIndex(9))
+        ));
+        assert!(matches!(
+            s.interpolation_basis(&[0, 1, 1]),
+            Err(SssError::BadProviderIndex(1))
+        ));
+        assert_eq!(s.interpolation_basis(&[0, 1, 2]).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn interpolate_batch_matches_scalar_and_flags_corruption() {
+        let s = sharing(2); // k = 3
+        let providers = [4usize, 1, 3];
+        let vs = [0u64, 42, 123_456, (1 << 20) - 1];
+        let mut rows: Vec<Vec<i128>> = vs
+            .iter()
+            .map(|&v| {
+                providers
+                    .iter()
+                    .map(|&p| s.share_for(v, p).unwrap())
+                    .collect()
+            })
+            .collect();
+        rows[2][0] += 1; // corrupt one row
+        let got = s.reconstruct_interpolate_batch(&providers, &rows).unwrap();
+        for (r, (row, &v)) in rows.iter().zip(&vs).enumerate() {
+            let pairs: Vec<(usize, i128)> =
+                providers.iter().copied().zip(row.iter().copied()).collect();
+            assert_eq!(
+                got[r],
+                s.reconstruct_interpolate(&pairs).unwrap(),
+                "row {r}"
+            );
+            if r != 2 {
+                assert_eq!(got[r], Some(v as i128));
+            }
+        }
+        assert_ne!(got[2], Some(vs[2] as i128), "corruption must not decode");
+        // A short row inside the batch is an error, as in the scalar path.
+        assert!(matches!(
+            s.reconstruct_interpolate_batch(&providers, &[vec![1, 2]]),
+            Err(SssError::NotEnoughShares { needed: 3, got: 2 })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_share_batch_bit_identical_to_scalar(
+            vs in proptest::collection::vec(0u64..1 << 20, 0..40),
+            degree in 1usize..=3,
+        ) {
+            let s = sharing(degree);
+            let batch = s.share_batch(&vs).unwrap();
+            for (row, &v) in batch.iter().zip(&vs) {
+                prop_assert_eq!(row, &s.share(v).unwrap());
+            }
+        }
+
+        #[test]
+        fn prop_search_batch_matches_scalar_search(
+            vs in proptest::collection::vec(0u64..1 << 20, 1..40),
+            noise in proptest::collection::vec(-3i128..=3, 1..40),
+            provider in 0usize..5,
+        ) {
+            let s = sharing(2);
+            // Mix genuine shares with near-miss perturbations.
+            let shares: Vec<i128> = vs
+                .iter()
+                .zip(noise.iter().cycle())
+                .map(|(&v, &d)| s.share_for(v, provider).unwrap() + d)
+                .collect();
+            let batch = s.reconstruct_search_batch(provider, &shares).unwrap();
+            for (&share, &hit) in shares.iter().zip(&batch) {
+                prop_assert_eq!(hit, s.reconstruct_search(provider, share).unwrap());
+            }
+        }
+
+        #[test]
+        fn prop_interpolate_batch_matches_scalar_on_subsets(
+            vs in proptest::collection::vec(0u64..1 << 20, 1..20),
+            seed in any::<u64>(),
+        ) {
+            use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+            let s = sharing(2); // k = 3, n = 5
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut subset = vec![0usize, 1, 2, 3, 4];
+            subset.shuffle(&mut rng);
+            subset.truncate(3);
+            let rows: Vec<Vec<i128>> = vs
+                .iter()
+                .map(|&v| subset.iter().map(|&p| s.share_for(v, p).unwrap()).collect())
+                .collect();
+            let got = s.reconstruct_interpolate_batch(&subset, &rows).unwrap();
+            for (row, &v) in rows.iter().zip(&vs) {
+                let pairs: Vec<(usize, i128)> =
+                    subset.iter().copied().zip(row.iter().copied()).collect();
+                prop_assert_eq!(
+                    s.reconstruct_interpolate(&pairs).unwrap(),
+                    Some(v as i128)
+                );
+            }
+            prop_assert_eq!(got, vs.iter().map(|&v| Some(v as i128)).collect::<Vec<_>>());
+        }
     }
 
     proptest! {

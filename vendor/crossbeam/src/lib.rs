@@ -1,11 +1,115 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Only `crossbeam::channel::{bounded, unbounded, Sender, Receiver,
-//! RecvTimeoutError, ...}` is used by this workspace, and only in MPSC
-//! patterns (many clones of one `Sender`, a single owner per `Receiver`),
-//! so wrapping `std::sync::mpsc` is behaviour-compatible for our uses.
-//! `std::sync::mpsc::Sender` is `Sync` since Rust 1.72, which the RPC
-//! layer's shared reply channels rely on.
+//! Two subsets are provided, matching what this workspace uses:
+//!
+//! * `crossbeam::channel::{bounded, unbounded, Sender, Receiver,
+//!   RecvTimeoutError, ...}` — only in MPSC patterns (many clones of one
+//!   `Sender`, a single owner per `Receiver`), so wrapping
+//!   `std::sync::mpsc` is behaviour-compatible for our uses.
+//!   `std::sync::mpsc::Sender` is `Sync` since Rust 1.72, which the RPC
+//!   layer's shared reply channels rely on.
+//! * `crossbeam::thread::scope` — scoped threads that may borrow from the
+//!   enclosing stack frame. `std::thread::scope` (Rust 1.63) provides the
+//!   same guarantee, so the wrapper only adapts the crossbeam calling
+//!   convention (`Result`-returning entry point, `Scope` passed by
+//!   reference, handles joined implicitly at scope exit).
+
+pub mod thread {
+    //! Scoped thread spawning in the `crossbeam::thread` shape.
+
+    /// Handle to a scoped thread; join to collect its result.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Spawns threads whose closures may borrow non-`'static` data.
+    ///
+    /// `Copy` so closures can capture it by value and keep spawning from
+    /// inside spawned threads, mirroring crossbeam's `&Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. Unjoined handles are joined implicitly
+        /// when the scope exits (a child panic then propagates).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&scope)))
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. All spawned threads
+    /// are joined before this returns. Crossbeam returns `Err` when a
+    /// child panicked and was not explicitly joined; `std::thread::scope`
+    /// resumes the panic instead, so the `Ok` arm is the only one this
+    /// wrapper ever produces — callers' error paths stay compilable.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let mut out = vec![0u64; 4];
+            super::scope(|s| {
+                let mut handles = Vec::new();
+                for (slot, &v) in out.iter_mut().zip(&data) {
+                    handles.push(s.spawn(move |_| {
+                        *slot = v * 10;
+                    }));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+            .unwrap();
+            assert_eq!(out, [10, 20, 30, 40]);
+        }
+
+        #[test]
+        fn nested_spawn_from_child() {
+            let total = std::sync::atomic::AtomicU64::new(0);
+            super::scope(|s| {
+                s.spawn(|s2| {
+                    s2.spawn(|_| {
+                        total.fetch_add(7, std::sync::atomic::Ordering::SeqCst);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 7);
+        }
+
+        #[test]
+        fn implicit_join_at_scope_exit() {
+            let flag = std::sync::atomic::AtomicBool::new(false);
+            super::scope(|s| {
+                s.spawn(|_| {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+                // not joined explicitly
+            })
+            .unwrap();
+            assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+        }
+    }
+}
 
 pub mod channel {
     use std::sync::mpsc;
