@@ -9,6 +9,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== dasp-lint (secrecy hygiene & panic safety) =="
+cargo run -q -p dasp-lint -- --deny-all
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 

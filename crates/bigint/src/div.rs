@@ -1,6 +1,6 @@
 //! Multi-precision division: Knuth's Algorithm D (TAOCP vol. 2, §4.3.1).
 
-use crate::BigUint;
+use crate::{lo64, wrap64, BigUint};
 
 /// Divide `u / v`, returning `(quotient, remainder)`.
 ///
@@ -25,10 +25,10 @@ fn div_rem_u64(u: &BigUint, v: u64) -> (BigUint, u64) {
     let mut rem = 0u128;
     for i in (0..u.limbs.len()).rev() {
         let cur = (rem << 64) | u.limbs[i] as u128;
-        q[i] = (cur / v as u128) as u64;
+        q[i] = lo64(cur / v as u128); // quotient digit fits one limb
         rem = cur % v as u128;
     }
-    (BigUint::from_limbs(q), rem as u64)
+    (BigUint::from_limbs(q), lo64(rem)) // rem < v ≤ u64::MAX
 }
 
 /// Knuth Algorithm D for multi-limb divisors.
@@ -66,12 +66,12 @@ fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
         for i in 0..n {
             let p = q_hat * vn[i] as u128 + carry;
             carry = p >> 64;
-            let sub = (un[j + i] as i128) - ((p as u64) as i128) - borrow;
-            un[j + i] = sub as u64;
+            let sub = (un[j + i] as i128) - i128::from(lo64(p)) - borrow;
+            un[j + i] = wrap64(sub);
             borrow = if sub < 0 { 1 } else { 0 };
         }
         let sub = (un[j + n] as i128) - (carry as i128) - borrow;
-        un[j + n] = sub as u64;
+        un[j + n] = wrap64(sub);
 
         // D5/D6: if we subtracted too much, add one v back.
         if sub < 0 {
@@ -79,12 +79,12 @@ fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
             let mut carry = 0u128;
             for i in 0..n {
                 let s = un[j + i] as u128 + vn[i] as u128 + carry;
-                un[j + i] = s as u64;
+                un[j + i] = lo64(s);
                 carry = s >> 64;
             }
-            un[j + n] = un[j + n].wrapping_add(carry as u64);
+            un[j + n] = un[j + n].wrapping_add(lo64(carry));
         }
-        q[j] = q_hat as u64;
+        q[j] = lo64(q_hat); // q_hat < 2^64 after the D3 corrections
     }
 
     // D8: denormalize the remainder.

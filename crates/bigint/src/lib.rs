@@ -25,6 +25,26 @@ use rand::Rng;
 use std::cmp::Ordering;
 use std::fmt;
 
+/// Truncate a `u128` to its low 64 bits — one limb.
+///
+/// The sanctioned narrowing conversion for limb arithmetic: every caller
+/// propagates the discarded high bits through an explicit carry.
+#[inline]
+pub(crate) fn lo64(v: u128) -> u64 {
+    // dasp::allow(P2): deliberate limb truncation — callers carry the high bits.
+    v as u64
+}
+
+/// Reinterpret the low 64 bits of an `i128` as a limb (two's complement).
+///
+/// Knuth's Algorithm D mixes signed subtraction windows with unsigned
+/// limbs; the wrap-around is the algorithm's intended semantics.
+#[inline]
+pub(crate) fn wrap64(v: i128) -> u64 {
+    // dasp::allow(P2): two's-complement wrap is Algorithm D's step-D4 semantics.
+    v as u64
+}
+
 /// An arbitrary-precision unsigned integer, little-endian `u64` limbs,
 /// normalized so the most significant limb is non-zero (zero = no limbs).
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
@@ -54,8 +74,8 @@ impl BigUint {
 
     /// Construct from a `u128`.
     pub fn from_u128(v: u128) -> Self {
-        let lo = v as u64;
-        let hi = (v >> 64) as u64;
+        let lo = lo64(v);
+        let hi = lo64(v >> 64);
         let mut n = BigUint {
             limbs: vec![lo, hi],
         };
@@ -77,7 +97,7 @@ impl BigUint {
         for chunk in &mut iter {
             let mut limb = 0u64;
             for &b in chunk {
-                limb = (limb << 8) | b as u64;
+                limb = (limb << 8) | u64::from(b);
             }
             limbs.push(limb);
         }
@@ -188,7 +208,7 @@ impl BigUint {
             let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
-            carry = (c1 as u64) + (c2 as u64);
+            carry = u64::from(c1) + u64::from(c2);
         }
         if carry != 0 {
             out.push(carry);
@@ -209,7 +229,7 @@ impl BigUint {
             let (d1, b1) = a.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
             out.push(d2);
-            borrow = (b1 as u64) + (b2 as u64);
+            borrow = u64::from(b1) + u64::from(b2);
         }
         debug_assert_eq!(borrow, 0);
         Some(BigUint::from_limbs(out))
@@ -225,13 +245,13 @@ impl BigUint {
             let mut carry = 0u128;
             for (j, &b) in other.limbs.iter().enumerate() {
                 let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
-                out[i + j] = cur as u64;
+                out[i + j] = lo64(cur);
                 carry = cur >> 64;
             }
             let mut k = i + other.limbs.len();
             while carry != 0 {
                 let cur = out[k] as u128 + carry;
-                out[k] = cur as u64;
+                out[k] = lo64(cur);
                 carry = cur >> 64;
                 k += 1;
             }
@@ -248,11 +268,11 @@ impl BigUint {
         let mut carry = 0u128;
         for &a in &self.limbs {
             let cur = a as u128 * m as u128 + carry;
-            out.push(cur as u64);
+            out.push(lo64(cur));
             carry = cur >> 64;
         }
         if carry != 0 {
-            out.push(carry as u64);
+            out.push(lo64(carry));
         }
         BigUint::from_limbs(out)
     }

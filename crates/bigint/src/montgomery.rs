@@ -11,7 +11,7 @@
 //! Only odd moduli are supported (all RSA/Paillier/safe-prime moduli are
 //! odd); [`crate::mod_pow`] dispatches here automatically.
 
-use crate::BigUint;
+use crate::{lo64, BigUint};
 
 /// Precomputed context for a fixed odd modulus.
 pub struct MontgomeryCtx {
@@ -59,7 +59,7 @@ fn sub_in_place(a: &mut [u64], b: &[u64]) -> u64 {
         let (d1, b1) = a[i].overflowing_sub(b[i]);
         let (d2, b2) = d1.overflowing_sub(borrow);
         a[i] = d2;
-        borrow = (b1 as u64) + (b2 as u64);
+        borrow = u64::from(b1) + u64::from(b2);
     }
     borrow
 }
@@ -97,24 +97,24 @@ impl MontgomeryCtx {
             let mut carry = 0u128;
             for j in 0..len {
                 let cur = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
-                t[j] = cur as u64;
+                t[j] = lo64(cur);
                 carry = cur >> 64;
             }
             let cur = t[len] as u128 + carry;
-            t[len] = cur as u64;
-            t[len + 1] = t[len + 1].wrapping_add((cur >> 64) as u64);
+            t[len] = lo64(cur);
+            t[len + 1] = t[len + 1].wrapping_add(lo64(cur >> 64));
 
             // m = t[0] * n0_inv mod 2^64; t += m * n  (makes t[0] == 0)
             let m = t[0].wrapping_mul(self.n0_inv);
             let mut carry = 0u128;
             for (j, tj) in t.iter_mut().enumerate().take(len) {
                 let cur = *tj as u128 + m as u128 * self.n[j] as u128 + carry;
-                *tj = cur as u64;
+                *tj = lo64(cur);
                 carry = cur >> 64;
             }
             let cur = t[len] as u128 + carry;
-            t[len] = cur as u64;
-            t[len + 1] = t[len + 1].wrapping_add((cur >> 64) as u64);
+            t[len] = lo64(cur);
+            t[len + 1] = t[len + 1].wrapping_add(lo64(cur >> 64));
 
             // shift one limb right (divide by 2^64)
             t.copy_within(1..len + 2, 0);

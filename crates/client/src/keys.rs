@@ -8,7 +8,7 @@
 //! would escrow it; the struct is cheap to clone for that purpose.
 
 use crate::{ClientError, Result};
-use dasp_field::Fp;
+use dasp_field::{Fp, Secret};
 use dasp_sss::{DomainKey, FieldSharing, OpSharing, OpssParams};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -16,9 +16,9 @@ use rand::Rng;
 /// All client-side secrets for one outsourced database.
 #[derive(Clone)]
 pub struct ClientKeys {
-    master: [u8; 32],
+    master: Secret<[u8; 32]>,
     field: FieldSharing,
-    op_points: Vec<u32>,
+    op_points: Secret<Vec<u32>>,
     op_degree: usize,
     op_slot_bits: u32,
 }
@@ -46,9 +46,9 @@ impl ClientKeys {
         candidates.shuffle(rng);
         let op_points: Vec<u32> = candidates.into_iter().take(n).collect();
         Ok(ClientKeys {
-            master,
+            master: Secret::new(master),
             field,
-            op_points,
+            op_points: Secret::new(op_points),
             op_degree: k - 1,
             op_slot_bits: 12,
         })
@@ -76,7 +76,7 @@ impl ClientKeys {
 
     /// The domain key for a named value domain.
     pub fn domain_key(&self, domain: &str) -> DomainKey {
-        DomainKey::derive(&self.master, domain)
+        DomainKey::derive(self.master.expose(), domain)
     }
 
     /// An order-preserving sharer for `domain` over values `< domain_size`.
@@ -85,15 +85,15 @@ impl ClientKeys {
             self.op_degree,
             self.op_slot_bits,
             domain_size,
-            self.op_points.clone(),
+            self.op_points.expose().clone(),
         )?;
         Ok(OpSharing::new(params, self.domain_key(domain)))
     }
 }
 
+// dasp::allow(S1): sanctioned redacting impl — never prints secrets.
 impl std::fmt::Debug for ClientKeys {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // Never print secrets.
         write!(f, "ClientKeys(k={}, n={})", self.k(), self.n())
     }
 }
@@ -125,7 +125,7 @@ mod tests {
     fn op_points_distinct() {
         let mut rng = StdRng::seed_from_u64(2);
         let keys = ClientKeys::generate(3, 8, &mut rng).unwrap();
-        let mut pts = keys.op_points.clone();
+        let mut pts = keys.op_points.expose().clone();
         pts.sort_unstable();
         pts.dedup();
         assert_eq!(pts.len(), 8);

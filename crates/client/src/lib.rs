@@ -47,6 +47,8 @@ pub enum ClientError {
     Reconstruction(String),
     /// The operation needs a capability this column's share mode lacks.
     Unsupported(String),
+    /// A client-side worker thread panicked or could not be joined.
+    Worker(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -60,6 +62,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Schema(msg) => write!(f, "schema: {msg}"),
             ClientError::Reconstruction(msg) => write!(f, "reconstruction: {msg}"),
             ClientError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            ClientError::Worker(msg) => write!(f, "worker thread: {msg}"),
         }
     }
 }

@@ -441,13 +441,16 @@ impl DataSource {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("encode worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| ClientError::Worker("encode worker panicked".into()))
+                })
                 .collect::<Vec<_>>()
         })
-        .expect("encode scope panicked");
+        .map_err(|_| ClientError::Worker("encode scope panicked".into()))?;
         let mut out = Vec::with_capacity(rows.len());
         for r in results {
-            out.extend(r?);
+            out.extend(r??);
         }
         Ok(out)
     }
@@ -871,13 +874,16 @@ impl DataSource {
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("decode worker panicked"))
+                        .map(|h| {
+                            h.join()
+                                .map_err(|_| ClientError::Worker("decode worker panicked".into()))
+                        })
                         .collect::<Vec<_>>()
                 })
-                .expect("decode scope panicked");
+                .map_err(|_| ClientError::Worker("decode scope panicked".into()))?;
                 let mut flat = Vec::with_capacity(rows_idx.len());
                 for r in results {
-                    flat.extend(r?);
+                    flat.extend(r??);
                 }
                 flat
             };
@@ -1016,13 +1022,17 @@ impl DataSource {
         let mut decoded = self.reconstruct_rows(&schema, rows, opts.verify)?;
 
         // Residual filtering (random-mode columns, unsupported ranges).
+        // Column indices are resolved up front so the retain closure is
+        // infallible — split_predicate already validated every column.
         if !residual.is_empty() {
-            let residual: Vec<Predicate> = residual.into_iter().cloned().collect();
+            let mut residual_cols: Vec<(usize, Predicate)> = Vec::with_capacity(residual.len());
+            for pred in residual {
+                residual_cols.push((schema.col(pred.col())?, pred.clone()));
+            }
             decoded.retain(|(_, values)| {
-                residual.iter().all(|pred| {
-                    let idx = schema.col(pred.col()).expect("validated");
-                    let col = &schema.columns[idx];
-                    values[idx]
+                residual_cols.iter().all(|(idx, pred)| {
+                    let col = &schema.columns[*idx];
+                    values[*idx]
                         .encode(&col.ctype)
                         .map(|code| pred.matches_code(code, &col.ctype))
                         .unwrap_or(false)
@@ -1423,7 +1433,8 @@ impl DataSource {
                         count: 0,
                     });
                 }
-                let spec = col_spec.expect("sum has a column");
+                let spec =
+                    col_spec.ok_or_else(|| ClientError::Schema("SUM requires a column".into()))?;
                 let sum_code = match spec.mode {
                     ShareMode::OrderPreserving => {
                         let sharing = self.op_sharing(&spec.domain, spec.ctype.domain_size())?;
@@ -1512,7 +1523,7 @@ impl DataSource {
         let value = match kind {
             AggKind::Sum => Value::Int(nums.iter().sum()),
             AggKind::Min => Value::Int(nums[0]),
-            AggKind::Max => Value::Int(*nums.last().expect("non-empty")),
+            AggKind::Max => Value::Int(nums[nums.len() - 1]),
             AggKind::Median => Value::Int(nums[nums.len() / 2]),
             AggKind::Count => unreachable!(),
         };
@@ -1807,7 +1818,7 @@ impl DataSource {
         self.insert_with_ids(table, &ids, &rows)?;
         self.tables
             .get_mut(table)
-            .expect("checked")
+            .ok_or_else(|| ClientError::Schema(format!("no table {table:?}")))?
             .ringers
             .insert(col.to_string(), set);
         Ok(())
@@ -2034,7 +2045,7 @@ impl DataSource {
         let n = committed.len();
         self.tables
             .get_mut(table)
-            .expect("checked")
+            .ok_or_else(|| ClientError::Schema(format!("no table {table:?}")))?
             .commitments
             .insert(col.to_string(), committed);
         Ok(n)

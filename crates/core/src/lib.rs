@@ -34,6 +34,10 @@ pub use dasp_sql as sql;
 pub use dasp_sss as sss;
 pub use dasp_verify as verify;
 
+/// Redacting wrapper for client-secret state (defined in `dasp-field`,
+/// the workspace's dependency root, so every layer can use it).
+pub use dasp_field::Secret;
+
 use dasp_client::{
     AggResult, ClientError, ClientKeys, ColumnSpec, ColumnType, DataSource, ExplainReport,
     GroupRow, Predicate, QueryOptions, TableSchema, Value,

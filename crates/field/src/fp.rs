@@ -32,7 +32,7 @@ impl Fp {
     #[inline]
     pub fn from_i64(v: i64) -> Self {
         if v >= 0 {
-            Fp::from_u64(v as u64)
+            Fp::from_u64(v.unsigned_abs())
         } else {
             -Fp::from_u64(v.unsigned_abs())
         }
@@ -101,17 +101,27 @@ impl Fp {
     }
 }
 
+/// Truncate a `u128` to its low 64 bits.
+///
+/// The one sanctioned narrowing conversion in this crate: every caller is
+/// a Mersenne fold that accounts for the discarded high bits separately.
+#[inline]
+fn lo64(v: u128) -> u64 {
+    // dasp::allow(P2): deliberate truncation — the fold keeps the high bits.
+    v as u64
+}
+
 /// Reduce a u128 modulo the Mersenne prime 2^61 − 1 using shift/add folds.
 #[inline]
 fn reduce128(v: u128) -> u64 {
     // Fold twice: v = hi * 2^61 + lo  ≡  hi + lo (mod 2^61 − 1).
-    let lo = (v as u64) & MODULUS;
-    let mid = ((v >> 61) as u64) & MODULUS;
-    let hi = (v >> 122) as u64; // at most 6 bits
-    let mut r = lo as u128 + mid as u128 + hi as u128;
+    let lo = lo64(v) & MODULUS;
+    let mid = lo64(v >> 61) & MODULUS;
+    let hi = lo64(v >> 122); // at most 6 bits
+    let mut r = u128::from(lo) + u128::from(mid) + u128::from(hi);
     // r < 3 * 2^61; fold once more.
-    r = (r & MODULUS as u128) + (r >> 61);
-    let mut r = r as u64;
+    r = (r & u128::from(MODULUS)) + (r >> 61);
+    let mut r = lo64(r); // < 2^62 after the fold, so no bits lost
     if r >= MODULUS {
         r -= MODULUS;
     }

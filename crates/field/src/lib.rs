@@ -17,12 +17,14 @@
 pub mod fp;
 pub mod poly;
 pub mod rational;
+pub mod secret;
 
 pub use fp::{Fp, MODULUS};
 pub use poly::Poly;
 pub use rational::{
     rational_apply_at_zero, rational_basis_at_zero, rational_interpolate_at_zero, Rational,
 };
+pub use secret::Secret;
 
 /// Errors produced by interpolation and field operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -7,9 +7,17 @@ use rand::Rng;
 ///
 /// The constant term `c\[0\]` carries the secret in Shamir's scheme; the
 /// remaining coefficients are uniform random field elements.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Poly {
     coeffs: Vec<Fp>,
+}
+
+// dasp::allow(S1): sanctioned redacting impl — the coefficients (the secret
+// and its blinding randomness) are never printed, only the shape.
+impl std::fmt::Debug for Poly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Poly(degree={}, coeffs=<redacted>)", self.degree())
+    }
 }
 
 impl Poly {

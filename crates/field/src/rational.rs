@@ -153,7 +153,9 @@ pub fn rational_basis_at_zero(xs: &[i128]) -> Result<Vec<Rational>, FieldError> 
     for (i, xi) in xs.iter().enumerate() {
         for xj in xs.iter().skip(i + 1) {
             if xi == xj {
-                return Err(FieldError::DuplicatePoint(*xi as u64));
+                // Diagnostic value only; saturate rather than truncate.
+                let shown = u64::try_from(xi.unsigned_abs()).unwrap_or(u64::MAX);
+                return Err(FieldError::DuplicatePoint(shown));
             }
         }
     }

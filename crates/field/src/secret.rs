@@ -1,0 +1,86 @@
+//! A redacting wrapper for client-held secret material.
+//!
+//! The paper's security argument (§III) assumes the evaluation points
+//! `X = {x₁…xₙ}`, sharing-polynomial coefficients, and key material never
+//! leave the client. [`Secret`] makes that assumption mechanical: the
+//! wrapped value can only be reached through the explicit [`Secret::expose`]
+//! call, and every `Debug`/`Display` rendering prints `<redacted>` — so a
+//! stray log line or error message cannot leak what it wraps. The
+//! `dasp-lint` S1 rule enforces that secret-bearing types route their
+//! state through this wrapper (or carry a sanctioned redacting impl).
+
+/// A value that must never be printed, logged, or serialized onto the wire.
+///
+/// Access is deliberately noisy: call sites read `key.expose()`, which is
+/// easy to grep and easy to review. There is no `Deref` on purpose.
+#[derive(Clone)]
+pub struct Secret<T>(T);
+
+impl<T> Secret<T> {
+    /// Wrap a secret value.
+    pub const fn new(value: T) -> Self {
+        Secret(value)
+    }
+
+    /// Borrow the secret. The explicit name marks every use site.
+    pub fn expose(&self) -> &T {
+        &self.0
+    }
+
+    /// Mutably borrow the secret.
+    pub fn expose_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+
+    /// Unwrap, consuming the wrapper (e.g. for key escrow).
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> From<T> for Secret<T> {
+    fn from(value: T) -> Self {
+        Secret::new(value)
+    }
+}
+
+// dasp::allow(S1): sanctioned redacting impl — prints no wrapped state.
+impl<T> std::fmt::Debug for Secret<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Secret(<redacted>)")
+    }
+}
+
+// dasp::allow(S1): sanctioned redacting impl — prints no wrapped state.
+impl<T> std::fmt::Display for Secret<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("<redacted>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expose_roundtrips() {
+        let mut s = Secret::new(vec![1u64, 2, 3]);
+        assert_eq!(s.expose(), &[1, 2, 3]);
+        s.expose_mut().push(4);
+        assert_eq!(s.into_inner(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn debug_and_display_redact() {
+        let s = Secret::new(0xdead_beefu64);
+        assert_eq!(format!("{s:?}"), "Secret(<redacted>)");
+        assert_eq!(format!("{s}"), "<redacted>");
+        assert!(!format!("{s:?}").contains("3735928559"));
+    }
+
+    #[test]
+    fn from_wraps() {
+        let s: Secret<u8> = 7u8.into();
+        assert_eq!(*s.expose(), 7);
+    }
+}

@@ -1,0 +1,462 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The analyzer does not need a parse tree: every rule in [`crate::rules`]
+//! is expressible over a flat token stream, provided the lexer gets the
+//! hard lexical cases right — nested block comments, raw and byte string
+//! literals, and the `'a` lifetime vs `'a'` char-literal ambiguity.
+//! Getting those wrong would make rules fire inside string literals
+//! (every mention of `unwrap` in a doc string would become a finding),
+//! so the lexer is the load-bearing half of the tool.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `EvalPoints`, …).
+    Ident,
+    /// Lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// String, raw-string, byte-string or char literal.
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// Single punctuation character (`.`, `!`, `{`, …).
+    Punct,
+    /// `// …` comment, text includes the slashes.
+    LineComment,
+    /// `/* … */` comment (possibly nested), text includes delimiters.
+    BlockComment,
+}
+
+/// One lexeme with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Raw text of the lexeme.
+    pub text: String,
+    /// 1-based line where the lexeme starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for a punctuation token equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+
+    /// True for an identifier token equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenize `src`. Unterminated constructs are closed at end of input
+/// rather than reported: the analyzer lints code that already compiles,
+/// so graceful recovery beats diagnostics here.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' => match self.peek(1) {
+                    Some('/') => self.line_comment(),
+                    Some('*') => self.block_comment(),
+                    _ => self.punct(),
+                },
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                'r' | 'b' if self.starts_raw_or_byte() => self.raw_or_byte_literal(),
+                c if c.is_ascii_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, start_line: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token {
+            kind,
+            text,
+            line: start_line,
+        });
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(TokenKind::Punct, start, self.line);
+    }
+
+    fn line_comment(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, start_line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        self.pos += 2;
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::BlockComment, start, start_line);
+    }
+
+    fn string_literal(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        self.push(TokenKind::Literal, start, start_line);
+    }
+
+    /// Disambiguate `'a'` / `'\n'` (char literals) from `'a` / `'static`
+    /// (lifetimes): after `'ident`, a closing quote makes it a char.
+    fn char_or_lifetime(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: '\n', '\'', '\u{…}'.
+            self.pos += 2;
+            while let Some(c) = self.peek(0) {
+                self.pos += 1;
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokenKind::Literal, start, start_line);
+            return;
+        }
+        // Scan the identifier-ish run after the quote.
+        let mut ahead = 1;
+        while let Some(c) = self.peek(ahead) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                ahead += 1;
+            } else {
+                break;
+            }
+        }
+        if self.peek(ahead) == Some('\'') && ahead >= 2 {
+            // 'x' with x a single char is also handled here (ahead == 2).
+            self.pos += ahead + 1;
+            self.push(TokenKind::Literal, start, start_line);
+        } else if self.peek(ahead) == Some('\'') && ahead == 1 {
+            // '' — empty char literal; treat as literal to stay lossless.
+            self.pos += 2;
+            self.push(TokenKind::Literal, start, start_line);
+        } else if ahead == 2 && self.peek(2) == Some('\'') {
+            self.pos += 3;
+            self.push(TokenKind::Literal, start, start_line);
+        } else {
+            // Lifetime: consume 'ident with no closing quote.
+            self.pos += ahead.max(1);
+            self.push(TokenKind::Lifetime, start, start_line);
+        }
+    }
+
+    /// True when the current `r`/`b` starts a raw string (`r"`, `r#"`),
+    /// byte string (`b"`, `br"`, `br#"`) or byte char (`b'`).
+    fn starts_raw_or_byte(&self) -> bool {
+        let mut i = 1;
+        match self.peek(0) {
+            Some('b') => {
+                if self.peek(1) == Some('\'') {
+                    return true;
+                }
+                if self.peek(1) == Some('r') {
+                    i = 2;
+                }
+            }
+            Some('r') => {}
+            _ => return false,
+        }
+        loop {
+            match self.peek(i) {
+                Some('#') => i += 1,
+                Some('"') => return true,
+                _ => return false,
+            }
+        }
+    }
+
+    fn raw_or_byte_literal(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            self.pos += 1;
+            // Reuse char handling for b'x'.
+            if self.peek(1) == Some('\\') {
+                self.pos += 2;
+                while let Some(c) = self.peek(0) {
+                    self.pos += 1;
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            } else {
+                self.pos += 3; // b, 'x, '
+            }
+            self.push(TokenKind::Literal, start, start_line);
+            return;
+        }
+        // Skip the r/b/br prefix.
+        while matches!(self.peek(0), Some('r') | Some('b')) {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` raw identifier: rewind over the hashes and emit
+            // the whole thing as an identifier.
+            self.pos = start;
+            self.ident_raw();
+            return;
+        }
+        self.pos += 1;
+        if hashes == 0 {
+            // r"…" — plain raw string, no escapes, ends at first quote.
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+                if c == '"' {
+                    break;
+                }
+            }
+        } else {
+            // r#"…"# — ends at `"` followed by `hashes` hash marks.
+            while let Some(c) = self.peek(0) {
+                if c == '"' && (1..=hashes).all(|k| self.peek(k) == Some('#')) {
+                    self.pos += 1 + hashes;
+                    break;
+                }
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::Literal, start, start_line);
+    }
+
+    fn ident(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        // `r#type`-style raw identifier: absorb the `r#` prefix.
+        if self.peek(0) == Some('r')
+            && self.peek(1) == Some('#')
+            && self
+                .peek(2)
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        {
+            self.pos += 2;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, start, start_line);
+    }
+
+    /// `r#type`-style raw identifier (lexed when `r#…` is not a string).
+    fn ident_raw(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        self.pos += 1; // r or b
+        while self.peek(0) == Some('#') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, start, start_line);
+    }
+
+    fn number(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        while let Some(c) = self.peek(0) {
+            // Deliberately excludes `.` so ranges (`0..n`) lex as
+            // number-punct-punct-ident; the rules never inspect floats.
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, start, start_line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn main() { x.unwrap(); }");
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap".into())));
+        assert!(toks.contains(&(TokenKind::Punct, ".".into())));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "call .unwrap() here";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r###"let s = r#"quote " inside"#; x"###);
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r#"let a = b"bytes"; let c = b'x';"#);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ real");
+        assert!(toks.iter().any(|t| t.is_ident("real")));
+        assert_eq!(
+            toks.iter().filter(|t| t.is_comment()).count(),
+            1,
+            "nested block comment lexes as one token"
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'a'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = lex(r"let c = '\n'; let q = '\''; ident");
+        assert!(toks.iter().any(|t| t.is_ident("ident")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multiline_string_advances_line_counter() {
+        let toks = lex("let s = \"one\ntwo\";\nafter");
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "r#type"));
+    }
+}

@@ -1,0 +1,241 @@
+//! `dasp-lint` — workspace secrecy-hygiene and panic-safety analyzer.
+//!
+//! The paper's security model (§III) makes the client's evaluation
+//! points and per-domain keys the *only* secret in the system: a
+//! provider that learns X can reconstruct every value it stores. The
+//! Rust type system cannot express "this value must never reach a Debug
+//! formatter or a wire message", so this crate enforces it as a
+//! token-level static analysis over the workspace's own source:
+//!
+//! * **S1** — secret-bearing types never derive or hand-implement
+//!   `Debug`/`Display` (except sanctioned redacting impls) and never
+//!   appear in format/log macro arguments.
+//! * **S2** — only an explicit allowlist of share-carrying DTOs may
+//!   appear in a `WireWriter`/`WireReader` function signature.
+//! * **P1** — no `.unwrap()` / `.expect()` / `panic!` / `todo!` /
+//!   `unimplemented!` in provider, transport, or reconstruction code;
+//!   a malicious or flaky provider must surface as a typed error, never
+//!   a client abort (§V-B liveness).
+//! * **P2** — no lossy `as` casts inside the exact-arithmetic crates;
+//!   a silent truncation in GF(p) or bignum limb code corrupts shares
+//!   undetectably.
+//! * **D1** — no wall-clock reads in deterministic codec paths;
+//!   share batches must be replayable byte-for-byte.
+//! * **U1** — every `unsafe` carries a `// SAFETY:` comment (the
+//!   workspace denies `unsafe_code` outright; the rule keeps fixtures
+//!   and future waivers honest).
+//!
+//! A finding is waived by `// dasp::allow(RULE): reason` on the line
+//! above (or the same line as) the construct. The analyzer is
+//! deliberately dependency-free — it lexes Rust with a hand-rolled
+//! [`lexer`] and never executes or expands anything.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule identifiers, as written in waiver comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Secret types must not be formatted or printed.
+    S1,
+    /// Only allowlisted DTOs cross the wire.
+    S2,
+    /// No panics in provider/transport/reconstruction code.
+    P1,
+    /// No lossy casts in exact arithmetic.
+    P2,
+    /// No wall-clock in deterministic codecs.
+    D1,
+    /// `unsafe` requires a SAFETY comment.
+    U1,
+}
+
+impl Rule {
+    /// The identifier used in waiver comments and output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::S1 => "S1",
+            Rule::S2 => "S2",
+            Rule::P1 => "P1",
+            Rule::P2 => "P2",
+            Rule::D1 => "D1",
+            Rule::U1 => "U1",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rule violation (possibly waived) at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// `/`-separated path, relative to the analysis root.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// True when a `dasp::allow`/`SAFETY:` comment covers the line.
+    pub waived: bool,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.waived { " (waived)" } else { "" };
+        write!(
+            f,
+            "{}:{}: {}: {}{}",
+            self.file, self.line, self.rule, self.message, tag
+        )
+    }
+}
+
+/// Analyzer configuration: the secret-type list, the wire allowlist,
+/// and per-rule path scopes.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Types whose contents reconstruct client secrets (S1).
+    pub secret_types: &'static [&'static str],
+    /// DTOs allowed in wire-serialization signatures (S2).
+    pub wire_allowlist: &'static [&'static str],
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            secret_types: &[
+                "Secret",
+                "EvalPoints",
+                "FieldSharing",
+                "OpssParams",
+                "OpSharing",
+                "DomainKey",
+                "ClientKeys",
+                "Poly",
+            ],
+            wire_allowlist: &[
+                "Request",
+                "Response",
+                "Row",
+                "PredAtom",
+                "AggOp",
+                "GroupPartial",
+                "WireRangeProof",
+                "WireMerkleProof",
+            ],
+        }
+    }
+}
+
+impl Config {
+    /// Whether `rule` applies to the file at `path` (relative,
+    /// `/`-separated). S1, S2 and U1 are workspace-wide; the others
+    /// target the layers where their failure mode lives.
+    pub fn in_scope(&self, rule: Rule, path: &str) -> bool {
+        match rule {
+            Rule::S1 | Rule::S2 | Rule::U1 => true,
+            Rule::P1 => {
+                path.contains("crates/net/")
+                    || path.contains("crates/server/")
+                    || path.ends_with("crates/client/src/source.rs")
+            }
+            Rule::P2 => path.contains("crates/field/") || path.contains("crates/bigint/"),
+            Rule::D1 => {
+                path.contains("crates/field/")
+                    || path.contains("crates/sss/")
+                    || path.contains("crates/bigint/")
+                    || path.contains("crates/crypto/")
+            }
+        }
+    }
+}
+
+/// Analyze one source string as if it lived at `path_hint` (used only
+/// for rule scoping), with the default [`Config`].
+pub fn analyze_source(path_hint: &str, src: &str) -> Vec<Finding> {
+    analyze_source_with(path_hint, src, &Config::default())
+}
+
+/// [`analyze_source`] with an explicit config.
+pub fn analyze_source_with(path_hint: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let tokens = lexer::lex(src);
+    rules::check(path_hint, &tokens, cfg)
+}
+
+/// Result of analyzing a directory tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files lexed.
+    pub files_scanned: usize,
+    /// All findings, waived ones included.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Findings not covered by a waiver — the ones that gate CI.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Number of findings a waiver comment covers.
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived).count()
+    }
+}
+
+/// Directory names never descended into: build output, vendored stubs,
+/// integration tests, benches, and lint fixtures (which contain
+/// violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "fixtures", ".git"];
+
+/// Analyze every first-party `.rs` file under `root` (the workspace
+/// directory): `crates/` and `examples/`, minus [`SKIP_DIRS`].
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for sub in ["crates", "examples"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for file in files {
+        let src = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.files_scanned += 1;
+        report.findings.extend(analyze_source(&rel, &src));
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

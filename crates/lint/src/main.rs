@@ -1,0 +1,71 @@
+//! CLI entry point: `dasp-lint [--root DIR] [--deny-all] [--quiet]`.
+//!
+//! Prints every unwaived finding as `path:line: RULE: message`. With
+//! `--deny-all` (the CI gate) the process exits 1 when any unwaived
+//! finding exists; without it the run is report-only and always exits 0
+//! (unless the tree cannot be read).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_all = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("dasp-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-all" => deny_all = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "dasp-lint: secrecy-hygiene and panic-safety analyzer\n\n\
+                     USAGE: dasp-lint [--root DIR] [--deny-all] [--quiet]\n\n\
+                     --root DIR   workspace root to scan (default: .)\n\
+                     --deny-all   exit 1 on any unwaived finding (CI gate)\n\
+                     --quiet      suppress the summary line\n\n\
+                     Rules: S1 S2 P1 P2 D1 U1 (see DESIGN.md §8).\n\
+                     Waive a line with: // dasp::allow(RULE): reason"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dasp-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match dasp_lint::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dasp-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut violations = 0usize;
+    for f in report.violations() {
+        println!("{f}");
+        violations += 1;
+    }
+    if !quiet {
+        println!(
+            "dasp-lint: {} files scanned, {} violation(s), {} waived",
+            report.files_scanned,
+            violations,
+            report.waived_count()
+        );
+    }
+    if deny_all && violations > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,8 @@
+//! D1 fixture: two violations, lines 4 and 6.
+
+pub fn encode_batch(values: &[u64]) -> Vec<u64> {
+    let started = std::time::Instant::now();
+    let _ = started;
+    let _stamp = std::time::SystemTime::now();
+    values.to_vec()
+}

@@ -1,0 +1,5 @@
+//! D1 fixture: zero findings — time is injected, never read.
+
+pub fn encode_batch(values: &[u64], logical_epoch: u64) -> Vec<u64> {
+    values.iter().map(|v| v ^ logical_epoch).collect()
+}

@@ -1,0 +1,11 @@
+//! P1 fixture: four violations, lines 4, 5, 7 and 10.
+
+pub fn reconstruct(shares: Vec<Option<u64>>) -> u64 {
+    let first = shares.first().unwrap();
+    let v = first.expect("share present");
+    if shares.len() < 2 {
+        panic!("not enough shares");
+    }
+    let _ = v;
+    todo!()
+}

@@ -1,0 +1,33 @@
+//! P1 fixture: zero unwaived findings.
+
+pub fn reconstruct(shares: Vec<Option<u64>>) -> Result<u64, String> {
+    let first = shares.first().ok_or("no shares")?;
+    let v = first.ok_or("empty share")?;
+    // unwrap_or* never panics, so it is not in P1's pattern set.
+    let bonus = shares.get(1).copied().flatten().unwrap_or_default();
+    Ok(v + bonus)
+}
+
+pub fn classify(k: usize) -> &'static str {
+    match k {
+        0 => "empty",
+        _ if k < 64 => "ok",
+        // unreachable! is allowed: it documents an invariant the
+        // surrounding code already enforces.
+        _ => unreachable!("k is validated at construction"),
+    }
+}
+
+pub fn must(v: Option<u64>) -> u64 {
+    // dasp::allow(P1): diagnostic-only helper, never on the provider path.
+    v.expect("checked by caller")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        super::reconstruct(vec![Some(1)]).unwrap();
+        assert_eq!(super::must(Some(2)), 2);
+    }
+}

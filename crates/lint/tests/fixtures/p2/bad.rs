@@ -1,0 +1,8 @@
+//! P2 fixture: three violations, lines 4, 5 and 6.
+
+pub fn fold(v: u128) -> u64 {
+    let lo = v as u64;
+    let mid = (v >> 61) as u32;
+    let hi = (v >> 122) as u16;
+    lo ^ u64::from(mid) ^ u64::from(hi)
+}

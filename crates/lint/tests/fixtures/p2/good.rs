@@ -1,0 +1,21 @@
+//! P2 fixture: zero unwaived findings.
+
+pub fn widen_mul(a: u64, b: u64) -> u128 {
+    // Widening casts are exact and therefore allowed.
+    a as u128 * b as u128
+}
+
+#[inline]
+fn lo64(v: u128) -> u64 {
+    // dasp::allow(P2): deliberate truncation — the fold keeps the high bits.
+    v as u64
+}
+
+pub fn fold(v: u128) -> u64 {
+    lo64(v) ^ lo64(v >> 64)
+}
+
+pub fn index(i: u64) -> usize {
+    // Platform-size casts are allowed: they index, they don't compute.
+    i as usize
+}

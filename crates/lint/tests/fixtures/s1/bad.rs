@@ -1,0 +1,18 @@
+//! S1 fixture: three violations, lines 4, 9 and 17.
+
+// A secret-bearing type must not derive Debug.
+#[derive(Clone, Debug)]
+pub struct EvalPoints(Vec<u64>);
+
+pub struct ClientKeys;
+
+impl std::fmt::Debug for ClientKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "master={:x?}", [0u8; 32])
+    }
+}
+
+pub fn audit_log(points: &EvalPoints) -> String {
+    let _ = points;
+    format!("outsourcing with X = {:?}", EvalPoints(vec![1, 2, 3]))
+}

@@ -1,0 +1,23 @@
+//! S1 fixture: zero unwaived findings.
+
+pub struct EvalPoints(Vec<u64>);
+
+// dasp::allow(S1): sanctioned redacting impl — prints only the count.
+impl std::fmt::Debug for EvalPoints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The type name inside the string literal must not trip S1.
+        write!(f, "EvalPoints(n={}, X=<redacted>)", self.0.len())
+    }
+}
+
+// Non-secret types may derive Debug freely.
+#[derive(Debug, Clone)]
+pub struct PublicStats {
+    pub rows: usize,
+}
+
+pub fn show(stats: &PublicStats) -> String {
+    // A lowercase binding of secret type is invisible to a token-level
+    // rule; the redacting Debug impl is what keeps this safe.
+    format!("{stats:?}")
+}

@@ -1,0 +1,10 @@
+//! S2 fixture: one violation, line 8 — ClientKeys is not an
+//! allowlisted wire DTO, so serializing it ships secret material.
+
+pub struct WireWriter(Vec<u8>);
+
+pub struct ClientKeys;
+
+pub fn write_keys(w: &mut WireWriter, keys: &ClientKeys) {
+    let _ = (w, keys);
+}

@@ -1,0 +1,23 @@
+//! S2 fixture: zero findings — only allowlisted DTOs cross the wire.
+
+pub struct WireWriter(Vec<u8>);
+pub struct WireReader<'a>(&'a [u8]);
+
+pub struct Row;
+pub struct PredAtom;
+
+pub fn write_row(w: &mut WireWriter, row: &Row) {
+    let _ = (w, row);
+}
+
+pub fn write_preds(w: &mut WireWriter, predicate: &[PredAtom]) {
+    let _ = (w, predicate);
+}
+
+pub fn read_rows<T>(
+    r: &mut WireReader<'_>,
+    f: impl FnMut(&mut WireReader<'_>) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let _ = (r, f);
+    Ok(Vec::new())
+}

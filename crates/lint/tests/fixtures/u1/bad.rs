@@ -1,0 +1,5 @@
+//! U1 fixture: one violation, line 4 — unsafe without SAFETY.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

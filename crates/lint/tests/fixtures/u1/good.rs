@@ -1,0 +1,9 @@
+//! U1 fixture: zero unwaived findings.
+
+pub fn read_first(bytes: &[u8]) -> Option<u8> {
+    if bytes.is_empty() {
+        return None;
+    }
+    // SAFETY: the emptiness check above guarantees at least one byte.
+    Some(unsafe { *bytes.as_ptr() })
+}

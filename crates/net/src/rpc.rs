@@ -208,7 +208,7 @@ impl Cluster {
                 let failure_clone = Arc::clone(&failure);
                 let latency = Arc::new(Mutex::new(Duration::ZERO));
                 let latency_clone = Arc::clone(&latency);
-                let thread = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("dasp-provider-{id}"))
                     .spawn(move || {
                         let mut rng = StdRng::seed_from_u64(0x5eed ^ id as u64);
@@ -244,13 +244,20 @@ impl Cluster {
                                 }
                             }
                         }
-                    })
-                    .expect("spawn provider thread");
+                    });
+                // If the OS refuses a thread, keep the handle but drop the
+                // sender: every call to this provider then fails with
+                // RpcError::Closed (a dead provider), instead of panicking
+                // the whole cluster at construction.
+                let (tx, thread) = match spawned {
+                    Ok(thread) => (Some(tx), Some(thread)),
+                    Err(_) => (None, None),
+                };
                 ProviderHandle {
-                    tx: Some(tx),
+                    tx,
                     failure,
                     latency,
-                    thread: Some(thread),
+                    thread,
                 }
             })
             .collect();
@@ -400,7 +407,7 @@ impl Cluster {
         &self,
         requests: Vec<(ProviderId, Vec<u8>)>,
     ) -> Vec<(ProviderId, Result<Vec<u8>, RpcError>)> {
-        type Slot = Option<(ProviderId, Result<Vec<u8>, RpcError>)>;
+        type Slot = (ProviderId, Result<Vec<u8>, RpcError>);
         let n = self.providers.len();
         let mut slots: Vec<Slot> = Vec::new();
         let mut valid = Vec::new();
@@ -409,9 +416,11 @@ impl Cluster {
             if provider < n {
                 valid_pos.push(i);
                 valid.push((provider, request));
-                slots.push(None);
+                // Placeholder, overwritten below: run_quorum in All mode
+                // resolves every submitted request exactly once.
+                slots.push((provider, Err(RpcError::Timeout(provider))));
             } else {
-                slots.push(Some((provider, Err(RpcError::UnknownProvider(provider)))));
+                slots.push((provider, Err(RpcError::UnknownProvider(provider))));
             }
         }
         let opts = QuorumOptions {
@@ -420,16 +429,16 @@ impl Cluster {
         };
         let resolutions = self.run_quorum(valid, 0, &opts);
         for (pos, (provider, resolution)) in valid_pos.into_iter().zip(resolutions) {
-            slots[pos] = Some((
+            slots[pos] = (
                 provider,
                 match resolution {
                     Ok(response) => Ok(response),
                     Err(ProviderOutcome::Disconnected) => Err(RpcError::Closed),
                     Err(_) => Err(RpcError::Timeout(provider)),
                 },
-            ));
+            );
         }
-        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+        slots
     }
 
     /// Fan out and return as soon as `k` successes arrive (the paper's
@@ -607,7 +616,7 @@ impl Cluster {
             QuorumMode::FirstK => want.saturating_add(opts.hedge).min(ready.len()),
         };
         for _ in 0..wave {
-            let idx = ready.pop_front().expect("wave within ready");
+            let Some(idx) = ready.pop_front() else { break };
             launch(&mut cands, idx, &mut token_map, &mut next_token);
         }
 

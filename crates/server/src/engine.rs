@@ -294,14 +294,18 @@ impl ProviderEngine {
             .ok_or_else(|| format!("no such table {table:?}"))?;
         let pick = predicate
             .iter()
-            .filter(|a| t.indexes.get(a.col()).is_some_and(|i| i.is_some()))
-            .min_by_key(|a| match a {
+            .filter_map(|a| {
+                // Pair each atom with its index tree up front, so the pick
+                // can't dangle between the filter and the lookup.
+                let tree = t.indexes.get(a.col()).and_then(|i| i.as_ref())?;
+                Some((a, tree))
+            })
+            .min_by_key(|(a, _)| match a {
                 PredAtom::Eq { .. } => 0,
                 PredAtom::Range { .. } => 1,
             });
         match pick {
-            Some(atom) => {
-                let tree = t.indexes[atom.col()].as_ref().expect("picked indexed col");
+            Some((atom, tree)) => {
                 let (lo, hi) = match *atom {
                     PredAtom::Eq { share, .. } => {
                         (compose_key(share, 0), compose_key(share, u64::MAX))
@@ -337,7 +341,10 @@ impl ProviderEngine {
 
     fn matching_rows(&mut self, table: &str, predicate: &[PredAtom]) -> Result<Vec<Row>, String> {
         let (candidates, _) = self.candidates(table, predicate)?;
-        let t = self.tables.get(table).expect("checked above");
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| format!("no such table {table:?}"))?;
         let mut out = Vec::new();
         for rid in candidates {
             let row = self.load_row(t, rid)?;
@@ -407,7 +414,7 @@ impl ProviderEngine {
                     AggOp::Median { .. } => ordered.get(ordered.len() / 2),
                     _ => unreachable!(),
                 }
-                .expect("non-empty");
+                .ok_or("aggregate over empty row set")?;
                 Ok(Response::Agg {
                     sum: 0,
                     count,

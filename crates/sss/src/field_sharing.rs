@@ -7,8 +7,56 @@
 
 use crate::{DomainKey, SssError};
 use dasp_crypto::siphash::SipHash24;
-use dasp_field::{lagrange_apply, lagrange_at_zero, lagrange_basis_at_zero, Fp, Poly};
+use dasp_field::{lagrange_apply, lagrange_at_zero, lagrange_basis_at_zero, Fp, Poly, Secret};
 use rand::Rng;
+
+/// The client-secret evaluation points X = {x₁…xₙ} (§III), one per
+/// provider.
+///
+/// X is the linchpin of the scheme's secrecy: providers never learn at
+/// which x their share was evaluated, so even k colluding providers cannot
+/// interpolate without it. The vector is therefore held behind [`Secret`]
+/// — it cannot leak through `Debug`, `Display`, or a log line, and the few
+/// client-side sites that need raw coordinates go through the explicit,
+/// greppable [`EvalPoints::expose`].
+#[derive(Clone)]
+pub struct EvalPoints(Secret<Vec<Fp>>);
+
+impl EvalPoints {
+    /// Wrap a point vector (validation is the caller's job —
+    /// [`FieldSharing::new`] checks distinctness and non-zeroness).
+    pub fn new(points: Vec<Fp>) -> Self {
+        EvalPoints(Secret::new(points))
+    }
+
+    /// Number of providers n.
+    pub fn len(&self) -> usize {
+        self.0.expose().len()
+    }
+
+    /// True iff no points are held.
+    pub fn is_empty(&self) -> bool {
+        self.0.expose().is_empty()
+    }
+
+    /// The evaluation point of provider `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<Fp> {
+        self.0.expose().get(i).copied()
+    }
+
+    /// Borrow the raw coordinates. Client-side use only: the result must
+    /// never be logged or serialized onto the wire.
+    pub fn expose(&self) -> &[Fp] {
+        self.0.expose()
+    }
+}
+
+// dasp::allow(S1): sanctioned redacting impl — only the count is shown.
+impl std::fmt::Debug for EvalPoints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EvalPoints(n={}, X=<redacted>)", self.len())
+    }
+}
 
 /// One provider's share of a field-mode value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -20,10 +68,22 @@ pub struct FieldShare {
 }
 
 /// A (k, n) Shamir configuration over GF(p) with client-secret points X.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FieldSharing {
     k: usize,
-    points: Vec<Fp>,
+    points: EvalPoints,
+}
+
+// dasp::allow(S1): sanctioned redacting impl — the points X stay hidden.
+impl std::fmt::Debug for FieldSharing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FieldSharing(k={}, n={}, X=<redacted>)",
+            self.k,
+            self.n()
+        )
+    }
 }
 
 impl FieldSharing {
@@ -42,7 +102,10 @@ impl FieldSharing {
                 return Err(SssError::BadParameters("duplicate x point".into()));
             }
         }
-        Ok(FieldSharing { k, points })
+        Ok(FieldSharing {
+            k,
+            points: EvalPoints::new(points),
+        })
     }
 
     /// Sample `n` fresh random distinct points and build a configuration.
@@ -69,10 +132,7 @@ impl FieldSharing {
 
     /// The secret evaluation point of provider `i`.
     pub fn point(&self, i: usize) -> Result<Fp, SssError> {
-        self.points
-            .get(i)
-            .copied()
-            .ok_or(SssError::BadProviderIndex(i))
+        self.points.get(i).ok_or(SssError::BadProviderIndex(i))
     }
 
     /// Split `secret` with a *fresh random* polynomial ([`crate::ShareMode::Random`]).
@@ -132,6 +192,7 @@ impl FieldSharing {
 
     fn eval_all(&self, poly: &Poly) -> Vec<FieldShare> {
         self.points
+            .expose()
             .iter()
             .enumerate()
             .map(|(provider, &x)| FieldShare {

@@ -22,11 +22,12 @@ pub mod field_sharing;
 pub mod opss;
 
 pub use codec::{DictionaryCodec, StringCodec, UPPERCASE_ALPHABET};
-pub use field_sharing::{FieldBasis, FieldShare, FieldSharing};
+pub use field_sharing::{EvalPoints, FieldBasis, FieldShare, FieldSharing};
 pub use opss::{AffineStrawman, OpSharing, OpssParams};
 
 use dasp_crypto::hmac_sha256;
 use dasp_crypto::siphash::SipHash24;
+use dasp_field::Secret;
 
 /// How a column's values are shared across providers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,34 +64,36 @@ impl ShareMode {
 /// order-preserving construction.
 #[derive(Clone)]
 pub struct DomainKey {
-    key: [u8; 32],
+    key: Secret<[u8; 32]>,
 }
 
 impl DomainKey {
     /// Wrap a 32-byte master key for a domain.
     pub fn new(key: [u8; 32]) -> Self {
-        DomainKey { key }
+        DomainKey {
+            key: Secret::new(key),
+        }
     }
 
     /// Derive from a master secret and a domain name.
     pub fn derive(master: &[u8], domain: &str) -> Self {
         DomainKey {
-            key: hmac_sha256(master, domain.as_bytes()),
+            key: Secret::new(hmac_sha256(master, domain.as_bytes())),
         }
     }
 
     /// The PRF for coefficient index `j` (j = 1 is the linear term).
     pub fn coeff_prf(&self, j: usize) -> SipHash24 {
-        let d = hmac_sha256(&self.key, &(j as u64).to_le_bytes());
+        let d = hmac_sha256(self.key.expose(), &(j as u64).to_le_bytes());
         let mut k = [0u8; 16];
         k.copy_from_slice(&d[..16]);
         SipHash24::new(&k)
     }
 }
 
+// dasp::allow(S1): sanctioned redacting impl — never prints key material.
 impl std::fmt::Debug for DomainKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // Never print key material.
         write!(f, "DomainKey(..)")
     }
 }

@@ -23,7 +23,7 @@
 use crate::{DomainKey, SssError};
 use dasp_crypto::siphash::SipHash24;
 use dasp_field::{
-    rational_apply_at_zero, rational_basis_at_zero, rational_interpolate_at_zero, Rational,
+    rational_apply_at_zero, rational_basis_at_zero, rational_interpolate_at_zero, Rational, Secret,
 };
 
 /// Parameters of an order-preserving sharing.
@@ -31,7 +31,7 @@ use dasp_field::{
 /// Default bounds keep every share below 2⁶⁴ so i128 sums of a billion
 /// shares cannot overflow: `domain_size ≤ 2³²`, `slot_bits ≤ 12`,
 /// `x points ≤ 64`, `degree ≤ 3`.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct OpssParams {
     /// Polynomial degree d; threshold k = d + 1.
     pub degree: usize,
@@ -40,7 +40,23 @@ pub struct OpssParams {
     /// Exclusive upper bound of the value domain.
     pub domain_size: u64,
     /// Secret evaluation points, one per provider (distinct, in [1, 64]).
-    pub points: Vec<u32>,
+    /// Client-secret exactly like field-mode X (§III): a provider that
+    /// learns its point can binary-search the slotted construction.
+    points: Secret<Vec<u32>>,
+}
+
+// dasp::allow(S1): sanctioned redacting impl — the points X stay hidden.
+impl std::fmt::Debug for OpssParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "OpssParams(degree={}, slot_bits={}, domain_size={}, n={}, X=<redacted>)",
+            self.degree,
+            self.slot_bits,
+            self.domain_size,
+            self.n()
+        )
+    }
 }
 
 impl OpssParams {
@@ -80,7 +96,7 @@ impl OpssParams {
             degree,
             slot_bits,
             domain_size,
-            points,
+            points: Secret::new(points),
         })
     }
 
@@ -97,25 +113,43 @@ impl OpssParams {
 
     /// Number of providers.
     pub fn n(&self) -> usize {
-        self.points.len()
+        self.points.expose().len()
+    }
+
+    /// The secret evaluation point of provider `i`, if in range.
+    pub fn point(&self, i: usize) -> Option<u32> {
+        self.points.expose().get(i).copied()
+    }
+
+    /// Borrow the raw evaluation points. Client-side use only: the result
+    /// must never be logged or serialized onto the wire.
+    pub fn expose_points(&self) -> &[u32] {
+        self.points.expose()
     }
 }
 
 /// An order-preserving sharer for one value domain.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct OpSharing {
     params: OpssParams,
     /// The per-coefficient jitter PRFs, derived once at construction.
     /// Each derivation costs an HMAC-SHA256; deriving them lazily made a
     /// single share evaluation — and hence every binary-search probe —
-    /// pay `degree` HMACs.
-    prfs: Vec<SipHash24>,
+    /// pay `degree` HMACs. Key-derived, so wrapped like the key itself.
+    prfs: Secret<Vec<SipHash24>>,
+}
+
+// dasp::allow(S1): sanctioned redacting impl — PRF state never prints.
+impl std::fmt::Debug for OpSharing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OpSharing(params={:?}, prfs=<redacted>)", self.params)
+    }
 }
 
 impl OpSharing {
     /// Bind parameters to a domain key.
     pub fn new(params: OpssParams, key: DomainKey) -> Self {
-        let prfs = (1..=params.degree).map(|j| key.coeff_prf(j)).collect();
+        let prfs = Secret::new((1..=params.degree).map(|j| key.coeff_prf(j)).collect());
         OpSharing { params, prfs }
     }
 
@@ -127,7 +161,7 @@ impl OpSharing {
     /// Coefficient of the degree-`j` term for value `v` (slotted + jittered).
     fn coeff(&self, j: usize, v: u64) -> i128 {
         let w = 1u64 << self.params.slot_bits;
-        let jitter = self.prfs[j - 1].hash_u64(v) & (w - 1);
+        let jitter = self.prfs.expose()[j - 1].hash_u64(v) & (w - 1);
         (v as i128) * (w as i128) + 1 + jitter as i128
     }
 
@@ -139,10 +173,9 @@ impl OpSharing {
                 domain_size: self.params.domain_size,
             });
         }
-        let &x = self
+        let x = self
             .params
-            .points
-            .get(provider)
+            .point(provider)
             .ok_or(SssError::BadProviderIndex(provider))?;
         let x = x as i128;
         // Horner over coefficients coeff_d … coeff_1, constant term v.
@@ -203,10 +236,9 @@ impl OpSharing {
         }
         let mut pts = Vec::with_capacity(k);
         for &(provider, y) in &shares[..k] {
-            let &x = self
+            let x = self
                 .params
-                .points
-                .get(provider)
+                .point(provider)
                 .ok_or(SssError::BadProviderIndex(provider))?;
             if pts.iter().any(|&(px, _)| px == x as i128) {
                 return Err(SssError::BadProviderIndex(provider));
@@ -247,7 +279,7 @@ impl OpSharing {
             }
             let row: Vec<i128> = self
                 .params
-                .points
+                .expose_points()
                 .iter()
                 .map(|&x| {
                     let x = x as i128;
@@ -327,11 +359,7 @@ impl OpSharing {
         }
         let mut xs = Vec::with_capacity(k);
         for &p in &providers[..k] {
-            let &x = self
-                .params
-                .points
-                .get(p)
-                .ok_or(SssError::BadProviderIndex(p))?;
+            let x = self.params.point(p).ok_or(SssError::BadProviderIndex(p))?;
             if xs.contains(&(x as i128)) {
                 return Err(SssError::BadProviderIndex(p));
             }
