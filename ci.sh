@@ -18,6 +18,10 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== concurrency stress (provider workers 1 and 4) =="
+DASP_PROVIDER_WORKERS=1 cargo test -q -p dasp-server --test concurrent_engine
+DASP_PROVIDER_WORKERS=4 cargo test -q -p dasp-server --test concurrent_engine
+
 echo "== cargo bench --no-run =="
 cargo bench --no-run --workspace
 

@@ -13,7 +13,9 @@ use dasp_baseline::encdb::{EncClient, EncServer, RangeStrategy};
 use dasp_baseline::intersection::{commutative_intersection, predicted_cost};
 use dasp_baseline::paillier_agg::{PaillierAggClient, PaillierAggServer};
 use dasp_baseline::BaselineCost;
-use dasp_bench::{deploy_employees, fmt_bytes, fmt_dur, measure, SALARY_DOMAIN};
+use dasp_bench::{
+    deploy_employees, deploy_employees_concurrent, fmt_bytes, fmt_dur, measure, SALARY_DOMAIN,
+};
 use dasp_client::{BucketJoin, ColumnSpec, Predicate, QueryOptions, TableSchema, Value};
 use dasp_core::client::{ClientKeys, DataSource};
 use dasp_crypto::commutative::shared_test_prime;
@@ -102,6 +104,9 @@ fn main() {
     }
     if run("e17") {
         e17_codec(&cfg);
+    }
+    if run("e18") {
+        e18_concurrency(&cfg);
     }
 }
 
@@ -1197,6 +1202,81 @@ fn e17_codec(cfg: &Config) {
     ));
     if let Err(e) = std::fs::write("BENCH_codec.json", json) {
         println!("  (could not write BENCH_codec.json: {e})");
+    }
+    println!();
+}
+
+/// E18 — concurrent provider execution: queries/s for a mixed read
+/// workload as client pipelining width (`query_many` fan-out) and
+/// provider worker-pool size scale. A 2 ms emulated per-request WAN
+/// latency makes the pipelining effect visible on any machine (including
+/// single-core CI): with one worker per provider every request queues
+/// behind that worker's latency sleep, while a pool of four overlaps
+/// them — the speedup measures request *overlap*, not CPU parallelism.
+/// Results land in BENCH_concurrency.json.
+fn e18_concurrency(cfg: &Config) {
+    println!("== E18 (concurrency): pipelined queries/s vs client threads × provider workers ==");
+    let rows = if cfg.quick { 500 } else { 2000 };
+    let queries = if cfg.quick { 32 } else { 96 };
+    let client_threads = [1usize, 4, 16];
+    let provider_workers = [1usize, 2, 4];
+    let latency = std::time::Duration::from_millis(2);
+    // Mixed read workload: interleaved point lookups (exact salary) and
+    // range windows of two widths, so the batch mixes cheap and
+    // share-heavy responses.
+    let preds: Vec<Vec<Predicate>> = (0..queries)
+        .map(|i| {
+            let lo = (i as u64).wrapping_mul(7919) % (SALARY_DOMAIN / 2);
+            match i % 3 {
+                0 => vec![Predicate::between("salary", lo, lo)],
+                1 => vec![Predicate::between("salary", lo, lo + SALARY_DOMAIN / 64)],
+                _ => vec![Predicate::between("salary", lo, lo + SALARY_DOMAIN / 8)],
+            }
+        })
+        .collect();
+    let mut results: Vec<(usize, usize, f64)> = Vec::new();
+    println!("  clients  workers    queries/s");
+    for &workers in &provider_workers {
+        for &clients in &client_threads {
+            let mut dep = deploy_employees_concurrent(2, 3, rows, 1900 + workers as u64, workers);
+            dep.ds.cluster().set_latency(latency);
+            dep.ds.set_workers(clients);
+            // Warm the op-sharing and basis caches outside the clock.
+            dep.ds.query_many("employees", &preds[..1]).unwrap();
+            let start = Instant::now();
+            let got = dep.ds.query_many("employees", &preds).unwrap();
+            let qps = queries as f64 / start.elapsed().as_secs_f64();
+            assert_eq!(got.len(), queries);
+            results.push((clients, workers, qps));
+            println!("  {clients:>7} {workers:>8} {qps:>12.0}");
+        }
+    }
+    let get = |c: usize, w: usize| {
+        results
+            .iter()
+            .find(|r| r.0 == c && r.1 == w)
+            .map(|r| r.2)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup = get(16, 4) / get(16, 1);
+    println!("  4 workers vs 1 (16 client threads): {speedup:.1}x");
+    let mut json = String::from("{\n  \"experiment\": \"e18_concurrency\",\n");
+    json.push_str(&format!(
+        "  \"rows\": {rows},\n  \"queries\": {queries},\n  \
+         \"emulated_latency_ms\": 2,\n  \"results\": [\n"
+    ));
+    for (i, (c, w, qps)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"client_threads\": {c}, \"provider_workers\": {w}, \
+             \"queries_per_s\": {qps:.1}}}{}\n",
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"speedup_workers4_vs_1_clients16\": {speedup:.2}\n}}\n"
+    ));
+    if let Err(e) = std::fs::write("BENCH_concurrency.json", json) {
+        println!("  (could not write BENCH_concurrency.json: {e})");
     }
     println!();
 }

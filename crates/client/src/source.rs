@@ -1012,6 +1012,23 @@ impl DataSource {
             extra,
             mode,
         )?;
+        let residual: Vec<Predicate> = residual.into_iter().cloned().collect();
+        self.finish_select(table, predicate, &schema, &residual, responses, opts.verify)
+    }
+
+    /// Turn one query's quorum responses into application rows:
+    /// reconstruct shares, apply residual client-side predicates, check
+    /// and strip ringers, overlay lazily buffered updates. Shared by
+    /// [`DataSource::select_opts`] and [`DataSource::query_many`].
+    fn finish_select(
+        &mut self,
+        table: &str,
+        predicate: &[Predicate],
+        schema: &TableSchema,
+        residual: &[Predicate],
+        responses: Vec<(ProviderId, Response)>,
+        verify: bool,
+    ) -> Result<Vec<DecodedRow>> {
         let rows: Vec<(ProviderId, Vec<Row>)> = responses
             .into_iter()
             .map(|(p, resp)| match resp {
@@ -1019,15 +1036,15 @@ impl DataSource {
                 other => Err(ClientError::Provider(format!("unexpected {other:?}"))),
             })
             .collect::<Result<_>>()?;
-        let mut decoded = self.reconstruct_rows(&schema, rows, opts.verify)?;
+        let mut decoded = self.reconstruct_rows(schema, rows, verify)?;
 
         // Residual filtering (random-mode columns, unsupported ranges).
         // Column indices are resolved up front so the retain closure is
         // infallible — split_predicate already validated every column.
         if !residual.is_empty() {
-            let mut residual_cols: Vec<(usize, Predicate)> = Vec::with_capacity(residual.len());
+            let mut residual_cols: Vec<(usize, &Predicate)> = Vec::with_capacity(residual.len());
             for pred in residual {
-                residual_cols.push((schema.col(pred.col())?, pred.clone()));
+                residual_cols.push((schema.col(pred.col())?, pred));
             }
             decoded.retain(|(_, values)| {
                 residual_cols.iter().all(|(idx, pred)| {
@@ -1044,6 +1061,129 @@ impl DataSource {
         self.apply_ringer_checks(table, predicate, &mut decoded)?;
         self.overlay_pending(table, &mut decoded);
         Ok(decoded)
+    }
+
+    /// Run a batch of independent `SELECT`s against one table, keeping
+    /// many requests in flight at once. Share rewriting happens serially
+    /// up front (it owns the client's order-preserving cache), then the
+    /// quorum calls fan across up to [`DataSource::set_workers`] scoped
+    /// threads — each provider's worker pool interleaves the overlapping
+    /// requests, so total latency approaches the slowest single query
+    /// rather than the sum. Results are position-matched to `predicates`
+    /// and identical to issuing each query through
+    /// [`DataSource::select`].
+    pub fn query_many(
+        &mut self,
+        table: &str,
+        predicates: &[Vec<Predicate>],
+    ) -> Result<Vec<Vec<DecodedRow>>> {
+        if predicates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let schema = self.table(table)?.schema.clone();
+        let n = self.cluster.n();
+        let (need, extra) = (self.keys.k(), 1);
+
+        // Phase 1 (serial, &mut self): rewrite every query for every
+        // provider and encode the request bytes.
+        let mut batches = Vec::with_capacity(predicates.len());
+        let mut residuals = Vec::with_capacity(predicates.len());
+        for predicate in predicates {
+            let (server_preds, residual) = self.split_predicate(&schema, predicate)?;
+            let mut reqs = Vec::with_capacity(n);
+            for p in 0..n {
+                let atoms = self.rewrite_for_provider(&schema, &server_preds, p)?;
+                reqs.push((
+                    p,
+                    Request::Query {
+                        table: table.to_string(),
+                        predicate: atoms,
+                        agg: None,
+                    }
+                    .encode(),
+                ));
+            }
+            residuals.push(residual.into_iter().cloned().collect::<Vec<Predicate>>());
+            batches.push(reqs);
+        }
+
+        // Phase 2 (parallel, &Cluster only): run the quorum engine for
+        // each query. First-k-wins with one extra share for the
+        // reconstruction cross-check, exactly like a single select.
+        let gathered: Vec<Result<Vec<(ProviderId, Response)>>> = {
+            let cluster = &self.cluster;
+            let retry = self.retry.clone();
+            let hedge = self.hedge;
+            let quorum = |reqs: Vec<(ProviderId, Vec<u8>)>| -> Result<Vec<(ProviderId, Response)>> {
+                let validate = |p: ProviderId, bytes: &[u8]| match Response::decode(bytes) {
+                    Ok(Response::Error(msg)) => Err(format!("provider {p}: {msg}")),
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(format!("provider {p}: undecodable response: {e}")),
+                };
+                let opts = QuorumOptions {
+                    retry: retry.clone(),
+                    hedge,
+                    extra,
+                    mode: QuorumMode::FirstK,
+                    validate: Some(&validate),
+                };
+                cluster
+                    .call_quorum_opts(reqs, need, &opts)?
+                    .into_iter()
+                    .map(|(p, bytes)| Ok((p, Response::decode(&bytes)?)))
+                    .collect()
+            };
+            let workers = self.workers.min(batches.len()).max(1);
+            if workers == 1 {
+                batches.into_iter().map(quorum).collect()
+            } else {
+                let chunk = batches.len().div_ceil(workers);
+                let chunks: Vec<Vec<_>> = {
+                    let mut chunks = Vec::with_capacity(workers);
+                    let mut it = batches.into_iter();
+                    loop {
+                        let group: Vec<_> = it.by_ref().take(chunk).collect();
+                        if group.is_empty() {
+                            break;
+                        }
+                        chunks.push(group);
+                    }
+                    chunks
+                };
+                let per_chunk = crossbeam::thread::scope(|s| {
+                    let quorum = &quorum;
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|group| {
+                            s.spawn(move |_| group.into_iter().map(quorum).collect::<Vec<_>>())
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join()
+                                .map_err(|_| ClientError::Worker("query worker panicked".into()))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .map_err(|_| ClientError::Worker("query scope panicked".into()))?;
+                let mut flat = Vec::with_capacity(predicates.len());
+                for group in per_chunk {
+                    flat.extend(group?);
+                }
+                flat
+            }
+        };
+
+        // Phase 3 (serial, &mut self): reconstruct and post-process each
+        // query in batch order.
+        let mut out = Vec::with_capacity(predicates.len());
+        for ((responses, residual), predicate) in
+            gathered.into_iter().zip(residuals).zip(predicates)
+        {
+            out.push(self.finish_select(table, predicate, &schema, &residual, responses?, false)?);
+        }
+        Ok(out)
     }
 
     fn apply_ringer_checks(

@@ -5,7 +5,7 @@ use dasp_client::{
     TableSchema, Value,
 };
 use dasp_net::{Cluster, FailureMode};
-use dasp_server::service::provider_fleet;
+use dasp_server::service::{provider_fleet, shared_provider_fleet};
 use dasp_sss::ShareMode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -1091,5 +1091,57 @@ fn providers_never_see_plaintext() {
         let bytes = log.lock();
         let found = bytes.windows(8).any(|w| w == needle);
         assert!(!found, "provider {p} saw the plaintext secret on the wire");
+    }
+}
+
+#[test]
+fn query_many_matches_individual_selects() {
+    let mut ds = source(2, 3);
+    setup_employees(&mut ds);
+    let batch: Vec<Vec<Predicate>> = vec![
+        vec![Predicate::eq("name", "JOHN")],
+        vec![Predicate::between("salary", 10_000u64, 40_000u64)],
+        vec![Predicate::eq("ssn", 333u64)], // residual: filtered client-side
+        vec![],                             // full scan
+    ];
+    let expected: Vec<_> = batch
+        .iter()
+        .map(|p| ds.select("employees", p).unwrap())
+        .collect();
+    // The batch must be position-matched and identical to per-query
+    // selects at every fan-out width.
+    for workers in [1usize, 4] {
+        ds.set_workers(workers);
+        let got = ds.query_many("employees", &batch).unwrap();
+        assert_eq!(got, expected, "workers={workers}");
+    }
+    assert!(ds.query_many("employees", &[]).unwrap().is_empty());
+}
+
+#[test]
+fn query_many_over_concurrent_provider_pool() {
+    // End-to-end pipelining: a batched client drives providers that each
+    // serve requests from a multi-worker pool. Responses may return out
+    // of order (token-multiplexed); results must still match serial
+    // selects exactly.
+    let mut rng = StdRng::seed_from_u64(0xdab);
+    let keys = ClientKeys::generate(2, 3, &mut rng).unwrap();
+    let cluster = Cluster::spawn_concurrent(shared_provider_fleet(3), Duration::from_secs(2), 4);
+    let mut ds = DataSource::with_seed(keys, cluster, 7).unwrap();
+    setup_employees(&mut ds);
+    let batch: Vec<Vec<Predicate>> = (0..8u64)
+        .map(|i| {
+            vec![Predicate::between(
+                "salary",
+                10_000 * (i % 4 + 1),
+                80_000u64,
+            )]
+        })
+        .collect();
+    ds.set_workers(4);
+    let got = ds.query_many("employees", &batch).unwrap();
+    ds.set_workers(1);
+    for (preds, rows) in batch.iter().zip(&got) {
+        assert_eq!(rows, &ds.select("employees", preds).unwrap());
     }
 }

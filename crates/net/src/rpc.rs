@@ -53,6 +53,35 @@ where
     }
 }
 
+/// A request handler that serves many requests concurrently: the worker
+/// pool spawned by [`Cluster::spawn_concurrent`] calls `handle` from
+/// several threads at once, so implementations synchronize internally
+/// (e.g. the provider engine's read/write lock).
+pub trait SharedService: Send + Sync {
+    /// Handle one request payload, producing a response payload.
+    fn handle(&self, request: &[u8]) -> Vec<u8>;
+}
+
+impl<F> SharedService for F
+where
+    F: Fn(&[u8]) -> Vec<u8> + Send + Sync,
+{
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        self(request)
+    }
+}
+
+/// Adapter running an exclusive [`Service`] under the concurrent spawn
+/// path: a mutex serializes `handle` calls, so a single-worker pool
+/// behaves exactly like the original one-thread-per-provider loop.
+struct ExclusiveService(Mutex<Box<dyn Service>>);
+
+impl SharedService for ExclusiveService {
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        self.0.lock().handle(request)
+    }
+}
+
 /// Per-provider failure behaviour.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FailureMode {
@@ -174,7 +203,8 @@ struct ProviderHandle {
     tx: Option<Sender<Envelope>>,
     failure: Arc<Mutex<FailureMode>>,
     latency: Arc<Mutex<Duration>>,
-    thread: Option<JoinHandle<()>>,
+    /// Worker threads draining this provider's request channel.
+    threads: Vec<JoinHandle<()>>,
 }
 
 /// A running cluster of provider threads plus client-side metering and
@@ -198,66 +228,117 @@ impl Cluster {
         timeout: Duration,
         breaker: BreakerConfig,
     ) -> Self {
+        // An exclusive service under a 1-worker pool is behaviourally
+        // identical to the original serial per-provider loop (same thread
+        // count, same RNG seed, strict request ordering via the mutex).
+        let shared = services
+            .into_iter()
+            .map(|s| Arc::new(ExclusiveService(Mutex::new(s))) as Arc<dyn SharedService>)
+            .collect();
+        Self::spawn_concurrent_with_breaker(shared, timeout, 1, breaker)
+    }
+
+    /// Worker-pool size used when callers don't pick one: `min(4, cores)`.
+    /// Small enough that a laptop cluster of n providers doesn't
+    /// oversubscribe, large enough to pipeline WAN-latency-bound requests.
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
+    }
+
+    /// Spawn `workers` threads per provider, all draining one request
+    /// channel, so a provider serves up to `workers` requests at once and
+    /// responses may return out of order — the quorum engine multiplexes
+    /// them by attempt token. Failure injection and latency switches are
+    /// shared across a provider's workers, preserving [`FailureSwitch`]
+    /// semantics.
+    pub fn spawn_concurrent(
+        services: Vec<Arc<dyn SharedService>>,
+        timeout: Duration,
+        workers: usize,
+    ) -> Self {
+        Self::spawn_concurrent_with_breaker(services, timeout, workers, BreakerConfig::default())
+    }
+
+    /// [`Cluster::spawn_concurrent`] with custom circuit-breaker tuning.
+    pub fn spawn_concurrent_with_breaker(
+        services: Vec<Arc<dyn SharedService>>,
+        timeout: Duration,
+        workers: usize,
+        breaker: BreakerConfig,
+    ) -> Self {
         let n = services.len();
+        let workers = workers.max(1);
         let providers = services
             .into_iter()
             .enumerate()
-            .map(|(id, mut service)| {
+            .map(|(id, service)| {
                 let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
                 let failure = Arc::new(Mutex::new(FailureMode::Healthy));
-                let failure_clone = Arc::clone(&failure);
                 let latency = Arc::new(Mutex::new(Duration::ZERO));
-                let latency_clone = Arc::clone(&latency);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("dasp-provider-{id}"))
-                    .spawn(move || {
-                        let mut rng = StdRng::seed_from_u64(0x5eed ^ id as u64);
-                        while let Ok(env) = rx.recv() {
-                            let delay = *latency_clone.lock();
-                            if !delay.is_zero() {
-                                // Live WAN emulation: one-way request delay
-                                // (the reply path shares the same sleep
-                                // budget for simplicity).
-                                std::thread::sleep(delay);
-                            }
-                            let mode = *failure_clone.lock();
-                            match mode {
-                                FailureMode::Crashed => continue,
-                                FailureMode::Omission(p) => {
-                                    let response = service.handle(&env.request);
-                                    if rng.gen::<f64>() >= p {
+                let mut threads = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let service = Arc::clone(&service);
+                    let rx = rx.clone();
+                    let failure = Arc::clone(&failure);
+                    let latency = Arc::clone(&latency);
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("dasp-provider-{id}-w{w}"))
+                        .spawn(move || {
+                            // Worker 0 keeps the pre-pool seed so
+                            // single-worker clusters inject bit-identical
+                            // faults; extra workers fork the stream.
+                            let mut rng =
+                                StdRng::seed_from_u64(0x5eed ^ id as u64 ^ ((w as u64) << 32));
+                            while let Ok(env) = rx.recv() {
+                                let delay = *latency.lock();
+                                if !delay.is_zero() {
+                                    // Live WAN emulation: one-way request
+                                    // delay (the reply path shares the same
+                                    // sleep budget for simplicity).
+                                    std::thread::sleep(delay);
+                                }
+                                let mode = *failure.lock();
+                                match mode {
+                                    FailureMode::Crashed => continue,
+                                    FailureMode::Omission(p) => {
+                                        let response = service.handle(&env.request);
+                                        if rng.gen::<f64>() >= p {
+                                            let _ = env.reply_to.send((env.token, response));
+                                        }
+                                    }
+                                    FailureMode::Byzantine(p) => {
+                                        let mut response = service.handle(&env.request);
+                                        if !response.is_empty() && rng.gen::<f64>() < p {
+                                            let idx = rng.gen_range(0..response.len());
+                                            response[idx] ^= 1u8 << rng.gen_range(0u32..8);
+                                        }
                                         let _ = env.reply_to.send((env.token, response));
                                     }
-                                }
-                                FailureMode::Byzantine(p) => {
-                                    let mut response = service.handle(&env.request);
-                                    if !response.is_empty() && rng.gen::<f64>() < p {
-                                        let idx = rng.gen_range(0..response.len());
-                                        response[idx] ^= 1u8 << rng.gen_range(0u32..8);
+                                    FailureMode::Healthy => {
+                                        let _ = env
+                                            .reply_to
+                                            .send((env.token, service.handle(&env.request)));
                                     }
-                                    let _ = env.reply_to.send((env.token, response));
-                                }
-                                FailureMode::Healthy => {
-                                    let _ = env
-                                        .reply_to
-                                        .send((env.token, service.handle(&env.request)));
                                 }
                             }
-                        }
-                    });
-                // If the OS refuses a thread, keep the handle but drop the
-                // sender: every call to this provider then fails with
-                // RpcError::Closed (a dead provider), instead of panicking
-                // the whole cluster at construction.
-                let (tx, thread) = match spawned {
-                    Ok(thread) => (Some(tx), Some(thread)),
-                    Err(_) => (None, None),
-                };
+                        });
+                    if let Ok(handle) = spawned {
+                        threads.push(handle);
+                    }
+                }
+                // If the OS refuses every worker thread, keep the handle
+                // but drop the sender: every call to this provider then
+                // fails with RpcError::Closed (a dead provider), instead
+                // of panicking the whole cluster at construction.
+                let tx = if threads.is_empty() { None } else { Some(tx) };
                 ProviderHandle {
                     tx,
                     failure,
                     latency,
-                    thread,
+                    threads,
                 }
             })
             .collect();
@@ -330,7 +411,7 @@ impl Cluster {
             p.tx = None;
         }
         for p in &mut self.providers {
-            if let Some(t) = p.thread.take() {
+            for t in p.threads.drain(..) {
                 let _ = t.join();
             }
         }
@@ -1166,6 +1247,80 @@ mod tests {
         assert_eq!(snap.providers[0].total_successes, 1);
         assert!(snap.providers[0].ewma_latency.is_some());
         assert_eq!(snap.providers[1].total_failures, 1);
+    }
+
+    /// One provider whose per-request sleep is the first request byte
+    /// (in milliseconds), echoing the request back.
+    fn sleepy_shared_provider() -> Arc<dyn SharedService> {
+        Arc::new(|req: &[u8]| {
+            let ms = u64::from(req.first().copied().unwrap_or(0));
+            std::thread::sleep(Duration::from_millis(ms));
+            req.to_vec()
+        })
+    }
+
+    #[test]
+    fn default_workers_is_bounded() {
+        let w = Cluster::default_workers();
+        assert!((1..=4).contains(&w), "default workers {w}");
+    }
+
+    #[test]
+    fn worker_pool_overlaps_slow_and_fast_requests() {
+        // Two workers: a 60 ms request must not serialize behind-queued
+        // fast requests; responses multiplex back by token, out of order.
+        let cluster =
+            Cluster::spawn_concurrent(vec![sleepy_shared_provider()], Duration::from_secs(2), 2);
+        let start = Instant::now();
+        let results = cluster.call_many(vec![(0, vec![60, 1]), (0, vec![1, 2]), (0, vec![1, 3])]);
+        let elapsed = start.elapsed();
+        // Every request got its own reply despite the shared channel.
+        assert_eq!(results.len(), 3);
+        for (i, expect) in [vec![60u8, 1], vec![1, 2], vec![1, 3]].iter().enumerate() {
+            assert_eq!(results[i].1.as_ref().unwrap(), expect, "slot {i}");
+        }
+        // Compare against a serial replay rather than a wall-clock bound,
+        // so the assertion holds on loaded machines too: one worker pays
+        // the 60 ms sleep plus both fast requests end to end.
+        let serial = {
+            let cluster = Cluster::spawn_concurrent(
+                vec![sleepy_shared_provider()],
+                Duration::from_secs(2),
+                1,
+            );
+            let start = Instant::now();
+            let results =
+                cluster.call_many(vec![(0, vec![60, 1]), (0, vec![1, 2]), (0, vec![1, 3])]);
+            assert!(results.iter().all(|(_, r)| r.is_ok()));
+            start.elapsed()
+        };
+        assert!(
+            elapsed < serial,
+            "2-worker pool ({elapsed:?}) must beat the serial provider ({serial:?})"
+        );
+    }
+
+    #[test]
+    fn worker_pool_preserves_failure_switch_semantics() {
+        let cluster =
+            Cluster::spawn_concurrent(vec![sleepy_shared_provider()], Duration::from_millis(80), 4);
+        cluster.set_failure(0, FailureMode::Crashed);
+        assert_eq!(cluster.call(0, vec![0]), Err(RpcError::Timeout(0)));
+        cluster.set_failure(0, FailureMode::Healthy);
+        assert_eq!(cluster.call(0, vec![0, 9]).unwrap(), vec![0, 9]);
+    }
+
+    #[test]
+    fn concurrent_cluster_shutdown_joins_all_workers() {
+        let mut cluster = Cluster::spawn_concurrent(
+            vec![sleepy_shared_provider()],
+            Duration::from_millis(200),
+            3,
+        );
+        assert!(cluster.call(0, vec![1]).is_ok());
+        cluster.shutdown();
+        cluster.shutdown(); // idempotent
+        assert_eq!(cluster.call(0, vec![1]), Err(RpcError::Closed));
     }
 
     #[test]

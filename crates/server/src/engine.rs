@@ -5,6 +5,19 @@
 //! queries run as index probes instead of scans. The engine never sees a
 //! plaintext private value: filtering, aggregation partials, order
 //! statistics and joins all operate directly on share space.
+//!
+//! # Concurrency
+//!
+//! The engine state (tables + buffer pool + commitments) sits behind one
+//! `RwLock`, splitting [`ProviderEngine::execute`] into a shared read
+//! path (`Query`/`QueryOrdered`/`GroupedAggregate`/`Join`/
+//! `VerifiedRange`/`Stats` interleave freely under the read lock) and an
+//! exclusive write path (`Insert`/`Delete`/`Update`/`Increment`/
+//! `CreateTable`/`Commit`/`DropAllTables` take the write lock, so they
+//! see a quiescent table and invalidate commitments atomically).
+//! [`EngineStats`] counters are atomics updated outside the state lock.
+//! Lock order is always tables-`RwLock` → buffer-pool shard; no code path
+//! acquires them in the other direction (see DESIGN.md §9).
 
 use crate::proto::{AggOp, PredAtom, Request, Response, Row, WireMerkleProof, WireRangeProof};
 use dasp_crypto::merkle::MerkleProof;
@@ -12,7 +25,10 @@ use dasp_net::{WireReader, WireWriter};
 use dasp_storage::btree::{compose_key, BTree};
 use dasp_storage::{BufferPool, HeapFile, Pager, RecordId};
 use dasp_verify::merkle_table::{AuthenticatedTable, CommittedRow};
-use std::collections::HashMap;
+use parking_lot::RwLock;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Execution statistics, used by benchmarks to separate index probes from
 /// scans.
@@ -26,6 +42,31 @@ pub struct EngineStats {
     pub rows_examined: u64,
 }
 
+/// Lock-free mirror of [`EngineStats`]: read-path requests bump these
+/// under the shared lock, so plain fields would race.
+#[derive(Debug, Default)]
+struct SharedStats {
+    index_probes: AtomicU64,
+    full_scans: AtomicU64,
+    rows_examined: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            index_probes: self.index_probes.load(Ordering::Relaxed),
+            full_scans: self.full_scans.load(Ordering::Relaxed),
+            rows_examined: self.rows_examined.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.index_probes.store(0, Ordering::Relaxed);
+        self.full_scans.store(0, Ordering::Relaxed);
+        self.rows_examined.store(0, Ordering::Relaxed);
+    }
+}
+
 struct Table {
     columns: Vec<String>,
     heap: HeapFile,
@@ -36,14 +77,42 @@ struct Table {
     rows: HashMap<u64, RecordId>,
 }
 
-/// One provider's engine: all its tables over a shared buffer pool.
-pub struct ProviderEngine {
+/// Everything guarded by the engine's read/write lock. Tables, the pool
+/// and the commitments move together: a write that mutates a table must
+/// atomically drop that table's commitments, and `DropAllTables` swaps
+/// the whole state (pool included) in one step.
+struct EngineState {
     pool: BufferPool,
     tables: HashMap<String, Table>,
-    stats: EngineStats,
     /// Merkle commitments per (table, column); dropped on any mutation of
     /// the table, forcing the client to re-commit before verified reads.
     commitments: HashMap<(String, usize), AuthenticatedTable>,
+}
+
+impl EngineState {
+    fn with_pool(pool: BufferPool) -> Self {
+        EngineState {
+            pool,
+            tables: HashMap::new(),
+            commitments: HashMap::new(),
+        }
+    }
+
+    fn fresh() -> Self {
+        Self::with_pool(BufferPool::new(Pager::in_memory(), 1024))
+    }
+
+    fn table(&self, name: &str) -> Result<&Table, String> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| format!("no such table {name:?}"))
+    }
+}
+
+/// One provider's engine: all its tables over a shared buffer pool.
+pub struct ProviderEngine {
+    state: RwLock<EngineState>,
+    stats: SharedStats,
 }
 
 fn encode_row(row: &Row) -> Vec<u8> {
@@ -62,6 +131,58 @@ fn decode_row(bytes: &[u8]) -> Option<Row> {
     Some(Row { id, shares })
 }
 
+/// The `limit` extreme rows by `(shares[order_col], id)`, ordered
+/// ascending for `desc == false` and descending for `desc == true`.
+///
+/// When the limit covers every row this is a plain unstable sort; below
+/// that, a bounded heap of `limit + 1` keys selects the extremes in
+/// O(n log k). Callers have validated `order_col` against every row.
+fn top_k(rows: Vec<Row>, order_col: usize, desc: bool, limit: usize) -> Vec<Row> {
+    let key = |r: &Row| (r.shares.get(order_col).copied().unwrap_or(i128::MIN), r.id);
+    if limit >= rows.len() {
+        let mut rows = rows;
+        rows.sort_unstable_by_key(key);
+        if desc {
+            rows.reverse();
+        }
+        return rows;
+    }
+    // Heap over (key, input position); the position retrieves the owned
+    // row afterwards. Keys are unique because ids are.
+    let picked: Vec<(i128, u64, usize)> = if desc {
+        // k largest: a min-heap (via Reverse) evicts the smallest seen.
+        let mut heap = BinaryHeap::with_capacity(limit + 1);
+        for (idx, row) in rows.iter().enumerate() {
+            let (share, id) = key(row);
+            heap.push(Reverse((share, id, idx)));
+            if heap.len() > limit {
+                heap.pop();
+            }
+        }
+        let mut out: Vec<_> = heap.into_iter().map(|Reverse(k)| k).collect();
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out
+    } else {
+        // k smallest: a max-heap evicts the largest seen.
+        let mut heap = BinaryHeap::with_capacity(limit + 1);
+        for (idx, row) in rows.iter().enumerate() {
+            let (share, id) = key(row);
+            heap.push((share, id, idx));
+            if heap.len() > limit {
+                heap.pop();
+            }
+        }
+        let mut out = heap.into_vec();
+        out.sort_unstable();
+        out
+    };
+    let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
+    picked
+        .into_iter()
+        .filter_map(|(_, _, idx)| slots.get_mut(idx).and_then(Option::take))
+        .collect()
+}
+
 impl Default for ProviderEngine {
     fn default() -> Self {
         Self::new()
@@ -78,84 +199,98 @@ impl ProviderEngine {
     /// [`dasp_storage::FileBackend`] pager for durable providers.
     pub fn with_pool(pool: BufferPool) -> Self {
         ProviderEngine {
-            pool,
-            tables: HashMap::new(),
-            stats: EngineStats::default(),
-            commitments: HashMap::new(),
+            state: RwLock::new(EngineState::with_pool(pool)),
+            stats: SharedStats::default(),
         }
     }
 
     /// Flush dirty pages to the backend (meaningful for file-backed
     /// pools; a no-op-equivalent for memory).
     pub fn sync(&self) -> Result<(), String> {
-        self.pool.flush().map_err(|e| e.to_string())
+        self.state.read().pool.flush().map_err(|e| e.to_string())
     }
 
     /// Engine statistics snapshot.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Execute one request. All failures are mapped into
     /// [`Response::Error`] so a malformed request can never take the
     /// provider down.
-    pub fn execute(&mut self, request: &Request) -> Response {
+    ///
+    /// Read-only requests run under the shared lock and interleave across
+    /// threads; mutating requests serialize under the exclusive lock.
+    pub fn execute(&self, request: &Request) -> Response {
         match self.try_execute(request) {
             Ok(resp) => resp,
             Err(msg) => Response::Error(msg),
         }
     }
 
-    fn try_execute(&mut self, request: &Request) -> Result<Response, String> {
+    fn try_execute(&self, request: &Request) -> Result<Response, String> {
         match request {
+            // ---- exclusive write path ----
             Request::CreateTable {
                 name,
                 columns,
                 indexed,
-            } => self.create_table(name, columns, indexed),
-            Request::Insert { table, rows } => self.insert(table, rows),
-            Request::Delete { table, ids } => self.delete(table, ids),
-            Request::Update { table, rows } => self.update(table, rows),
+            } => Self::create_table(&mut self.state.write(), name, columns, indexed),
+            Request::Insert { table, rows } => Self::insert(&mut self.state.write(), table, rows),
+            Request::Delete { table, ids } => Self::delete(&mut self.state.write(), table, ids),
+            Request::Update { table, rows } => Self::update(&mut self.state.write(), table, rows),
+            Request::Increment { table, col, deltas } => {
+                Self::increment(&mut self.state.write(), table, *col, deltas)
+            }
+            Request::Commit { table, col } => self.commit(&mut self.state.write(), table, *col),
+            Request::DropAllTables => {
+                // A wiped provider starts from a clean engine; dropping the
+                // old buffer pool and pages wholesale is the honest
+                // equivalent of re-imaging the node.
+                *self.state.write() = EngineState::fresh();
+                self.stats.reset();
+                Ok(Response::Ack)
+            }
+            // ---- shared read path ----
             Request::Query {
                 table,
                 predicate,
                 agg,
-            } => self.query(table, predicate, *agg),
+            } => self.query(&self.state.read(), table, predicate, *agg),
             Request::QueryOrdered {
                 table,
                 predicate,
                 order_col,
                 desc,
                 limit,
-            } => self.query_ordered(table, predicate, *order_col, *desc, *limit),
+            } => self.query_ordered(
+                &self.state.read(),
+                table,
+                predicate,
+                *order_col,
+                *desc,
+                *limit,
+            ),
             Request::GroupedAggregate {
                 table,
                 predicate,
                 group_col,
                 agg,
-            } => self.grouped_aggregate(table, predicate, *group_col, *agg),
+            } => self.grouped_aggregate(&self.state.read(), table, predicate, *group_col, *agg),
             Request::Join {
                 left,
                 right,
                 left_col,
                 right_col,
-            } => self.join(left, right, *left_col, *right_col),
-            Request::Increment { table, col, deltas } => self.increment(table, *col, deltas),
-            Request::Commit { table, col } => self.commit(table, *col),
+            } => self.join(&self.state.read(), left, right, *left_col, *right_col),
             Request::VerifiedRange { table, col, lo, hi } => {
-                self.verified_range(table, *col, *lo, *hi)
-            }
-            Request::DropAllTables => {
-                // A wiped provider starts from a clean engine; dropping the
-                // old buffer pool and pages wholesale is the honest
-                // equivalent of re-imaging the node.
-                *self = ProviderEngine::new();
-                Ok(Response::Ack)
+                Self::verified_range(&self.state.read(), table, *col, *lo, *hi)
             }
             Request::Stats => {
-                let rows = self.tables.values().map(|t| t.rows.len() as u64).sum();
+                let st = self.state.read();
+                let rows = st.tables.values().map(|t| t.rows.len() as u64).sum();
                 Ok(Response::Stats {
-                    tables: self.tables.len() as u64,
+                    tables: st.tables.len() as u64,
                     rows,
                 })
             }
@@ -163,12 +298,12 @@ impl ProviderEngine {
     }
 
     fn create_table(
-        &mut self,
+        st: &mut EngineState,
         name: &str,
         columns: &[String],
         indexed: &[bool],
     ) -> Result<Response, String> {
-        if self.tables.contains_key(name) {
+        if st.tables.contains_key(name) {
             return Err(format!("table {name:?} already exists"));
         }
         if columns.len() != indexed.len() {
@@ -177,16 +312,16 @@ impl ProviderEngine {
         if columns.is_empty() {
             return Err("table needs at least one column".into());
         }
-        let heap = HeapFile::create(&self.pool).map_err(|e| e.to_string())?;
+        let heap = HeapFile::create(&st.pool).map_err(|e| e.to_string())?;
         let mut indexes = Vec::with_capacity(columns.len());
         for &idx in indexed {
             indexes.push(if idx {
-                Some(BTree::create(&self.pool).map_err(|e| e.to_string())?)
+                Some(BTree::create(&st.pool).map_err(|e| e.to_string())?)
             } else {
                 None
             });
         }
-        self.tables.insert(
+        st.tables.insert(
             name.to_string(),
             Table {
                 columns: columns.to_vec(),
@@ -198,15 +333,10 @@ impl ProviderEngine {
         Ok(Response::Ack)
     }
 
-    fn invalidate_commitments(&mut self, table: &str) {
-        self.commitments.retain(|(t, _), _| t != table);
-    }
-
-    fn insert(&mut self, table: &str, rows: &[Row]) -> Result<Response, String> {
-        self.invalidate_commitments(table);
-        let pool = &self.pool;
-        let t = self
-            .tables
+    fn insert(st: &mut EngineState, table: &str, rows: &[Row]) -> Result<Response, String> {
+        st.commitments.retain(|(t, _), _| t != table);
+        let EngineState { pool, tables, .. } = st;
+        let t = tables
             .get_mut(table)
             .ok_or_else(|| format!("no such table {table:?}"))?;
         for row in rows {
@@ -236,11 +366,10 @@ impl ProviderEngine {
         Ok(Response::Ack)
     }
 
-    fn delete(&mut self, table: &str, ids: &[u64]) -> Result<Response, String> {
-        self.invalidate_commitments(table);
-        let pool = &self.pool;
-        let t = self
-            .tables
+    fn delete(st: &mut EngineState, table: &str, ids: &[u64]) -> Result<Response, String> {
+        st.commitments.retain(|(t, _), _| t != table);
+        let EngineState { pool, tables, .. } = st;
+        let t = tables
             .get_mut(table)
             .ok_or_else(|| format!("no such table {table:?}"))?;
         for &id in ids {
@@ -264,108 +393,126 @@ impl ProviderEngine {
         Ok(Response::Ack)
     }
 
-    fn update(&mut self, table: &str, rows: &[Row]) -> Result<Response, String> {
+    fn update(st: &mut EngineState, table: &str, rows: &[Row]) -> Result<Response, String> {
         // Eager update = delete + reinsert (§V-C): new shares mean new
         // index positions anyway.
         let ids: Vec<u64> = rows.iter().map(|r| r.id).collect();
-        self.delete(table, &ids)?;
-        self.insert(table, rows)
+        Self::delete(st, table, &ids)?;
+        Self::insert(st, table, rows)
     }
 
-    fn load_row(&self, t: &Table, rid: RecordId) -> Result<Row, String> {
+    fn load_row(pool: &BufferPool, t: &Table, rid: RecordId) -> Result<Row, String> {
         let bytes = t
             .heap
-            .get(&self.pool, rid)
+            .get(pool, rid)
             .map_err(|e| e.to_string())?
             .ok_or("dangling record id")?;
         decode_row(&bytes).ok_or_else(|| "corrupt stored row".into())
     }
 
-    /// Pick the best indexed atom (Eq beats Range) and return candidate
-    /// record ids; `None` means no usable index → scan.
+    /// Candidate record ids for `predicate`. With one usable index the
+    /// atom is probed directly (Eq beats Range on ties); with two or more
+    /// indexed atoms every index is probed and the two smallest hit sets
+    /// are intersected before any heap lookup, so a selective conjunction
+    /// examines the intersection instead of the best single atom's range.
+    /// No usable index → full scan; the residual filter in
+    /// [`Self::matching_rows`] re-checks every atom either way.
     fn candidates(
-        &mut self,
+        &self,
+        st: &EngineState,
         table: &str,
         predicate: &[PredAtom],
     ) -> Result<(Vec<RecordId>, bool), String> {
-        let t = self
-            .tables
-            .get(table)
-            .ok_or_else(|| format!("no such table {table:?}"))?;
-        let pick = predicate
+        let t = st.table(table)?;
+        // Pair each atom with its index tree up front, so a pick can't
+        // dangle between the filter and the lookup. Eq atoms sort first:
+        // equal probe cost, usually tighter hit sets.
+        let mut probes: Vec<(&PredAtom, &BTree)> = predicate
             .iter()
             .filter_map(|a| {
-                // Pair each atom with its index tree up front, so the pick
-                // can't dangle between the filter and the lookup.
                 let tree = t.indexes.get(a.col()).and_then(|i| i.as_ref())?;
                 Some((a, tree))
             })
-            .min_by_key(|(a, _)| match a {
-                PredAtom::Eq { .. } => 0,
-                PredAtom::Range { .. } => 1,
-            });
-        match pick {
-            Some((atom, tree)) => {
-                let (lo, hi) = match *atom {
-                    PredAtom::Eq { share, .. } => {
-                        (compose_key(share, 0), compose_key(share, u64::MAX))
-                    }
-                    PredAtom::Range { lo, hi, .. } => {
-                        (compose_key(lo, 0), compose_key(hi, u64::MAX))
-                    }
-                };
-                let hits = tree
-                    .range(&self.pool, &lo, &hi)
-                    .map_err(|e| e.to_string())?;
-                self.stats.index_probes += 1;
-                Ok((
-                    hits.into_iter()
-                        .map(|(_, packed)| RecordId::from_u64(packed))
-                        .collect(),
-                    true,
-                ))
-            }
-            None => {
-                self.stats.full_scans += 1;
-                let all = t
-                    .heap
-                    .scan(&self.pool)
-                    .map_err(|e| e.to_string())?
-                    .into_iter()
-                    .map(|(rid, _)| rid)
-                    .collect();
-                Ok((all, false))
-            }
+            .collect();
+        if probes.is_empty() {
+            self.stats.full_scans.fetch_add(1, Ordering::Relaxed);
+            let all = t
+                .heap
+                .scan(&st.pool)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(|(rid, _)| rid)
+                .collect();
+            return Ok((all, false));
         }
+        probes.sort_by_key(|(a, _)| match a {
+            PredAtom::Eq { .. } => 0u8,
+            PredAtom::Range { .. } => 1u8,
+        });
+        self.stats.index_probes.fetch_add(1, Ordering::Relaxed);
+        let probe = |atom: &PredAtom, tree: &BTree| -> Result<Vec<RecordId>, String> {
+            let (lo, hi) = match *atom {
+                PredAtom::Eq { share, .. } => (compose_key(share, 0), compose_key(share, u64::MAX)),
+                PredAtom::Range { lo, hi, .. } => (compose_key(lo, 0), compose_key(hi, u64::MAX)),
+            };
+            Ok(tree
+                .range(&st.pool, &lo, &hi)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(|(_, packed)| RecordId::from_u64(packed))
+                .collect())
+        };
+        if let [(atom, tree)] = probes[..] {
+            return Ok((probe(atom, tree)?, true));
+        }
+        let mut sets = Vec::with_capacity(probes.len());
+        for &(atom, tree) in &probes {
+            sets.push(probe(atom, tree)?);
+        }
+        sets.sort_by_key(|s| s.len());
+        let second: HashSet<u64> = sets[1].iter().map(|r| r.to_u64()).collect();
+        let smallest = std::mem::take(&mut sets[0]);
+        Ok((
+            smallest
+                .into_iter()
+                .filter(|r| second.contains(&r.to_u64()))
+                .collect(),
+            true,
+        ))
     }
 
-    fn matching_rows(&mut self, table: &str, predicate: &[PredAtom]) -> Result<Vec<Row>, String> {
-        let (candidates, _) = self.candidates(table, predicate)?;
-        let t = self
-            .tables
-            .get(table)
-            .ok_or_else(|| format!("no such table {table:?}"))?;
+    fn matching_rows(
+        &self,
+        st: &EngineState,
+        table: &str,
+        predicate: &[PredAtom],
+    ) -> Result<Vec<Row>, String> {
+        let (candidates, _) = self.candidates(st, table, predicate)?;
+        let t = st.table(table)?;
+        self.stats
+            .rows_examined
+            .fetch_add(candidates.len() as u64, Ordering::Relaxed);
         let mut out = Vec::new();
         for rid in candidates {
-            let row = self.load_row(t, rid)?;
-            self.stats.rows_examined += 1;
+            let row = Self::load_row(&st.pool, t, rid)?;
             if predicate.iter().all(|a| a.matches(&row.shares)) {
                 out.push(row);
             }
         }
         // Stable output order helps tests and cross-provider zipping.
-        out.sort_by_key(|r| r.id);
+        out.sort_unstable_by_key(|r| r.id);
         out.dedup_by_key(|r| r.id);
         Ok(out)
     }
 
     fn query(
-        &mut self,
+        &self,
+        st: &EngineState,
         table: &str,
         predicate: &[PredAtom],
         agg: Option<AggOp>,
     ) -> Result<Response, String> {
-        let rows = self.matching_rows(table, predicate)?;
+        let rows = self.matching_rows(st, table, predicate)?;
         let Some(agg) = agg else {
             return Ok(Response::Rows(rows));
         };
@@ -407,7 +554,9 @@ impl ProviderEngine {
                     .iter()
                     .map(|row| Ok((col_share(row, col)?, row)))
                     .collect::<Result<_, String>>()?;
-                ordered.sort_by_key(|(s, _)| *s);
+                // Row ids break share ties so the pick is deterministic
+                // across providers even though the sort is unstable.
+                ordered.sort_unstable_by_key(|(s, row)| (*s, row.id));
                 let picked = match agg {
                     AggOp::Min { .. } => ordered.first(),
                     AggOp::Max { .. } => ordered.last(),
@@ -424,29 +573,30 @@ impl ProviderEngine {
         }
     }
 
-    /// Server-side top-k: sort matching rows by the share of `order_col`
-    /// and truncate. Meaningful for order-preserving columns, where share
-    /// order equals value order at every provider.
+    /// Server-side top-k: the `limit` extreme matching rows by the share
+    /// of `order_col`. Meaningful for order-preserving columns, where
+    /// share order equals value order at every provider.
+    ///
+    /// Selection uses a bounded binary heap — O(n log k) instead of the
+    /// O(n log n) full sort — with row ids breaking share ties exactly as
+    /// the old stable sort did (ids ascend under `asc`, descend under
+    /// `desc`).
     fn query_ordered(
-        &mut self,
+        &self,
+        st: &EngineState,
         table: &str,
         predicate: &[PredAtom],
         order_col: usize,
         desc: bool,
         limit: u64,
     ) -> Result<Response, String> {
-        let mut rows = self.matching_rows(table, predicate)?;
+        let rows = self.matching_rows(st, table, predicate)?;
         for row in &rows {
             if order_col >= row.shares.len() {
                 return Err(format!("order column {order_col} out of range"));
             }
         }
-        rows.sort_by_key(|r| r.shares[order_col]);
-        if desc {
-            rows.reverse();
-        }
-        rows.truncate(limit as usize);
-        Ok(Response::Rows(rows))
+        Ok(Response::Rows(top_k(rows, order_col, desc, limit as usize)))
     }
 
     /// Grouped aggregation partials: rows with equal `group_col` shares
@@ -454,7 +604,8 @@ impl ProviderEngine {
     /// columns); each group reports its smallest row id as the
     /// cross-provider group key.
     fn grouped_aggregate(
-        &mut self,
+        &self,
+        st: &EngineState,
         table: &str,
         predicate: &[PredAtom],
         group_col: usize,
@@ -465,7 +616,7 @@ impl ProviderEngine {
             AggOp::Sum { col } => Some(col),
             other => return Err(format!("{other:?} is not groupable (Count/Sum only)")),
         };
-        let rows = self.matching_rows(table, predicate)?;
+        let rows = self.matching_rows(st, table, predicate)?;
         let mut groups: HashMap<i128, crate::proto::GroupPartial> = HashMap::new();
         for row in &rows {
             let group_share = *row
@@ -492,22 +643,21 @@ impl ProviderEngine {
             entry.count += 1;
         }
         let mut out: Vec<crate::proto::GroupPartial> = groups.into_values().collect();
-        out.sort_by_key(|g| g.rep_row);
+        out.sort_unstable_by_key(|g| g.rep_row);
         Ok(Response::Groups(out))
     }
 
     /// Apply additive share deltas in place (no index maintenance: only
     /// unindexed random-mode columns are incremented by the client).
     fn increment(
-        &mut self,
+        st: &mut EngineState,
         table: &str,
         col: usize,
         deltas: &[(u64, i128)],
     ) -> Result<Response, String> {
-        self.invalidate_commitments(table);
-        let pool = &self.pool;
-        let t = self
-            .tables
+        st.commitments.retain(|(t, _), _| t != table);
+        let EngineState { pool, tables, .. } = st;
+        let t = tables
             .get_mut(table)
             .ok_or_else(|| format!("no such table {table:?}"))?;
         if t.indexes.get(col).is_none_or(|i| i.is_some()) {
@@ -552,8 +702,8 @@ impl ProviderEngine {
     }
 
     /// Build a commitment over the table sorted by `col`'s shares.
-    fn commit(&mut self, table: &str, col: usize) -> Result<Response, String> {
-        let rows = self.matching_rows(table, &[])?;
+    fn commit(&self, st: &mut EngineState, table: &str, col: usize) -> Result<Response, String> {
+        let rows = self.matching_rows(st, table, &[])?;
         if rows.is_empty() {
             return Err("cannot commit to an empty table".into());
         }
@@ -572,7 +722,7 @@ impl ProviderEngine {
         let total = committed.len() as u64;
         let at = AuthenticatedTable::build(committed, col);
         let root = at.root();
-        self.commitments.insert((table.to_string(), col), at);
+        st.commitments.insert((table.to_string(), col), at);
         Ok(Response::Committed {
             root,
             total_rows: total,
@@ -581,13 +731,13 @@ impl ProviderEngine {
 
     /// Serve a range with a completeness proof from the cached commitment.
     fn verified_range(
-        &mut self,
+        st: &EngineState,
         table: &str,
         col: usize,
         lo: i128,
         hi: i128,
     ) -> Result<Response, String> {
-        let at = self
+        let at = st
             .commitments
             .get(&(table.to_string(), col))
             .ok_or("no commitment for this table/column (or table changed); re-commit")?;
@@ -619,7 +769,8 @@ impl ProviderEngine {
     }
 
     fn join(
-        &mut self,
+        &self,
+        st: &EngineState,
         left: &str,
         right: &str,
         left_col: usize,
@@ -627,8 +778,8 @@ impl ProviderEngine {
     ) -> Result<Response, String> {
         // Hash join on share values. Valid because same-domain values get
         // identical shares at this provider (per-domain polynomials, §V-A).
-        let left_rows = self.matching_rows(left, &[])?;
-        let right_rows = self.matching_rows(right, &[])?;
+        let left_rows = self.matching_rows(st, left, &[])?;
+        let right_rows = self.matching_rows(st, right, &[])?;
         let mut by_share: HashMap<i128, Vec<&Row>> = HashMap::new();
         for row in &left_rows {
             let share = *row
@@ -667,7 +818,7 @@ mod tests {
     }
 
     fn engine_with_table() -> ProviderEngine {
-        let mut e = ProviderEngine::new();
+        let e = ProviderEngine::new();
         let resp = e.execute(&Request::CreateTable {
             name: "emp".into(),
             columns: vec!["name".into(), "salary".into()],
@@ -690,7 +841,7 @@ mod tests {
 
     #[test]
     fn create_twice_fails() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::CreateTable {
             name: "emp".into(),
             columns: vec!["x".into()],
@@ -701,7 +852,7 @@ mod tests {
 
     #[test]
     fn exact_match_via_index() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::Query {
             table: "emp".into(),
             predicate: vec![PredAtom::Eq { col: 0, share: 100 }],
@@ -717,7 +868,7 @@ mod tests {
 
     #[test]
     fn range_query_via_index() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::Query {
             table: "emp".into(),
             predicate: vec![PredAtom::Range {
@@ -735,7 +886,7 @@ mod tests {
 
     #[test]
     fn conjunction_filters_on_both() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::Query {
             table: "emp".into(),
             predicate: vec![
@@ -756,7 +907,7 @@ mod tests {
 
     #[test]
     fn empty_predicate_returns_all() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::Query {
             table: "emp".into(),
             predicate: vec![],
@@ -771,7 +922,7 @@ mod tests {
 
     #[test]
     fn aggregates_over_shares() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::Query {
             table: "emp".into(),
             predicate: vec![],
@@ -838,7 +989,7 @@ mod tests {
 
     #[test]
     fn count_with_predicate() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::Query {
             table: "emp".into(),
             predicate: vec![PredAtom::Range {
@@ -860,7 +1011,7 @@ mod tests {
 
     #[test]
     fn delete_removes_from_index_too() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         e.execute(&Request::Delete {
             table: "emp".into(),
             ids: vec![1, 3],
@@ -883,7 +1034,7 @@ mod tests {
 
     #[test]
     fn update_moves_index_entries() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         e.execute(&Request::Update {
             table: "emp".into(),
             rows: rows(&[(2, &[100, 31])]),
@@ -906,7 +1057,7 @@ mod tests {
 
     #[test]
     fn unindexed_column_forces_scan_but_still_filters() {
-        let mut e = ProviderEngine::new();
+        let e = ProviderEngine::new();
         e.execute(&Request::CreateTable {
             name: "t".into(),
             columns: vec!["rand".into()],
@@ -928,7 +1079,7 @@ mod tests {
 
     #[test]
     fn join_on_share_equality() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         e.execute(&Request::CreateTable {
             name: "mgr".into(),
             columns: vec!["name".into(), "level".into()],
@@ -955,7 +1106,7 @@ mod tests {
 
     #[test]
     fn errors_are_responses_not_panics() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         for req in [
             Request::Insert {
                 table: "nope".into(),
@@ -989,7 +1140,7 @@ mod tests {
 
     #[test]
     fn ordered_query_top_k() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         // Order by salary share (col 1), ascending, top 3.
         let resp = e.execute(&Request::QueryOrdered {
             table: "emp".into(),
@@ -1046,7 +1197,7 @@ mod tests {
 
     #[test]
     fn grouped_aggregate_partials() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         // Group by name share (col 0), sum salary shares (col 1).
         let resp = e.execute(&Request::GroupedAggregate {
             table: "emp".into(),
@@ -1089,7 +1240,7 @@ mod tests {
 
     #[test]
     fn grouped_aggregate_with_predicate() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::GroupedAggregate {
             table: "emp".into(),
             predicate: vec![PredAtom::Range {
@@ -1111,7 +1262,7 @@ mod tests {
 
     #[test]
     fn commit_and_verified_range() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::Commit {
             table: "emp".into(),
             col: 1,
@@ -1152,7 +1303,7 @@ mod tests {
 
     #[test]
     fn verified_range_refused_after_mutation() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         e.execute(&Request::Commit {
             table: "emp".into(),
             col: 1,
@@ -1188,7 +1339,7 @@ mod tests {
 
     #[test]
     fn verified_range_without_commit_errors() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::VerifiedRange {
             table: "emp".into(),
             col: 1,
@@ -1200,14 +1351,90 @@ mod tests {
 
     #[test]
     fn stats_request_counts() {
-        let mut e = engine_with_table();
+        let e = engine_with_table();
         let resp = e.execute(&Request::Stats);
         assert_eq!(resp, Response::Stats { tables: 1, rows: 5 });
     }
 
     #[test]
+    fn selective_conjunction_intersects_index_hits() {
+        // Satellite regression: with two indexed atoms, the engine must
+        // intersect the two smallest index hit sets instead of examining
+        // every row matched by a single (unselective) atom.
+        let e = ProviderEngine::new();
+        e.execute(&Request::CreateTable {
+            name: "t".into(),
+            columns: vec!["dept".into(), "badge".into()],
+            indexed: vec![true, true],
+        });
+        // dept share is the same for every row (one giant department);
+        // badge shares are unique.
+        let data: Vec<Row> = (0..3000u64)
+            .map(|i| Row {
+                id: i,
+                shares: vec![100, i as i128 * 3],
+            })
+            .collect();
+        e.execute(&Request::Insert {
+            table: "t".into(),
+            rows: data,
+        });
+        let before = e.stats();
+        let resp = e.execute(&Request::Query {
+            table: "t".into(),
+            predicate: vec![
+                PredAtom::Eq { col: 0, share: 100 },
+                PredAtom::Eq {
+                    col: 1,
+                    share: 1500,
+                },
+            ],
+            agg: None,
+        });
+        let Response::Rows(got) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![500]);
+        let after = e.stats();
+        // One logical index probe per query, zero scans.
+        assert_eq!(after.index_probes - before.index_probes, 1);
+        assert_eq!(after.full_scans, 0);
+        // The badge atom matches exactly one row; the intersection must
+        // keep heap lookups at that scale instead of all 3000 dept hits.
+        let examined = after.rows_examined - before.rows_examined;
+        assert!(examined <= 2, "intersection examined {examined} rows");
+    }
+
+    #[test]
+    fn top_k_heap_matches_full_sort_ties_included() {
+        // Rows with duplicate shares: heap selection must reproduce the
+        // stable sort's tie order (ids ascend when asc, descend when desc).
+        let data: Vec<Row> = rows(&[
+            (1, &[7]),
+            (2, &[3]),
+            (3, &[7]),
+            (4, &[1]),
+            (5, &[3]),
+            (6, &[9]),
+        ]);
+        let asc = top_k(data.clone(), 0, false, 4);
+        assert_eq!(
+            asc.iter().map(|r| (r.shares[0], r.id)).collect::<Vec<_>>(),
+            vec![(1, 4), (3, 2), (3, 5), (7, 1)]
+        );
+        let desc = top_k(data.clone(), 0, true, 4);
+        assert_eq!(
+            desc.iter().map(|r| (r.shares[0], r.id)).collect::<Vec<_>>(),
+            vec![(9, 6), (7, 3), (7, 1), (3, 5)]
+        );
+        // Limit ≥ n falls back to the full sort; limit 0 yields nothing.
+        assert_eq!(top_k(data.clone(), 0, false, 100).len(), 6);
+        assert!(top_k(data, 0, true, 0).is_empty());
+    }
+
+    #[test]
     fn large_table_index_beats_scan_rows_examined() {
-        let mut e = ProviderEngine::new();
+        let e = ProviderEngine::new();
         e.execute(&Request::CreateTable {
             name: "big".into(),
             columns: vec!["v".into()],

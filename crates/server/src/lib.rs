@@ -23,4 +23,4 @@ pub mod service;
 
 pub use engine::ProviderEngine;
 pub use proto::{AggOp, PredAtom, Request, Response, Row};
-pub use service::ProviderService;
+pub use service::{provider_fleet, shared_provider_fleet, ProviderService};

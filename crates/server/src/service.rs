@@ -2,7 +2,8 @@
 
 use crate::engine::ProviderEngine;
 use crate::proto::{Request, Response};
-use dasp_net::Service;
+use dasp_net::{Service, SharedService};
+use std::sync::Arc;
 
 /// A provider as an RPC service: decodes requests, runs the engine,
 /// encodes responses. Undecodable requests produce an encoded
@@ -30,10 +31,14 @@ impl ProviderService {
     pub fn engine_mut(&mut self) -> &mut ProviderEngine {
         &mut self.engine
     }
-}
 
-impl Service for ProviderService {
-    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+    /// Shared view of the engine. Execution is `&self`: the engine's
+    /// internal read/write lock arbitrates concurrent requests.
+    pub fn engine(&self) -> &ProviderEngine {
+        &self.engine
+    }
+
+    fn serve(&self, request: &[u8]) -> Vec<u8> {
         let response = match Request::decode(request) {
             Ok(req) => self.engine.execute(&req),
             Err(e) => Response::Error(format!("bad request: {e}")),
@@ -42,10 +47,31 @@ impl Service for ProviderService {
     }
 }
 
+impl Service for ProviderService {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        self.serve(request)
+    }
+}
+
+impl SharedService for ProviderService {
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        self.serve(request)
+    }
+}
+
 /// Build `n` independent provider services for a cluster.
 pub fn provider_fleet(n: usize) -> Vec<Box<dyn Service>> {
     (0..n)
         .map(|_| Box::new(ProviderService::new()) as Box<dyn Service>)
+        .collect()
+}
+
+/// Build `n` independent providers for [`dasp_net::Cluster::spawn_concurrent`]:
+/// each serves requests from a per-provider worker pool, with reads
+/// interleaving under the engine's shared lock.
+pub fn shared_provider_fleet(n: usize) -> Vec<Arc<dyn SharedService>> {
+    (0..n)
+        .map(|_| Arc::new(ProviderService::new()) as Arc<dyn SharedService>)
         .collect()
 }
 
@@ -104,7 +130,7 @@ mod tests {
         let path = dir.join("provider.db");
         let _ = std::fs::remove_file(&path);
         let pool = BufferPool::new(Pager::new(FileBackend::open(&path).unwrap()), 64);
-        let mut engine = crate::engine::ProviderEngine::with_pool(pool);
+        let engine = crate::engine::ProviderEngine::with_pool(pool);
         engine.execute(&Request::CreateTable {
             name: "t".into(),
             columns: vec!["v".into()],

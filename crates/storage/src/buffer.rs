@@ -1,15 +1,31 @@
-//! A clock-eviction buffer pool over a [`Pager`].
+//! A sharded clock-eviction buffer pool over a [`Pager`].
 //!
 //! Providers answer many point and range queries over the same hot index
 //! pages; the pool keeps those resident. Eviction uses the clock (second
 //! chance) algorithm — simpler than LRU lists, near-identical hit rates
 //! for index workloads.
+//!
+//! The frame set is split into shards addressed by a `PageId` hash so that
+//! concurrent readers probing different pages contend on different locks.
+//! Each shard owns its frames, its page map, and its clock hand; eviction
+//! never crosses shards. [`PoolStats`] counters live in atomics beside the
+//! shard locks and are aggregated on [`BufferPool::stats`]. Small pools
+//! (fewer than [`MIN_FRAMES_PER_SHARD`] frames per would-be shard)
+//! collapse to a single shard so tight-capacity eviction behaviour is
+//! identical to the unsharded pool.
 
 use crate::page::Page;
 use crate::pager::{PageId, Pager};
 use crate::Result;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bound on shard count picked by [`BufferPool::new`].
+const MAX_SHARDS: usize = 16;
+
+/// A shard must hold at least this many frames to be worth its lock.
+const MIN_FRAMES_PER_SHARD: usize = 64;
 
 struct Frame {
     page_id: PageId,
@@ -29,35 +45,77 @@ pub struct PoolStats {
     pub evict_writebacks: u64,
 }
 
-/// A fixed-capacity page cache with clock eviction and write-back.
+/// A fixed-capacity page cache with clock eviction and write-back,
+/// sharded by `PageId` hash.
 pub struct BufferPool {
     pager: Pager,
-    inner: Mutex<PoolInner>,
+    shards: Vec<Shard>,
 }
 
-struct PoolInner {
+struct Shard {
+    inner: Mutex<ShardInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evict_writebacks: AtomicU64,
+}
+
+struct ShardInner {
     frames: Vec<Option<Frame>>,
     map: HashMap<PageId, usize>,
     hand: usize,
-    stats: PoolStats,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            inner: Mutex::new(ShardInner {
+                frames: (0..capacity).map(|_| None).collect(),
+                map: HashMap::with_capacity(capacity),
+                hand: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evict_writebacks: AtomicU64::new(0),
+        }
+    }
 }
 
 impl BufferPool {
-    /// Create a pool of `capacity` frames over `pager`.
+    /// Create a pool of `capacity` frames over `pager`, with a shard count
+    /// derived from the capacity (one shard per [`MIN_FRAMES_PER_SHARD`]
+    /// frames, at most [`MAX_SHARDS`]).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(pager: Pager, capacity: usize) -> Self {
+        let shards = (capacity / MIN_FRAMES_PER_SHARD).clamp(1, MAX_SHARDS);
+        Self::with_shards(pager, capacity, shards)
+    }
+
+    /// Create a pool of `capacity` frames split over exactly `shards`
+    /// shards. Capacity is distributed as evenly as possible; every shard
+    /// receives at least one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero, `shards` is zero, or `shards`
+    /// exceeds `capacity` (a shard with no frames could never admit a
+    /// page).
+    pub fn with_shards(pager: Pager, capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
+        assert!(shards > 0, "buffer pool needs at least one shard");
+        assert!(
+            shards <= capacity,
+            "buffer pool needs at least one frame per shard"
+        );
+        let base = capacity / shards;
+        let extra = capacity % shards;
         BufferPool {
             pager,
-            inner: Mutex::new(PoolInner {
-                frames: (0..capacity).map(|_| None).collect(),
-                map: HashMap::with_capacity(capacity),
-                hand: 0,
-                stats: PoolStats::default(),
-            }),
+            shards: (0..shards)
+                .map(|i| Shard::new(base + usize::from(i < extra)))
+                .collect(),
         }
     }
 
@@ -66,15 +124,35 @@ impl BufferPool {
         &self.pager
     }
 
-    /// Snapshot the statistics.
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot the statistics, aggregated across shards.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().stats
+        let mut s = PoolStats::default();
+        for shard in &self.shards {
+            s.hits += shard.hits.load(Ordering::Relaxed);
+            s.misses += shard.misses.load(Ordering::Relaxed);
+            s.evict_writebacks += shard.evict_writebacks.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Shard owning `id`. A multiplicative hash spreads sequential page
+    /// ids (the common allocation pattern) across shards.
+    fn shard(&self, id: PageId) -> &Shard {
+        let mixed = u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (mixed >> 32) as usize % self.shards.len();
+        &self.shards[idx]
     }
 
     /// Run `f` with read access to the page.
     pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&Page) -> T) -> Result<T> {
-        let mut inner = self.inner.lock();
-        let idx = self.ensure_resident(&mut inner, id)?;
+        let shard = self.shard(id);
+        let mut inner = shard.inner.lock();
+        let idx = self.ensure_resident(shard, &mut inner, id)?;
         let frame = inner.frames[idx].as_mut().expect("resident");
         frame.referenced = true;
         Ok(f(&frame.page))
@@ -82,8 +160,9 @@ impl BufferPool {
 
     /// Run `f` with write access to the page; marks it dirty.
     pub fn with_page_mut<T>(&self, id: PageId, f: impl FnOnce(&mut Page) -> T) -> Result<T> {
-        let mut inner = self.inner.lock();
-        let idx = self.ensure_resident(&mut inner, id)?;
+        let shard = self.shard(id);
+        let mut inner = shard.inner.lock();
+        let idx = self.ensure_resident(shard, &mut inner, id)?;
         let frame = inner.frames[idx].as_mut().expect("resident");
         frame.referenced = true;
         frame.dirty = true;
@@ -92,11 +171,13 @@ impl BufferPool {
 
     /// Write every dirty frame back to the pager.
     pub fn flush(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        for frame in inner.frames.iter_mut().flatten() {
-            if frame.dirty {
-                self.pager.write(frame.page_id, &frame.page)?;
-                frame.dirty = false;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            for frame in inner.frames.iter_mut().flatten() {
+                if frame.dirty {
+                    self.pager.write(frame.page_id, &frame.page)?;
+                    frame.dirty = false;
+                }
             }
         }
         self.pager.sync()
@@ -105,7 +186,7 @@ impl BufferPool {
     /// Drop a page from the pool (writing it back if dirty) — used when a
     /// page is freed.
     pub fn discard(&self, id: PageId) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(id).inner.lock();
         if let Some(idx) = inner.map.remove(&id) {
             if let Some(frame) = inner.frames[idx].take() {
                 if frame.dirty {
@@ -116,18 +197,18 @@ impl BufferPool {
         Ok(())
     }
 
-    fn ensure_resident(&self, inner: &mut PoolInner, id: PageId) -> Result<usize> {
+    fn ensure_resident(&self, shard: &Shard, inner: &mut ShardInner, id: PageId) -> Result<usize> {
         if let Some(&idx) = inner.map.get(&id) {
-            inner.stats.hits += 1;
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(idx);
         }
-        inner.stats.misses += 1;
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         let page = self.pager.read(id)?;
-        let idx = self.find_victim(inner)?;
+        let idx = Self::find_victim(inner);
         if let Some(old) = inner.frames[idx].take() {
             inner.map.remove(&old.page_id);
             if old.dirty {
-                inner.stats.evict_writebacks += 1;
+                shard.evict_writebacks.fetch_add(1, Ordering::Relaxed);
                 self.pager.write(old.page_id, &old.page)?;
             }
         }
@@ -141,10 +222,10 @@ impl BufferPool {
         Ok(idx)
     }
 
-    fn find_victim(&self, inner: &mut PoolInner) -> Result<usize> {
+    fn find_victim(inner: &mut ShardInner) -> usize {
         // Empty frame first.
         if let Some(idx) = inner.frames.iter().position(|f| f.is_none()) {
-            return Ok(idx);
+            return idx;
         }
         // Clock sweep: clear reference bits until an unreferenced frame.
         loop {
@@ -154,7 +235,7 @@ impl BufferPool {
             if frame.referenced {
                 frame.referenced = false;
             } else {
-                return Ok(idx);
+                return idx;
             }
         }
     }
@@ -173,6 +254,14 @@ mod tests {
         BufferPool::new(pager, capacity)
     }
 
+    fn sharded_pool(capacity: usize, shards: usize, pages: u32) -> BufferPool {
+        let pager = Pager::in_memory();
+        for _ in 0..pages {
+            pager.allocate(PageType::Heap).unwrap();
+        }
+        BufferPool::with_shards(pager, capacity, shards)
+    }
+
     #[test]
     fn hit_after_first_access() {
         let pool = pool(4, 2);
@@ -180,6 +269,19 @@ mod tests {
         pool.with_page(0, |_| ()).unwrap();
         let s = pool.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn small_pools_collapse_to_one_shard() {
+        // Below MIN_FRAMES_PER_SHARD the old single-lock eviction
+        // behaviour must be preserved exactly.
+        assert_eq!(pool(4, 0).shard_count(), 1);
+        assert_eq!(pool(MIN_FRAMES_PER_SHARD, 0).shard_count(), 1);
+        assert_eq!(pool(4 * MIN_FRAMES_PER_SHARD, 0).shard_count(), 4);
+        assert_eq!(
+            pool(100 * MIN_FRAMES_PER_SHARD, 0).shard_count(),
+            MAX_SHARDS
+        );
     }
 
     #[test]
@@ -235,6 +337,60 @@ mod tests {
     }
 
     #[test]
+    fn sharded_pool_serves_all_pages_and_counts_exactly() {
+        // Working set far below capacity: every page misses once, then
+        // always hits, regardless of which shard it hashed to.
+        let pages = 32u32;
+        let pool = sharded_pool(256, 8, pages);
+        assert_eq!(pool.shard_count(), 8);
+        for round in 0..5 {
+            for id in 0..pages {
+                pool.with_page(id, |_| ()).unwrap();
+            }
+            assert_eq!(pool.stats().misses, u64::from(pages), "round {round}");
+        }
+        assert_eq!(pool.stats().hits, u64::from(pages) * 4);
+    }
+
+    #[test]
+    fn sharded_pool_concurrent_readers_see_consistent_pages() {
+        let pages = 64u32;
+        let pager = Pager::in_memory();
+        for i in 0..pages {
+            let id = pager.allocate(PageType::Heap).unwrap();
+            pager
+                .write(id, &{
+                    let mut p = Page::new(PageType::Heap);
+                    p.insert(format!("page-{i}").as_bytes()).unwrap();
+                    p
+                })
+                .unwrap();
+        }
+        let pool = BufferPool::with_shards(pager, 128, 8);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for round in 0..20u32 {
+                        for i in 0..pages {
+                            // Stagger access order per thread and round.
+                            let id = (i.wrapping_mul(t + 1).wrapping_add(round)) % pages;
+                            let got = pool
+                                .with_page(id, |p| p.get(0).unwrap().map(|r| r.to_vec()))
+                                .unwrap();
+                            assert_eq!(got, Some(format!("page-{id}").into_bytes()));
+                        }
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        // Working set fits: every page misses exactly once in total.
+        assert_eq!(s.misses, u64::from(pages));
+        assert_eq!(s.hits + s.misses, u64::from(pages) * 20 * 4);
+    }
+
+    #[test]
     fn discard_drops_and_writes_back() {
         let pool = pool(2, 2);
         pool.with_page_mut(1, |p| {
@@ -257,5 +413,12 @@ mod tests {
     fn zero_capacity_rejected() {
         let pager = Pager::in_memory();
         BufferPool::new(pager, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame per shard")]
+    fn more_shards_than_frames_rejected() {
+        let pager = Pager::in_memory();
+        BufferPool::with_shards(pager, 2, 3);
     }
 }

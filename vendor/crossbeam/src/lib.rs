@@ -3,11 +3,13 @@
 //! Two subsets are provided, matching what this workspace uses:
 //!
 //! * `crossbeam::channel::{bounded, unbounded, Sender, Receiver,
-//!   RecvTimeoutError, ...}` — only in MPSC patterns (many clones of one
-//!   `Sender`, a single owner per `Receiver`), so wrapping
-//!   `std::sync::mpsc` is behaviour-compatible for our uses.
-//!   `std::sync::mpsc::Sender` is `Sync` since Rust 1.72, which the RPC
-//!   layer's shared reply channels rely on.
+//!   RecvTimeoutError, ...}` — a hand-rolled MPMC queue (`Mutex<VecDeque>`
+//!   plus condvars). Unlike `std::sync::mpsc`, both halves are `Clone`, so
+//!   several provider workers can drain one request queue concurrently —
+//!   the property the multi-worker RPC layer depends on. Disconnection
+//!   follows crossbeam semantics: senders fail once every `Receiver` is
+//!   gone, receivers report `Disconnected` once every `Sender` is gone
+//!   *and* the buffer is drained.
 //! * `crossbeam::thread::scope` — scoped threads that may borrow from the
 //!   enclosing stack frame. `std::thread::scope` (Rust 1.63) provides the
 //!   same guarantee, so the wrapper only adapts the crossbeam calling
@@ -112,28 +114,92 @@ pub mod thread {
 }
 
 pub mod channel {
-    use std::sync::mpsc;
-    use std::time::Duration;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
-    /// Sending half of a channel.
-    pub struct Sender<T>(Flavor<T>);
-
-    enum Flavor<T> {
-        Unbounded(mpsc::Sender<T>),
-        Bounded(mpsc::SyncSender<T>),
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
     }
 
-    impl<T> Clone for Sender<T> {
-        fn clone(&self) -> Self {
-            match &self.0 {
-                Flavor::Unbounded(tx) => Sender(Flavor::Unbounded(tx.clone())),
-                Flavor::Bounded(tx) => Sender(Flavor::Bounded(tx.clone())),
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// Bounded channels block sends at this depth; `None` = unbounded.
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn new(cap: Option<usize>) -> Arc<Self> {
+            Arc::new(Chan {
+                state: Mutex::new(State {
+                    queue: VecDeque::new(),
+                    senders: 1,
+                    receivers: 1,
+                }),
+                cap,
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+            })
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            // A poisoned queue mutex means a peer thread panicked while
+            // holding it; the protected state is a plain VecDeque + counters
+            // mutated without intermediate invariants, so continue with it.
+            match self.state.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
             }
         }
     }
 
-    /// Receiving half of a channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// Sending half of a channel. Cloneable (MPMC).
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    /// Receiving half of a channel. Cloneable (MPMC): several workers may
+    /// drain one queue, each message delivered to exactly one of them.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.lock();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake blocked senders so they observe the disconnect.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
 
     /// The channel is disconnected; the unsent message is returned.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,47 +241,100 @@ pub mod channel {
 
     /// Channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+        let chan = Chan::new(None);
+        (Sender(Arc::clone(&chan)), Receiver(chan))
     }
 
     /// Channel holding at most `cap` in-flight messages (sends block when
     /// full, matching crossbeam semantics).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+        let chan = Chan::new(Some(cap));
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    fn wait<'a, T>(
+        cv: &Condvar,
+        guard: std::sync::MutexGuard<'a, State<T>>,
+    ) -> std::sync::MutexGuard<'a, State<T>> {
+        match cv.wait(guard) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
     }
 
     impl<T> Sender<T> {
         /// Send, blocking if a bounded buffer is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            match &self.0 {
-                Flavor::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
-                Flavor::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            let mut st = self.0.lock();
+            if let Some(cap) = self.0.cap {
+                while st.queue.len() >= cap && st.receivers > 0 {
+                    st = wait(&self.0.not_full, st);
+                }
             }
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.0.not_empty.notify_one();
+            Ok(())
         }
     }
 
     impl<T> Receiver<T> {
         /// Block until a message or disconnection.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let mut st = self.0.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = wait(&self.0.not_empty, st);
+            }
         }
 
         /// Block up to `timeout` for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                st = match self.0.not_empty.wait_timeout(st, deadline - now) {
+                    Ok((g, _)) => g,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
+            }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut st = self.0.lock();
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
         }
 
         /// Blocking iterator that ends at disconnection.
@@ -272,6 +391,63 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn cloned_receivers_partition_messages() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            let seen = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for rx in [&rx, &rx2] {
+                    s.spawn(|| {
+                        while let Ok(v) = rx.recv() {
+                            seen.lock().unwrap().push(v);
+                        }
+                    });
+                }
+                for v in 0..100 {
+                    tx.send(v).unwrap();
+                }
+                drop(tx);
+            });
+            let mut got = seen.into_inner().unwrap();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn disconnect_requires_all_senders_and_drains_buffer() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            drop(tx);
+            // One sender still alive: no disconnect.
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx2.send(2).unwrap();
+            drop(tx2);
+            // All senders gone, but the buffer drains first.
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_recv() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let unblocked = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    tx.send(2).unwrap();
+                    unblocked.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+                std::thread::sleep(Duration::from_millis(30));
+                assert!(!unblocked.load(std::sync::atomic::Ordering::SeqCst));
+                assert_eq!(rx.recv(), Ok(1));
+                assert_eq!(rx.recv(), Ok(2));
+            });
+            assert!(unblocked.load(std::sync::atomic::Ordering::SeqCst));
         }
     }
 }
