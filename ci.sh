@@ -9,8 +9,26 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== dasp-lint (secrecy hygiene & panic safety) =="
-cargo run -q -p dasp-lint -- --deny-all
+echo "== dasp-lint (secrecy hygiene & panic safety, deny-new vs baseline) =="
+cargo run -q -p dasp-lint -- --deny-new --baseline lint-baseline.json --format json > lint-report.json
+
+echo "== dasp-lint smoke (seeded violation must be caught) =="
+smoke="$(mktemp -d)"
+mkdir -p "$smoke/crates/app/src"
+cat > "$smoke/crates/app/src/lib.rs" <<'EOF'
+pub struct DataSource;
+impl DataSource {
+    pub fn boom(&self, v: &[u64]) -> u64 {
+        v[0]
+    }
+}
+EOF
+if cargo run -q -p dasp-lint -- --root "$smoke" --deny-all > /dev/null 2>&1; then
+    echo "smoke FAILED: seeded P3 violation was not caught" >&2
+    rm -rf "$smoke"
+    exit 1
+fi
+rm -rf "$smoke"
 
 echo "== cargo build --release =="
 cargo build --release --workspace

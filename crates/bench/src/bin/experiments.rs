@@ -634,6 +634,7 @@ fn e8_fault_tolerance(cfg: &Config) {
                 Err(_) if alive < k => "unavailable (expected)",
                 Err(_) => "unavailable (UNEXPECTED)",
             };
+            // dasp::allow(T1): bench harness prints its own test data.
             println!("  ({k},{n})    {:<8} {}", crashed + 1, outcome);
         }
     }
@@ -1079,6 +1080,7 @@ fn e16_recovery(cfg: &Config) {
         let rebuilt = dep.ds.rebuild_provider(3).unwrap();
         let t = start.elapsed();
         let delta = stats.snapshot().since(&before);
+        // dasp::allow(T1): rebuilt-row count of bench-generated data.
         assert_eq!(rebuilt, n);
         println!(
             "  {n:<8} {:<18} {:<10.0} {}",

@@ -24,6 +24,7 @@ impl ColumnType {
         match self {
             ColumnType::Numeric { domain_size } => *domain_size,
             ColumnType::Text { width } => StringCodec::uppercase(*width)
+                // dasp::allow(P3): width is range-checked when the schema is built
                 .expect("validated at schema build")
                 .domain_size(),
         }
@@ -149,7 +150,7 @@ impl Value {
                 Ok(*v)
             }
             (Value::Str(s), ColumnType::Text { width }) => StringCodec::uppercase(*width)
-                .expect("validated")
+                .map_err(ClientError::Sss)?
                 .encode(s)
                 .map_err(ClientError::Sss),
             (v, t) => Err(ClientError::Schema(format!(
@@ -170,7 +171,7 @@ impl Value {
                 Ok(Value::Int(code))
             }
             ColumnType::Text { width } => {
-                let codec = StringCodec::uppercase(*width).expect("validated");
+                let codec = StringCodec::uppercase(*width).map_err(ClientError::Sss)?;
                 codec.decode(code).map(Value::Str).ok_or_else(|| {
                     ClientError::Reconstruction(format!("code {code} is not a valid string"))
                 })
@@ -266,7 +267,7 @@ impl Predicate {
                     // Text ranges follow §V-B: the upper bound covers all
                     // strings extending `hi`.
                     (Value::Str(lo), Value::Str(hi), ColumnType::Text { width }) => {
-                        let codec = StringCodec::uppercase(*width).expect("validated");
+                        let codec = StringCodec::uppercase(*width).map_err(ClientError::Sss)?;
                         codec.string_range(lo, hi).map_err(ClientError::Sss)?
                     }
                     _ => (lo.encode(ctype)?, hi.encode(ctype)?),

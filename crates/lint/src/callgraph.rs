@@ -1,0 +1,366 @@
+//! Workspace call graph and rule **P3** (transitive panic reachability).
+//!
+//! Resolution is name-based with three precision tiers:
+//!
+//! 1. `Type::name(…)` / `Self::name(…)` — exact lookup in the impl
+//!    block of that type.
+//! 2. `self.name(…)`, `self.field.name(…)`, `param.name(…)`,
+//!    `param.field.name(…)` — the receiver chain is typed through the
+//!    struct field table, then looked up exactly.
+//! 3. Bare `recv.name(…)` with an unresolvable receiver — linked to
+//!    *every* workspace method of that name, except when the name
+//!    collides with ubiquitous std APIs (`get`, `push`, `clone`, …),
+//!    where linking to everything would drown the graph in false
+//!    edges. The vendored concurrency APIs (`send`, `recv`, `lock`,
+//!    `read`, `write`, …) are the exception to the exception: those
+//!    std-colliding names still link into `vendor/` fns, because the
+//!    vendored rewrite *is* the implementation that actually runs.
+
+use crate::ir::{Ctx, CtxKind, FnId, FnItem, PanicKind, WorkspaceIr};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Method names that collide with std-library APIs: bare calls with an
+/// unresolvable receiver are *not* linked to same-named workspace fns.
+const STD_COLLIDING: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "default",
+    "drain",
+    "entry",
+    "eq",
+    "extend",
+    "filter",
+    "find",
+    "first",
+    "flush",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lock",
+    "map",
+    "max",
+    "min",
+    "new",
+    "next",
+    "or_insert",
+    "parse",
+    "pop",
+    "position",
+    "push",
+    "read",
+    "recv",
+    "remove",
+    "resize",
+    "rev",
+    "send",
+    "sort",
+    "sort_by",
+    "split",
+    "split_off",
+    "starts_with",
+    "sum",
+    "take",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "with_capacity",
+    "write",
+    "zip",
+];
+
+/// Std-colliding names that are exactly the vendored concurrency API:
+/// bare calls still link to `vendor/` definitions of these.
+const VENDOR_API: &[&str] = &[
+    "lock",
+    "read",
+    "recv",
+    "recv_timeout",
+    "send",
+    "send_timeout",
+    "try_send",
+    "write",
+];
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee.
+    pub to: FnId,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// The resolved workspace call graph, indexed by caller [`FnId`].
+pub struct CallGraph {
+    /// `edges[f]` — calls made by `f`, in source order, deduplicated
+    /// per (callee, line).
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Resolve every `Call` context of every fn. Bare-name fallback
+    /// edges back to the caller itself are dropped: `self.inner.lock()
+    /// .backend.sync()` inside `Pager::sync` dispatches on the field,
+    /// never recursively (exactly-resolved recursion is kept).
+    pub fn build(ws: &WorkspaceIr) -> CallGraph {
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); ws.fns.len()];
+        for (id, f) in ws.fns.iter().enumerate() {
+            let mut seen = BTreeSet::new();
+            for ctx in &f.ctxs {
+                if ctx.kind != CtxKind::Call {
+                    continue;
+                }
+                let targets = resolve_call(ws, f, ctx);
+                let ambiguous = targets.len() > 1;
+                for to in targets {
+                    if ambiguous && to == id {
+                        continue;
+                    }
+                    if seen.insert((to, ctx.line)) {
+                        edges[id].push(Edge { to, line: ctx.line });
+                    }
+                }
+            }
+        }
+        CallGraph { edges }
+    }
+}
+
+/// Type identifiers for a method receiver chain, or `None` when the
+/// chain cannot be typed syntactically. `self` resolves to the impl
+/// type; one further `.field` hop goes through the struct table.
+pub fn resolve_recv_types(ws: &WorkspaceIr, f: &FnItem, recv: &[String]) -> Option<Vec<String>> {
+    let (head_ty, rest): (Vec<String>, &[String]) = match recv.split_first() {
+        Some((h, rest)) if h == "self" => (vec![f.impl_type.clone()?], rest),
+        Some((h, rest)) => {
+            let p = f.params.iter().find(|p| &p.name == h)?;
+            (p.ty.clone(), rest)
+        }
+        None => return None,
+    };
+    let mut ty = head_ty;
+    for field in rest {
+        // Find the struct in the current type idents that declares the
+        // field; generic wrappers (`Arc<Engine>`) scan left to right.
+        let next = ty
+            .iter()
+            .find_map(|t| ws.structs.get(t).and_then(|fs| fs.get(field)))?;
+        ty = next.clone();
+    }
+    Some(ty)
+}
+
+/// All plausible callees of one `Call` context.
+pub(crate) fn resolve_call(ws: &WorkspaceIr, caller: &FnItem, ctx: &Ctx) -> Vec<FnId> {
+    let name = ctx.callee.as_str();
+    // Tier 1: a `::` path ending in a type-looking segment.
+    if let Some(seg) = ctx.path.last() {
+        let ty = if seg == "Self" {
+            caller.impl_type.clone()
+        } else if seg.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            Some(seg.clone())
+        } else {
+            None
+        };
+        if let Some(ty) = ty {
+            return ws.method(&ty, name).into_iter().collect();
+        }
+        // Module-qualified free fn: match free fns of that name.
+        return ws
+            .by_name(name)
+            .filter(|&id| ws.fns[id].impl_type.is_none())
+            .collect();
+    }
+    if ctx.method {
+        // Tier 2: typed receiver chain.
+        if let Some(ty) = resolve_recv_types(ws, caller, &ctx.recv) {
+            for t in &ty {
+                if let Some(id) = ws.method(t, name) {
+                    return vec![id];
+                }
+            }
+        }
+        // Tier 3: bare fallback, std-colliding names restricted.
+        if STD_COLLIDING.contains(&name) {
+            if VENDOR_API.contains(&name) {
+                return ws
+                    .by_name(name)
+                    .filter(|&id| {
+                        ws.files[ws.fns[id].file].vendor && ws.fns[id].impl_type.is_some()
+                    })
+                    .collect();
+            }
+            return Vec::new();
+        }
+        // A fallback edge back to the caller itself is dynamic dispatch
+        // (`self.inner.lock().backend.page_count()`), never recursion.
+        return ws
+            .by_name(name)
+            .filter(|&id| ws.fns[id].impl_type.is_some() && !std::ptr::eq(&ws.fns[id], caller))
+            .collect();
+    }
+    // Free-fn call: prefer free fns; a bare name never targets methods.
+    ws.by_name(name)
+        .filter(|&id| ws.fns[id].impl_type.is_none())
+        .collect()
+}
+
+/// The P3 entry points: `ProviderEngine::execute`, every pub method of
+/// `Cluster` (whose worker-loop closures live inside `spawn_*`), and
+/// every pub method of `DataSource`.
+pub fn p3_roots(ws: &WorkspaceIr) -> Vec<FnId> {
+    let mut roots = Vec::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if ws.files[f.file].vendor {
+            continue;
+        }
+        let is_root = match f.impl_type.as_deref() {
+            Some("ProviderEngine") => f.name == "execute",
+            Some("Cluster") | Some("DataSource") => f.is_pub,
+            _ => false,
+        };
+        if is_root {
+            roots.push(id);
+        }
+    }
+    roots
+}
+
+/// Reachability with parent pointers for path reconstruction.
+pub struct Reach {
+    /// `parent[f]` — predecessor on the first discovered path from a
+    /// root; `usize::MAX` marks a root, absence marks unreachable.
+    parent: BTreeMap<FnId, FnId>,
+}
+
+impl Reach {
+    /// BFS from `roots` (processed in order, so paths are stable).
+    pub fn from(graph: &CallGraph, roots: &[FnId]) -> Reach {
+        let mut parent = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(r) {
+                e.insert(usize::MAX);
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for e in &graph.edges[f] {
+                if let std::collections::btree_map::Entry::Vacant(v) = parent.entry(e.to) {
+                    v.insert(f);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        Reach { parent }
+    }
+
+    /// True when `f` is reachable from any root.
+    pub fn reachable(&self, f: FnId) -> bool {
+        self.parent.contains_key(&f)
+    }
+
+    /// Root-to-`f` call chain as fn labels (`A::x → B::y → …`).
+    pub fn path(&self, ws: &WorkspaceIr, f: FnId) -> Vec<String> {
+        let mut chain = Vec::new();
+        let mut cur = f;
+        loop {
+            chain.push(ws.label(cur));
+            match self.parent.get(&cur) {
+                Some(&p) if p != usize::MAX => cur = p,
+                _ => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// A raw P3 result, before waiver/baseline handling: one finding per
+/// (reachable fn, panic kind), anchored at the first site of that kind.
+pub struct P3Hit {
+    /// The fn containing the panic sites.
+    pub fn_id: FnId,
+    /// Panic construct kind.
+    pub kind: PanicKind,
+    /// Lines of all unwaived sites of this kind (first anchors the
+    /// finding).
+    pub lines: Vec<u32>,
+    /// Lines of waived sites of this kind.
+    pub waived_lines: Vec<u32>,
+    /// Root-to-fn call chain labels.
+    pub path: Vec<String>,
+}
+
+/// Run P3 over the workspace: every panic-capable construct inside a fn
+/// reachable from [`p3_roots`], grouped per (fn, kind).
+pub fn run_p3(ws: &WorkspaceIr, graph: &CallGraph) -> Vec<P3Hit> {
+    let roots = p3_roots(ws);
+    let reach = Reach::from(graph, &roots);
+    let mut hits = Vec::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if !reach.reachable(id) || f.panics.is_empty() {
+            continue;
+        }
+        let file = &ws.files[f.file];
+        let mut by_kind: BTreeMap<&'static str, (PanicKind, Vec<u32>, Vec<u32>)> = BTreeMap::new();
+        for p in &f.panics {
+            let waived = file
+                .waivers
+                .get(&p.line)
+                .is_some_and(|rules| rules.contains("P3"));
+            let entry =
+                by_kind
+                    .entry(p.kind.describe())
+                    .or_insert((p.kind, Vec::new(), Vec::new()));
+            if waived {
+                entry.2.push(p.line);
+            } else {
+                entry.1.push(p.line);
+            }
+        }
+        let path = reach.path(ws, id);
+        for (_, (kind, lines, waived_lines)) in by_kind {
+            hits.push(P3Hit {
+                fn_id: id,
+                kind,
+                lines,
+                waived_lines,
+                path: path.clone(),
+            });
+        }
+    }
+    hits
+}

@@ -30,8 +30,14 @@
 //! deliberately dependency-free — it lexes Rust with a hand-rolled
 //! [`lexer`] and never executes or expands anything.
 
+pub mod callgraph;
+pub mod ir;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
+pub mod report;
 pub mod rules;
+pub mod taint;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -51,6 +57,12 @@ pub enum Rule {
     D1,
     /// `unsafe` requires a SAFETY comment.
     U1,
+    /// Secret values may only flow into sanctioned share encoders.
+    T1,
+    /// Lock discipline: declared order, no sends under write guards.
+    L1,
+    /// Transitive panic reachability from provider/client entry points.
+    P3,
 }
 
 impl Rule {
@@ -63,6 +75,9 @@ impl Rule {
             Rule::P2 => "P2",
             Rule::D1 => "D1",
             Rule::U1 => "U1",
+            Rule::T1 => "T1",
+            Rule::L1 => "L1",
+            Rule::P3 => "P3",
         }
     }
 }
@@ -142,7 +157,9 @@ impl Config {
     /// target the layers where their failure mode lives.
     pub fn in_scope(&self, rule: Rule, path: &str) -> bool {
         match rule {
-            Rule::S1 | Rule::S2 | Rule::U1 => true,
+            // The interprocedural rules manage their own scope: T1/L1
+            // skip vendor/, P3 follows the call graph wherever it goes.
+            Rule::S1 | Rule::S2 | Rule::U1 | Rule::T1 | Rule::L1 | Rule::P3 => true,
             Rule::P1 => {
                 path.contains("crates/net/")
                     || path.contains("crates/server/")
@@ -197,8 +214,15 @@ impl Report {
 /// violations on purpose).
 const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "fixtures", ".git"];
 
-/// Analyze every first-party `.rs` file under `root` (the workspace
-/// directory): `crates/` and `examples/`, minus [`SKIP_DIRS`].
+/// Analyze the workspace under `root`: first-party `.rs` files in
+/// `crates/` and `examples/` (minus [`SKIP_DIRS`]) under the full
+/// ruleset, plus `vendor/*/src/` under the relaxed one (U1 + P3).
+///
+/// Two phases: the per-file token rules run first, then the files are
+/// parsed into a [`ir::WorkspaceIr`], linked into a call graph, and the
+/// interprocedural rules (T1 taint, L1 lock discipline, P3 transitive
+/// panic reachability) run over the whole program. Findings come back
+/// normalized: sorted by (file, line, rule, message), deduplicated.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for sub in ["crates", "examples"] {
@@ -209,8 +233,23 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
     }
     files.sort();
 
+    let mut vendor_files = Vec::new();
+    let vend = root.join("vendor");
+    if vend.is_dir() {
+        for entry in std::fs::read_dir(&vend)? {
+            let src_dir = entry?.path().join("src");
+            if src_dir.is_dir() {
+                collect_rs_files(&src_dir, &mut vendor_files)?;
+            }
+        }
+    }
+    vendor_files.sort();
+
     let mut report = Report::default();
-    for file in files {
+    let mut inputs: Vec<(String, bool, String)> = Vec::new();
+    let first_party = files.into_iter().map(|f| (f, false));
+    let vendored = vendor_files.into_iter().map(|f| (f, true));
+    for (file, vendor) in first_party.chain(vendored) {
         let src = std::fs::read_to_string(&file)?;
         let rel = file
             .strip_prefix(root)
@@ -219,8 +258,75 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
             .replace('\\', "/");
         report.files_scanned += 1;
         report.findings.extend(analyze_source(&rel, &src));
+        inputs.push((rel, vendor, src));
     }
+
+    let cfg = Config::default();
+    let ws = parser::build_workspace(inputs);
+    let graph = callgraph::CallGraph::build(&ws);
+    report
+        .findings
+        .extend(interproc_findings(&ws, &graph, &cfg));
+    report::normalize(&mut report.findings);
     Ok(report)
+}
+
+/// Convert T1/L1/P3 hits into [`Finding`]s, applying waivers.
+fn interproc_findings(
+    ws: &ir::WorkspaceIr,
+    graph: &callgraph::CallGraph,
+    cfg: &Config,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let waived_at = |fn_id: ir::FnId, line: u32, rule: Rule| -> bool {
+        let file = &ws.files[ws.fns[fn_id].file];
+        file.waivers
+            .get(&line)
+            .is_some_and(|rules| rules.contains(rule.as_str()))
+    };
+    let file_of = |fn_id: ir::FnId| ws.files[ws.fns[fn_id].file].path.clone();
+
+    for hit in taint::run_t1(ws, cfg.secret_types) {
+        out.push(Finding {
+            rule: Rule::T1,
+            file: file_of(hit.fn_id),
+            line: hit.line,
+            message: hit.message,
+            waived: waived_at(hit.fn_id, hit.line, Rule::T1),
+        });
+    }
+    for hit in locks::run_l1(ws, graph) {
+        out.push(Finding {
+            rule: Rule::L1,
+            file: file_of(hit.fn_id),
+            line: hit.line,
+            message: hit.message,
+            waived: waived_at(hit.fn_id, hit.line, Rule::L1),
+        });
+    }
+    for hit in callgraph::run_p3(ws, graph) {
+        let message = format!(
+            "P3 panic reachability: {} in {}, reachable via {}",
+            hit.kind.describe(),
+            ws.label(hit.fn_id),
+            hit.path.join(" -> ")
+        );
+        let (line, waived) = if let Some(&l) = hit.lines.first() {
+            (l, false)
+        } else if let Some(&l) = hit.waived_lines.first() {
+            (l, true)
+        } else {
+            continue;
+        };
+        out.push(Finding {
+            rule: Rule::P3,
+            file: file_of(hit.fn_id),
+            line,
+            message,
+            waived,
+        });
+    }
+    out
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

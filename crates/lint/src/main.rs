@@ -1,37 +1,75 @@
-//! CLI entry point: `dasp-lint [--root DIR] [--deny-all] [--quiet]`.
+//! CLI entry point.
 //!
-//! Prints every unwaived finding as `path:line: RULE: message`. With
-//! `--deny-all` (the CI gate) the process exits 1 when any unwaived
-//! finding exists; without it the run is report-only and always exits 0
-//! (unless the tree cannot be read).
+//! ```text
+//! dasp-lint [--root DIR] [--format text|json] [--baseline FILE]
+//!           [--deny-all | --deny-new] [--write-baseline FILE] [--quiet]
+//! ```
+//!
+//! Text mode prints every unwaived finding as `path:line: RULE:
+//! message`. JSON mode prints the full report (waived findings
+//! included) to stdout and the human summary to stderr, so the report
+//! can be piped or uploaded as a CI artifact. Findings are sorted by
+//! (file, line, rule, message) in both modes.
+//!
+//! Gates: `--deny-all` exits 1 on any unwaived finding; `--deny-new`
+//! exits 1 only on unwaived findings absent from the baseline file
+//! (`--baseline`, default `lint-baseline.json` under the root).
+//! `--write-baseline` records the current unwaived findings and exits.
 
+use dasp_lint::report::Baseline;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny_all = false;
+    let mut deny_new = false;
     let mut quiet = false;
+    let mut format = Format::Text;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
-                None => {
-                    eprintln!("dasp-lint: --root needs a directory argument");
-                    return ExitCode::from(2);
-                }
+                None => return usage_error("--root needs a directory argument"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage_error("--format needs `text` or `json`"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline needs a file argument"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage_error("--write-baseline needs a file argument"),
             },
             "--deny-all" => deny_all = true,
+            "--deny-new" => deny_new = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "dasp-lint: secrecy-hygiene and panic-safety analyzer\n\n\
-                     USAGE: dasp-lint [--root DIR] [--deny-all] [--quiet]\n\n\
-                     --root DIR   workspace root to scan (default: .)\n\
-                     --deny-all   exit 1 on any unwaived finding (CI gate)\n\
-                     --quiet      suppress the summary line\n\n\
-                     Rules: S1 S2 P1 P2 D1 U1 (see DESIGN.md §8).\n\
+                    "dasp-lint: secrecy-hygiene, lock-discipline and panic-safety analyzer\n\n\
+                     USAGE: dasp-lint [--root DIR] [--format text|json] [--baseline FILE]\n\
+                     \x20                [--deny-all | --deny-new] [--write-baseline FILE] [--quiet]\n\n\
+                     --root DIR             workspace root to scan (default: .)\n\
+                     --format text|json     output format (default: text; json goes to stdout)\n\
+                     --baseline FILE        known-findings file (default: <root>/lint-baseline.json)\n\
+                     --deny-all             exit 1 on any unwaived finding\n\
+                     --deny-new             exit 1 on unwaived findings not in the baseline\n\
+                     --write-baseline FILE  record current unwaived findings and exit\n\
+                     --quiet                suppress the summary line\n\n\
+                     Token rules: S1 S2 P1 P2 D1 U1; interprocedural: T1 L1 P3 (DESIGN.md §8).\n\
+                     vendor/ is scanned with the relaxed set (U1 + P3).\n\
                      Waive a line with: // dasp::allow(RULE): reason"
                 );
                 return ExitCode::SUCCESS;
@@ -51,21 +89,88 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut violations = 0usize;
-    for f in report.violations() {
-        println!("{f}");
-        violations += 1;
+    if let Some(path) = write_baseline {
+        let baseline = Baseline::from_report(&report);
+        if let Err(e) = std::fs::write(&path, baseline.to_json()) {
+            eprintln!("dasp-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "dasp-lint: wrote {} baseline entr{} to {}",
+            baseline.len(),
+            if baseline.len() == 1 { "y" } else { "ies" },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
     }
+
+    let baseline = if deny_new {
+        let path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+        match std::fs::read_to_string(&path) {
+            Ok(src) => match Baseline::parse(&src) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("dasp-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("dasp-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
+    match format {
+        Format::Text => {
+            for f in report.violations() {
+                println!("{f}");
+            }
+        }
+        Format::Json => {
+            print!("{}", dasp_lint::report::to_json(&report));
+        }
+    }
+
+    let violations = report.violations().count();
     if !quiet {
-        println!(
+        eprintln!(
             "dasp-lint: {} files scanned, {} violation(s), {} waived",
             report.files_scanned,
             violations,
             report.waived_count()
         );
     }
+
+    if let Some(baseline) = &baseline {
+        let new = baseline.new_findings(&report);
+        if !new.is_empty() {
+            eprintln!(
+                "dasp-lint: {} new finding(s) not in the baseline ({} known):",
+                new.len(),
+                baseline.len()
+            );
+            for f in &new {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!(
+                "dasp-lint: no new findings ({} known in baseline)",
+                baseline.len()
+            );
+        }
+    }
     if deny_all && violations > 0 {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("dasp-lint: {msg}");
+    ExitCode::from(2)
 }

@@ -1,0 +1,37 @@
+//! L1 bad fixture: double acquisition, order inversion, sends under guards.
+
+pub struct Channel;
+
+impl Channel {
+    pub fn send(&self, _v: u64) {}
+}
+
+fn notify(ch: &Channel) {
+    ch.send(1);
+}
+
+pub fn double_mutex(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock();
+    let gb = b.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn inversion(shard: &Mutex<u32>, tables: &RwLock<u32>) {
+    let g = shard.lock();
+    let t = tables.read();
+    drop(t);
+    drop(g);
+}
+
+pub fn send_under_write(tables: &RwLock<u32>, ch: &Channel) {
+    let g = tables.write();
+    ch.send(7);
+    drop(g);
+}
+
+pub fn send_via_helper(tables: &RwLock<u32>, ch: &Channel) {
+    let g = tables.write();
+    notify(ch);
+    drop(g);
+}

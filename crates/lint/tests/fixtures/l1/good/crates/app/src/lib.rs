@@ -1,0 +1,26 @@
+//! L1 good fixture: declared order, early drops, and read-guard sends.
+
+pub struct Channel;
+
+impl Channel {
+    pub fn send(&self, _v: u64) {}
+}
+
+pub fn declared_order(tables: &RwLock<u32>, shard: &Mutex<u32>) {
+    let t = tables.read();
+    let s = shard.lock();
+    drop(s);
+    drop(t);
+}
+
+pub fn send_after_drop(tables: &RwLock<u32>, ch: &Channel) {
+    let g = tables.write();
+    drop(g);
+    ch.send(7);
+}
+
+pub fn send_under_read(tables: &RwLock<u32>, ch: &Channel) {
+    let g = tables.read();
+    ch.send(7);
+    drop(g);
+}

@@ -1,0 +1,16 @@
+//! Vendored stub fixture: relaxed ruleset (U1 + P3 only).
+
+#[derive(Debug)]
+pub struct ClientKeys(pub u64);
+
+pub struct Rng;
+
+impl Rng {
+    pub fn next_u64(&self, pool: &[u64]) -> u64 {
+        pool[3]
+    }
+}
+
+pub fn peek(v: &[u64]) -> u64 {
+    unsafe { *v.as_ptr() }
+}

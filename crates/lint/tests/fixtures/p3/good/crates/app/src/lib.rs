@@ -1,0 +1,18 @@
+//! P3 good fixture: checked access everywhere, one justified waiver.
+
+pub struct DataSource;
+
+fn decode(v: &[u64]) -> Option<u64> {
+    v.first().copied()
+}
+
+impl DataSource {
+    pub fn select(&self, v: &[u64]) -> Option<u64> {
+        decode(v)
+    }
+
+    pub fn waived(&self, v: &[u64]) -> u64 {
+        // dasp::allow(P3): fixture demonstrates a justified waiver.
+        v.first().copied().unwrap()
+    }
+}

@@ -1,0 +1,34 @@
+//! T1 bad fixture: reconstructed secrets flow into logging and the wire.
+
+pub struct EvalPoints(u64);
+
+impl EvalPoints {
+    pub fn expose(&self) -> u64 {
+        self.0
+    }
+}
+
+pub struct WireWriter;
+
+impl WireWriter {
+    pub fn write_u64(&mut self, _v: u64) {}
+}
+
+fn forward(v: u64) -> u64 {
+    v
+}
+
+fn log_value(v: u64) {
+    println!("value = {}", v);
+}
+
+pub fn direct_leak(points: &EvalPoints) {
+    let raw = points.expose();
+    println!("{}", raw);
+}
+
+pub fn chained_leak(points: &EvalPoints, w: &mut WireWriter) {
+    let staged = forward(points.expose());
+    log_value(staged);
+    w.write_u64(staged);
+}

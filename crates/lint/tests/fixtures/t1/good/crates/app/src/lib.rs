@@ -1,0 +1,29 @@
+//! T1 good fixture: sanitized, consumed, and waived flows stay quiet.
+
+pub struct EvalPoints(Vec<u64>);
+
+impl EvalPoints {
+    pub fn expose(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+fn share_for(_v: &[u64]) -> u64 {
+    0
+}
+
+pub fn sanctioned(points: &EvalPoints) {
+    let shares = share_for(points.expose());
+    println!("{}", shares);
+}
+
+pub fn length_only(points: &EvalPoints) {
+    let raw = points.expose();
+    println!("{}", raw.len());
+}
+
+pub fn waived_dump(points: &EvalPoints) {
+    let raw = points.expose();
+    // dasp::allow(T1): fixture-sanctioned debug dump of a test vector.
+    println!("{:?}", raw);
+}

@@ -1,0 +1,42 @@
+//! Robustness: the lexer and the item parser are fed untrusted bytes
+//! (every `.rs` file in the tree, including fixtures that are invalid
+//! Rust on purpose) and must never panic — a lint that aborts on weird
+//! input is a lint that gets disabled. The workspace IR build runs the
+//! full pipeline: items, structs, fn bodies, ctx/panic/unit extraction.
+
+use dasp_lint::{lexer, parser};
+use proptest::prelude::*;
+
+fn build(src: String) {
+    let tokens = lexer::lex(&src);
+    // Every token must round back into the source's line range.
+    let max_line = src.lines().count() as u32 + 1;
+    for t in &tokens {
+        assert!(t.line <= max_line, "token line {} out of range", t.line);
+    }
+    let ws = parser::build_workspace(vec![("crates/app/src/lib.rs".to_string(), false, src)]);
+    // Walk everything the analyzer would: no index may be out of range.
+    for f in &ws.fns {
+        for ctx in &f.ctxs {
+            assert!(ctx.args_start <= ctx.args_end);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes, lossily decoded: binary garbage, truncated
+    /// multi-byte sequences, NULs.
+    #[test]
+    fn lexer_parser_survive_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        build(String::from_utf8_lossy(&bytes).into_owned());
+    }
+
+    /// Rust-shaped punctuation soup: unbalanced braces, dangling
+    /// generics, half-open comments and strings, stray `#` and `!`.
+    #[test]
+    fn lexer_parser_survive_token_soup(src in "[a-z0-9 {}();=.,:<>#!&*'\"/_\n-]{0,300}") {
+        build(src);
+    }
+}

@@ -78,6 +78,8 @@ struct ExclusiveService(Mutex<Box<dyn Service>>);
 
 impl SharedService for ExclusiveService {
     fn handle(&self, request: &[u8]) -> Vec<u8> {
+        // dasp::allow(L1): the mutex exists to serialize the inner service;
+        // the call under the guard is the whole point of this adapter.
         self.0.lock().handle(request)
     }
 }
@@ -313,7 +315,10 @@ impl Cluster {
                                         let mut response = service.handle(&env.request);
                                         if !response.is_empty() && rng.gen::<f64>() < p {
                                             let idx = rng.gen_range(0..response.len());
-                                            response[idx] ^= 1u8 << rng.gen_range(0u32..8);
+                                            let bit = rng.gen_range(0u32..8);
+                                            if let Some(byte) = response.get_mut(idx) {
+                                                *byte ^= 1u8 << bit;
+                                            }
                                         }
                                         let _ = env.reply_to.send((env.token, response));
                                     }
@@ -510,7 +515,7 @@ impl Cluster {
         };
         let resolutions = self.run_quorum(valid, 0, &opts);
         for (pos, (provider, resolution)) in valid_pos.into_iter().zip(resolutions) {
-            slots[pos] = (
+            let resolved = (
                 provider,
                 match resolution {
                     Ok(response) => Ok(response),
@@ -518,6 +523,9 @@ impl Cluster {
                     Err(_) => Err(RpcError::Timeout(provider)),
                 },
             );
+            if let Some(slot) = slots.get_mut(pos) {
+                *slot = resolved;
+            }
         }
         slots
     }

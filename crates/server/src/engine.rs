@@ -356,9 +356,9 @@ impl ProviderEngine {
                 .insert(pool, &encode_row(row))
                 .map_err(|e| e.to_string())?;
             t.rows.insert(row.id, rid);
-            for (col, index) in t.indexes.iter_mut().enumerate() {
+            for (index, &share) in t.indexes.iter_mut().zip(row.shares.iter()) {
                 if let Some(tree) = index {
-                    tree.insert(pool, &compose_key(row.shares[col], row.id), rid.to_u64())
+                    tree.insert(pool, &compose_key(share, row.id), rid.to_u64())
                         .map_err(|e| e.to_string())?;
                 }
             }
@@ -383,9 +383,9 @@ impl ProviderEngine {
                 .ok_or("heap/index inconsistency")?;
             let row = decode_row(&bytes).ok_or("corrupt stored row")?;
             t.heap.delete(pool, rid).map_err(|e| e.to_string())?;
-            for (col, index) in t.indexes.iter_mut().enumerate() {
+            for (index, &share) in t.indexes.iter_mut().zip(row.shares.iter()) {
                 if let Some(tree) = index {
-                    tree.delete(pool, &compose_key(row.shares[col], id))
+                    tree.delete(pool, &compose_key(share, id))
                         .map_err(|e| e.to_string())?;
                 }
             }
@@ -470,8 +470,12 @@ impl ProviderEngine {
             sets.push(probe(atom, tree)?);
         }
         sets.sort_by_key(|s| s.len());
-        let second: HashSet<u64> = sets[1].iter().map(|r| r.to_u64()).collect();
-        let smallest = std::mem::take(&mut sets[0]);
+        let mut sets = sets.into_iter();
+        let (Some(smallest), Some(second)) = (sets.next(), sets.next()) else {
+            // Unreachable: the single- and zero-probe cases return above.
+            return Err("candidate probe underflow".to_string());
+        };
+        let second: HashSet<u64> = second.iter().map(|r| r.to_u64()).collect();
         Ok((
             smallest
                 .into_iter()
@@ -688,11 +692,11 @@ impl ProviderEngine {
             if new_rid != rid {
                 t.rows.insert(id, new_rid);
                 // Re-point every *other* indexed column at the new record.
-                for (c, index) in t.indexes.iter_mut().enumerate() {
+                for (index, &share) in t.indexes.iter_mut().zip(row.shares.iter()) {
                     if let Some(tree) = index {
-                        tree.delete(pool, &compose_key(row.shares[c], id))
+                        tree.delete(pool, &compose_key(share, id))
                             .map_err(|e| e.to_string())?;
-                        tree.insert(pool, &compose_key(row.shares[c], id), new_rid.to_u64())
+                        tree.insert(pool, &compose_key(share, id), new_rid.to_u64())
                             .map_err(|e| e.to_string())?;
                     }
                 }

@@ -152,6 +152,8 @@ impl BufferPool {
     pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&Page) -> T) -> Result<T> {
         let shard = self.shard(id);
         let mut inner = shard.inner.lock();
+        // dasp::allow(L1): shard mutex -> pager mutex is the declared pool
+        // hierarchy (DESIGN.md S9); the pager never calls back into the pool.
         let idx = self.ensure_resident(shard, &mut inner, id)?;
         let frame = inner.frames[idx].as_mut().expect("resident");
         frame.referenced = true;
@@ -162,6 +164,8 @@ impl BufferPool {
     pub fn with_page_mut<T>(&self, id: PageId, f: impl FnOnce(&mut Page) -> T) -> Result<T> {
         let shard = self.shard(id);
         let mut inner = shard.inner.lock();
+        // dasp::allow(L1): shard mutex -> pager mutex, same hierarchy as
+        // with_page above.
         let idx = self.ensure_resident(shard, &mut inner, id)?;
         let frame = inner.frames[idx].as_mut().expect("resident");
         frame.referenced = true;
@@ -175,6 +179,7 @@ impl BufferPool {
             let mut inner = shard.inner.lock();
             for frame in inner.frames.iter_mut().flatten() {
                 if frame.dirty {
+                    // dasp::allow(L1): shard mutex -> pager mutex hierarchy.
                     self.pager.write(frame.page_id, &frame.page)?;
                     frame.dirty = false;
                 }
@@ -190,6 +195,7 @@ impl BufferPool {
         if let Some(idx) = inner.map.remove(&id) {
             if let Some(frame) = inner.frames[idx].take() {
                 if frame.dirty {
+                    // dasp::allow(L1): shard mutex -> pager mutex hierarchy.
                     self.pager.write(frame.page_id, &frame.page)?;
                 }
             }

@@ -51,6 +51,7 @@ fn figure1() {
                     },
                 ])
                 .expect("reconstructs");
+            // dasp::allow(T1): example checks reconstruction of its own demo value.
             assert_eq!(got.to_u64(), *salary);
         }
         println!("  salary {salary}: all 3 provider pairs agree ✓");
