@@ -40,6 +40,10 @@ echo "== concurrency stress (provider workers 1 and 4) =="
 DASP_PROVIDER_WORKERS=1 cargo test -q -p dasp-server --test concurrent_engine
 DASP_PROVIDER_WORKERS=4 cargo test -q -p dasp-server --test concurrent_engine
 
+echo "== kill-and-recover WAL stress (provider workers 1 and 4) =="
+DASP_PROVIDER_WORKERS=1 cargo run --release -q -p dasp-bench --bin wal_stress
+DASP_PROVIDER_WORKERS=4 cargo run --release -q -p dasp-bench --bin wal_stress
+
 echo "== cargo bench --no-run =="
 cargo bench --no-run --workspace
 

@@ -15,11 +15,13 @@
 //!   from provider-hosted public tables keyed by privately reconstructed
 //!   values, trading leaked bucket width against transfer size.
 
+pub mod journal;
 pub mod keys;
 pub mod mashup;
 pub mod schema;
 pub mod source;
 
+pub use journal::LazyJournal;
 pub use keys::ClientKeys;
 pub use mashup::{BucketJoin, MashupStats};
 pub use schema::{ColumnSpec, ColumnType, Predicate, TableSchema, Value};
@@ -49,6 +51,8 @@ pub enum ClientError {
     Unsupported(String),
     /// A client-side worker thread panicked or could not be joined.
     Worker(String),
+    /// The lazy-update journal failed (open, append, or replay).
+    Journal(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -63,6 +67,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Reconstruction(msg) => write!(f, "reconstruction: {msg}"),
             ClientError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             ClientError::Worker(msg) => write!(f, "worker thread: {msg}"),
+            ClientError::Journal(msg) => write!(f, "lazy-update journal: {msg}"),
         }
     }
 }

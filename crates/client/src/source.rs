@@ -11,6 +11,7 @@
 //! 5. apply the residual filter, check and strip ringers, overlay any
 //!    pending lazy updates.
 
+use crate::journal::LazyJournal;
 use crate::keys::ClientKeys;
 use crate::schema::{ColumnType, Predicate, TableSchema, Value};
 use crate::{ClientError, Result};
@@ -246,6 +247,11 @@ pub struct DataSource {
     basis_cache: HashMap<Vec<usize>, FieldBasis>,
     /// Worker threads for batch encode/decode fan-out (1 = inline).
     workers: usize,
+    /// Durable journal of the lazy-update queue (None = memory only).
+    journal: Option<LazyJournal>,
+    /// Journal entries recovered for tables this client hasn't
+    /// (re)registered yet; merged into `pending` at `create_table`.
+    orphan_pending: HashMap<String, HashMap<u64, Vec<Value>>>,
     /// Faulty providers identified by the last verified query.
     pub last_faulty: Vec<ProviderId>,
 }
@@ -272,6 +278,8 @@ impl DataSource {
             hedge: 1,
             basis_cache: HashMap::new(),
             workers: 1,
+            journal: None,
+            orphan_pending: HashMap::new(),
             last_faulty: Vec::new(),
         })
     }
@@ -333,6 +341,33 @@ impl DataSource {
         self.lazy = lazy;
     }
 
+    /// Enable lazy buffering backed by a durable journal at `path`
+    /// (§V-C): every queue mutation is write-ahead logged with
+    /// per-record fsync, so queued re-shares survive a client restart.
+    /// Recovers whatever an earlier session left in the journal —
+    /// entries for already-registered tables overlay immediately; the
+    /// rest attach when their table is next registered via
+    /// [`DataSource::create_table`]. Returns how many queued updates
+    /// were recovered.
+    pub fn set_lazy_journal(&mut self, path: &std::path::Path) -> Result<usize> {
+        let (journal, recovered) = LazyJournal::open(path)?;
+        let mut count = 0usize;
+        for (table, entries) in recovered {
+            count += entries.len();
+            if let Some(state) = self.tables.get_mut(&table) {
+                state.pending.extend(entries);
+            } else {
+                self.orphan_pending
+                    .entry(table)
+                    .or_default()
+                    .extend(entries);
+            }
+        }
+        self.journal = Some(journal);
+        self.lazy = true;
+        Ok(count)
+    }
+
     // ---- schema & share construction ----
 
     /// Create a table on every provider.
@@ -354,13 +389,16 @@ impl DataSource {
             indexed,
         };
         self.broadcast_ack(&req)?;
+        // Journal-recovered lazy updates queued for this table by an
+        // earlier session re-attach here.
+        let pending = self.orphan_pending.remove(&schema.name).unwrap_or_default();
         self.tables.insert(
             schema.name.clone(),
             TableState {
                 schema,
                 next_id: 1,
                 ringers: HashMap::new(),
-                pending: HashMap::new(),
+                pending,
                 commitments: HashMap::new(),
             },
         );
@@ -1757,9 +1795,17 @@ impl DataSource {
             ids: ids.clone(),
         };
         self.broadcast_ack(&req)?;
+        let mut cancelled = Vec::new();
         if let Some(state) = self.tables.get_mut(table) {
             for id in &ids {
-                state.pending.remove(id);
+                if state.pending.remove(id).is_some() {
+                    cancelled.push(*id);
+                }
+            }
+        }
+        if !cancelled.is_empty() {
+            if let Some(journal) = &self.journal {
+                journal.log_cancel(table, &cancelled)?;
             }
         }
         Ok(ids.len())
@@ -1788,6 +1834,12 @@ impl DataSource {
         }
         let count = updated.len();
         if self.lazy {
+            // Journal before the in-memory queue mutation: a crash
+            // between the two re-queues the batch on recovery (providers
+            // haven't seen it, so replaying is exact, not approximate).
+            if let Some(journal) = &self.journal {
+                journal.log_pending(table, &updated)?;
+            }
             let state = self
                 .tables
                 .get_mut(table)
@@ -1908,6 +1960,10 @@ impl DataSource {
     }
 
     /// Flush buffered lazy updates for `table` in one batch per provider.
+    ///
+    /// With a journal ([`DataSource::set_lazy_journal`]) the queue is
+    /// marked flushed only *after* the providers acknowledge, so a crash
+    /// mid-flush re-queues the batch on recovery instead of losing it.
     pub fn flush(&mut self, table: &str) -> Result<usize> {
         let pending: Vec<(u64, Vec<Value>)> = {
             let state = self
@@ -1918,6 +1974,15 @@ impl DataSource {
         };
         let count = pending.len();
         self.push_updates(table, &pending)?;
+        if let Some(journal) = &self.journal {
+            journal.log_flushed(table)?;
+            // A globally drained queue needs no records: truncate.
+            let all_empty = self.orphan_pending.values().all(HashMap::is_empty)
+                && self.tables.values().all(|t| t.pending.is_empty());
+            if all_empty {
+                journal.compact()?;
+            }
+        }
         Ok(count)
     }
 

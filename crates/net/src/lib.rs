@@ -30,6 +30,6 @@ pub use resilience::{
 };
 pub use rpc::{
     Cluster, FailureMode, FailureSwitch, ProviderId, QuorumMode, QuorumOptions, RpcError, Service,
-    SharedService,
+    ServiceFactory, SharedService,
 };
 pub use wire::{WireError, WireReader, WireWriter};

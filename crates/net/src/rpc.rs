@@ -38,6 +38,12 @@ use std::time::{Duration, Instant};
 /// Index of a provider within a cluster (0-based).
 pub type ProviderId = usize;
 
+/// Builds one provider's service at cluster spawn time — e.g. by
+/// recovering a durable provider from its on-disk state. An `Err` carries
+/// a human-readable reason and produces a dead provider slot (see
+/// [`Cluster::spawn_concurrent_recovering`]).
+pub type ServiceFactory = Box<dyn FnOnce() -> Result<Arc<dyn SharedService>, String> + Send>;
+
 /// A request handler run by each provider thread.
 pub trait Service: Send {
     /// Handle one request payload, producing a response payload.
@@ -353,6 +359,51 @@ impl Cluster {
             timeout,
             health: HealthTracker::new(n, breaker, Arc::new(SystemClock::new())),
         }
+    }
+
+    /// Spawn a worker-pool cluster from per-provider service factories,
+    /// tolerating individual construction failures. Each factory runs on
+    /// the calling thread (e.g. recovering a durable provider from its
+    /// directory); a factory that errors yields a *dead* provider — its
+    /// slot exists, every call to it fails fast with [`RpcError::Closed`]
+    /// — instead of aborting cluster construction. The per-provider
+    /// errors come back alongside the cluster so callers can report or
+    /// re-provision; the quorum layer treats dead slots like crashed
+    /// providers.
+    pub fn spawn_concurrent_recovering(
+        factories: Vec<ServiceFactory>,
+        timeout: Duration,
+        workers: usize,
+    ) -> (Self, Vec<Option<String>>) {
+        struct DeadService;
+        impl SharedService for DeadService {
+            fn handle(&self, _request: &[u8]) -> Vec<u8> {
+                Vec::new() // never reached: the slot's sender is dropped
+            }
+        }
+        let mut errors = Vec::with_capacity(factories.len());
+        let services: Vec<Arc<dyn SharedService>> = factories
+            .into_iter()
+            .map(|factory| match factory() {
+                Ok(service) => {
+                    errors.push(None);
+                    service
+                }
+                Err(e) => {
+                    errors.push(Some(e));
+                    Arc::new(DeadService) as Arc<dyn SharedService>
+                }
+            })
+            .collect();
+        let mut cluster = Self::spawn_concurrent(services, timeout, workers);
+        for (provider, error) in cluster.providers.iter_mut().zip(&errors) {
+            if error.is_some() {
+                // Dropping the sender drains the slot's workers and makes
+                // every call fail with RpcError::Closed.
+                provider.tx = None;
+            }
+        }
+        (cluster, errors)
     }
 
     /// Number of providers.

@@ -21,6 +21,8 @@ pub mod engine;
 pub mod proto;
 pub mod service;
 
-pub use engine::ProviderEngine;
+pub use engine::{DurableConfig, ProviderEngine, RecoveryReport};
 pub use proto::{AggOp, PredAtom, Request, Response, Row};
-pub use service::{provider_fleet, shared_provider_fleet, ProviderService};
+pub use service::{
+    durable_provider_factories, provider_fleet, shared_provider_fleet, ProviderService,
+};

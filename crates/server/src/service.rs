@@ -1,8 +1,10 @@
 //! Glue between [`ProviderEngine`] and the RPC fabric.
 
-use crate::engine::ProviderEngine;
+use crate::engine::{DurableConfig, ProviderEngine, RecoveryReport};
 use crate::proto::{Request, Response};
-use dasp_net::{Service, SharedService};
+use dasp_net::{Service, ServiceFactory, SharedService};
+use dasp_storage::RecoveryError;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A provider as an RPC service: decodes requests, runs the engine,
@@ -25,6 +27,20 @@ impl ProviderService {
         ProviderService {
             engine: ProviderEngine::new(),
         }
+    }
+
+    /// Wrap an existing engine (e.g. one recovered from disk).
+    pub fn with_engine(engine: ProviderEngine) -> Self {
+        ProviderService { engine }
+    }
+
+    /// Open (or recover) a durable provider in `dir` and serve it.
+    pub fn durable(
+        dir: &Path,
+        cfg: DurableConfig,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        let (engine, report) = ProviderEngine::durable(dir, cfg)?;
+        Ok((ProviderService { engine }, report))
     }
 
     /// Access the engine (e.g. to preload public tables in tests).
@@ -72,6 +88,24 @@ pub fn provider_fleet(n: usize) -> Vec<Box<dyn Service>> {
 pub fn shared_provider_fleet(n: usize) -> Vec<Arc<dyn SharedService>> {
     (0..n)
         .map(|_| Arc::new(ProviderService::new()) as Arc<dyn SharedService>)
+        .collect()
+}
+
+/// Recovery-aware factories for
+/// [`dasp_net::Cluster::spawn_concurrent_recovering`]: one durable
+/// provider per directory, each recovered (checkpoint image + WAL
+/// replay) at cluster spawn time. A directory that fails recovery
+/// becomes a dead provider slot — the k-of-n quorum layer masks it like
+/// a crashed provider — instead of taking the whole fleet down.
+pub fn durable_provider_factories(dirs: Vec<PathBuf>, cfg: DurableConfig) -> Vec<ServiceFactory> {
+    dirs.into_iter()
+        .map(|dir| {
+            Box::new(move || {
+                let (service, _report) = ProviderService::durable(&dir, cfg)
+                    .map_err(|e| format!("recovery of {} failed: {e}", dir.display()))?;
+                Ok(Arc::new(service) as Arc<dyn SharedService>)
+            }) as ServiceFactory
+        })
         .collect()
 }
 

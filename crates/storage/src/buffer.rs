@@ -43,6 +43,9 @@ pub struct PoolStats {
     pub misses: u64,
     /// Dirty pages written back during eviction.
     pub evict_writebacks: u64,
+    /// Dirty pages written back by [`BufferPool::flush`] /
+    /// [`BufferPool::discard`] (checkpoints), not eviction pressure.
+    pub flush_writebacks: u64,
 }
 
 /// A fixed-capacity page cache with clock eviction and write-back,
@@ -57,6 +60,7 @@ struct Shard {
     hits: AtomicU64,
     misses: AtomicU64,
     evict_writebacks: AtomicU64,
+    flush_writebacks: AtomicU64,
 }
 
 struct ShardInner {
@@ -76,6 +80,7 @@ impl Shard {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evict_writebacks: AtomicU64::new(0),
+            flush_writebacks: AtomicU64::new(0),
         }
     }
 }
@@ -136,6 +141,7 @@ impl BufferPool {
             s.hits += shard.hits.load(Ordering::Relaxed);
             s.misses += shard.misses.load(Ordering::Relaxed);
             s.evict_writebacks += shard.evict_writebacks.load(Ordering::Relaxed);
+            s.flush_writebacks += shard.flush_writebacks.load(Ordering::Relaxed);
         }
         s
     }
@@ -182,6 +188,7 @@ impl BufferPool {
                     // dasp::allow(L1): shard mutex -> pager mutex hierarchy.
                     self.pager.write(frame.page_id, &frame.page)?;
                     frame.dirty = false;
+                    shard.flush_writebacks.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -191,12 +198,14 @@ impl BufferPool {
     /// Drop a page from the pool (writing it back if dirty) — used when a
     /// page is freed.
     pub fn discard(&self, id: PageId) -> Result<()> {
-        let mut inner = self.shard(id).inner.lock();
+        let shard = self.shard(id);
+        let mut inner = shard.inner.lock();
         if let Some(idx) = inner.map.remove(&id) {
             if let Some(frame) = inner.frames[idx].take() {
                 if frame.dirty {
                     // dasp::allow(L1): shard mutex -> pager mutex hierarchy.
                     self.pager.write(frame.page_id, &frame.page)?;
+                    shard.flush_writebacks.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -394,6 +403,34 @@ mod tests {
         // Working set fits: every page misses exactly once in total.
         assert_eq!(s.misses, u64::from(pages));
         assert_eq!(s.hits + s.misses, u64::from(pages) * 20 * 4);
+    }
+
+    #[test]
+    fn flush_writebacks_are_counted_separately_from_eviction() {
+        let pool = pool(8, 4);
+        for id in 0..3 {
+            pool.with_page_mut(id, |p| {
+                p.insert(b"dirty").unwrap();
+            })
+            .unwrap();
+        }
+        assert_eq!(pool.stats().flush_writebacks, 0);
+        pool.flush().unwrap();
+        let s = pool.stats();
+        // A checkpoint flush writes every dirty frame back, and the
+        // counter must say so — eviction writebacks stay untouched.
+        assert_eq!(s.flush_writebacks, 3);
+        assert_eq!(s.evict_writebacks, 0);
+        // Clean frames are not re-counted by a second flush.
+        pool.flush().unwrap();
+        assert_eq!(pool.stats().flush_writebacks, 3);
+        // A dirty discard counts as a flush writeback too.
+        pool.with_page_mut(3, |p| {
+            p.insert(b"bye").unwrap();
+        })
+        .unwrap();
+        pool.discard(3).unwrap();
+        assert_eq!(pool.stats().flush_writebacks, 4);
     }
 
     #[test]

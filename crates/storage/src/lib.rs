@@ -24,12 +24,16 @@ pub mod buffer;
 pub mod heap;
 pub mod page;
 pub mod pager;
+pub mod recovery;
+pub mod wal;
 
 pub use btree::BTree;
 pub use buffer::BufferPool;
 pub use heap::HeapFile;
 pub use page::{Page, PAGE_SIZE};
 pub use pager::{FileBackend, MemBackend, PageId, Pager};
+pub use recovery::{CheckpointMeta, RecoveryError, TableMeta};
+pub use wal::{CrashPoint, Lsn, Wal, WalConfig, WalRecovery, WalStats};
 
 /// Address of a record inside a heap file: page number plus slot index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

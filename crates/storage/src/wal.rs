@@ -1,0 +1,812 @@
+//! Durable write-ahead log with group commit.
+//!
+//! The log stores opaque payloads (the provider engine logs encoded
+//! requests; the client's lazy-update journal logs buffered assignments)
+//! in length + CRC32-framed records behind a generation-stamped header.
+//! Appends are queued in memory and a dedicated flusher thread coalesces
+//! everything queued since the last fsync into **one** write + fsync —
+//! group commit — so `c` concurrent committers pay one disk sync between
+//! them instead of `c`. [`Wal::commit`] blocks until the record's
+//! [`Lsn`] is durable.
+//!
+//! Recovery ([`Wal::open`]) scans the file, returns every complete
+//! record, and truncates a torn tail (a crash mid-write leaves a partial
+//! frame; anything after the last intact frame is discarded). A header
+//! generation different from the caller's expectation means the log
+//! belongs to a superseded checkpoint epoch and is reset instead of
+//! replayed — that is what makes "rename checkpoint meta, then retire
+//! the log" crash-safe without a second atomic step.
+//!
+//! Crash points ([`CrashPoint`]) instrument the commit and checkpoint
+//! paths: set `DASP_CRASH_POINT` (optionally `DASP_CRASH_AFTER=n`) to
+//! abort the process at the n-th hit — the kill-and-recover stress runs
+//! on this — or arm an in-process hook from tests to simulate the same
+//! torn states without losing the test harness.
+
+use crate::{Result, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Log sequence number: the byte offset one past a record's frame. A
+/// record is durable once the log's durable LSN reaches its own.
+pub type Lsn = u64;
+
+const WAL_MAGIC: [u8; 4] = *b"DWAL";
+const WAL_VERSION: u32 = 1;
+/// magic + version + generation.
+pub(crate) const WAL_HEADER_LEN: u64 = 16;
+/// Sanity bound on a single record (a request batch is well below this).
+const MAX_RECORD: u32 = 64 << 20;
+
+// ---- CRC32 (IEEE 802.3, table-driven) ----
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC32 checksum as used by the WAL frames and checkpoint metadata.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        // dasp::allow(P3): index is masked to 0..256 over a 256-entry table
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- crash points ----
+
+/// Instrumented moments in the durability paths where a process can be
+/// made to die, for crash-recovery testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// While a record frame is being appended: half the frame reaches
+    /// the file (a torn tail), the rest never does.
+    MidRecord,
+    /// After record bytes reach the file but before fsync: complete
+    /// frames may survive, but nothing was acknowledged.
+    BeforeFsync,
+    /// Immediately after fsync, before any acknowledgement is produced.
+    AfterFsync,
+    /// Mid-checkpoint: part of the new image is written, the metadata
+    /// still points at the old one.
+    MidCheckpoint,
+    /// After the checkpoint metadata rename, before the old log is
+    /// retired.
+    BeforeWalSwitch,
+}
+
+impl CrashPoint {
+    fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "mid-record" => CrashPoint::MidRecord,
+            "before-fsync" => CrashPoint::BeforeFsync,
+            "after-fsync" => CrashPoint::AfterFsync,
+            "mid-checkpoint" => CrashPoint::MidCheckpoint,
+            "before-wal-switch" => CrashPoint::BeforeWalSwitch,
+            _ => return None,
+        })
+    }
+}
+
+struct EnvCrash {
+    point: CrashPoint,
+    countdown: AtomicI64,
+}
+
+fn env_crash() -> &'static Option<EnvCrash> {
+    static ENV: OnceLock<Option<EnvCrash>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let point = std::env::var("DASP_CRASH_POINT").ok()?;
+        let point = CrashPoint::from_name(&point)?;
+        let after = std::env::var("DASP_CRASH_AFTER")
+            .ok()
+            .and_then(|v| v.parse::<i64>().ok())
+            .unwrap_or(1)
+            .max(1);
+        Some(EnvCrash {
+            point,
+            countdown: AtomicI64::new(after),
+        })
+    })
+}
+
+fn armed_hook() -> &'static Mutex<Option<CrashPoint>> {
+    static HOOK: Mutex<Option<CrashPoint>> = Mutex::new(None);
+    &HOOK
+}
+
+/// Arm an in-process crash hook: the next time `point` is reached the
+/// operation fails (leaving the same on-disk state a real crash there
+/// would) instead of aborting the process. One-shot; tests that use this
+/// must serialize themselves (the hook is global).
+pub fn arm_crash_point(point: CrashPoint) {
+    if let Ok(mut hook) = armed_hook().lock() {
+        *hook = Some(point);
+    }
+}
+
+/// Disarm any armed in-process crash hook.
+pub fn disarm_crash_points() {
+    if let Ok(mut hook) = armed_hook().lock() {
+        *hook = None;
+    }
+}
+
+/// Report reaching a crash point. Aborts the process if the environment
+/// (`DASP_CRASH_POINT`, `DASP_CRASH_AFTER`) selects this point; returns
+/// `true` if an in-process hook is armed for it (the caller then
+/// simulates the crash's on-disk effect and fails the operation).
+pub fn crash_point_hit(point: CrashPoint) -> bool {
+    if let Some(env) = env_crash() {
+        if env.point == point && env.countdown.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // A real kill: no destructors, no flushes — exactly the
+            // state a power cut at this instant would leave.
+            std::process::abort();
+        }
+    }
+    if let Ok(mut hook) = armed_hook().lock() {
+        if *hook == Some(point) {
+            *hook = None;
+            return true;
+        }
+    }
+    false
+}
+
+// ---- configuration ----
+
+/// Group-commit tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Flush as soon as this many records are queued (1 = sync every
+    /// record; larger values trade commit latency for fewer fsyncs).
+    pub fsync_every: usize,
+    /// With fewer queued records than `fsync_every`, wait at most this
+    /// long for stragglers to join the batch before flushing anyway.
+    pub batch_window: Duration,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            fsync_every: 8,
+            batch_window: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Counters for the E19 experiment and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (this generation).
+    pub records: u64,
+    /// fsync calls issued by the flusher.
+    pub fsyncs: u64,
+    /// Durable bytes past the header.
+    pub durable_bytes: u64,
+}
+
+// ---- the log ----
+
+struct WalState {
+    /// Framed bytes queued since the last flush, in append order.
+    queued: Vec<u8>,
+    /// Records represented in `queued`.
+    queued_records: usize,
+    /// Logical end offset (durable + queued), relative to the header.
+    end_lsn: Lsn,
+    durable_lsn: Lsn,
+    records: u64,
+    fsyncs: u64,
+    /// First failure; everything after it errors out.
+    error: Option<&'static str>,
+    shutdown: bool,
+    generation: u64,
+}
+
+struct WalShared {
+    state: Mutex<WalState>,
+    /// Wakes the flusher (records queued / shutdown).
+    work: Condvar,
+    /// Wakes committers (durable LSN advanced / error).
+    durable: Condvar,
+    /// The log file, touched only while the flush in progress owns it.
+    file: Mutex<File>,
+}
+
+/// What [`Wal::open`] found on disk.
+pub struct WalRecovery {
+    /// The opened log, positioned after the last intact record.
+    pub wal: Wal,
+    /// Every complete record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of torn tail truncated away.
+    pub torn_bytes: u64,
+    /// The log carried a different generation and was reset (its records
+    /// belong to a superseded checkpoint and are not returned).
+    pub reset: bool,
+}
+
+/// A durable append-only record log with group commit. See the module
+/// docs for the protocol.
+pub struct Wal {
+    shared: Arc<WalShared>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+    path: PathBuf,
+    config: WalConfig,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path` for checkpoint `generation`,
+    /// replaying complete records and truncating any torn tail. A log
+    /// stamped with a different generation is reset to an empty log of
+    /// the requested generation.
+    pub fn open(path: &Path, generation: u64, config: WalConfig) -> Result<WalRecovery> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let mut reset = false;
+        let mut records = Vec::new();
+        let mut torn_bytes = 0u64;
+        let mut end = 0u64;
+        if len < WAL_HEADER_LEN {
+            reset = len > 0;
+            Self::write_header(&mut file, generation)?;
+        } else {
+            let mut header = [0u8; WAL_HEADER_LEN as usize];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut header)?;
+            // dasp::allow(P3): fixed 16-byte array filled by read_exact
+            let magic_ok = header[0..4] == WAL_MAGIC
+                && u32::from_le_bytes([header[4], header[5], header[6], header[7]]) == WAL_VERSION;
+            let file_gen = u64::from_le_bytes([
+                header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+                header[15],
+            ]);
+            if !magic_ok || file_gen != generation {
+                reset = true;
+                Self::write_header(&mut file, generation)?;
+            } else {
+                let mut body = Vec::with_capacity((len - WAL_HEADER_LEN) as usize);
+                file.read_to_end(&mut body)?;
+                let (parsed, good_end) = Self::parse_records(&body);
+                records = parsed;
+                torn_bytes = body.len() as u64 - good_end;
+                if torn_bytes > 0 {
+                    file.set_len(WAL_HEADER_LEN + good_end)?;
+                    file.sync_data()?;
+                }
+                end = good_end;
+            }
+        }
+        file.seek(SeekFrom::End(0))?;
+        let shared = Arc::new(WalShared {
+            state: Mutex::new(WalState {
+                queued: Vec::new(),
+                queued_records: 0,
+                end_lsn: end,
+                durable_lsn: end,
+                records: records.len() as u64,
+                fsyncs: 0,
+                error: None,
+                shutdown: false,
+                generation,
+            }),
+            work: Condvar::new(),
+            durable: Condvar::new(),
+            file: Mutex::new(file),
+        });
+        let flusher = Self::spawn_flusher(Arc::clone(&shared), config);
+        Ok(WalRecovery {
+            wal: Wal {
+                shared,
+                flusher,
+                path: path.to_path_buf(),
+                config,
+            },
+            records,
+            torn_bytes,
+            reset,
+        })
+    }
+
+    fn write_header(file: &mut File, generation: u64) -> Result<()> {
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(&WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&generation.to_le_bytes());
+        file.write_all(&header)?;
+        file.sync_data()?;
+        Ok(())
+    }
+
+    /// Parse complete `[len][crc][payload]` frames; returns the records
+    /// and the offset of the first byte that is not part of an intact
+    /// frame (the torn-tail boundary).
+    fn parse_records(body: &[u8]) -> (Vec<Vec<u8>>, u64) {
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        while let Some(header) = body.get(at..at + 8) {
+            // dasp::allow(P3): `header` is an 8-byte slice by construction
+            let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+            let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+            if len > MAX_RECORD {
+                break;
+            }
+            let Some(payload) = body.get(at + 8..at + 8 + len as usize) else {
+                break;
+            };
+            if crc32(payload) != crc {
+                break;
+            }
+            records.push(payload.to_vec());
+            at += 8 + len as usize;
+        }
+        (records, at as u64)
+    }
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    fn spawn_flusher(
+        shared: Arc<WalShared>,
+        config: WalConfig,
+    ) -> Option<std::thread::JoinHandle<()>> {
+        std::thread::Builder::new()
+            .name("dasp-wal-flusher".into())
+            .spawn(move || Self::flusher_loop(&shared, config))
+            .ok()
+    }
+
+    fn flusher_loop(shared: &WalShared, config: WalConfig) {
+        loop {
+            // Phase 1: wait for work, giving stragglers one batch window
+            // to pile onto the same fsync.
+            let (batch, batch_end, record_batch) = {
+                let Ok(mut state) = shared.state.lock() else {
+                    return;
+                };
+                while state.queued.is_empty() && !state.shutdown {
+                    let Ok((next, _)) = shared.work.wait_timeout(state, config.batch_window) else {
+                        return;
+                    };
+                    state = next;
+                }
+                if state.queued.is_empty() && state.shutdown {
+                    return;
+                }
+                if state.queued_records < config.fsync_every && !state.shutdown {
+                    // Straggler window: a short nap lets concurrent
+                    // committers coalesce; fsync_every short-circuits it.
+                    let Ok((next, _)) = shared.work.wait_timeout(state, config.batch_window) else {
+                        return;
+                    };
+                    state = next;
+                }
+                if state.error.is_some() {
+                    // Poisoned (e.g. a simulated torn record): stop
+                    // flushing so nothing after the tear reaches disk.
+                    state.shutdown = true;
+                    shared.durable.notify_all();
+                    return;
+                }
+                let batch = std::mem::take(&mut state.queued);
+                state.queued_records = 0;
+                (batch, state.end_lsn, state.records)
+            };
+            let _ = record_batch;
+            if batch.is_empty() {
+                continue;
+            }
+            // Phase 2: one write + one fsync for the whole batch, outside
+            // the state lock so appenders keep queueing.
+            let io = {
+                let Ok(mut file) = shared.file.lock() else {
+                    return;
+                };
+                file.write_all(&batch)
+                    .and_then(|()| {
+                        if crash_point_hit(CrashPoint::BeforeFsync) {
+                            // Bytes are in the file, durability was never
+                            // promised: fail without syncing.
+                            return Err(std::io::Error::other("crash before fsync"));
+                        }
+                        file.sync_data()
+                    })
+                    .map(|()| crash_point_hit(CrashPoint::AfterFsync))
+            };
+            // Phase 3: publish durability (or the failure) and wake
+            // committers.
+            let Ok(mut state) = shared.state.lock() else {
+                return;
+            };
+            match io {
+                Ok(crashed_after_fsync) => {
+                    state.durable_lsn = batch_end;
+                    state.fsyncs += 1;
+                    if crashed_after_fsync {
+                        state.error = Some("wal crashed after fsync");
+                        state.shutdown = true;
+                    }
+                }
+                Err(_) => {
+                    state.error = Some("wal flush failed");
+                    state.shutdown = true;
+                }
+            }
+            let done = state.shutdown && state.queued.is_empty();
+            shared.durable.notify_all();
+            if done {
+                return;
+            }
+        }
+    }
+
+    /// Queue one record, returning the [`Lsn`] to pass to
+    /// [`Wal::commit`]. The record is *not* durable yet.
+    pub fn append(&self, payload: &[u8]) -> Result<Lsn> {
+        let frame = Self::frame(payload);
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .map_err(|_| StorageError::Corrupt("wal state poisoned"))?;
+        if let Some(err) = state.error {
+            return Err(StorageError::Corrupt(err));
+        }
+        if crash_point_hit(CrashPoint::MidRecord) {
+            // Simulate a crash halfway through the frame: the torn half
+            // joins the queue (so it lands *after* everything already
+            // queued, exactly as the real write order would), and the
+            // log is poisoned before it can ever count as a record.
+            let half = frame.len() / 2;
+            // dasp::allow(P3): half = len/2 is always in bounds
+            state.queued.extend_from_slice(&frame[..half]);
+            state.error = Some("wal crashed mid-record");
+            self.shared.work.notify_all();
+            self.shared.durable.notify_all();
+            return Err(StorageError::Corrupt("wal crashed mid-record"));
+        }
+        state.queued.extend_from_slice(&frame);
+        state.queued_records += 1;
+        state.end_lsn += frame.len() as u64;
+        state.records += 1;
+        let lsn = state.end_lsn;
+        if state.queued_records >= self.config.fsync_every {
+            self.shared.work.notify_all();
+        } else {
+            self.shared.work.notify_one();
+        }
+        Ok(lsn)
+    }
+
+    /// Block until everything up to `lsn` is durable. Concurrent
+    /// committers waiting on the same flush share one fsync.
+    pub fn commit(&self, lsn: Lsn) -> Result<()> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .map_err(|_| StorageError::Corrupt("wal state poisoned"))?;
+        loop {
+            if state.durable_lsn >= lsn {
+                return Ok(());
+            }
+            if let Some(err) = state.error {
+                return Err(StorageError::Corrupt(err));
+            }
+            self.shared.work.notify_one();
+            let Ok(next) = self.shared.durable.wait(state) else {
+                return Err(StorageError::Corrupt("wal state poisoned"));
+            };
+            state = next;
+        }
+    }
+
+    /// Append + commit in one call (fsync-per-record semantics for this
+    /// record, still sharing the fsync with concurrent appenders).
+    pub fn append_durable(&self, payload: &[u8]) -> Result<Lsn> {
+        let lsn = self.append(payload)?;
+        self.commit(lsn)?;
+        Ok(lsn)
+    }
+
+    /// The current logical end of the log (including queued records).
+    pub fn end_lsn(&self) -> Lsn {
+        self.shared.state.lock().map(|s| s.end_lsn).unwrap_or(0)
+    }
+
+    /// The log's checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.state.lock().map(|s| s.generation).unwrap_or(0)
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> WalStats {
+        self.shared
+            .state
+            .lock()
+            .map(|s| WalStats {
+                records: s.records,
+                fsyncs: s.fsyncs,
+                durable_bytes: s.durable_lsn,
+            })
+            .unwrap_or_default()
+    }
+
+    /// Retire every record and restamp the log as `generation`: the
+    /// checkpoint that superseded the records has been made durable.
+    /// Queued-but-unflushed records are dropped (they are part of the
+    /// checkpoint image by construction — the caller quiesced writers).
+    pub fn switch_generation(&self, generation: u64) -> Result<()> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .map_err(|_| StorageError::Corrupt("wal state poisoned"))?;
+        if let Some(err) = state.error {
+            return Err(StorageError::Corrupt(err));
+        }
+        {
+            let mut file = self
+                .shared
+                .file
+                .lock()
+                .map_err(|_| StorageError::Corrupt("wal file poisoned"))?;
+            Self::write_header(&mut file, generation)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+        state.queued.clear();
+        state.queued_records = 0;
+        state.end_lsn = 0;
+        state.durable_lsn = 0;
+        state.records = 0;
+        state.generation = generation;
+        Ok(())
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.shared.state.lock() {
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dasp-wal-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn fast() -> WalConfig {
+        WalConfig {
+            fsync_every: 1,
+            batch_window: Duration::from_micros(200),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_commit_reopen_roundtrip() {
+        let path = temp_wal_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let rec = Wal::open(&path, 0, fast()).unwrap();
+            assert!(rec.records.is_empty());
+            for i in 0..10u32 {
+                rec.wal.append_durable(&i.to_le_bytes()).unwrap();
+            }
+            assert_eq!(rec.wal.stats().records, 10);
+            assert!(rec.wal.stats().fsyncs >= 1);
+        }
+        let rec = Wal::open(&path, 0, fast()).unwrap();
+        assert_eq!(rec.records.len(), 10);
+        assert_eq!(rec.torn_bytes, 0);
+        assert!(!rec.reset);
+        for (i, r) in rec.records.iter().enumerate() {
+            assert_eq!(r.as_slice(), (i as u32).to_le_bytes());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_coalesces_fsyncs() {
+        let path = temp_wal_path("group");
+        let _ = std::fs::remove_file(&path);
+        let rec = Wal::open(
+            &path,
+            0,
+            WalConfig {
+                fsync_every: 64,
+                batch_window: Duration::from_millis(5),
+            },
+        )
+        .unwrap();
+        let wal = Arc::new(rec.wal);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let wal = Arc::clone(&wal);
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        wal.append_durable(&(t * 100 + i).to_le_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = wal.stats();
+        assert_eq!(stats.records, 64);
+        assert!(
+            stats.fsyncs < 64,
+            "64 concurrent commits used {} fsyncs; group commit must coalesce",
+            stats.fsyncs
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = temp_wal_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let rec = Wal::open(&path, 0, fast()).unwrap();
+            rec.wal.append_durable(b"keep-me").unwrap();
+        }
+        // Simulate a crash mid-append: half a frame at the tail.
+        let frame = Wal::frame(b"torn-away");
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&frame[..frame.len() / 2]).unwrap();
+        }
+        let rec = Wal::open(&path, 0, fast()).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0], b"keep-me");
+        assert!(rec.torn_bytes > 0);
+        // The truncation is durable: reopening is clean.
+        drop(rec);
+        let rec = Wal::open(&path, 0, fast()).unwrap();
+        assert_eq!((rec.records.len(), rec.torn_bytes), (1, 0));
+        // Appending after recovery extends the intact prefix.
+        rec.wal.append_durable(b"after").unwrap();
+        drop(rec);
+        let rec = Wal::open(&path, 0, fast()).unwrap();
+        assert_eq!(rec.records, vec![b"keep-me".to_vec(), b"after".to_vec()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_crc_truncates_from_corruption() {
+        let path = temp_wal_path("crc");
+        let _ = std::fs::remove_file(&path);
+        {
+            let rec = Wal::open(&path, 0, fast()).unwrap();
+            rec.wal.append_durable(b"one").unwrap();
+            rec.wal.append_durable(b"two").unwrap();
+        }
+        // Flip a payload byte of the second record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let rec = Wal::open(&path, 0, fast()).unwrap();
+        assert_eq!(rec.records, vec![b"one".to_vec()]);
+        assert!(rec.torn_bytes > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn generation_mismatch_resets_log() {
+        let path = temp_wal_path("gen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let rec = Wal::open(&path, 3, fast()).unwrap();
+            rec.wal.append_durable(b"old-epoch").unwrap();
+        }
+        let rec = Wal::open(&path, 4, fast()).unwrap();
+        assert!(rec.reset);
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.wal.generation(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn switch_generation_retires_records() {
+        let path = temp_wal_path("switch");
+        let _ = std::fs::remove_file(&path);
+        let rec = Wal::open(&path, 0, fast()).unwrap();
+        rec.wal.append_durable(b"pre-checkpoint").unwrap();
+        rec.wal.switch_generation(1).unwrap();
+        rec.wal.append_durable(b"post-checkpoint").unwrap();
+        drop(rec);
+        let rec = Wal::open(&path, 1, fast()).unwrap();
+        assert!(!rec.reset);
+        assert_eq!(rec.records, vec![b"post-checkpoint".to_vec()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_record_hook_leaves_recoverable_torn_tail() {
+        let path = temp_wal_path("hook");
+        let _ = std::fs::remove_file(&path);
+        let rec = Wal::open(&path, 0, fast()).unwrap();
+        rec.wal.append_durable(b"committed").unwrap();
+        arm_crash_point(CrashPoint::MidRecord);
+        assert!(rec.wal.append(b"torn-by-hook").is_err());
+        disarm_crash_points();
+        // Everything after the simulated crash fails.
+        assert!(rec.wal.append(b"nope").is_err());
+        drop(rec);
+        let rec = Wal::open(&path, 0, fast()).unwrap();
+        assert_eq!(rec.records, vec![b"committed".to_vec()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_payloads_and_large_payloads_roundtrip() {
+        let path = temp_wal_path("sizes");
+        let _ = std::fs::remove_file(&path);
+        let big = vec![0xA5u8; 100_000];
+        {
+            let rec = Wal::open(&path, 0, fast()).unwrap();
+            rec.wal.append_durable(b"").unwrap();
+            rec.wal.append_durable(&big).unwrap();
+        }
+        let rec = Wal::open(&path, 0, fast()).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        assert!(rec.records[0].is_empty());
+        assert_eq!(rec.records[1], big);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -181,3 +181,134 @@ fn aggregate_queries_survive_crash_minority() {
         .sum();
     assert_eq!(sum.value, Some(Value::Int(expected)));
 }
+
+// ---- durability fault injection (WAL + client journal) ----
+
+/// Satellite regression: a WAL whose final record is truncated at *every*
+/// possible byte offset — or corrupted at every byte — must either
+/// recover the committed prefix cleanly or fail with a typed
+/// `RecoveryError`. It must never panic and never resurrect a torn op.
+#[test]
+fn torn_or_corrupt_wal_tail_never_panics_recovery() {
+    use dasp_server::{DurableConfig, ProviderEngine, Request, Response, Row};
+    use dasp_storage::WalConfig;
+
+    let base = std::env::temp_dir().join(format!("dasp-torn-fuzz-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let dir = base.join("provider");
+    let cfg = DurableConfig {
+        wal: WalConfig {
+            fsync_every: 1,
+            ..WalConfig::default()
+        },
+        checkpoint_every: 0,
+        ..DurableConfig::default()
+    };
+    let insert = |id: u64| Request::Insert {
+        table: "t".into(),
+        rows: vec![Row {
+            id,
+            shares: vec![id as i128 * 7],
+        }],
+    };
+    {
+        let (e, _) = ProviderEngine::durable(&dir, cfg).unwrap();
+        assert_eq!(
+            e.execute(&Request::CreateTable {
+                name: "t".into(),
+                columns: vec!["v".into()],
+                indexed: vec![true],
+            }),
+            Response::Ack
+        );
+        assert_eq!(e.execute(&insert(1)), Response::Ack);
+        assert_eq!(e.execute(&insert(2)), Response::Ack);
+    }
+    let wal_path = dir.join("wal.log");
+    let len_before = std::fs::metadata(&wal_path).unwrap().len();
+    {
+        let (e, _) = ProviderEngine::durable(&dir, cfg).unwrap();
+        assert_eq!(e.execute(&insert(3)), Response::Ack);
+    }
+    let len_after = std::fs::metadata(&wal_path).unwrap().len();
+    assert!(len_after > len_before, "final record not on disk");
+    let wal_bytes = std::fs::read(&wal_path).unwrap();
+
+    let scratch = base.join("scratch");
+    let check = |tag: String, bytes: &[u8]| {
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).unwrap();
+        let _ = std::fs::copy(dir.join("data.db"), scratch.join("data.db"));
+        std::fs::write(scratch.join("wal.log"), bytes).unwrap();
+        match ProviderEngine::recover(&scratch) {
+            Ok((e, _)) => {
+                let resp = e.execute(&Request::Query {
+                    table: "t".into(),
+                    predicate: vec![],
+                    agg: None,
+                });
+                let Response::Rows(rows) = resp else {
+                    panic!("{tag}: {resp:?}")
+                };
+                let ids: Vec<u64> = rows.iter().map(|r| r.id).collect();
+                assert!(
+                    ids == vec![1, 2] || ids == vec![1, 2, 3],
+                    "{tag}: recovered a non-prefix state {ids:?}"
+                );
+            }
+            // A typed error is an acceptable outcome; a panic is not.
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    };
+    for cut in len_before..len_after {
+        check(format!("truncate@{cut}"), &wal_bytes[..cut as usize]);
+    }
+    for pos in len_before..len_after {
+        let mut mutated = wal_bytes.clone();
+        mutated[pos as usize] ^= 0x41;
+        check(format!("flip@{pos}"), &mutated);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Satellite regression (§V-C): lazy updates queued by one client
+/// session survive a client restart via the durable journal, overlay
+/// reads immediately, and flush cleanly afterwards.
+#[test]
+fn lazy_update_queue_survives_client_restart() {
+    let base = std::env::temp_dir().join(format!("dasp-lazy-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let path = base.join("lazy.journal");
+    let pred = [Predicate::eq("k", 7u64)];
+    // Session 1: queue lazy re-shares, then "crash" without flushing.
+    {
+        let mut ds = deploy(2, 3);
+        ds.set_lazy_journal(&path).unwrap();
+        let n = ds
+            .update_where("t", &pred, &[("v", Value::Int(123_456))])
+            .unwrap();
+        assert_eq!(n, 10);
+    }
+    // Session 2: a fresh client re-registers the table, recovers the
+    // queue from the journal, and the overlay + flush behave as if the
+    // first session had never died.
+    {
+        let mut ds = deploy(2, 3);
+        let recovered = ds.set_lazy_journal(&path).unwrap();
+        assert_eq!(recovered, 10);
+        let rows = ds.select("t", &pred).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|(_, v)| v[1] == Value::Int(123_456)));
+        assert_eq!(ds.flush("t").unwrap(), 10);
+        // Flushed state is provider-side now (overlay queue is empty).
+        let rows = ds.select("t", &pred).unwrap();
+        assert!(rows.iter().all(|(_, v)| v[1] == Value::Int(123_456)));
+        // A fully drained journal compacts back to a bare header.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 16);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
