@@ -44,6 +44,12 @@ echo "== kill-and-recover WAL stress (provider workers 1 and 4) =="
 DASP_PROVIDER_WORKERS=1 cargo run --release -q -p dasp-bench --bin wal_stress
 DASP_PROVIDER_WORKERS=4 cargo run --release -q -p dasp-bench --bin wal_stress
 
+echo "== fault injection over TCP (same suite, socket transport) =="
+DASP_TRANSPORT=tcp cargo test -q -p dasp-apps --test fault_injection
+
+echo "== E20 socket throughput regression gate (>15% loss vs baseline fails) =="
+cargo run --release -q -p dasp-bench --bin experiments -- --check BENCH_net.json
+
 echo "== cargo bench --no-run =="
 cargo bench --no-run --workspace
 

@@ -43,6 +43,13 @@ struct Config {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let Some(path) = args.get(i + 1) else {
+            println!("usage: experiments --check <BENCH_net.json>");
+            std::process::exit(2);
+        };
+        std::process::exit(check_e20(path));
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let wanted: Vec<String> = args
         .iter()
@@ -111,6 +118,9 @@ fn main() {
     }
     if run("e19") {
         e19_wal(&cfg);
+    }
+    if run("e20") {
+        e20_net(&cfg);
     }
 }
 
@@ -1391,4 +1401,439 @@ fn e19_wal(cfg: &Config) {
         println!("  (could not write BENCH_wal.json: {e})");
     }
     println!();
+}
+
+// ---- E20: real TCP transport vs in-process channels ----
+
+/// One measured (transport, connections) cell.
+struct E20Row {
+    transport: &'static str,
+    conns: usize,
+    queries: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// A provider preloaded with `rows` share rows on an indexed column.
+fn e20_service(rows: usize) -> std::sync::Arc<dasp_server::service::ProviderService> {
+    let service = dasp_server::service::ProviderService::new();
+    assert_eq!(
+        service.engine().execute(&Request::CreateTable {
+            name: "t".into(),
+            columns: vec!["v".into()],
+            indexed: vec![true],
+        }),
+        Response::Ack
+    );
+    let batch: Vec<Row> = (0..rows as u64)
+        .map(|i| Row {
+            id: i + 1,
+            shares: vec![(i.wrapping_mul(7919) % (1 << 20)) as i128],
+        })
+        .collect();
+    assert_eq!(
+        service.engine().execute(&Request::Insert {
+            table: "t".into(),
+            rows: batch,
+        }),
+        Response::Ack
+    );
+    std::sync::Arc::new(service)
+}
+
+/// The query mix: point lookups and two range widths over share space,
+/// pre-encoded so the measured loop is pure transport + execution.
+fn e20_requests() -> Vec<Vec<u8>> {
+    (0..256u64)
+        .map(|i| {
+            let lo = (i.wrapping_mul(7919) % (1 << 19)) as i128;
+            let hi = match i % 3 {
+                0 => lo,
+                1 => lo + (1 << 12),
+                _ => lo + (1 << 15),
+            };
+            Request::Query {
+                table: "t".into(),
+                predicate: vec![dasp_server::PredAtom::Range { col: 0, lo, hi }],
+                agg: None,
+            }
+            .encode()
+        })
+        .collect()
+}
+
+/// Count per connection chosen so total work stays roughly constant as
+/// the sweep fans out (we measure fan-in, not per-thread volume).
+fn e20_per_conn(total_target: usize, conns: usize) -> usize {
+    (total_target / conns).max(4)
+}
+
+fn e20_percentiles(mut lat_us: Vec<u64>) -> (f64, f64) {
+    if lat_us.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    lat_us.sort_unstable();
+    let pick = |q: f64| lat_us[((lat_us.len() - 1) as f64 * q) as usize] as f64;
+    (pick(0.50), pick(0.99))
+}
+
+/// Drive `conns` blocking socket connections against one TCP provider.
+fn e20_trial_tcp(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    per_conn: usize,
+    reqs: &[Vec<u8>],
+) -> (f64, f64, f64) {
+    let barrier = std::sync::Barrier::new(conns + 1);
+    let (elapsed, lat): (f64, Vec<u64>) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|t| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // Dial outside the measured window; retry briefly so
+                    // a thundering herd of SYNs at 1024 conns survives a
+                    // momentarily full accept queue.
+                    let mut conn = None;
+                    for _ in 0..100 {
+                        match dasp_net::BlockingConn::connect(
+                            addr,
+                            std::time::Duration::from_secs(10),
+                        ) {
+                            Ok(c) => {
+                                conn = Some(c);
+                                break;
+                            }
+                            Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+                        }
+                    }
+                    let mut conn = conn.expect("e20: connect");
+                    barrier.wait();
+                    let mut lat_us = Vec::with_capacity(per_conn);
+                    for q in 0..per_conn {
+                        let req = &reqs[(t * per_conn + q) % reqs.len()];
+                        let t0 = Instant::now();
+                        let resp = conn.call(req).expect("e20: tcp call");
+                        lat_us.push(t0.elapsed().as_micros() as u64);
+                        let decoded = Response::decode(&resp).expect("e20: decode");
+                        assert!(matches!(decoded, Response::Rows(_)));
+                    }
+                    lat_us
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("e20: tcp thread"));
+        }
+        (start.elapsed().as_secs_f64(), all)
+    });
+    let total = conns * per_conn;
+    let (p50, p99) = e20_percentiles(lat);
+    (total as f64 / elapsed, p50, p99)
+}
+
+/// The in-process comparison: same preloaded provider behind a worker
+/// pool, `conns` client threads calling through channels.
+fn e20_trial_inproc(
+    service: std::sync::Arc<dasp_server::service::ProviderService>,
+    workers: usize,
+    conns: usize,
+    per_conn: usize,
+    reqs: &[Vec<u8>],
+) -> (f64, f64, f64) {
+    let cluster = std::sync::Arc::new(Cluster::spawn_concurrent(
+        vec![service as std::sync::Arc<dyn dasp_net::SharedService>],
+        std::time::Duration::from_secs(30),
+        workers,
+    ));
+    let barrier = std::sync::Barrier::new(conns + 1);
+    let (elapsed, lat): (f64, Vec<u64>) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|t| {
+                let barrier = &barrier;
+                let cluster = std::sync::Arc::clone(&cluster);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut lat_us = Vec::with_capacity(per_conn);
+                    for q in 0..per_conn {
+                        let req = reqs[(t * per_conn + q) % reqs.len()].clone();
+                        let t0 = Instant::now();
+                        let resp = cluster.call(0, req).expect("e20: rpc call");
+                        lat_us.push(t0.elapsed().as_micros() as u64);
+                        let decoded = Response::decode(&resp).expect("e20: decode");
+                        assert!(matches!(decoded, Response::Rows(_)));
+                    }
+                    lat_us
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("e20: inproc thread"));
+        }
+        (start.elapsed().as_secs_f64(), all)
+    });
+    let total = conns * per_conn;
+    let (p50, p99) = e20_percentiles(lat);
+    (total as f64 / elapsed, p50, p99)
+}
+
+/// Shared measurement core for `e20` and `--check`: one provider, both
+/// transports, a sweep of connection counts. Quick mode trims the sweep
+/// and volume; the CI gate re-runs whichever mode the baseline used so
+/// numbers stay comparable.
+fn e20_measure(quick: bool) -> Vec<E20Row> {
+    let rows = if quick { 2_000 } else { 10_000 };
+    let total_target = if quick { 4_096 } else { 16_384 };
+    let conn_counts: &[usize] = if quick {
+        &[1, 16, 256]
+    } else {
+        &[1, 16, 256, 1024]
+    };
+    let workers = Cluster::default_workers();
+    let reqs = e20_requests();
+    let mut out = Vec::new();
+
+    // Each cell is best-of-N, and the two transports' trials for a
+    // given connection count run back to back: on a small shared box a
+    // single trial is hostage to scheduler placement and background
+    // load (observed swings of ±15% run to run). The best trial tracks
+    // the actual cost of the transport, interleaving lets slow spells
+    // hit both sides of the ratio equally, and a stable number is what
+    // the regression gate needs.
+    const TRIALS: usize = 3;
+    fn best(a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        if a.0 >= b.0 {
+            a
+        } else {
+            b
+        }
+    }
+
+    let tcp_service = e20_service(rows);
+    // Inline mode (workers = 0): share-table queries are short and
+    // non-blocking, so the reactor runs them on the shard threads —
+    // the low-latency configuration a cheap-handler deployment picks.
+    let server = dasp_net::TcpServer::serve(
+        "127.0.0.1:0",
+        tcp_service as std::sync::Arc<dyn dasp_net::SharedService>,
+        dasp_net::ReactorConfig {
+            workers: 0,
+            ..dasp_net::ReactorConfig::default()
+        },
+    )
+    .expect("e20: bind");
+    let addr = server.local_addr();
+    let inproc_service = e20_service(rows);
+
+    let mut inproc_rows = Vec::new();
+    for &conns in conn_counts {
+        let per_conn = e20_per_conn(total_target, conns);
+        let mut tcp = (f64::MIN, 0.0, 0.0);
+        let mut inproc = (f64::MIN, 0.0, 0.0);
+        for _ in 0..TRIALS {
+            tcp = best(tcp, e20_trial_tcp(addr, conns, per_conn, &reqs));
+            inproc = best(
+                inproc,
+                e20_trial_inproc(
+                    std::sync::Arc::clone(&inproc_service),
+                    workers,
+                    conns,
+                    per_conn,
+                    &reqs,
+                ),
+            );
+        }
+        out.push(E20Row {
+            transport: "tcp",
+            conns,
+            queries: conns * per_conn,
+            qps: tcp.0,
+            p50_us: tcp.1,
+            p99_us: tcp.2,
+        });
+        inproc_rows.push(E20Row {
+            transport: "inproc",
+            conns,
+            queries: conns * per_conn,
+            qps: inproc.0,
+            p50_us: inproc.1,
+            p99_us: inproc.2,
+        });
+    }
+    drop(server);
+    out.extend(inproc_rows);
+    out
+}
+
+/// E20 — the tentpole experiment: a real TCP provider behind the
+/// reactor vs the in-process channel transport, swept over concurrent
+/// connections. The reactor serves every connection count from the same
+/// handful of threads (shards + workers); the in-process side needs a
+/// client thread per connection. Results land in BENCH_net.json.
+fn e20_net(cfg: &Config) {
+    println!("== E20 (net): TCP reactor vs in-process channels, q/s by connections ==");
+    let results = e20_measure(cfg.quick);
+    println!("  transport  conns   queries/s     p50        p99");
+    for r in &results {
+        println!(
+            "  {:<9} {:>6} {:>11.0} {:>8.0}us {:>8.0}us",
+            r.transport, r.conns, r.qps, r.p50_us, r.p99_us
+        );
+    }
+    let get = |t: &str, c: usize| {
+        results
+            .iter()
+            .find(|r| r.transport == t && r.conns == c)
+            .map(|r| r.qps)
+            .unwrap_or(f64::NAN)
+    };
+    let ratio16 = get("tcp", 16) / get("inproc", 16);
+    let scale = get("tcp", 256) / get("tcp", 16);
+    println!("  tcp/inproc @16 conns: {ratio16:.2}x   tcp 256 vs 16 conns: {scale:.2}x");
+    let mut json = String::from("{\n  \"experiment\": \"e20_net\",\n");
+    json.push_str(&format!("  \"quick\": {},\n  \"results\": [\n", cfg.quick));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"conns\": {}, \"queries\": {}, \
+             \"queries_per_s\": {:.1}, \"p50_us\": {:.0}, \"p99_us\": {:.0}}}{}\n",
+            r.transport,
+            r.conns,
+            r.queries,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"tcp_vs_inproc_at_16\": {ratio16:.3},\n  \"tcp_256_vs_16\": {scale:.3}\n}}\n"
+    ));
+    if let Err(e) = std::fs::write("BENCH_net.json", json) {
+        println!("  (could not write BENCH_net.json: {e})");
+    }
+    println!();
+}
+
+/// Parse `(transport, conns) → queries_per_s` out of a BENCH_net.json
+/// written by [`e20_net`] (hand-rolled like the writer; one result per
+/// line).
+fn parse_bench_net(text: &str) -> Vec<(String, usize, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(key)? + key.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}', '"']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    };
+    text.lines()
+        .filter(|l| l.contains("\"transport\""))
+        .filter_map(|l| {
+            let transport = field(l, "\"transport\": \"")?;
+            let conns: usize = field(l, "\"conns\": ")?.parse().ok()?;
+            let qps: f64 = field(l, "\"queries_per_s\": ")?.parse().ok()?;
+            Some((transport, conns, qps))
+        })
+        .collect()
+}
+
+/// `--check <BENCH_net.json>`: the CI perf-regression gate. Re-measures
+/// E20 in whichever mode (quick/full) the baseline was recorded with —
+/// the two modes use different table sizes and query volumes, so their
+/// numbers are not comparable — and fails (exit 1) if any
+/// (transport, conns) cell present in both runs lost more than 15%
+/// throughput vs the committed baseline. A cell below the bar triggers
+/// up to two full re-measurements with per-cell best-of merging first:
+/// on a small shared box a single pass can lose >15% to scheduler
+/// placement alone, and a real regression stays below the bar on every
+/// pass while noise does not.
+fn check_e20(baseline_path: &str) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("check: cannot read {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let baseline = parse_bench_net(&text);
+    if baseline.is_empty() {
+        println!("check: no E20 results found in {baseline_path}");
+        return 1;
+    }
+    let quick = !text.contains("\"quick\": false");
+    println!(
+        "== E20 perf-regression check vs {baseline_path} ({} mode, >15% loss fails) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let base_for = |r: &E20Row| {
+        baseline
+            .iter()
+            .find(|(t, c, _)| t == r.transport && *c == r.conns)
+            .map(|&(_, _, q)| q)
+    };
+    let mut measured = e20_measure(quick);
+    for _retry in 0..2 {
+        let noisy = measured
+            .iter()
+            .any(|r| base_for(r).map(|b| r.qps / b < 0.85).unwrap_or(false));
+        if !noisy {
+            break;
+        }
+        println!("  (cells below bar — re-measuring to reject scheduler noise)");
+        let again = e20_measure(quick);
+        for r in &mut measured {
+            if let Some(a) = again
+                .iter()
+                .find(|a| a.transport == r.transport && a.conns == r.conns)
+            {
+                if a.qps > r.qps {
+                    r.qps = a.qps;
+                    r.p50_us = a.p50_us;
+                    r.p99_us = a.p99_us;
+                }
+            }
+        }
+    }
+    let mut failed = false;
+    let mut compared = 0usize;
+    for r in &measured {
+        let Some((_, _, base_qps)) = baseline
+            .iter()
+            .find(|(t, c, _)| t == r.transport && *c == r.conns)
+        else {
+            continue; // cells only in the full sweep (e.g. 1024 conns)
+        };
+        compared += 1;
+        let ratio = r.qps / base_qps;
+        let verdict = if ratio < 0.85 {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<9} {:>6} conns: {:>9.0} q/s vs baseline {:>9.0} ({:>5.1}%) {}",
+            r.transport,
+            r.conns,
+            r.qps,
+            base_qps,
+            ratio * 100.0,
+            verdict
+        );
+    }
+    if compared == 0 {
+        println!("check: baseline shares no (transport, conns) cells with the quick sweep");
+        return 1;
+    }
+    if failed {
+        println!("check: FAILED — throughput regressed >15% vs {baseline_path}");
+        1
+    } else {
+        println!("check: ok ({compared} cells within 15% of baseline)");
+        0
+    }
 }

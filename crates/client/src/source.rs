@@ -284,6 +284,21 @@ impl DataSource {
         })
     }
 
+    /// Bind keys to remote TCP providers: dial one socket per address
+    /// and run the whole client stack — rewriting, reconstruction,
+    /// quorum, hedging, verification — over the wire. The transport is
+    /// invisible above [`Cluster`]; everything else is [`Self::new`].
+    pub fn connect_tcp(
+        keys: ClientKeys,
+        addrs: &[std::net::SocketAddr],
+        timeout: std::time::Duration,
+        workers: usize,
+    ) -> Result<Self> {
+        let cluster = Cluster::connect_tcp(addrs, timeout, workers)
+            .map_err(|e| ClientError::Schema(format!("tcp connect: {e}")))?;
+        Self::new(keys, cluster)
+    }
+
     /// Deterministic RNG variant for reproducible tests/benchmarks. The
     /// seed also fixes retry-backoff jitter, so fault-injection runs
     /// replay with identical timing decisions.

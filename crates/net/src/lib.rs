@@ -17,13 +17,25 @@
 //! * [`resilience`] — retry policies with jittered backoff, per-provider
 //!   health tracking (latency EWMAs), and circuit breakers backing the
 //!   first-k-wins quorum engine in [`rpc`].
+//! * [`reactor`] — a real TCP server: nonblocking accept loop, poll-style
+//!   readiness-scanning reactor shards, CRC-framed request/response
+//!   multiplexing by token, per-connection write backpressure, fan-in to
+//!   the MPMC worker pools.
+//! * [`transport`] — the socket-backed client: a multiplexing
+//!   [`transport::TcpClient`] implementing [`SharedService`] so
+//!   `Cluster`, quorum, hedging, retries, and breakers run unchanged
+//!   over sockets, plus a blocking per-connection handle for load
+//!   generators.
 
 pub mod cost;
+pub mod reactor;
 pub mod resilience;
 pub mod rpc;
+pub mod transport;
 pub mod wire;
 
 pub use cost::{NetworkModel, TrafficStats};
+pub use reactor::{ReactorConfig, ServerStats, ServerStatsSnapshot, TcpServer};
 pub use resilience::{
     Admission, BreakerConfig, BreakerState, Clock, HealthSnapshot, HealthTracker, ManualClock,
     ProviderHealthView, ProviderOutcome, QuorumError, RetryPolicy, SystemClock,
@@ -32,4 +44,8 @@ pub use rpc::{
     Cluster, FailureMode, FailureSwitch, ProviderId, QuorumMode, QuorumOptions, RpcError, Service,
     ServiceFactory, SharedService,
 };
-pub use wire::{WireError, WireReader, WireWriter};
+pub use transport::{BlockingConn, TcpClient, TcpClientConfig, TransportError};
+pub use wire::{
+    crc32, encode_frame, Frame, FrameDecoder, FrameError, FrameKind, WireError, WireReader,
+    WireWriter, FRAME_MAGIC, FRAME_OVERHEAD, MAX_FRAME_BODY,
+};

@@ -1,0 +1,639 @@
+//! A hand-rolled, FFI-free, poll-style reactor serving framed RPC over
+//! real TCP sockets.
+//!
+//! The in-process fabric in [`crate::rpc`] scales to a handful of client
+//! threads; a provider that must fan in *thousands* of connections cannot
+//! afford a thread per connection. This module is the unlock: a small
+//! event-loop server in the `poll(2)` tradition, built entirely from safe
+//! `std` primitives (the workspace denies `unsafe_code`, which rules out
+//! `libc::poll`/`epoll` FFI — see DESIGN.md §11 for why that trade was
+//! made and what it costs):
+//!
+//! * every accepted [`TcpStream`] is set nonblocking and owned by one of
+//!   a few *reactor shard* threads;
+//! * a shard's event loop performs a **level-triggered readiness scan**:
+//!   each tick it attempts the pending I/O on every connection directly —
+//!   a nonblocking `read`/`write` that returns `WouldBlock` is exactly
+//!   the "not ready" answer `poll(2)` would have given, without the FFI;
+//! * when a tick makes no progress the shard parks on its completion
+//!   channel with an exponentially growing backoff (capped at
+//!   [`ReactorConfig::idle_backoff`]), so a hot server spins usefully and
+//!   an idle one sleeps;
+//! * decoded request frames are dispatched into one MPMC worker pool
+//!   (the same fan-in shape [`crate::rpc::Cluster`] uses in-process);
+//!   workers run the [`SharedService`] and push completions back to the
+//!   owning shard, which writes the response frame out — out of order,
+//!   multiplexed by token;
+//! * backpressure is per connection: a connection with too many requests
+//!   in service or too many un-flushed response bytes is not read from
+//!   until it drains, so one slow consumer cannot balloon server memory.
+
+use crate::wire::{encode_frame, FrameDecoder, FrameKind, MAX_FRAME_BODY};
+use crate::SharedService;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`TcpServer`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Reactor (event-loop) threads; connections are sharded across them
+    /// round-robin at accept time.
+    pub shards: usize,
+    /// Service worker threads draining the shared request queue.
+    /// `0` selects *inline mode*: no worker pool — each shard runs the
+    /// [`SharedService`] directly on its event-loop thread, saving two
+    /// thread handoffs per request. Lowest latency for cheap handlers;
+    /// a slow handler stalls every connection on its shard, so keep a
+    /// worker pool (the default) for blocking or long-running services.
+    pub workers: usize,
+    /// Largest accepted frame body (guards a corrupt length prefix).
+    pub max_frame_body: u32,
+    /// Requests a single connection may have in service before the
+    /// reactor stops reading from it.
+    pub max_inflight_per_conn: usize,
+    /// Un-flushed response bytes a connection may queue before the
+    /// reactor stops reading from it.
+    pub max_outbound_bytes: usize,
+    /// Capacity of the shared request queue; when full, shards pause
+    /// reading everywhere (global backpressure) instead of buffering.
+    pub job_queue: usize,
+    /// Longest an idle shard sleeps between readiness scans. Bounds the
+    /// added latency of the first request after an idle period.
+    pub idle_backoff: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ReactorConfig {
+            shards: cores.min(4),
+            workers: cores.min(4),
+            max_frame_body: MAX_FRAME_BODY,
+            max_inflight_per_conn: 256,
+            max_outbound_bytes: 8 << 20,
+            job_queue: 4096,
+            idle_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    open: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    protocol_errors: AtomicU64,
+    backpressure_pauses: AtomicU64,
+}
+
+/// Point-in-time counters of a [`TcpServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatsSnapshot {
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub open: u64,
+    /// Request frames decoded.
+    pub frames_in: u64,
+    /// Response frames queued for write.
+    pub frames_out: u64,
+    /// Connections closed for violating the frame protocol.
+    pub protocol_errors: u64,
+    /// Ticks on which at least one connection was read-paused for
+    /// backpressure.
+    pub backpressure_pauses: u64,
+}
+
+/// Shared, cheaply cloneable server counters.
+#[derive(Clone, Default)]
+pub struct ServerStats(Arc<StatsInner>);
+
+impl ServerStats {
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            accepted: self.0.accepted.load(Ordering::Relaxed),
+            open: self.0.open.load(Ordering::Relaxed),
+            frames_in: self.0.frames_in.load(Ordering::Relaxed),
+            frames_out: self.0.frames_out.load(Ordering::Relaxed),
+            protocol_errors: self.0.protocol_errors.load(Ordering::Relaxed),
+            backpressure_pauses: self.0.backpressure_pauses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One decoded request handed to the worker pool.
+struct Job {
+    conn: u64,
+    token: u64,
+    payload: Vec<u8>,
+    done: Sender<Completion>,
+}
+
+/// One finished response routed back to the owning shard.
+struct Completion {
+    conn: u64,
+    token: u64,
+    payload: Vec<u8>,
+}
+
+struct OutBuf {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: VecDeque<OutBuf>,
+    out_bytes: usize,
+    inflight: usize,
+    dead: bool,
+    /// Last read attempt yielded bytes. Hot connections are scanned
+    /// every tick; cold ones every [`COLD_SCAN_PERIOD`] ticks when the
+    /// shard is busy (see the readiness scan).
+    hot: bool,
+}
+
+/// Under load, a cold connection is read-polled every this many ticks.
+/// Bounds both the wasted-`EAGAIN` syscall rate on large fan-in and the
+/// extra latency a newly-chatty connection can see (a few busy ticks).
+const COLD_SCAN_PERIOD: u64 = 4;
+
+/// Below this many connections a shard always scans everything — the
+/// full scan is cheaper than the bookkeeping it would skip.
+const STAGGER_THRESHOLD: usize = 8;
+
+/// A shard that moved a frame within this window is "mid-burst": its
+/// idle sleeps stay capped at [`ACTIVE_SLEEP_CAP`] so a client turning
+/// a request around never waits behind an escalated timer.
+const ACTIVE_WINDOW: Duration = Duration::from_millis(5);
+
+/// Idle-sleep cap while mid-burst. Bounds the worst-case stall between
+/// a request landing in the kernel buffer and the shard reading it.
+const ACTIVE_SLEEP_CAP: Duration = Duration::from_micros(20);
+
+/// Up to this many connections the mid-burst cap is the tight
+/// [`ACTIVE_SLEEP_CAP`]: a readiness scan is cheap, so waking every
+/// 20us to catch the next request is nearly free. Beyond it each wake
+/// scans hundreds of sockets, so the cap relaxes to
+/// [`ACTIVE_SLEEP_CAP_WIDE`] — requests batch behind the longer sleep,
+/// which costs less than the extra `EAGAIN` churn, while still
+/// bounding the stall well under the full idle backoff.
+const ACTIVE_CAP_MAX_CONNS: usize = 64;
+
+/// Mid-burst idle-sleep cap for shards with a large fan-in.
+const ACTIVE_SLEEP_CAP_WIDE: Duration = Duration::from_micros(200);
+
+impl Conn {
+    fn new(stream: TcpStream, max_body: u32) -> Self {
+        Conn {
+            stream,
+            decoder: FrameDecoder::with_max_body(max_body),
+            out: VecDeque::new(),
+            out_bytes: 0,
+            inflight: 0,
+            dead: false,
+            hot: true,
+        }
+    }
+
+    /// Nonblocking write of queued response frames; true if bytes moved.
+    fn flush(&mut self) -> bool {
+        let mut progressed = false;
+        while let Some(front) = self.out.front_mut() {
+            match self.stream.write(&front.data[front.pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    front.pos += n;
+                    self.out_bytes = self.out_bytes.saturating_sub(n);
+                    if front.pos >= front.data.len() {
+                        self.out.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+}
+
+/// Everything one reactor shard thread needs.
+struct Shard {
+    accept_rx: Receiver<TcpStream>,
+    completion_tx: Sender<Completion>,
+    completion_rx: Receiver<Completion>,
+    jobs_tx: Sender<Job>,
+    /// `Some` in inline mode (`workers == 0`): requests run right here
+    /// on the shard thread instead of crossing to the worker pool.
+    inline: Option<Arc<dyn SharedService>>,
+    shutdown: Arc<AtomicBool>,
+    cfg: ReactorConfig,
+    stats: ServerStats,
+}
+
+impl Shard {
+    fn run(self) {
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_conn: u64 = 0;
+        let mut stalled: VecDeque<Job> = VecDeque::new();
+        let mut dead: Vec<u64> = Vec::new();
+        let min_backoff = Duration::from_micros(10);
+        let mut backoff = min_backoff;
+        let mut idle_streak = 0u32;
+        let mut tick = 0u64;
+        let mut last_progress = Instant::now();
+        let mut buf = vec![0u8; 64 * 1024];
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let mut progressed = false;
+
+            // Adopt connections the acceptor assigned to this shard.
+            while let Ok(stream) = self.accept_rx.try_recv() {
+                progressed = true;
+                let ok = stream.set_nonblocking(true).is_ok() && stream.set_nodelay(true).is_ok();
+                if ok {
+                    conns.insert(next_conn, Conn::new(stream, self.cfg.max_frame_body));
+                    next_conn += 1;
+                } else {
+                    self.stats.0.open.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+
+            // Re-offer jobs that found the worker queue full.
+            while let Some(job) = stalled.pop_front() {
+                match self.jobs_tx.try_send(job) {
+                    Ok(()) => progressed = true,
+                    Err(TrySendError::Full(job)) => {
+                        stalled.push_front(job);
+                        break;
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+
+            // Queue finished responses onto their connections.
+            while let Ok(c) = self.completion_rx.try_recv() {
+                progressed = true;
+                Self::deliver(&mut conns, c, &self.stats);
+            }
+
+            // The readiness scan: attempt the pending I/O everywhere.
+            // On large fan-in a busy shard staggers the cold
+            // connections — most `read` attempts on them would burn a
+            // syscall just to hear `EAGAIN`. Any idle tick (or a small
+            // connection count) reverts to scanning everything, so a
+            // request arriving after a quiet spell is never stalled by
+            // the stagger.
+            tick = tick.wrapping_add(1);
+            let stagger = conns.len() > STAGGER_THRESHOLD && idle_streak == 0;
+            let mut paused = false;
+            for (&id, conn) in conns.iter_mut() {
+                if conn.flush() {
+                    progressed = true;
+                }
+                if !conn.dead {
+                    let readable = stalled.is_empty()
+                        && conn.inflight < self.cfg.max_inflight_per_conn
+                        && conn.out_bytes < self.cfg.max_outbound_bytes;
+                    let due =
+                        !stagger || conn.hot || id % COLD_SCAN_PERIOD == tick % COLD_SCAN_PERIOD;
+                    if readable && due {
+                        let got = self.read_and_dispatch(id, conn, &mut buf, &mut stalled);
+                        conn.hot = got;
+                        if got {
+                            progressed = true;
+                        }
+                    } else if !readable {
+                        paused = true;
+                    }
+                }
+                if conn.dead {
+                    dead.push(id);
+                }
+            }
+            if paused {
+                self.stats
+                    .0
+                    .backpressure_pauses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            for id in dead.drain(..) {
+                if conns.remove(&id).is_some() {
+                    self.stats.0.open.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+
+            if progressed {
+                backoff = min_backoff;
+                idle_streak = 0;
+                last_progress = Instant::now();
+                continue;
+            }
+            idle_streak += 1;
+            // Mid-burst, a brief lull just means clients are turning
+            // requests around; an escalated sleep here would stall the
+            // next request behind a timer (`sched_yield` alone is not
+            // reliable — CFS may keep running this thread). Keep sleeps
+            // short while frames flowed recently; only a genuinely
+            // quiet shard escalates to the full idle backoff.
+            let cap = if last_progress.elapsed() < ACTIVE_WINDOW {
+                let active_cap = if conns.len() <= ACTIVE_CAP_MAX_CONNS {
+                    ACTIVE_SLEEP_CAP
+                } else {
+                    ACTIVE_SLEEP_CAP_WIDE
+                };
+                active_cap.min(self.cfg.idle_backoff)
+            } else {
+                self.cfg.idle_backoff
+            };
+            if self.inline.is_some() {
+                // Inline mode has no completions to park on. A fresh
+                // idle tick usually means clients are turning requests
+                // around right now — yield them the core (nearly free
+                // on a loaded box) before falling back to timer sleeps.
+                if idle_streak <= 8 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(backoff.min(cap));
+                    backoff = (backoff * 2).min(self.cfg.idle_backoff);
+                }
+                continue;
+            }
+            // Idle: park on the completion channel so a finishing worker
+            // wakes the shard immediately; otherwise retry after backoff.
+            match self.completion_rx.recv_timeout(backoff.min(cap)) {
+                Ok(c) => {
+                    Self::deliver(&mut conns, c, &self.stats);
+                    backoff = min_backoff;
+                }
+                Err(_) => backoff = (backoff * 2).min(self.cfg.idle_backoff),
+            }
+        }
+    }
+
+    fn deliver(conns: &mut HashMap<u64, Conn>, c: Completion, stats: &ServerStats) {
+        let Some(conn) = conns.get_mut(&c.conn) else {
+            return; // connection closed while the request was in service
+        };
+        conn.inflight = conn.inflight.saturating_sub(1);
+        if conn.dead {
+            return;
+        }
+        let data = encode_frame(c.token, FrameKind::Response, &c.payload);
+        conn.out_bytes += data.len();
+        conn.out.push_back(OutBuf { data, pos: 0 });
+        stats.0.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drain the socket's readable bytes (bounded per tick for fairness),
+    /// decode frames, dispatch them to the worker pool.
+    fn read_and_dispatch(
+        &self,
+        id: u64,
+        conn: &mut Conn,
+        buf: &mut [u8],
+        stalled: &mut VecDeque<Job>,
+    ) -> bool {
+        let mut progressed = false;
+        for _ in 0..4 {
+            match conn.stream.read(buf) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    conn.decoder.extend(&buf[..n]);
+                    loop {
+                        match conn.decoder.next_frame() {
+                            Ok(Some(frame)) => {
+                                if frame.kind != FrameKind::Request {
+                                    self.stats.0.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                    conn.dead = true;
+                                    break;
+                                }
+                                self.stats.0.frames_in.fetch_add(1, Ordering::Relaxed);
+                                if let Some(service) = &self.inline {
+                                    // Inline mode: run the handler here and
+                                    // queue the response without touching
+                                    // the worker pool or its channels.
+                                    let payload = service.handle(&frame.payload);
+                                    let data =
+                                        encode_frame(frame.token, FrameKind::Response, &payload);
+                                    conn.out_bytes += data.len();
+                                    conn.out.push_back(OutBuf { data, pos: 0 });
+                                    self.stats.0.frames_out.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                conn.inflight += 1;
+                                let job = Job {
+                                    conn: id,
+                                    token: frame.token,
+                                    payload: frame.payload,
+                                    done: self.completion_tx.clone(),
+                                };
+                                match self.jobs_tx.try_send(job) {
+                                    Ok(()) => {}
+                                    Err(TrySendError::Full(job)) => stalled.push_back(job),
+                                    Err(TrySendError::Disconnected(_)) => {
+                                        conn.dead = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Corrupt stream: close. A typed error, a
+                                // clean close — never a panic or over-read.
+                                self.stats.0.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                conn.dead = true;
+                                break;
+                            }
+                        }
+                    }
+                    if conn.dead || n < buf.len() || conn.inflight >= self.cfg.max_inflight_per_conn
+                    {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        // Inline responses are ready now — push them onto the wire
+        // without waiting for the next scan tick.
+        if self.inline.is_some() && !conn.dead && !conn.out.is_empty() {
+            conn.flush();
+        }
+        progressed
+    }
+}
+
+/// A running TCP RPC server: acceptor + reactor shards + worker pool,
+/// serving one [`SharedService`]. Shuts down (and joins every thread) on
+/// drop.
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    stats: ServerStats,
+}
+
+impl TcpServer {
+    /// Bind `addr` (use port 0 to pick a free port) and serve `service`.
+    pub fn serve<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<dyn SharedService>,
+        cfg: ReactorConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shards = cfg.shards.max(1);
+        let workers = cfg.workers; // 0 = inline mode, no pool
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = ServerStats::default();
+        let mut threads = Vec::new();
+
+        let (jobs_tx, jobs_rx) = bounded::<Job>(cfg.job_queue.max(1));
+        for w in 0..workers {
+            let jobs_rx = jobs_rx.clone();
+            let service = Arc::clone(&service);
+            let spawned = std::thread::Builder::new()
+                .name(format!("dasp-tcp-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(job) = jobs_rx.recv() {
+                        let payload = service.handle(&job.payload);
+                        let _ = job.done.send(Completion {
+                            conn: job.conn,
+                            token: job.token,
+                            payload,
+                        });
+                    }
+                });
+            if let Ok(handle) = spawned {
+                threads.push(handle);
+            }
+        }
+        drop(jobs_rx);
+        if workers > 0 && threads.is_empty() {
+            shutdown.store(true, Ordering::Relaxed);
+            return Err(std::io::Error::other("could not spawn any worker thread"));
+        }
+
+        let mut accept_txs = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (accept_tx, accept_rx) = unbounded::<TcpStream>();
+            let (completion_tx, completion_rx) = unbounded::<Completion>();
+            let shard = Shard {
+                accept_rx,
+                completion_tx,
+                completion_rx,
+                jobs_tx: jobs_tx.clone(),
+                inline: (workers == 0).then(|| Arc::clone(&service)),
+                shutdown: Arc::clone(&shutdown),
+                cfg: cfg.clone(),
+                stats: stats.clone(),
+            };
+            let spawned = std::thread::Builder::new()
+                .name(format!("dasp-reactor-{s}"))
+                .spawn(move || shard.run());
+            if let Ok(handle) = spawned {
+                threads.push(handle);
+                accept_txs.push(accept_tx);
+            }
+        }
+        drop(jobs_tx);
+        if accept_txs.is_empty() {
+            shutdown.store(true, Ordering::Relaxed);
+            for t in threads {
+                let _ = t.join();
+            }
+            return Err(std::io::Error::other("could not spawn any reactor shard"));
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = stats.clone();
+            std::thread::Builder::new()
+                .name("dasp-acceptor".to_string())
+                .spawn(move || {
+                    let mut next = 0usize;
+                    while !shutdown.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                stats.0.accepted.fetch_add(1, Ordering::Relaxed);
+                                stats.0.open.fetch_add(1, Ordering::Relaxed);
+                                let tx = &accept_txs[next % accept_txs.len()];
+                                next = next.wrapping_add(1);
+                                if tx.send(stream).is_err() {
+                                    stats.0.open.fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                        }
+                    }
+                })
+        };
+        if let Ok(handle) = acceptor {
+            threads.push(handle);
+        }
+
+        Ok(TcpServer {
+            local_addr,
+            shutdown,
+            threads,
+            stats,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the chosen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live server counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stop accepting, drop every connection, join every thread.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

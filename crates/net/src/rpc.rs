@@ -26,6 +26,7 @@ use crate::cost::TrafficStats;
 use crate::resilience::{
     Admission, BreakerConfig, HealthTracker, ProviderOutcome, QuorumError, RetryPolicy, SystemClock,
 };
+use crate::transport::{TcpClient, TcpClientConfig};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -359,6 +360,35 @@ impl Cluster {
             timeout,
             health: HealthTracker::new(n, breaker, Arc::new(SystemClock::new())),
         }
+    }
+
+    /// Connect a cluster to remote TCP providers (one [`TcpClient`] per
+    /// address) instead of spawning in-process services. Everything
+    /// above the transport — worker pools, first-k-wins quorum, hedged
+    /// reads, retries, circuit breakers, failure injection — runs
+    /// unchanged; the only difference is that `handle` crosses a socket.
+    ///
+    /// The client's `error_hold` is derived from the cluster timeout so
+    /// a dead provider process surfaces as [`RpcError::Timeout`], the
+    /// same observable failure as an in-process crashed provider.
+    pub fn connect_tcp(
+        addrs: &[std::net::SocketAddr],
+        timeout: Duration,
+        workers: usize,
+    ) -> std::io::Result<Self> {
+        let cfg = TcpClientConfig {
+            // Strictly above the cluster per-attempt timeout: the
+            // cluster's deadline always fires before the transport
+            // gives up, preserving crash/timeout equivalence.
+            error_hold: timeout.saturating_mul(2),
+            call_timeout: timeout.saturating_mul(2),
+            ..TcpClientConfig::default()
+        };
+        let mut services: Vec<Arc<dyn SharedService>> = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            services.push(Arc::new(TcpClient::connect(*addr, cfg.clone())?));
+        }
+        Ok(Self::spawn_concurrent(services, timeout, workers))
     }
 
     /// Spawn a worker-pool cluster from per-provider service factories,

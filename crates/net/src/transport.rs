@@ -1,0 +1,406 @@
+//! Socket-backed client transport: a multiplexing [`TcpClient`] that
+//! plugs into [`crate::rpc::Cluster`] as a [`SharedService`], plus a
+//! simple blocking per-connection handle for load generators.
+//!
+//! The design goal is *transport independence*: `Cluster`, the quorum
+//! engine, hedged reads, retries and circuit breakers were written
+//! against in-process services and must run unchanged over sockets. A
+//! [`TcpClient`] is exactly an in-process service whose `handle` happens
+//! to cross a wire: many cluster worker threads call it concurrently,
+//! requests are written framed-and-tokened onto one shared connection,
+//! and a dedicated reader thread routes response frames back to callers
+//! by token — the same out-of-order multiplexing the worker pools use.
+//!
+//! Failure mapping keeps the cluster's semantics: a dead or unreachable
+//! provider process behaves like a crashed in-process provider. On
+//! transport failure, [`TcpClient::handle`] quietly retries (the
+//! connection may heal) until [`TcpClientConfig::error_hold`] elapses;
+//! the cluster's per-attempt timeout fires first, so callers observe
+//! [`crate::RpcError::Timeout`] — precisely what a crashed provider
+//! produces. Only after the hold expires does `handle` give up and
+//! return an empty payload (providers never produce empty responses, so
+//! downstream share-consistency checks treat it like a corrupt
+//! Byzantine response).
+
+use crate::wire::{encode_frame, FrameDecoder, FrameError, FrameKind, MAX_FRAME_BODY};
+use crate::SharedService;
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client-side transport failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// Could not connect (or reconnect) to the provider.
+    Unreachable(String),
+    /// The connection failed mid-call.
+    Io(String),
+    /// The peer sent bytes that do not frame-decode; connection closed.
+    Frame(FrameError),
+    /// No response within [`TcpClientConfig::call_timeout`].
+    TimedOut,
+    /// The client was closed.
+    Closed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Unreachable(e) => write!(f, "provider unreachable: {e}"),
+            TransportError::Io(e) => write!(f, "connection failed: {e}"),
+            TransportError::Frame(e) => write!(f, "frame error: {e}"),
+            TransportError::TimedOut => write!(f, "call timed out"),
+            TransportError::Closed => write!(f, "client closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Tuning for a [`TcpClient`].
+#[derive(Debug, Clone)]
+pub struct TcpClientConfig {
+    /// Dial timeout per connection attempt.
+    pub connect_timeout: Duration,
+    /// How long one [`TcpClient::call`] waits for its response.
+    pub call_timeout: Duration,
+    /// Minimum spacing between reconnection attempts.
+    pub reconnect_backoff: Duration,
+    /// How long [`SharedService::handle`] keeps retrying a failing
+    /// transport before giving up. Set above the cluster's per-attempt
+    /// timeout so a dead provider surfaces as a timeout (crash
+    /// equivalence), yet small enough that shutdown does not hang.
+    pub error_hold: Duration,
+    /// Largest accepted response frame body.
+    pub max_frame_body: u32,
+}
+
+impl Default for TcpClientConfig {
+    fn default() -> Self {
+        TcpClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            call_timeout: Duration::from_secs(30),
+            reconnect_backoff: Duration::from_millis(50),
+            error_hold: Duration::from_secs(2),
+            max_frame_body: MAX_FRAME_BODY,
+        }
+    }
+}
+
+type PendingMap = HashMap<u64, Sender<Result<Vec<u8>, TransportError>>>;
+
+struct ConnState {
+    /// The live connection's write half; `None` while disconnected.
+    stream: Option<TcpStream>,
+    /// Finished (or running) reader threads, joined opportunistically.
+    readers: Vec<std::thread::JoinHandle<()>>,
+    last_dial: Option<Instant>,
+}
+
+struct Inner {
+    addr: SocketAddr,
+    cfg: TcpClientConfig,
+    /// Lock order: `state` before `pending` (the reader's teardown and
+    /// the writer's registration both follow it).
+    state: Mutex<ConnState>,
+    pending: Mutex<PendingMap>,
+    next_token: AtomicU64,
+    epoch: AtomicU64,
+    closed: AtomicBool,
+}
+
+/// A multiplexing RPC client over one TCP connection (reconnecting on
+/// failure). Safe to call from many threads at once; implements
+/// [`SharedService`] so a [`crate::Cluster`] can treat a remote provider
+/// exactly like an in-process one.
+pub struct TcpClient {
+    inner: Arc<Inner>,
+}
+
+impl TcpClient {
+    /// Resolve `addr` and connect. Fails fast if the provider is down;
+    /// later disconnections reconnect transparently.
+    pub fn connect<A: ToSocketAddrs>(addr: A, cfg: TcpClientConfig) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no address resolved"))?;
+        let client = TcpClient {
+            inner: Arc::new(Inner {
+                addr,
+                cfg,
+                state: Mutex::new(ConnState {
+                    stream: None,
+                    readers: Vec::new(),
+                    last_dial: None,
+                }),
+                pending: Mutex::new(HashMap::new()),
+                next_token: AtomicU64::new(0),
+                epoch: AtomicU64::new(0),
+                closed: AtomicBool::new(false),
+            }),
+        };
+        {
+            let mut st = client.inner.state.lock();
+            // dasp::allow(L1): `dial` spawns `reader_loop` on a fresh thread —
+            // the analyzer's call chain into it does not run under this guard.
+            Self::dial(&client.inner, &mut st)
+                .map_err(|e| std::io::Error::new(ErrorKind::ConnectionRefused, e.to_string()))?;
+        }
+        Ok(client)
+    }
+
+    /// The provider address this client dials.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// True while a connection is established.
+    pub fn is_connected(&self) -> bool {
+        self.inner.state.lock().stream.is_some()
+    }
+
+    /// One request/response exchange with a typed error. Concurrent
+    /// callers share the connection; responses are matched by token.
+    pub fn call(&self, payload: &[u8]) -> Result<Vec<u8>, TransportError> {
+        if self.inner.closed.load(Ordering::Relaxed) {
+            return Err(TransportError::Closed);
+        }
+        let token = self.inner.next_token.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        {
+            let mut st = self.inner.state.lock();
+            if st.stream.is_none() {
+                // dasp::allow(L1): `dial` spawns `reader_loop` on a fresh
+                // thread — that chain does not run under this guard.
+                Self::dial(&self.inner, &mut st)?;
+            }
+            // dasp::allow(L1): lock order is `state` -> `pending` everywhere
+            // (here and in `reader_loop`'s teardown); never the reverse.
+            self.inner.pending.lock().insert(token, tx);
+            let frame = encode_frame(token, FrameKind::Request, payload);
+            let Some(stream) = st.stream.as_mut() else {
+                // dasp::allow(L1): same `state` -> `pending` order as above.
+                self.inner.pending.lock().remove(&token);
+                return Err(TransportError::Closed);
+            };
+            if let Err(e) = stream.write_all(&frame) {
+                let _ = stream.shutdown(Shutdown::Both);
+                st.stream = None;
+                // dasp::allow(L1): same `state` -> `pending` order as above.
+                self.inner.pending.lock().remove(&token);
+                return Err(TransportError::Io(e.to_string()));
+            }
+        }
+        match rx.recv_timeout(self.inner.cfg.call_timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                self.inner.pending.lock().remove(&token);
+                Err(TransportError::TimedOut)
+            }
+        }
+    }
+
+    /// Dial a fresh connection and spawn its reader. Caller holds `state`.
+    fn dial(inner: &Arc<Inner>, st: &mut ConnState) -> Result<(), TransportError> {
+        if inner.closed.load(Ordering::Relaxed) {
+            return Err(TransportError::Closed);
+        }
+        if let Some(last) = st.last_dial {
+            if last.elapsed() < inner.cfg.reconnect_backoff {
+                return Err(TransportError::Unreachable("reconnect backoff".to_string()));
+            }
+        }
+        st.last_dial = Some(Instant::now());
+        let stream = TcpStream::connect_timeout(&inner.addr, inner.cfg.connect_timeout)
+            .map_err(|e| TransportError::Unreachable(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let my_epoch = inner.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let reader_inner = Arc::clone(inner);
+        let spawned = std::thread::Builder::new()
+            .name("dasp-tcp-reader".to_string())
+            .spawn(move || reader_loop(reader_inner, read_half, my_epoch));
+        match spawned {
+            Ok(handle) => {
+                // Reap earlier readers (they have all exited: their
+                // sockets are shut down before a new dial happens).
+                for h in st.readers.drain(..) {
+                    let _ = h.join();
+                }
+                st.readers.push(handle);
+                st.stream = Some(stream);
+                Ok(())
+            }
+            Err(e) => Err(TransportError::Io(format!("spawn reader: {e}"))),
+        }
+    }
+
+    /// Close the connection and wake every pending caller.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Relaxed);
+        let readers: Vec<_> = {
+            let mut st = self.inner.state.lock();
+            if let Some(stream) = st.stream.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            st.readers.drain(..).collect()
+        };
+        for h in readers {
+            let _ = h.join();
+        }
+        let mut pending = self.inner.pending.lock();
+        for (_t, tx) in pending.drain() {
+            // dasp::allow(L1): each `tx` is a capacity-1 channel that sees at
+            // most one send ever — this send can never block.
+            let _ = tx.send(Err(TransportError::Closed));
+        }
+    }
+}
+
+impl Drop for TcpClient {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn reader_loop(inner: Arc<Inner>, mut stream: TcpStream, my_epoch: u64) {
+    let mut decoder = FrameDecoder::with_max_body(inner.cfg.max_frame_body);
+    let mut buf = vec![0u8; 64 * 1024];
+    let error = loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break TransportError::Closed,
+            Ok(n) => {
+                // dasp::allow(P3): `read` returns `n <= buf.len()`.
+                decoder.extend(&buf[..n]);
+                let mut failed = None;
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            if frame.kind != FrameKind::Response {
+                                failed = Some(TransportError::Frame(FrameError::BadKind(0)));
+                                break;
+                            }
+                            if let Some(tx) = inner.pending.lock().remove(&frame.token) {
+                                let _ = tx.send(Ok(frame.payload));
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            failed = Some(TransportError::Frame(e));
+                            break;
+                        }
+                    }
+                }
+                if let Some(e) = failed {
+                    break e;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => break TransportError::Io(e.to_string()),
+        }
+    };
+    let _ = stream.shutdown(Shutdown::Both);
+    // Tear down only if this connection is still the current one; a
+    // newer epoch means a reconnect already superseded us and the
+    // pending map belongs to the new connection.
+    let mut st = inner.state.lock();
+    if inner.epoch.load(Ordering::SeqCst) == my_epoch {
+        if let Some(s) = st.stream.take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        // dasp::allow(L1): `state` -> `pending` is the crate-wide lock order,
+        // and each `tx` is a capacity-1, single-send channel — never blocks.
+        let mut pending = inner.pending.lock();
+        for (_t, tx) in pending.drain() {
+            // dasp::allow(L1): capacity-1, single-send channel — never blocks.
+            let _ = tx.send(Err(error.clone()));
+        }
+    }
+}
+
+impl SharedService for TcpClient {
+    /// Cluster-facing entry point. Retries transport failures within
+    /// [`TcpClientConfig::error_hold`] so transient disconnects heal
+    /// invisibly and hard-dead providers surface as cluster timeouts —
+    /// identical to an in-process crashed provider.
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        let start = Instant::now();
+        loop {
+            match self.call(request) {
+                Ok(response) => return response,
+                Err(TransportError::Closed) => return Vec::new(),
+                Err(_) if start.elapsed() < self.inner.cfg.error_hold => {
+                    std::thread::sleep(
+                        self.inner
+                            .cfg
+                            .reconnect_backoff
+                            .min(Duration::from_millis(20)),
+                    );
+                }
+                Err(_) => return Vec::new(),
+            }
+        }
+    }
+}
+
+/// A blocking, non-multiplexed connection: one request in flight at a
+/// time, synchronous send/receive. The shape a thin client or a load
+/// generator wants (E20 drives thousands of these concurrently).
+pub struct BlockingConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_token: u64,
+    buf: Vec<u8>,
+}
+
+impl BlockingConn {
+    /// Connect with `timeout` applied to the dial and each read.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(BlockingConn {
+            stream,
+            decoder: FrameDecoder::new(),
+            next_token: 0,
+            buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// One synchronous request/response exchange.
+    pub fn call(&mut self, payload: &[u8]) -> Result<Vec<u8>, TransportError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        let frame = encode_frame(token, FrameKind::Request, payload);
+        self.stream
+            .write_all(&frame)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(f)) if f.token == token && f.kind == FrameKind::Response => {
+                    return Ok(f.payload)
+                }
+                Ok(Some(_)) => continue, // stale response from a past call
+                Ok(None) => {}
+                Err(e) => return Err(TransportError::Frame(e)),
+            }
+            match self.stream.read(&mut self.buf) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => self.decoder.extend(&self.buf[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(TransportError::TimedOut)
+                }
+                Err(e) => return Err(TransportError::Io(e.to_string())),
+            }
+        }
+    }
+}

@@ -24,5 +24,6 @@ pub mod service;
 pub use engine::{DurableConfig, ProviderEngine, RecoveryReport};
 pub use proto::{AggOp, PredAtom, Request, Response, Row};
 pub use service::{
-    durable_provider_factories, provider_fleet, shared_provider_fleet, ProviderService,
+    durable_provider_factories, provider_fleet, serve_provider_tcp, shared_provider_fleet,
+    tcp_provider_fleet, ProviderService,
 };

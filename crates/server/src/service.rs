@@ -91,6 +91,35 @@ pub fn shared_provider_fleet(n: usize) -> Vec<Arc<dyn SharedService>> {
         .collect()
 }
 
+/// Serve one fresh provider over real TCP on `addr` (use port 0 for an
+/// ephemeral port; read it back via [`dasp_net::TcpServer::local_addr`]).
+/// The reactor fans every connection into the engine through the shared
+/// read lock, so thousands of client sockets share one provider.
+pub fn serve_provider_tcp(
+    addr: &str,
+    cfg: dasp_net::ReactorConfig,
+) -> std::io::Result<dasp_net::TcpServer> {
+    dasp_net::TcpServer::serve(addr, Arc::new(ProviderService::new()), cfg)
+}
+
+/// Spin up `n` independent TCP providers on ephemeral loopback ports —
+/// the socket-transport analogue of [`shared_provider_fleet`]. Returns
+/// the servers (keep them alive: dropping a server shuts it down) and
+/// the addresses to hand to [`dasp_net::Cluster::connect_tcp`].
+pub fn tcp_provider_fleet(
+    n: usize,
+    cfg: dasp_net::ReactorConfig,
+) -> std::io::Result<(Vec<dasp_net::TcpServer>, Vec<std::net::SocketAddr>)> {
+    let mut servers = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let server = serve_provider_tcp("127.0.0.1:0", cfg.clone())?;
+        addrs.push(server.local_addr());
+        servers.push(server);
+    }
+    Ok((servers, addrs))
+}
+
 /// Recovery-aware factories for
 /// [`dasp_net::Cluster::spawn_concurrent_recovering`]: one durable
 /// provider per directory, each recovered (checkpoint image + WAL

@@ -1,19 +1,49 @@
 //! Failure-model integration tests (paper conclusion, challenge (b)):
 //! crash, omission and Byzantine providers against the full stack.
+//!
+//! Transport-parameterized: `DASP_TRANSPORT=tcp` runs every scenario
+//! over real sockets (reactor servers + multiplexing TCP clients)
+//! instead of in-process channels. Failure injection lives in the
+//! cluster layer *above* the transport, so crash/omission/Byzantine
+//! semantics — and these assertions — must hold identically on both.
 
 use dasp_client::{ColumnSpec, DataSource, Predicate, QueryOptions, TableSchema, Value};
 use dasp_core::client::ClientKeys;
-use dasp_net::{Cluster, FailureMode, RetryPolicy};
-use dasp_server::service::provider_fleet;
+use dasp_net::{Cluster, FailureMode, ReactorConfig, RetryPolicy, TcpServer};
+use dasp_server::service::{provider_fleet, tcp_provider_fleet};
 use dasp_sss::ShareMode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
+/// TCP servers must outlive their clusters (dropping one closes its
+/// sockets), so tcp-mode deployments park them here for the whole
+/// test process.
+static TCP_SERVERS: std::sync::Mutex<Vec<TcpServer>> = std::sync::Mutex::new(Vec::new());
+
+/// Build a k-of-n cluster on the transport selected by `DASP_TRANSPORT`
+/// (`channel` default, `tcp` for real sockets).
+fn spawn_cluster(n: usize, timeout: Duration) -> Cluster {
+    match std::env::var("DASP_TRANSPORT").as_deref() {
+        Ok("tcp") => {
+            let (servers, addrs) =
+                tcp_provider_fleet(n, ReactorConfig::default()).expect("bind tcp provider fleet");
+            TCP_SERVERS
+                .lock()
+                .expect("server holder poisoned")
+                .extend(servers);
+            // workers = 1 matches Cluster::spawn's per-provider worker
+            // count, keeping fault-injection RNG streams identical.
+            Cluster::connect_tcp(&addrs, timeout, 1).expect("connect tcp fleet")
+        }
+        _ => Cluster::spawn(provider_fleet(n), timeout),
+    }
+}
+
 fn deploy(k: usize, n: usize) -> DataSource {
     let mut rng = StdRng::seed_from_u64(9000 + n as u64);
     let keys = ClientKeys::generate(k, n, &mut rng).unwrap();
-    let cluster = Cluster::spawn(provider_fleet(n), Duration::from_millis(300));
+    let cluster = spawn_cluster(n, Duration::from_millis(300));
     let mut ds = DataSource::with_seed(keys, cluster, 17).unwrap();
     ds.create_table(
         TableSchema::new(

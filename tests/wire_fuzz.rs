@@ -1,0 +1,170 @@
+//! Frame-decode fuzz: the wire decoder must survive arbitrary damage.
+//!
+//! Mirrors the PR 6 WAL torn-tail fuzz at the network layer. A provider
+//! reads frames straight off untrusted sockets, so for a valid frame:
+//!
+//! * every truncation offset must yield "need more bytes" — never a
+//!   panic, never a fabricated frame;
+//! * every single-bit flip must yield either a typed [`FrameError`]
+//!   (magic/length/CRC/kind) or a *different-but-valid* decode only when
+//!   the flip landed in the token/payload AND the CRC still matched —
+//!   which CRC-32 makes impossible for single-bit damage;
+//! * the decoder must never read past the bytes it was given (enforced
+//!   structurally: it only sees what `extend` passed in).
+
+use dasp_net::{encode_frame, Frame, FrameDecoder, FrameError, FrameKind};
+
+fn sample_frames() -> Vec<(u64, FrameKind, Vec<u8>)> {
+    vec![
+        (0, FrameKind::Request, Vec::new()),
+        (1, FrameKind::Response, vec![0x42]),
+        (u64::MAX, FrameKind::Request, vec![0u8; 9]),
+        (
+            0xDEAD_BEEF,
+            FrameKind::Response,
+            (0..255u8).collect::<Vec<u8>>(),
+        ),
+        (7, FrameKind::Request, vec![0xFF; 1024]),
+    ]
+}
+
+fn decode_all(bytes: &[u8]) -> Result<Vec<Frame>, FrameError> {
+    let mut dec = FrameDecoder::new();
+    dec.extend(bytes);
+    let mut out = Vec::new();
+    loop {
+        match dec.next_frame()? {
+            Some(f) => out.push(f),
+            None => return Ok(out),
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_incomplete_not_panic() {
+    for (token, kind, payload) in sample_frames() {
+        let wire = encode_frame(token, kind, &payload);
+        for cut in 0..wire.len() {
+            let result = decode_all(&wire[..cut]);
+            match result {
+                Ok(frames) => assert!(
+                    frames.is_empty(),
+                    "truncation at {cut}/{} fabricated a frame",
+                    wire.len()
+                ),
+                Err(e) => panic!("truncation at {cut}/{} errored: {e}", wire.len()),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    for (token, kind, payload) in sample_frames() {
+        let wire = encode_frame(token, kind, &payload);
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut damaged = wire.clone();
+                damaged[byte] ^= 1u8 << bit;
+                match decode_all(&damaged) {
+                    // A flip in the length field can make the frame
+                    // "incomplete" (larger length) — acceptable: the
+                    // decoder waits for bytes that never come, a clean
+                    // stall, not a bad decode. Anything that *does*
+                    // decode must not silently differ from the original.
+                    Ok(frames) => {
+                        for f in &frames {
+                            assert!(
+                                f.token == token && f.kind == kind && f.payload == payload,
+                                "bit flip at byte {byte} bit {bit} produced a DIFFERENT \
+                                 valid frame (CRC collision?)"
+                            );
+                        }
+                        assert!(
+                            frames.len() <= 1,
+                            "bit flip at byte {byte} bit {bit} produced {} frames",
+                            frames.len()
+                        );
+                    }
+                    Err(
+                        FrameError::BadMagic(_)
+                        | FrameError::BadLength { .. }
+                        | FrameError::BadCrc { .. }
+                        | FrameError::BadKind(_),
+                    ) => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn flips_inside_body_always_caught_by_crc() {
+    // Flips strictly inside the CRC-protected body (token/kind/payload)
+    // can never decode: CRC-32 detects all single-bit errors.
+    let wire = encode_frame(99, FrameKind::Request, b"crc-protected-body");
+    for byte in 12..wire.len() {
+        for bit in 0..8 {
+            let mut damaged = wire.clone();
+            damaged[byte] ^= 1u8 << bit;
+            match decode_all(&damaged) {
+                Err(FrameError::BadCrc { .. }) => {}
+                // The kind byte is checked after CRC fails first here.
+                other => panic!("body flip at byte {byte} bit {bit}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn damage_between_frames_poisons_the_stream_once() {
+    // Two valid frames with a corrupt one in the middle: the decoder
+    // yields the first frame, then a typed error — and after an error
+    // the stream is dead (callers close the connection), so the third
+    // frame is never decoded from a corrupt stream.
+    let a = encode_frame(1, FrameKind::Request, b"first");
+    let mut b = encode_frame(2, FrameKind::Request, b"second");
+    let c = encode_frame(3, FrameKind::Request, b"third");
+    b[14] ^= 0x10; // body damage → CRC mismatch
+    let mut stream = Vec::new();
+    stream.extend_from_slice(&a);
+    stream.extend_from_slice(&b);
+    stream.extend_from_slice(&c);
+
+    let mut dec = FrameDecoder::new();
+    dec.extend(&stream);
+    let first = dec.next_frame().expect("first frame ok").expect("present");
+    assert_eq!(first.token, 1);
+    assert!(dec.next_frame().is_err(), "damage must surface as an error");
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    // Deterministic pseudo-random garbage (xorshift), sliced at varying
+    // chunk boundaries: the decoder errors or stays incomplete, never
+    // panics or loops forever.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut garbage = vec![0u8; 8192];
+    for b in garbage.iter_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *b = state as u8;
+    }
+    for chunk in [1usize, 3, 7, 64, 8192] {
+        let mut dec = FrameDecoder::new();
+        let mut dead = false;
+        for piece in garbage.chunks(chunk) {
+            if dead {
+                break;
+            }
+            dec.extend(piece);
+            match dec.next_frame() {
+                Ok(Some(_)) => panic!("garbage decoded as a frame"),
+                Ok(None) => {}
+                Err(_) => dead = true,
+            }
+        }
+        assert!(dead, "8 KiB of garbage never produced a typed error");
+    }
+}

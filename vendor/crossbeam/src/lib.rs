@@ -239,6 +239,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Outcome of a `try_send` that did not enqueue; carries the message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded buffer at capacity.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
     /// Channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let chan = Chan::new(None);
@@ -273,6 +282,25 @@ pub mod channel {
             }
             if st.receivers == 0 {
                 return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: fails with `Full` instead of waiting on a
+        /// bounded buffer at capacity (the reactor's dispatch path must
+        /// never block its event loop on a slow worker pool).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.lock();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.0.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
             }
             st.queue.push_back(value);
             drop(st);
@@ -384,6 +412,17 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Ok(3));
             drop(tx);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn try_send_full_and_disconnected() {
+            let (tx, rx) = bounded::<u8>(1);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]
