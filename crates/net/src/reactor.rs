@@ -600,8 +600,17 @@ impl TcpServer {
                     }
                 })
         };
-        if let Ok(handle) = acceptor {
-            threads.push(handle);
+        match acceptor {
+            Ok(handle) => threads.push(handle),
+            Err(e) => {
+                // Without an acceptor the server would look alive
+                // (`local_addr` works) yet never serve a connection.
+                shutdown.store(true, Ordering::Relaxed);
+                for t in threads {
+                    let _ = t.join();
+                }
+                return Err(std::io::Error::other(format!("spawn acceptor: {e}")));
+            }
         }
 
         Ok(TcpServer {

@@ -69,6 +69,13 @@ pub struct TcpClientConfig {
     pub connect_timeout: Duration,
     /// How long one [`TcpClient::call`] waits for its response.
     pub call_timeout: Duration,
+    /// Upper bound on one blocked socket write. The request write in
+    /// [`TcpClient::call`] happens under the connection lock, so without
+    /// a bound a stalled peer with a full TCP send buffer would wedge
+    /// every concurrent caller plus `close()`. On expiry the connection
+    /// is torn down and the call fails with
+    /// [`TransportError::TimedOut`].
+    pub write_timeout: Duration,
     /// Minimum spacing between reconnection attempts.
     pub reconnect_backoff: Duration,
     /// How long [`SharedService::handle`] keeps retrying a failing
@@ -85,6 +92,7 @@ impl Default for TcpClientConfig {
         TcpClientConfig {
             connect_timeout: Duration::from_secs(1),
             call_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(1),
             reconnect_backoff: Duration::from_millis(50),
             error_hold: Duration::from_secs(2),
             max_frame_body: MAX_FRAME_BODY,
@@ -194,7 +202,15 @@ impl TcpClient {
                 st.stream = None;
                 // dasp::allow(L1): same `state` -> `pending` order as above.
                 self.inner.pending.lock().remove(&token);
-                return Err(TransportError::Io(e.to_string()));
+                // A write timeout (WouldBlock on Unix, TimedOut on
+                // Windows) may have left a partial frame on the wire;
+                // the connection is already torn down above.
+                let err = if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                    TransportError::TimedOut
+                } else {
+                    TransportError::Io(e.to_string())
+                };
+                return Err(err);
             }
         }
         match rx.recv_timeout(self.inner.cfg.call_timeout) {
@@ -220,6 +236,9 @@ impl TcpClient {
         let stream = TcpStream::connect_timeout(&inner.addr, inner.cfg.connect_timeout)
             .map_err(|e| TransportError::Unreachable(e.to_string()))?;
         let _ = stream.set_nodelay(true);
+        stream
+            .set_write_timeout(Some(inner.cfg.write_timeout))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
         let read_half = stream
             .try_clone()
             .map_err(|e| TransportError::Io(e.to_string()))?;
@@ -230,11 +249,12 @@ impl TcpClient {
             .spawn(move || reader_loop(reader_inner, read_half, my_epoch));
         match spawned {
             Ok(handle) => {
-                // Reap earlier readers (they have all exited: their
-                // sockets are shut down before a new dial happens).
-                for h in st.readers.drain(..) {
-                    let _ = h.join();
-                }
+                // Reap only readers that have already exited. A stale
+                // reader may still be mid-teardown, which takes the
+                // `state` lock the caller holds — joining it here would
+                // deadlock. Unfinished handles stay queued and are
+                // joined by `close()` outside the lock.
+                st.readers.retain(|h| !h.is_finished());
                 st.readers.push(handle);
                 st.stream = Some(stream);
                 Ok(())
@@ -285,7 +305,9 @@ fn reader_loop(inner: Arc<Inner>, mut stream: TcpStream, my_epoch: u64) {
                     match decoder.next_frame() {
                         Ok(Some(frame)) => {
                             if frame.kind != FrameKind::Response {
-                                failed = Some(TransportError::Frame(FrameError::BadKind(0)));
+                                failed = Some(TransportError::Frame(FrameError::BadKind(
+                                    frame.kind.to_u8(),
+                                )));
                                 break;
                             }
                             if let Some(tx) = inner.pending.lock().remove(&frame.token) {
@@ -362,10 +384,11 @@ pub struct BlockingConn {
 }
 
 impl BlockingConn {
-    /// Connect with `timeout` applied to the dial and each read.
+    /// Connect with `timeout` applied to the dial and each read/write.
     pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         let _ = stream.set_nodelay(true);
         Ok(BlockingConn {
             stream,

@@ -373,7 +373,7 @@ pub enum FrameKind {
 }
 
 impl FrameKind {
-    fn to_u8(self) -> u8 {
+    pub(crate) fn to_u8(self) -> u8 {
         match self {
             FrameKind::Request => 0,
             FrameKind::Response => 1,
@@ -445,8 +445,20 @@ impl std::fmt::Display for FrameError {
 impl std::error::Error for FrameError {}
 
 /// Encode one frame ready for the socket.
+///
+/// # Panics
+///
+/// If the framed body would exceed [`MAX_FRAME_BODY`]. Payloads are
+/// always producer-controlled (requests the client built, responses the
+/// service built), so an oversized one is a local logic error; failing
+/// here gives a clear message instead of a silently truncated length
+/// prefix that the peer would reject by killing the connection.
 pub fn encode_frame(token: u64, kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     let body_len = 8 + 1 + payload.len();
+    assert!(
+        body_len <= MAX_FRAME_BODY as usize,
+        "frame body of {body_len} bytes exceeds MAX_FRAME_BODY ({MAX_FRAME_BODY})"
+    );
     let mut out = Vec::with_capacity(12 + body_len);
     out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
     out.extend_from_slice(&(body_len as u32).to_le_bytes());
