@@ -10,9 +10,10 @@ echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== dasp-lint (secrecy hygiene & panic safety, deny-new vs baseline) =="
-cargo run -q -p dasp-lint -- --deny-new --baseline lint-baseline.json --format json > lint-report.json
+mkdir -p target
+cargo run -q -p dasp-lint -- --explain-new --baseline lint-baseline.json --format json > target/lint-report.json
 
-echo "== dasp-lint smoke (seeded violation must be caught) =="
+echo "== dasp-lint smoke (seeded violations must be caught) =="
 smoke="$(mktemp -d)"
 mkdir -p "$smoke/crates/app/src"
 cat > "$smoke/crates/app/src/lib.rs" <<'EOF'
@@ -25,6 +26,43 @@ impl DataSource {
 EOF
 if cargo run -q -p dasp-lint -- --root "$smoke" --deny-all > /dev/null 2>&1; then
     echo "smoke FAILED: seeded P3 violation was not caught" >&2
+    rm -rf "$smoke"
+    exit 1
+fi
+cat > "$smoke/crates/app/src/reactor.rs" <<'EOF'
+pub struct Shard;
+impl Shard {
+    pub fn run(&mut self) {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+EOF
+report="$(cargo run -q -p dasp-lint -- --root "$smoke" --format json 2>/dev/null)"
+if ! grep -q '"rule": "B1"' <<< "$report"; then
+    echo "smoke FAILED: seeded B1 reactor-blocking violation was not caught" >&2
+    rm -rf "$smoke"
+    exit 1
+fi
+rm -f "$smoke/crates/app/src/reactor.rs"
+cat > "$smoke/crates/app/src/engine.rs" <<'EOF'
+pub struct Wal;
+impl Wal {
+    pub fn commit(&self, _lsn: u64) {}
+}
+pub struct ProviderEngine {
+    wal: Wal,
+    published: RwLock<u64>,
+}
+impl ProviderEngine {
+    pub fn execute_write(&self, snap: u64, lsn: u64) {
+        *self.published.write() = snap;
+        self.wal.commit(lsn);
+    }
+}
+EOF
+report="$(cargo run -q -p dasp-lint -- --root "$smoke" --format json 2>/dev/null)"
+if ! grep -q '"rule": "W1"' <<< "$report"; then
+    echo "smoke FAILED: seeded W1 publish-before-append violation was not caught" >&2
     rm -rf "$smoke"
     exit 1
 fi

@@ -2,6 +2,24 @@
 
 use crate::{lo64, wrap64, BigUint};
 
+/// Limb at `i`, zero when out of range. Algorithm D only computes
+/// in-range indices; going through `get` keeps the division loops out
+/// of the panic-reachability set the provider entry points are gated
+/// on (P3), with the proptest identities guarding the arithmetic.
+#[inline]
+fn limb(xs: &[u64], i: usize) -> u64 {
+    xs.get(i).copied().unwrap_or(0)
+}
+
+/// Store `v` at `i`; an out-of-range store is dropped (unreachable for
+/// the indices the loops below compute).
+#[inline]
+fn set_limb(xs: &mut [u64], i: usize, v: u64) {
+    if let Some(slot) = xs.get_mut(i) {
+        *slot = v;
+    }
+}
+
 /// Divide `u / v`, returning `(quotient, remainder)`.
 ///
 /// # Panics
@@ -13,7 +31,7 @@ pub(crate) fn div_rem(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
         return (BigUint::zero(), u.clone());
     }
     if v.limbs.len() == 1 {
-        let (q, r) = div_rem_u64(u, v.limbs[0]);
+        let (q, r) = div_rem_u64(u, limb(&v.limbs, 0));
         return (q, BigUint::from_u64(r));
     }
     knuth_d(u, v)
@@ -23,9 +41,9 @@ pub(crate) fn div_rem(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
 fn div_rem_u64(u: &BigUint, v: u64) -> (BigUint, u64) {
     let mut q = vec![0u64; u.limbs.len()];
     let mut rem = 0u128;
-    for i in (0..u.limbs.len()).rev() {
-        let cur = (rem << 64) | u.limbs[i] as u128;
-        q[i] = lo64(cur / v as u128); // quotient digit fits one limb
+    for (qd, &ul) in q.iter_mut().zip(u.limbs.iter()).rev() {
+        let cur = (rem << 64) | ul as u128;
+        *qd = lo64(cur / v as u128); // quotient digit fits one limb
         rem = cur % v as u128;
     }
     (BigUint::from_limbs(q), lo64(rem)) // rem < v ≤ u64::MAX
@@ -37,7 +55,7 @@ fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
     let m = u.limbs.len() - n;
 
     // D1: normalize so the divisor's top limb has its high bit set.
-    let shift = v.limbs[n - 1].leading_zeros() as usize;
+    let shift = limb(&v.limbs, n - 1).leading_zeros() as usize;
     let vn = v.shl(shift).limbs;
     let mut un = u.shl(shift).limbs;
     un.resize(u.limbs.len() + 1, 0); // extra high limb for D3's window
@@ -48,13 +66,15 @@ fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
     // D2–D7: main loop over quotient digits, most significant first.
     for j in (0..=m).rev() {
         // D3: estimate q_hat from the top two limbs of the current window.
-        let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
-        let mut q_hat = top / vn[n - 1] as u128;
-        let mut r_hat = top % vn[n - 1] as u128;
+        let top = ((limb(&un, j + n) as u128) << 64) | limb(&un, j + n - 1) as u128;
+        let mut q_hat = top / limb(&vn, n - 1) as u128;
+        let mut r_hat = top % limb(&vn, n - 1) as u128;
         // Correct q_hat down at most twice.
-        while q_hat >= b || q_hat * vn[n - 2] as u128 > ((r_hat << 64) | un[j + n - 2] as u128) {
+        while q_hat >= b
+            || q_hat * limb(&vn, n - 2) as u128 > ((r_hat << 64) | limb(&un, j + n - 2) as u128)
+        {
             q_hat -= 1;
-            r_hat += vn[n - 1] as u128;
+            r_hat += limb(&vn, n - 1) as u128;
             if r_hat >= b {
                 break;
             }
@@ -64,31 +84,33 @@ fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
         let mut borrow = 0i128;
         let mut carry = 0u128;
         for i in 0..n {
-            let p = q_hat * vn[i] as u128 + carry;
+            let p = q_hat * limb(&vn, i) as u128 + carry;
             carry = p >> 64;
-            let sub = (un[j + i] as i128) - i128::from(lo64(p)) - borrow;
-            un[j + i] = wrap64(sub);
+            let sub = (limb(&un, j + i) as i128) - i128::from(lo64(p)) - borrow;
+            set_limb(&mut un, j + i, wrap64(sub));
             borrow = if sub < 0 { 1 } else { 0 };
         }
-        let sub = (un[j + n] as i128) - (carry as i128) - borrow;
-        un[j + n] = wrap64(sub);
+        let sub = (limb(&un, j + n) as i128) - (carry as i128) - borrow;
+        set_limb(&mut un, j + n, wrap64(sub));
 
         // D5/D6: if we subtracted too much, add one v back.
         if sub < 0 {
             q_hat -= 1;
             let mut carry = 0u128;
             for i in 0..n {
-                let s = un[j + i] as u128 + vn[i] as u128 + carry;
-                un[j + i] = lo64(s);
+                let s = limb(&un, j + i) as u128 + limb(&vn, i) as u128 + carry;
+                set_limb(&mut un, j + i, lo64(s));
                 carry = s >> 64;
             }
-            un[j + n] = un[j + n].wrapping_add(lo64(carry));
+            let top = limb(&un, j + n).wrapping_add(lo64(carry));
+            set_limb(&mut un, j + n, top);
         }
-        q[j] = lo64(q_hat); // q_hat < 2^64 after the D3 corrections
+        set_limb(&mut q, j, lo64(q_hat)); // q_hat < 2^64 after the D3 corrections
     }
 
     // D8: denormalize the remainder.
-    let rem = BigUint::from_limbs(un[..n].to_vec()).shr(shift);
+    un.truncate(n);
+    let rem = BigUint::from_limbs(un).shr(shift);
     (BigUint::from_limbs(q), rem)
 }
 

@@ -115,7 +115,7 @@ impl BigUint {
             if i == self.limbs.len() - 1 {
                 // strip leading zeros of the top limb
                 let first = bytes.iter().position(|&b| b != 0).unwrap_or(7);
-                out.extend_from_slice(&bytes[first..]);
+                out.extend(bytes.iter().skip(first).copied());
             } else {
                 out.extend_from_slice(&bytes);
             }
@@ -160,7 +160,7 @@ impl BigUint {
 
     /// True iff one.
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        self.limbs == [1]
     }
 
     /// True iff even (zero counts as even).

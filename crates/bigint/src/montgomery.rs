@@ -42,8 +42,8 @@ fn to_limbs(v: &BigUint, len: usize) -> Vec<u64> {
 
 /// Compare fixed-length little-endian limb slices.
 fn geq(a: &[u64], b: &[u64]) -> bool {
-    for i in (0..a.len()).rev() {
-        match a[i].cmp(&b[i]) {
+    for (x, y) in a.iter().zip(b.iter()).rev() {
+        match x.cmp(y) {
             std::cmp::Ordering::Greater => return true,
             std::cmp::Ordering::Less => return false,
             std::cmp::Ordering::Equal => {}
@@ -55,10 +55,10 @@ fn geq(a: &[u64], b: &[u64]) -> bool {
 /// `a -= b` on fixed-length limbs, returning the final borrow (0 or 1).
 fn sub_in_place(a: &mut [u64], b: &[u64]) -> u64 {
     let mut borrow = 0u64;
-    for i in 0..a.len() {
-        let (d1, b1) = a[i].overflowing_sub(b[i]);
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        let (d1, b1) = x.overflowing_sub(y);
         let (d2, b2) = d1.overflowing_sub(borrow);
-        a[i] = d2;
+        *x = d2;
         borrow = u64::from(b1) + u64::from(b2);
     }
     borrow
@@ -76,7 +76,10 @@ impl MontgomeryCtx {
             "Montgomery needs an odd modulus ≥ 3"
         );
         let len = n.limbs.len();
-        let n0_inv = inv_u64(n.limbs[0]).wrapping_neg();
+        // The assert above guarantees a low limb exists; 1 keeps the
+        // unreachable fallback odd for inv_u64's contract.
+        let n0 = n.limbs.first().copied().unwrap_or(1);
+        let n0_inv = inv_u64(n0).wrapping_neg();
         // R² mod n via ordinary arithmetic (one-time cost).
         let r = BigUint::one().shl(64 * len).rem(n);
         let r2 = r.mul(&r).rem(n);
@@ -89,39 +92,47 @@ impl MontgomeryCtx {
     }
 
     /// CIOS Montgomery product: returns `a·b·R⁻¹ mod n` (all in limb form).
+    /// The two overflow limbs of the working value (`t[len]`, `t[len+1]`
+    /// in the textbook layout) live in scalars, so every slice access
+    /// stays a lockstep iterator walk.
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let len = self.len;
-        let mut t = vec![0u64; len + 2];
+        let mut t = vec![0u64; len];
+        let (mut t_hi, mut t_hi2) = (0u64, 0u64);
         for &ai in a.iter().take(len) {
             // t += ai * b
             let mut carry = 0u128;
-            for j in 0..len {
-                let cur = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
-                t[j] = lo64(cur);
-                carry = cur >> 64;
-            }
-            let cur = t[len] as u128 + carry;
-            t[len] = lo64(cur);
-            t[len + 1] = t[len + 1].wrapping_add(lo64(cur >> 64));
-
-            // m = t[0] * n0_inv mod 2^64; t += m * n  (makes t[0] == 0)
-            let m = t[0].wrapping_mul(self.n0_inv);
-            let mut carry = 0u128;
-            for (j, tj) in t.iter_mut().enumerate().take(len) {
-                let cur = *tj as u128 + m as u128 * self.n[j] as u128 + carry;
+            for (tj, &bj) in t.iter_mut().zip(b.iter()) {
+                let cur = *tj as u128 + ai as u128 * bj as u128 + carry;
                 *tj = lo64(cur);
                 carry = cur >> 64;
             }
-            let cur = t[len] as u128 + carry;
-            t[len] = lo64(cur);
-            t[len + 1] = t[len + 1].wrapping_add(lo64(cur >> 64));
+            let cur = t_hi as u128 + carry;
+            t_hi = lo64(cur);
+            t_hi2 = t_hi2.wrapping_add(lo64(cur >> 64));
+
+            // m = t[0] * n0_inv mod 2^64; t += m * n  (makes t[0] == 0)
+            let m = t.first().copied().unwrap_or(0).wrapping_mul(self.n0_inv);
+            let mut carry = 0u128;
+            for (tj, &nj) in t.iter_mut().zip(self.n.iter()) {
+                let cur = *tj as u128 + m as u128 * nj as u128 + carry;
+                *tj = lo64(cur);
+                carry = cur >> 64;
+            }
+            let cur = t_hi as u128 + carry;
+            t_hi = lo64(cur);
+            t_hi2 = t_hi2.wrapping_add(lo64(cur >> 64));
 
             // shift one limb right (divide by 2^64)
-            t.copy_within(1..len + 2, 0);
-            t[len + 1] = 0;
+            t.copy_within(1.., 0);
+            if let Some(last) = t.last_mut() {
+                *last = t_hi;
+            }
+            t_hi = t_hi2;
+            t_hi2 = 0;
         }
-        let hi = t[len];
-        let mut out = t[..len].to_vec();
+        let hi = t_hi;
+        let mut out = t;
         // CIOS guarantees t < 2n, so at most one subtraction; when the
         // value spilled into the extra limb (hi = 1), the subtraction's
         // borrow cancels it exactly.
@@ -138,7 +149,9 @@ impl MontgomeryCtx {
         let base_m = self.mont_mul(&base, &self.r2);
         // 1 in Montgomery form = R mod n = mont_mul(1, R²).
         let mut one = vec![0u64; self.len];
-        one[0] = 1;
+        if let Some(first) = one.first_mut() {
+            *first = 1;
+        }
         let mut acc = self.mont_mul(&one, &self.r2);
         for i in (0..exp.bits()).rev() {
             acc = self.mont_mul(&acc, &acc);

@@ -5,10 +5,18 @@
 //! 1. `Type::name(…)` / `Self::name(…)` — exact lookup in the impl
 //!    block of that type.
 //! 2. `self.name(…)`, `self.field.name(…)`, `param.name(…)`,
-//!    `param.field.name(…)` — the receiver chain is typed through the
-//!    struct field table, then looked up exactly.
-//! 3. Bare `recv.name(…)` with an unresolvable receiver — linked to
-//!    *every* workspace method of that name, except when the name
+//!    `local.field.name(…)` — the receiver chain is typed through the
+//!    param list, the struct field table, and a per-fn local type
+//!    environment (explicit `let x: T`, RHS field chains, RHS call
+//!    return types, `if let Some(x) = …` rebindings), then looked up
+//!    exactly. `…).name(…)` chains type the receiver through the
+//!    producing call's return type (`ret_types`). A receiver that
+//!    types to something *outside* the workspace is classified
+//!    `Resolution::External`: no edges, and crucially no fallback —
+//!    `std::thread::Builder::new().spawn(…)` must not link to a
+//!    workspace fn that happens to be called `spawn`.
+//! 3. Bare `recv.name(…)` with an *untypable* receiver — linked to
+//!    every workspace method of that name, except when the name
 //!    collides with ubiquitous std APIs (`get`, `push`, `clone`, …),
 //!    where linking to everything would drown the graph in false
 //!    edges. The vendored concurrency APIs (`send`, `recv`, `lock`,
@@ -17,6 +25,7 @@
 //!    vendored rewrite *is* the implementation that actually runs.
 
 use crate::ir::{Ctx, CtxKind, FnId, FnItem, PanicKind, WorkspaceIr};
+use crate::lexer::{Token, TokenKind};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Method names that collide with std-library APIs: bare calls with an
@@ -160,13 +169,30 @@ impl CallGraph {
 
 /// Type identifiers for a method receiver chain, or `None` when the
 /// chain cannot be typed syntactically. `self` resolves to the impl
-/// type; one further `.field` hop goes through the struct table.
+/// type; `let`-bound locals resolve through [`FnItem::locals`]; further
+/// `.field` hops go through the struct table.
 pub fn resolve_recv_types(ws: &WorkspaceIr, f: &FnItem, recv: &[String]) -> Option<Vec<String>> {
+    recv_types_with(ws, f, &f.locals, recv)
+}
+
+/// [`resolve_recv_types`] with an explicit local-binding environment
+/// (used while the environment itself is still being built).
+fn recv_types_with(
+    ws: &WorkspaceIr,
+    f: &FnItem,
+    locals: &BTreeMap<String, Vec<String>>,
+    recv: &[String],
+) -> Option<Vec<String>> {
     let (head_ty, rest): (Vec<String>, &[String]) = match recv.split_first() {
         Some((h, rest)) if h == "self" => (vec![f.impl_type.clone()?], rest),
         Some((h, rest)) => {
-            let p = f.params.iter().find(|p| &p.name == h)?;
-            (p.ty.clone(), rest)
+            if let Some(p) = f.params.iter().find(|p| &p.name == h) {
+                (p.ty.clone(), rest)
+            } else if let Some(ty) = locals.get(h) {
+                (ty.clone(), rest)
+            } else {
+                return None;
+            }
         }
         None => return None,
     };
@@ -182,8 +208,64 @@ pub fn resolve_recv_types(ws: &WorkspaceIr, f: &FnItem, recv: &[String]) -> Opti
     Some(ty)
 }
 
+/// The three-valued outcome of call resolution. The distinction between
+/// `External` and `Unknown` is what keeps the graph precise: a receiver
+/// or path that *was* typed but names nothing in the workspace is
+/// std/external code — linking its method name to every same-named
+/// workspace fn would fabricate edges (`Wal::spawn_flusher →
+/// Cluster::spawn` was exactly that).
+pub(crate) enum Resolution {
+    /// Resolved to these workspace fns.
+    Exact(Vec<FnId>),
+    /// Typed, but the callee lives outside the workspace: no edges, no
+    /// bare-name fallback.
+    External,
+    /// Untypable: the tier-3 bare-name fallback applies.
+    Unknown,
+}
+
+/// Depth bound for chained-receiver resolution (`a().b().c()` walks one
+/// producing call per level; cycles cannot occur but pathological
+/// nesting is cut off).
+const CHAIN_DEPTH: usize = 8;
+
 /// All plausible callees of one `Call` context.
 pub(crate) fn resolve_call(ws: &WorkspaceIr, caller: &FnItem, ctx: &Ctx) -> Vec<FnId> {
+    let name = ctx.callee.as_str();
+    match resolve(ws, caller, &caller.locals, ctx, 0) {
+        Resolution::Exact(ids) => ids,
+        Resolution::External => Vec::new(),
+        Resolution::Unknown => {
+            // Tier 3: bare fallback, std-colliding names restricted.
+            if STD_COLLIDING.contains(&name) {
+                if VENDOR_API.contains(&name) {
+                    return ws
+                        .by_name(name)
+                        .filter(|&id| {
+                            ws.files[ws.fns[id].file].vendor && ws.fns[id].impl_type.is_some()
+                        })
+                        .collect();
+                }
+                return Vec::new();
+            }
+            // A fallback edge back to the caller itself is dynamic
+            // dispatch (`self.inner.lock().backend.page_count()`),
+            // never recursion.
+            ws.by_name(name)
+                .filter(|&id| ws.fns[id].impl_type.is_some() && !std::ptr::eq(&ws.fns[id], caller))
+                .collect()
+        }
+    }
+}
+
+/// Tiers 1–2 plus chained-receiver typing.
+fn resolve(
+    ws: &WorkspaceIr,
+    caller: &FnItem,
+    locals: &BTreeMap<String, Vec<String>>,
+    ctx: &Ctx,
+    depth: usize,
+) -> Resolution {
     let name = ctx.callee.as_str();
     // Tier 1: a `::` path ending in a type-looking segment.
     if let Some(seg) = ctx.path.last() {
@@ -195,46 +277,228 @@ pub(crate) fn resolve_call(ws: &WorkspaceIr, caller: &FnItem, ctx: &Ctx) -> Vec<
             None
         };
         if let Some(ty) = ty {
-            return ws.method(&ty, name).into_iter().collect();
+            return match ws.method(&ty, name) {
+                Some(id) => Resolution::Exact(vec![id]),
+                None => Resolution::External,
+            };
         }
         // Module-qualified free fn: match free fns of that name.
-        return ws
+        let free: Vec<FnId> = ws
             .by_name(name)
             .filter(|&id| ws.fns[id].impl_type.is_none())
             .collect();
+        return if free.is_empty() {
+            Resolution::External
+        } else {
+            Resolution::Exact(free)
+        };
     }
     if ctx.method {
-        // Tier 2: typed receiver chain.
-        if let Some(ty) = resolve_recv_types(ws, caller, &ctx.recv) {
+        // Tier 2: typed receiver chain (params, `self`, locals).
+        if let Some(ty) = recv_types_with(ws, caller, locals, &ctx.recv) {
             for t in &ty {
                 if let Some(id) = ws.method(t, name) {
-                    return vec![id];
+                    return Resolution::Exact(vec![id]);
                 }
             }
+            return Resolution::External;
         }
-        // Tier 3: bare fallback, std-colliding names restricted.
-        if STD_COLLIDING.contains(&name) {
-            if VENDOR_API.contains(&name) {
-                return ws
-                    .by_name(name)
-                    .filter(|&id| {
-                        ws.files[ws.fns[id].file].vendor && ws.fns[id].impl_type.is_some()
-                    })
-                    .collect();
+        // Tier 2½: `…).name(…)` — type the receiver through the return
+        // type of the producing call.
+        if ctx.recv == ["<expr>"] && depth < CHAIN_DEPTH {
+            if let Some(res) = resolve_chained(ws, caller, locals, ctx, depth) {
+                return res;
             }
-            return Vec::new();
         }
-        // A fallback edge back to the caller itself is dynamic dispatch
-        // (`self.inner.lock().backend.page_count()`), never recursion.
-        return ws
-            .by_name(name)
-            .filter(|&id| ws.fns[id].impl_type.is_some() && !std::ptr::eq(&ws.fns[id], caller))
-            .collect();
+        return Resolution::Unknown;
     }
     // Free-fn call: prefer free fns; a bare name never targets methods.
-    ws.by_name(name)
+    let free: Vec<FnId> = ws
+        .by_name(name)
         .filter(|&id| ws.fns[id].impl_type.is_none())
-        .collect()
+        .collect();
+    if free.is_empty() {
+        Resolution::External
+    } else {
+        Resolution::Exact(free)
+    }
+}
+
+/// Resolve a chained method call whose receiver is a producing call:
+/// find the `Call` ctx whose closing `)` sits just before the `.` (a
+/// `?` in between is tolerated), resolve it, and look the method up in
+/// its return-type idents. An external producing chain stays external —
+/// `std::thread::Builder::new().name(…).spawn(…)` resolves to nothing
+/// rather than falling back to every workspace `spawn`.
+fn resolve_chained(
+    ws: &WorkspaceIr,
+    caller: &FnItem,
+    locals: &BTreeMap<String, Vec<String>>,
+    ctx: &Ctx,
+    depth: usize,
+) -> Option<Resolution> {
+    let tokens = &ws.files[caller.file].tokens;
+    let dot = crate::parser::prev_nc(tokens, ctx.name_tok)?;
+    if !tokens[dot].is_punct('.') {
+        return None;
+    }
+    let mut p = crate::parser::prev_nc(tokens, dot)?;
+    if tokens[p].is_punct('?') {
+        p = crate::parser::prev_nc(tokens, p)?;
+    }
+    if !tokens[p].is_punct(')') {
+        return None;
+    }
+    let prod = caller
+        .ctxs
+        .iter()
+        .find(|c| c.kind == CtxKind::Call && c.args_end == p)?;
+    match resolve(ws, caller, locals, prod, depth + 1) {
+        Resolution::Exact(ids) => {
+            let ty = ret_types(ws, &ids);
+            if ty.is_empty() {
+                return Some(Resolution::Unknown);
+            }
+            for t in &ty {
+                if let Some(id) = ws.method(t, ctx.callee.as_str()) {
+                    return Some(Resolution::Exact(vec![id]));
+                }
+            }
+            Some(Resolution::External)
+        }
+        Resolution::External => Some(Resolution::External),
+        Resolution::Unknown => Some(Resolution::Unknown),
+    }
+}
+
+/// Union of return-type idents over callees, with `Self` substituted by
+/// each callee's impl type.
+fn ret_types(ws: &WorkspaceIr, ids: &[FnId]) -> Vec<String> {
+    let mut ty = Vec::new();
+    for &id in ids {
+        let callee = &ws.fns[id];
+        for r in &callee.ret {
+            if r == "Self" {
+                if let Some(t) = &callee.impl_type {
+                    ty.push(t.clone());
+                }
+            } else {
+                ty.push(r.clone());
+            }
+        }
+    }
+    ty
+}
+
+/// Fill [`FnItem::locals`] for every fn: one forward pass over the
+/// statement units, typing each `let` binding from its explicit
+/// annotation, its RHS field chain, or the return type of its RHS call.
+/// Runs after the whole workspace is parsed (cross-file struct and
+/// return-type lookups), before the call graph is built.
+pub fn annotate_locals(ws: &mut WorkspaceIr) {
+    let mut all: Vec<BTreeMap<String, Vec<String>>> = Vec::with_capacity(ws.fns.len());
+    for f in &ws.fns {
+        let tokens = &ws.files[f.file].tokens;
+        let mut env: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for u in &f.units {
+            let Some(name) = u.let_name.as_ref().or(u.pat_name.as_ref()) else {
+                continue;
+            };
+            if !u.let_ty.is_empty() {
+                env.insert(name.clone(), u.let_ty.clone());
+                continue;
+            }
+            if u.deref_rhs {
+                continue;
+            }
+            let Some(rhs) = u.rhs_start else { continue };
+            if let Some(ty) = type_of_expr(ws, f, &env, tokens, rhs, u.end) {
+                env.insert(name.clone(), ty);
+            }
+        }
+        all.push(env);
+    }
+    for (f, env) in ws.fns.iter_mut().zip(all) {
+        f.locals = env;
+    }
+}
+
+/// Type an RHS expression: a plain field chain (`&self.inline`,
+/// `conn.stream`) through the struct table, or a trailing call
+/// (`Wal::open(dir)?`, `self.decoder.next()`) through its return type.
+/// `None` when the shape is anything else — untyped is always safe.
+fn type_of_expr(
+    ws: &WorkspaceIr,
+    f: &FnItem,
+    env: &BTreeMap<String, Vec<String>>,
+    tokens: &[Token],
+    rhs: usize,
+    end: usize,
+) -> Option<Vec<String>> {
+    let last_tok = end.min(tokens.len().saturating_sub(1));
+    let mut nc: Vec<usize> = (rhs..=last_tok)
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    while let Some(&last) = nc.last() {
+        let t = &tokens[last];
+        if t.is_punct(';') || t.is_punct('?') || t.is_ident("else") {
+            nc.pop();
+        } else {
+            break;
+        }
+    }
+    while let Some(&first) = nc.first() {
+        let t = &tokens[first];
+        if t.is_punct('&') || t.is_ident("mut") {
+            nc.remove(0);
+        } else {
+            break;
+        }
+    }
+    let &last = nc.last()?;
+    if tokens[last].kind == TokenKind::Ident {
+        // A pure `a.b.c` field chain (tuple indices allowed).
+        let mut chain = Vec::new();
+        let mut expect_ident = true;
+        for &i in &nc {
+            let t = &tokens[i];
+            if expect_ident {
+                if t.kind != TokenKind::Ident && t.kind != TokenKind::Number {
+                    return None;
+                }
+                chain.push(t.text.clone());
+            } else if !t.is_punct('.') {
+                return None;
+            }
+            expect_ident = !expect_ident;
+        }
+        if expect_ident {
+            return None; // ended on a `.`
+        }
+        return recv_types_with(ws, f, env, &chain);
+    }
+    if tokens[last].is_punct(')') {
+        let ctx = f
+            .ctxs
+            .iter()
+            .find(|c| c.kind == CtxKind::Call && c.args_end == last)?;
+        return match resolve(ws, f, env, ctx, 1) {
+            Resolution::Exact(ids) => {
+                let ty = ret_types(ws, &ids);
+                (!ty.is_empty()).then_some(ty)
+            }
+            // `Type::ctor(…)` on an external type: the path names the
+            // type (`File::create` → `File`), good enough to keep later
+            // method calls on the binding external.
+            Resolution::External => ctx
+                .path
+                .last()
+                .filter(|s| s.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+                .map(|s| vec![s.clone()]),
+            Resolution::Unknown => None,
+        };
+    }
+    None
 }
 
 /// The P3 entry points: `ProviderEngine::execute`, every pub method of

@@ -132,6 +132,14 @@ pub struct Unit {
     pub depth: u32,
     /// `Some(name)` for `let name = …;` / `let mut name = …;` units.
     pub let_name: Option<String>,
+    /// Binding introduced by a refutable-pattern `let`: `if let
+    /// Some(x) = …`, `while let Ok(x) = …`, `let Some(x) = … else`.
+    /// Kept separate from [`Unit::let_name`] so the L1 guard-promotion
+    /// logic (which models plain `let g = x.lock();` only) is
+    /// unaffected.
+    pub pat_name: Option<String>,
+    /// Identifiers of an explicit `let name: Type = …` annotation.
+    pub let_ty: Vec<String>,
     /// Token index just after the `=` of a `let`, when present.
     pub rhs_start: Option<usize>,
     /// True when the `let` RHS begins with `*` (a deref copy: the
@@ -167,6 +175,12 @@ pub struct FnItem {
     pub panics: Vec<PanicSite>,
     /// Statement-ish units of the body.
     pub units: Vec<Unit>,
+    /// Local binding name → type identifiers, from `let` statements
+    /// whose RHS (or explicit annotation) could be typed syntactically.
+    /// Filled by [`crate::callgraph::annotate_locals`] after the whole
+    /// workspace is parsed (typing needs the struct table and other
+    /// fns' return types).
+    pub locals: BTreeMap<String, Vec<String>>,
 }
 
 impl FnItem {

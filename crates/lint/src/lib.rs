@@ -30,10 +30,12 @@
 //! deliberately dependency-free — it lexes Rust with a hand-rolled
 //! [`lexer`] and never executes or expands anything.
 
+pub mod blocking;
 pub mod callgraph;
 pub mod ir;
 pub mod lexer;
 pub mod locks;
+pub mod ordering;
 pub mod parser;
 pub mod report;
 pub mod rules;
@@ -63,6 +65,11 @@ pub enum Rule {
     L1,
     /// Transitive panic reachability from provider/client entry points.
     P3,
+    /// No blocking operations reachable from reactor entry points.
+    B1,
+    /// Durability ordering: publish/ack dominated by durable WAL
+    /// append; crash-point results steer control.
+    W1,
 }
 
 impl Rule {
@@ -78,6 +85,8 @@ impl Rule {
             Rule::T1 => "T1",
             Rule::L1 => "L1",
             Rule::P3 => "P3",
+            Rule::B1 => "B1",
+            Rule::W1 => "W1",
         }
     }
 }
@@ -158,8 +167,17 @@ impl Config {
     pub fn in_scope(&self, rule: Rule, path: &str) -> bool {
         match rule {
             // The interprocedural rules manage their own scope: T1/L1
-            // skip vendor/, P3 follows the call graph wherever it goes.
-            Rule::S1 | Rule::S2 | Rule::U1 | Rule::T1 | Rule::L1 | Rule::P3 => true,
+            // skip vendor/, P3 follows the call graph wherever it
+            // goes, B1 starts from the reactor roots, W1 from the
+            // WAL/publish effect seeds.
+            Rule::S1
+            | Rule::S2
+            | Rule::U1
+            | Rule::T1
+            | Rule::L1
+            | Rule::P3
+            | Rule::B1
+            | Rule::W1 => true,
             Rule::P1 => {
                 path.contains("crates/net/")
                     || path.contains("crates/server/")
@@ -221,8 +239,9 @@ const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "fixtures",
 /// Two phases: the per-file token rules run first, then the files are
 /// parsed into a [`ir::WorkspaceIr`], linked into a call graph, and the
 /// interprocedural rules (T1 taint, L1 lock discipline, P3 transitive
-/// panic reachability) run over the whole program. Findings come back
-/// normalized: sorted by (file, line, rule, message), deduplicated.
+/// panic reachability, B1 reactor blocking, W1 durability ordering)
+/// run over the whole program. Findings come back normalized: sorted
+/// by (file, line, rule, message), deduplicated.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for sub in ["crates", "examples"] {
@@ -271,7 +290,7 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
     Ok(report)
 }
 
-/// Convert T1/L1/P3 hits into [`Finding`]s, applying waivers.
+/// Convert T1/L1/P3/B1/W1 hits into [`Finding`]s, applying waivers.
 fn interproc_findings(
     ws: &ir::WorkspaceIr,
     graph: &callgraph::CallGraph,
@@ -324,6 +343,37 @@ fn interproc_findings(
             line,
             message,
             waived,
+        });
+    }
+    for hit in blocking::run_b1(ws, graph) {
+        let message = format!(
+            "B1 blocking on reactor path: {} in {}, reachable via {}",
+            hit.desc,
+            ws.label(hit.fn_id),
+            hit.path.join(" -> ")
+        );
+        let (line, waived) = if let Some(&l) = hit.lines.first() {
+            (l, false)
+        } else if let Some(&l) = hit.waived_lines.first() {
+            (l, true)
+        } else {
+            continue;
+        };
+        out.push(Finding {
+            rule: Rule::B1,
+            file: file_of(hit.fn_id),
+            line,
+            message,
+            waived,
+        });
+    }
+    for hit in ordering::run_w1(ws, graph) {
+        out.push(Finding {
+            rule: Rule::W1,
+            file: file_of(hit.fn_id),
+            line: hit.line,
+            message: hit.message,
+            waived: waived_at(hit.fn_id, hit.line, Rule::W1),
         });
     }
     out

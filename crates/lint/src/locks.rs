@@ -79,8 +79,10 @@ struct Summary {
     acquires: BTreeMap<LockClass, Vec<String>>,
 }
 
-/// Classify a context as a lock acquisition.
-fn lock_class(ws: &WorkspaceIr, f: &FnItem, ctx: &Ctx) -> Option<LockClass> {
+/// Classify a context as a lock acquisition. Shared with rule B1,
+/// which treats any write-capable acquisition on a reactor path as a
+/// blocking sink.
+pub(crate) fn lock_class(ws: &WorkspaceIr, f: &FnItem, ctx: &Ctx) -> Option<LockClass> {
     if ctx.kind != CtxKind::Call || !ctx.method || ctx.args_start != ctx.args_end {
         return None; // locks take no arguments
     }

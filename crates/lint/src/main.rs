@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dasp-lint [--root DIR] [--format text|json] [--baseline FILE]
-//!           [--deny-all | --deny-new] [--write-baseline FILE] [--quiet]
+//!           [--deny-all | --deny-new | --explain-new]
+//!           [--write-baseline FILE] [--quiet]
 //! ```
 //!
 //! Text mode prints every unwaived finding as `path:line: RULE:
@@ -13,7 +14,10 @@
 //!
 //! Gates: `--deny-all` exits 1 on any unwaived finding; `--deny-new`
 //! exits 1 only on unwaived findings absent from the baseline file
-//! (`--baseline`, default `lint-baseline.json` under the root).
+//! (`--baseline`, default `lint-baseline.json` under the root);
+//! `--explain-new` is `--deny-new` plus, on failure, a unified diff of
+//! current findings against the baseline — new entries prefixed `+`,
+//! stale ones `-` — so a red CI run explains itself.
 //! `--write-baseline` records the current unwaived findings and exits.
 
 use dasp_lint::report::Baseline;
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny_all = false;
     let mut deny_new = false;
+    let mut explain_new = false;
     let mut quiet = false;
     let mut format = Format::Text;
     let mut baseline_path: Option<PathBuf> = None;
@@ -55,6 +60,10 @@ fn main() -> ExitCode {
             },
             "--deny-all" => deny_all = true,
             "--deny-new" => deny_new = true,
+            "--explain-new" => {
+                deny_new = true;
+                explain_new = true;
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!(
@@ -66,9 +75,11 @@ fn main() -> ExitCode {
                      --baseline FILE        known-findings file (default: <root>/lint-baseline.json)\n\
                      --deny-all             exit 1 on any unwaived finding\n\
                      --deny-new             exit 1 on unwaived findings not in the baseline\n\
+                     --explain-new          --deny-new, plus a unified diff of findings vs\n\
+                     \x20                      baseline on failure (new and stale entries)\n\
                      --write-baseline FILE  record current unwaived findings and exit\n\
                      --quiet                suppress the summary line\n\n\
-                     Token rules: S1 S2 P1 P2 D1 U1; interprocedural: T1 L1 P3 (DESIGN.md §8).\n\
+                     Token rules: S1 S2 P1 P2 D1 U1; interprocedural: T1 L1 P3 B1 W1 (DESIGN.md §8).\n\
                      vendor/ is scanned with the relaxed set (U1 + P3).\n\
                      Waive a line with: // dasp::allow(RULE): reason"
                 );
@@ -154,6 +165,9 @@ fn main() -> ExitCode {
             );
             for f in &new {
                 eprintln!("  {f}");
+            }
+            if explain_new {
+                eprint!("{}", baseline.explain_new(&report));
             }
             return ExitCode::FAILURE;
         }

@@ -73,6 +73,7 @@ pub fn build_workspace(inputs: Vec<(String, bool, String)>) -> WorkspaceIr {
             waivers,
         });
     }
+    crate::callgraph::annotate_locals(&mut ir);
     ir
 }
 
@@ -443,6 +444,7 @@ fn parse_fn(
             ctxs: Vec::new(),
             panics: Vec::new(),
             units: Vec::new(),
+            locals: BTreeMap::new(),
         },
         fn_tok,
         item_end,
@@ -939,18 +941,61 @@ fn compute_units(
 fn make_unit(tokens: &[Token], start: usize, end: usize, depth: u32) -> Unit {
     let nc: Vec<usize> = (start..=end).filter(|&i| !tokens[i].is_comment()).collect();
     let mut let_name = None;
+    let mut pat_name = None;
+    let mut let_ty = Vec::new();
     let mut rhs_start = None;
     let mut deref_rhs = false;
-    if nc.first().is_some_and(|&i| tokens[i].is_ident("let")) {
-        // `let [mut] name …`; complex patterns (`let (a, b) = …`) keep
-        // `let_name = None` and are treated as temporaries.
-        let mut k = 1usize;
+    // `let …` either opens the unit or follows a leading `if`/`while`
+    // (a refutable-pattern binding: `if let Some(x) = …`).
+    let mut k = 0usize;
+    let refutable = nc
+        .first()
+        .is_some_and(|&i| tokens[i].is_ident("if") || tokens[i].is_ident("while"));
+    if refutable {
+        k += 1;
+    }
+    if nc.get(k).is_some_and(|&i| tokens[i].is_ident("let")) {
+        k += 1;
         if nc.get(k).is_some_and(|&i| tokens[i].is_ident("mut")) {
             k += 1;
         }
-        if let Some(&ni) = nc.get(k) {
-            if tokens[ni].kind == TokenKind::Ident && !is_keyword(&tokens[ni].text) {
-                let_name = Some(tokens[ni].text.clone());
+        let name_at = |ix: usize| -> Option<String> {
+            let &i = nc.get(ix)?;
+            (tokens[i].kind == TokenKind::Ident && !is_keyword(&tokens[i].text))
+                .then(|| tokens[i].text.clone())
+        };
+        // `Wrapper([mut] name)` — a one-ident refutable pattern
+        // (`Some(x)`, `Ok(mut x)`); deeper patterns (`(a, b)`,
+        // `Struct { .. }`) stay unnamed and are treated as temporaries.
+        if nc.get(k + 1).is_some_and(|&i| tokens[i].is_punct('(')) {
+            let mut m = k + 2;
+            if nc.get(m).is_some_and(|&i| tokens[i].is_ident("mut")) {
+                m += 1;
+            }
+            if nc.get(m + 1).is_some_and(|&i| tokens[i].is_punct(')')) {
+                pat_name = name_at(m);
+            }
+        } else if let Some(name) = name_at(k) {
+            if refutable {
+                pat_name = Some(name);
+            } else {
+                let_name = Some(name);
+                // Explicit `let name: Type = …` annotation (a lone `:`,
+                // not a `::` path): collect idents up to the `=`.
+                if nc.get(k + 1).is_some_and(|&i| {
+                    tokens[i].is_punct(':')
+                        && !nc.get(k + 2).is_some_and(|&n| tokens[n].is_punct(':'))
+                }) {
+                    for &i in &nc[k + 2..] {
+                        let t = &tokens[i];
+                        if t.is_punct('=') {
+                            break;
+                        }
+                        if t.kind == TokenKind::Ident && !is_keyword(&t.text) {
+                            let_ty.push(t.text.clone());
+                        }
+                    }
+                }
             }
         }
         // First top-level `=` that is not `==`, `=>`, `<=`, `>=`, `!=`.
@@ -985,6 +1030,8 @@ fn make_unit(tokens: &[Token], start: usize, end: usize, depth: u32) -> Unit {
         end,
         depth,
         let_name,
+        pat_name,
+        let_ty,
         rhs_start,
         deref_rhs,
     }

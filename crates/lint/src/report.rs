@@ -133,6 +133,32 @@ impl Baseline {
         out
     }
 
+    /// Render a unified-diff-style explanation of the drift between
+    /// this baseline and the current unwaived findings: `+` lines are
+    /// findings absent from the baseline (these fail `--deny-new`),
+    /// `-` lines are baseline entries that no longer fire (stale —
+    /// candidates for a `--write-baseline` refresh). One merged walk
+    /// in (rule, file, message) order, so the output is stable and a
+    /// CI log is actionable without rerunning locally.
+    pub fn explain_new(&self, report: &Report) -> String {
+        let current: BTreeSet<(String, String, String)> = report
+            .violations()
+            .map(|f| (f.rule.to_string(), f.file.clone(), f.message.clone()))
+            .collect();
+        let mut out = String::new();
+        out.push_str("--- baseline (committed)\n");
+        out.push_str("+++ findings (current, unwaived)\n");
+        for entry in self.entries.union(&current) {
+            let (rule, file, message) = entry;
+            match (self.entries.contains(entry), current.contains(entry)) {
+                (true, false) => out.push_str(&format!("-{rule}: {file}: {message}\n")),
+                (false, true) => out.push_str(&format!("+{rule}: {file}: {message}\n")),
+                _ => {}
+            }
+        }
+        out
+    }
+
     /// Parse the `lint-baseline.json` format. Unknown keys are ignored;
     /// a malformed file is an error (CI must not silently pass).
     pub fn parse(src: &str) -> Result<Baseline, String> {

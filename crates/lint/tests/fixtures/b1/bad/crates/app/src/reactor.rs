@@ -1,0 +1,49 @@
+//! B1 bad fixture: blocking operations reachable from the shard loop.
+
+pub struct Wal;
+
+impl Wal {
+    pub fn append_durable(&self, _rec: u64) -> u64 {
+        0
+    }
+}
+
+fn spill(f: &File) {
+    f.sync_all();
+}
+
+pub struct Conn;
+
+impl Conn {
+    pub fn flush(&mut self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+pub struct Shard {
+    state: Mutex<u64>,
+    tx: Sender,
+    wal: Wal,
+    log: File,
+}
+
+impl Shard {
+    pub fn run(&mut self) {
+        self.tick();
+        self.pump(7);
+        spill(&self.log);
+    }
+
+    fn tick(&mut self) {
+        let g = self.state.lock();
+        drop(g);
+    }
+
+    fn pump(&self, v: u64) {
+        self.tx.send(v);
+    }
+
+    pub fn log_durable(&self, rec: u64) -> u64 {
+        self.wal.append_durable(rec)
+    }
+}

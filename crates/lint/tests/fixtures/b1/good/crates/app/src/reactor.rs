@@ -1,0 +1,38 @@
+//! B1 good fixture: bounded ops, WouldBlock-aware I/O, a waived sleep.
+
+pub struct Shard {
+    tables: RwLock<u64>,
+    tx: Sender,
+    rx: Receiver,
+}
+
+impl Shard {
+    pub fn run(&mut self, stream: &TcpStream, buf: &mut [u8]) -> usize {
+        self.peek();
+        self.offer(7);
+        self.fill(stream, buf)
+    }
+
+    fn peek(&self) -> u64 {
+        let g = self.tables.read();
+        *g
+    }
+
+    fn offer(&self, v: u64) {
+        let _ = self.tx.try_send(v);
+        let _ = self.rx.recv_timeout(v);
+    }
+
+    fn fill(&mut self, stream: &TcpStream, buf: &mut [u8]) -> usize {
+        match stream.read(buf) {
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => 0,
+            Err(_) => 0,
+        }
+    }
+
+    fn backoff(&self) {
+        // dasp::allow(B1): fixture — bounded idle backoff between ticks
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

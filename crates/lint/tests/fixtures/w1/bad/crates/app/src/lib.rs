@@ -1,0 +1,58 @@
+//! W1 bad fixture: publish before append, early acks, dropped crash points.
+
+pub struct Wal;
+
+impl Wal {
+    pub fn commit(&self, _lsn: u64) {}
+}
+
+fn crash_point_hit(_tag: &str) -> bool {
+    false
+}
+
+pub struct ProviderEngine {
+    wal: Wal,
+    published: RwLock<u64>,
+}
+
+impl ProviderEngine {
+    pub fn execute_write(&self, snap: u64, lsn: u64) {
+        *self.published.write() = snap;
+        self.wal.commit(lsn);
+    }
+
+    pub fn ack_early(&self, rows: u64, lsn: u64) -> Result<u64, ()> {
+        if rows == 0 {
+            return Ok(0);
+        }
+        self.wal.commit(lsn);
+        Ok(rows)
+    }
+
+    pub fn publish_via_helper(&self, snap: u64, lsn: u64) {
+        self.install(snap);
+        self.wal.commit(lsn);
+    }
+
+    fn install(&self, snap: u64) {
+        self.set_published(snap);
+    }
+
+    fn set_published(&self, snap: u64) {
+        *self.published.write() = snap;
+    }
+
+    pub fn mutate(&self, lsn: u64) {
+        crash_point_hit("pre-log");
+        self.wal.commit(lsn);
+    }
+
+    pub fn guarded(&self, lsn: u64) {
+        if crash_point_hit("mid-commit") {
+            self.stat();
+        }
+        self.wal.commit(lsn);
+    }
+
+    fn stat(&self) {}
+}

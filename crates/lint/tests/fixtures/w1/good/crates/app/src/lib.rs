@@ -1,0 +1,46 @@
+//! W1 good fixture: append-then-publish, steered crash points, waived ack.
+
+pub struct Wal;
+
+impl Wal {
+    pub fn commit(&self, _lsn: u64) {}
+}
+
+fn crash_point_hit(_tag: &str) -> bool {
+    false
+}
+
+pub struct ProviderEngine {
+    wal: Wal,
+    published: RwLock<u64>,
+}
+
+impl ProviderEngine {
+    pub fn execute_write(&self, snap: u64, lsn: u64) -> Result<u64, ()> {
+        self.wal.commit(lsn);
+        *self.published.write() = snap;
+        Ok(lsn)
+    }
+
+    pub fn steered(&self, lsn: u64) {
+        if crash_point_hit("pre-commit") {
+            return;
+        }
+        self.wal.commit(lsn);
+    }
+
+    pub fn consumed(&self, lsn: u64) -> bool {
+        let hit = crash_point_hit("post-commit");
+        self.wal.commit(lsn);
+        !hit
+    }
+
+    pub fn waived_ack(&self, rows: u64, lsn: u64) -> Result<u64, ()> {
+        if rows == 0 {
+            // dasp::allow(W1): fixture — empty batch acks without logging
+            return Ok(0);
+        }
+        self.wal.commit(lsn);
+        Ok(rows)
+    }
+}

@@ -2,9 +2,11 @@
 //! (every `.rs` file in the tree, including fixtures that are invalid
 //! Rust on purpose) and must never panic — a lint that aborts on weird
 //! input is a lint that gets disabled. The workspace IR build runs the
-//! full pipeline: items, structs, fn bodies, ctx/panic/unit extraction.
+//! full pipeline: items, structs, fn bodies, ctx/panic/unit extraction,
+//! then the call graph and the B1/W1 interprocedural passes on top
+//! (the path hint is a `reactor.rs` so the B1 root filter can match).
 
-use dasp_lint::{lexer, parser};
+use dasp_lint::{blocking, callgraph, lexer, ordering, parser};
 use proptest::prelude::*;
 
 fn build(src: String) {
@@ -14,13 +16,16 @@ fn build(src: String) {
     for t in &tokens {
         assert!(t.line <= max_line, "token line {} out of range", t.line);
     }
-    let ws = parser::build_workspace(vec![("crates/app/src/lib.rs".to_string(), false, src)]);
+    let ws = parser::build_workspace(vec![("crates/app/src/reactor.rs".to_string(), false, src)]);
     // Walk everything the analyzer would: no index may be out of range.
     for f in &ws.fns {
         for ctx in &f.ctxs {
             assert!(ctx.args_start <= ctx.args_end);
         }
     }
+    let graph = callgraph::CallGraph::build(&ws);
+    let _ = blocking::run_b1(&ws, &graph);
+    let _ = ordering::run_w1(&ws, &graph);
 }
 
 proptest! {
@@ -35,8 +40,10 @@ proptest! {
 
     /// Rust-shaped punctuation soup: unbalanced braces, dangling
     /// generics, half-open comments and strings, stray `#` and `!`.
+    /// Uppercase letters let the soup spell type names the B1/W1 root
+    /// and seed filters match on (`Shard`, `Wal`, `WouldBlock`).
     #[test]
-    fn lexer_parser_survive_token_soup(src in "[a-z0-9 {}();=.,:<>#!&*'\"/_\n-]{0,300}") {
+    fn lexer_parser_survive_token_soup(src in "[a-zA-Z0-9 {}();=.,:<>#!&*'\"/_\n-]{0,300}") {
         build(src);
     }
 }

@@ -1,12 +1,13 @@
 //! Interprocedural rule tests. Each fixture under `tests/fixtures/{t1,
-//! l1,p3}/{bad,good}/` is a miniature workspace (its own `crates/` and,
-//! for P3, a `vendor/` tree) fed through the real [`analyze_workspace`]
-//! pipeline: lexer → item parser → call graph → T1/L1/P3. The bad
-//! fixtures pin the exact firing line *and* the full propagation or
-//! witness chain; the good fixtures must stay silent for the rule under
-//! test (waived findings excepted, which are asserted explicitly).
+//! l1,p3,b1,w1}/{bad,good}/` is a miniature workspace (its own
+//! `crates/` and, for P3, a `vendor/` tree) fed through the real
+//! [`analyze_workspace`] pipeline: lexer → item parser → call graph →
+//! T1/L1/P3/B1/W1. The bad fixtures pin the exact firing line *and* the
+//! full propagation or witness chain; the good fixtures must stay
+//! silent for the rule under test (waived findings excepted, which are
+//! asserted explicitly).
 
-use dasp_lint::{analyze_workspace, report, Finding, Report, Rule};
+use dasp_lint::{analyze_workspace, callgraph, parser, report, Finding, Report, Rule};
 use std::path::{Path, PathBuf};
 
 fn fixture_root(rule: &str, which: &str) -> PathBuf {
@@ -197,9 +198,186 @@ fn vendor_gets_relaxed_ruleset_u1_plus_p3_only() {
     );
 }
 
+const REACTOR: &str = "crates/app/src/reactor.rs";
+
+#[test]
+fn b1_bad_reports_blocking_ops_with_reachability_paths() {
+    let report = run("b1", "bad");
+    let got = of_rule(&report, Rule::B1);
+    let want = [
+        (
+            REACTOR.to_string(),
+            12,
+            "B1 blocking on reactor path: fsync in spill, reachable via Shard::run -> spill"
+                .to_string(),
+        ),
+        (
+            REACTOR.to_string(),
+            19,
+            "B1 blocking on reactor path: thread sleep in Conn::flush, reachable via \
+             Conn::flush"
+                .to_string(),
+        ),
+        (
+            REACTOR.to_string(),
+            38,
+            "B1 blocking on reactor path: write-capable lock acquisition in Shard::tick, \
+             reachable via Shard::tick"
+                .to_string(),
+        ),
+        (
+            REACTOR.to_string(),
+            43,
+            "B1 blocking on reactor path: unbounded channel send in Shard::pump, \
+             reachable via Shard::pump"
+                .to_string(),
+        ),
+        (
+            REACTOR.to_string(),
+            47,
+            "B1 blocking on reactor path: durable WAL append in Shard::log_durable, \
+             reachable via Shard::log_durable"
+                .to_string(),
+        ),
+    ];
+    assert_eq!(got, want, "B1 bad fixture findings");
+}
+
+#[test]
+fn b1_good_bounded_ops_and_wouldblock_io_pass_waiver_surfaces() {
+    let report = run("b1", "good");
+    assert_eq!(
+        of_rule(&report, Rule::B1),
+        vec![],
+        "unwaived B1 in good fixture"
+    );
+    let waived = waived_of_rule(&report, Rule::B1);
+    assert_eq!(waived.len(), 1, "exactly the waived backoff: {waived:?}");
+    assert_eq!(waived[0].line, 36);
+}
+
+#[test]
+fn w1_bad_reports_ordering_and_crash_point_violations() {
+    let report = run("w1", "bad");
+    let got = of_rule(&report, Rule::W1);
+    let want = [
+        (
+            APP.to_string(),
+            20,
+            "W1 durability ordering: snapshot publish precedes durable WAL append in \
+             ProviderEngine::execute_write"
+                .to_string(),
+        ),
+        (
+            APP.to_string(),
+            26,
+            "W1 durability ordering: success ack returned before durable WAL append in \
+             ProviderEngine::ack_early"
+                .to_string(),
+        ),
+        (
+            APP.to_string(),
+            33,
+            "W1 durability ordering: snapshot publish precedes durable WAL append in \
+             ProviderEngine::publish_via_helper via ProviderEngine::install -> \
+             ProviderEngine::set_published"
+                .to_string(),
+        ),
+        (
+            APP.to_string(),
+            46,
+            "W1 crash-point discipline: crash_point_hit result discarded in \
+             ProviderEngine::mutate"
+                .to_string(),
+        ),
+        (
+            APP.to_string(),
+            51,
+            "W1 crash-point discipline: execution continues past crash point guard in \
+             ProviderEngine::guarded"
+                .to_string(),
+        ),
+    ];
+    assert_eq!(got, want, "W1 bad fixture findings");
+}
+
+#[test]
+fn w1_good_append_then_publish_passes_waiver_surfaces() {
+    let report = run("w1", "good");
+    assert_eq!(
+        of_rule(&report, Rule::W1),
+        vec![],
+        "unwaived W1 in good fixture"
+    );
+    let waived = waived_of_rule(&report, Rule::W1);
+    assert_eq!(waived.len(), 1, "exactly the waived early ack: {waived:?}");
+    assert_eq!(waived[0].line, 41);
+}
+
+/// Regression for the call-graph precision upgrade: `Wal::spawn_flusher`
+/// calls `std::thread::Builder::new().name(…).spawn(…)` — a chained
+/// call on an external type. The old bare-name fallback fabricated an
+/// edge to every workspace fn named `spawn`; return-type chaining must
+/// classify the receiver as external and emit no edge at all.
+#[test]
+fn external_builder_spawn_does_not_link_to_workspace_spawn() {
+    let src = r#"
+pub struct Wal;
+
+impl Wal {
+    fn spawn_flusher(shared: u64) -> Option<u64> {
+        std::thread::Builder::new()
+            .name("dasp-wal-flusher".into())
+            .spawn(move || Self::flusher_loop(shared))
+            .ok()
+    }
+
+    fn flusher_loop(_shared: u64) {}
+}
+
+pub struct Cluster;
+
+impl Cluster {
+    pub fn spawn(&self, _provider: u64) -> u64 {
+        42
+    }
+}
+"#;
+    let ws = parser::build_workspace(vec![(
+        "crates/storage/src/wal.rs".to_string(),
+        false,
+        src.to_string(),
+    )]);
+    let graph = callgraph::CallGraph::build(&ws);
+    let find = |impl_type: &str, name: &str| {
+        ws.fns
+            .iter()
+            .position(|f| f.impl_type.as_deref() == Some(impl_type) && f.name == name)
+            .unwrap_or_else(|| panic!("{impl_type}::{name} not parsed"))
+    };
+    let flusher = find("Wal", "spawn_flusher");
+    let cluster_spawn = find("Cluster", "spawn");
+    let targets: Vec<usize> = graph.edges[flusher].iter().map(|e| e.to).collect();
+    assert!(
+        !targets.contains(&cluster_spawn),
+        "external Builder::spawn must not link to Cluster::spawn: {targets:?}"
+    );
+    // The closure body still links: the flusher loop is a real callee.
+    assert!(
+        targets.contains(&find("Wal", "flusher_loop")),
+        "Self::flusher_loop edge lost: {targets:?}"
+    );
+}
+
 #[test]
 fn output_is_deterministic_and_sorted() {
-    for (rule, which) in [("t1", "bad"), ("l1", "bad"), ("p3", "bad")] {
+    for (rule, which) in [
+        ("t1", "bad"),
+        ("l1", "bad"),
+        ("p3", "bad"),
+        ("b1", "bad"),
+        ("w1", "bad"),
+    ] {
         let a = run(rule, which);
         let b = run(rule, which);
         let render = |r: &Report| {

@@ -372,6 +372,9 @@ impl Shard {
                 if idle_streak <= 8 {
                     std::thread::yield_now();
                 } else {
+                    // No connection has pending work on a fully idle
+                    // tick, and the sleep is capped by cfg.idle_backoff.
+                    // dasp::allow(B1): bounded idle backoff on an empty tick
                     std::thread::sleep(backoff.min(cap));
                     backoff = (backoff * 2).min(self.cfg.idle_backoff);
                 }
@@ -435,6 +438,9 @@ impl Shard {
                                     // Inline mode: run the handler here and
                                     // queue the response without touching
                                     // the worker pool or its channels.
+                                    // workers=0 is an explicit opt-in that
+                                    // trades shard latency for zero hand-off.
+                                    // dasp::allow(B1): inline mode runs the handler on the shard by contract
                                     let payload = service.handle(&frame.payload);
                                     let data =
                                         encode_frame(frame.token, FrameKind::Response, &payload);
