@@ -85,6 +85,12 @@ DASP_PROVIDER_WORKERS=4 cargo run --release -q -p dasp-bench --bin wal_stress
 echo "== fault injection over TCP (same suite, socket transport) =="
 DASP_TRANSPORT=tcp cargo test -q -p dasp-apps --test fault_injection
 
+echo "== fault injection over batched TCP (1 ms coalescing window) =="
+DASP_TRANSPORT=tcp DASP_BATCH_WINDOW_US=1000 cargo test -q -p dasp-apps --test fault_injection
+
+echo "== transport equivalence (channel vs tcp vs batched tcp) =="
+cargo test -q -p dasp-apps --test transport_equivalence
+
 echo "== E20 socket throughput regression gate (>15% loss vs baseline fails) =="
 cargo run --release -q -p dasp-bench --bin experiments -- --check BENCH_net.json
 

@@ -44,8 +44,11 @@ pub use rpc::{
     Cluster, FailureMode, FailureSwitch, ProviderId, QuorumMode, QuorumOptions, RpcError, Service,
     ServiceFactory, SharedService,
 };
-pub use transport::{BlockingConn, TcpClient, TcpClientConfig, TransportError};
+pub use transport::{
+    batch_window_from_env, BlockingConn, TcpClient, TcpClientConfig, TransportError,
+};
 pub use wire::{
-    crc32, encode_frame, Frame, FrameDecoder, FrameError, FrameKind, WireError, WireReader,
+    batch_items, crc32, decode_batch, encode_frame, encode_frame_into, BatchFrameBuilder,
+    BatchItems, Frame, FrameDecoder, FrameError, FrameKind, FrameView, WireError, WireReader,
     WireWriter, FRAME_MAGIC, FRAME_OVERHEAD, MAX_FRAME_BODY,
 };

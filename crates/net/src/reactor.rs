@@ -24,11 +24,26 @@
 //!   workers run the [`SharedService`] and push completions back to the
 //!   owning shard, which writes the response frame out — out of order,
 //!   multiplexed by token;
+//! * a [`FrameKind::BatchRequest`] decodes into one job per sub-message;
+//!   once a connection has sent a batch frame its responses are
+//!   *re-coalesced*: completions are staged per tick and packed into
+//!   [`FrameKind::BatchResponse`] frames at flush time, so a loaded
+//!   connection pays one CRC, one length prefix and one `write` per tick
+//!   instead of one per response (connections that never batch still get
+//!   plain `Response` frames — the batcher is invisible to old clients);
+//! * the hot path is allocation-free in steady state: responses encode
+//!   into the connection's coalesced write buffer
+//!   ([`crate::wire::encode_frame_into`]), request payloads draw from a
+//!   shard-local buffer pool and ride back for reuse on the completion,
+//!   and both the write buffer and the decoder shrink to a high-water
+//!   mark after bursts;
 //! * backpressure is per connection: a connection with too many requests
 //!   in service or too many un-flushed response bytes is not read from
 //!   until it drains, so one slow consumer cannot balloon server memory.
 
-use crate::wire::{encode_frame, FrameDecoder, FrameKind, MAX_FRAME_BODY};
+use crate::wire::{
+    batch_items, encode_frame_into, BatchFrameBuilder, FrameDecoder, FrameKind, MAX_FRAME_BODY,
+};
 use crate::SharedService;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use std::collections::{HashMap, VecDeque};
@@ -91,6 +106,8 @@ struct StatsInner {
     open: AtomicU64,
     frames_in: AtomicU64,
     frames_out: AtomicU64,
+    batch_frames_in: AtomicU64,
+    batch_frames_out: AtomicU64,
     protocol_errors: AtomicU64,
     backpressure_pauses: AtomicU64,
 }
@@ -102,10 +119,15 @@ pub struct ServerStatsSnapshot {
     pub accepted: u64,
     /// Connections currently open.
     pub open: u64,
-    /// Request frames decoded.
+    /// Request messages decoded (batch sub-requests count individually).
     pub frames_in: u64,
-    /// Response frames queued for write.
+    /// Response messages queued for write (batch sub-responses count
+    /// individually).
     pub frames_out: u64,
+    /// Batch envelopes decoded from clients.
+    pub batch_frames_in: u64,
+    /// Batch envelopes coalesced onto the wire.
+    pub batch_frames_out: u64,
     /// Connections closed for violating the frame protocol.
     pub protocol_errors: u64,
     /// Ticks on which at least one connection was read-paused for
@@ -125,6 +147,8 @@ impl ServerStats {
             open: self.0.open.load(Ordering::Relaxed),
             frames_in: self.0.frames_in.load(Ordering::Relaxed),
             frames_out: self.0.frames_out.load(Ordering::Relaxed),
+            batch_frames_in: self.0.batch_frames_in.load(Ordering::Relaxed),
+            batch_frames_out: self.0.batch_frames_out.load(Ordering::Relaxed),
             protocol_errors: self.0.protocol_errors.load(Ordering::Relaxed),
             backpressure_pauses: self.0.backpressure_pauses.load(Ordering::Relaxed),
         }
@@ -139,23 +163,64 @@ struct Job {
     done: Sender<Completion>,
 }
 
-/// One finished response routed back to the owning shard.
+/// One finished response routed back to the owning shard. The request
+/// payload buffer rides back as `scratch` so the shard's pool can reuse
+/// its allocation for the next request.
 struct Completion {
     conn: u64,
     token: u64,
     payload: Vec<u8>,
+    scratch: Vec<u8>,
 }
 
-struct OutBuf {
-    data: Vec<u8>,
-    pos: usize,
+/// Shard-local free list of request-payload buffers. Jobs draw here and
+/// the buffers ride back on completions, so a steady request rate
+/// recycles a small working set instead of allocating per frame.
+#[derive(Default)]
+struct BufPool {
+    bufs: Vec<Vec<u8>>,
 }
+
+/// Most buffers a [`BufPool`] holds.
+const POOL_MAX_BUFS: usize = 64;
+
+/// Largest buffer capacity a [`BufPool`] keeps; oversized one-off
+/// payloads are dropped rather than pinned.
+const POOL_MAX_BYTES: usize = 256 * 1024;
+
+impl BufPool {
+    fn get(&mut self) -> Vec<u8> {
+        self.bufs.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, mut buf: Vec<u8>) {
+        if self.bufs.len() < POOL_MAX_BUFS && buf.capacity() <= POOL_MAX_BYTES {
+            buf.clear();
+            self.bufs.push(buf);
+        }
+    }
+}
+
+/// Write-buffer capacity a connection keeps through quiet periods; see
+/// [`Conn::flush`] for the shrink policy.
+const OUT_RETAIN: usize = 64 * 1024;
 
 struct Conn {
     stream: TcpStream,
     decoder: FrameDecoder,
-    out: VecDeque<OutBuf>,
-    out_bytes: usize,
+    /// Coalesced outbound bytes: every staged response encodes onto the
+    /// tail and the flush writes the un-sent range `[out_pos..]` — one
+    /// `write` syscall per tick for a loaded connection, regardless of
+    /// how many responses completed.
+    out: Vec<u8>,
+    /// First un-written byte of `out`.
+    out_pos: usize,
+    /// Completions staged this tick, packed into frames at flush time.
+    staged: Vec<(u64, Vec<u8>)>,
+    /// The peer has sent at least one batch frame, opting in to
+    /// coalesced [`FrameKind::BatchResponse`] replies. Plain clients
+    /// never see a batch frame.
+    batching: bool,
     inflight: usize,
     dead: bool,
     /// Last read attempt yielded bytes. Hot connections are scanned
@@ -199,30 +264,79 @@ impl Conn {
         Conn {
             stream,
             decoder: FrameDecoder::with_max_body(max_body),
-            out: VecDeque::new(),
-            out_bytes: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            staged: Vec::new(),
+            batching: false,
             inflight: 0,
             dead: false,
             hot: true,
         }
     }
 
-    /// Nonblocking write of queued response frames; true if bytes moved.
+    /// Un-flushed outbound bytes (the backpressure gauge).
+    fn out_pending(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Pack staged completions into outbound frames. A batching peer gets
+    /// them coalesced into [`FrameKind::BatchResponse`] envelopes (split
+    /// whenever the next sub-message would push the body past `max_body`);
+    /// everyone else gets one [`FrameKind::Response`] frame per
+    /// completion. Either way the bytes land on the tail of the coalesced
+    /// write buffer — no per-response allocation.
+    fn encode_staged(&mut self, max_body: u32, stats: &ServerStats) {
+        let n = self.staged.len();
+        if n == 0 {
+            return;
+        }
+        if !self.batching || n == 1 {
+            for (token, payload) in self.staged.drain(..) {
+                encode_frame_into(&mut self.out, token, FrameKind::Response, &payload);
+            }
+        } else {
+            let mut i = 0;
+            let mut envelopes = 0u64;
+            while i < n {
+                let mut b = BatchFrameBuilder::begin(&mut self.out, FrameKind::BatchResponse);
+                while i < n {
+                    // dasp::allow(P3): `i < n` bounds the index.
+                    let (token, payload) = &self.staged[i];
+                    if b.count() > 0 && b.body_len_with(payload.len()) > max_body as usize {
+                        break;
+                    }
+                    b.push(*token, payload);
+                    i += 1;
+                }
+                b.finish();
+                envelopes += 1;
+            }
+            self.staged.clear();
+            stats
+                .0
+                .batch_frames_out
+                .fetch_add(envelopes, Ordering::Relaxed);
+        }
+        stats.0.frames_out.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Nonblocking write of the coalesced outbound buffer; true if bytes
+    /// moved. On a full drain the buffer's capacity shrinks back toward
+    /// the larger of [`OUT_RETAIN`] and this drain's own high-water mark,
+    /// so a response burst does not pin megabytes per connection forever
+    /// while sustained large traffic never thrashes the allocator.
     fn flush(&mut self) -> bool {
         let mut progressed = false;
-        while let Some(front) = self.out.front_mut() {
-            match self.stream.write(&front.data[front.pos..]) {
+        while self.out_pos < self.out.len() {
+            // dasp::allow(P3): `out_pos <= out.len()` is the loop guard.
+            match self.stream.write(&self.out[self.out_pos..]) {
                 Ok(0) => {
                     self.dead = true;
                     break;
                 }
                 Ok(n) => {
                     progressed = true;
-                    front.pos += n;
-                    self.out_bytes = self.out_bytes.saturating_sub(n);
-                    if front.pos >= front.data.len() {
-                        self.out.pop_front();
-                    }
+                    self.out_pos += n;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -230,6 +344,14 @@ impl Conn {
                     self.dead = true;
                     break;
                 }
+            }
+        }
+        if self.out_pos >= self.out.len() && !self.out.is_empty() {
+            let keep = OUT_RETAIN.max(self.out.len());
+            self.out.clear();
+            self.out_pos = 0;
+            if self.out.capacity() > keep * 2 {
+                self.out.shrink_to(keep);
             }
         }
         progressed
@@ -262,6 +384,7 @@ impl Shard {
         let mut tick = 0u64;
         let mut last_progress = Instant::now();
         let mut buf = vec![0u8; 64 * 1024];
+        let mut pool = BufPool::default();
         while !self.shutdown.load(Ordering::Relaxed) {
             let mut progressed = false;
 
@@ -289,10 +412,13 @@ impl Shard {
                 }
             }
 
-            // Queue finished responses onto their connections.
+            // Stage finished responses on their connections; the scan
+            // below packs each connection's staged set into coalesced
+            // frames, so responses completing in the same tick share an
+            // envelope and a `write`.
             while let Ok(c) = self.completion_rx.try_recv() {
                 progressed = true;
-                Self::deliver(&mut conns, c, &self.stats);
+                Self::stage(&mut conns, c, &mut pool);
             }
 
             // The readiness scan: attempt the pending I/O everywhere.
@@ -306,17 +432,19 @@ impl Shard {
             let stagger = conns.len() > STAGGER_THRESHOLD && idle_streak == 0;
             let mut paused = false;
             for (&id, conn) in conns.iter_mut() {
+                conn.encode_staged(self.cfg.max_frame_body, &self.stats);
                 if conn.flush() {
                     progressed = true;
                 }
                 if !conn.dead {
                     let readable = stalled.is_empty()
                         && conn.inflight < self.cfg.max_inflight_per_conn
-                        && conn.out_bytes < self.cfg.max_outbound_bytes;
+                        && conn.out_pending() < self.cfg.max_outbound_bytes;
                     let due =
                         !stagger || conn.hot || id % COLD_SCAN_PERIOD == tick % COLD_SCAN_PERIOD;
                     if readable && due {
-                        let got = self.read_and_dispatch(id, conn, &mut buf, &mut stalled);
+                        let got =
+                            self.read_and_dispatch(id, conn, &mut buf, &mut stalled, &mut pool);
                         conn.hot = got;
                         if got {
                             progressed = true;
@@ -384,7 +512,13 @@ impl Shard {
             // wakes the shard immediately; otherwise retry after backoff.
             match self.completion_rx.recv_timeout(backoff.min(cap)) {
                 Ok(c) => {
-                    Self::deliver(&mut conns, c, &self.stats);
+                    // Stage the waking completion plus any burst right
+                    // behind it; the next tick's scan packs and flushes
+                    // them together.
+                    Self::stage(&mut conns, c, &mut pool);
+                    while let Ok(c) = self.completion_rx.try_recv() {
+                        Self::stage(&mut conns, c, &mut pool);
+                    }
                     backoff = min_backoff;
                 }
                 Err(_) => backoff = (backoff * 2).min(self.cfg.idle_backoff),
@@ -392,7 +526,10 @@ impl Shard {
         }
     }
 
-    fn deliver(conns: &mut HashMap<u64, Conn>, c: Completion, stats: &ServerStats) {
+    /// Record a finished response on its connection and recycle the
+    /// request buffer that rode back on the completion.
+    fn stage(conns: &mut HashMap<u64, Conn>, c: Completion, pool: &mut BufPool) {
+        pool.put(c.scratch);
         let Some(conn) = conns.get_mut(&c.conn) else {
             return; // connection closed while the request was in service
         };
@@ -400,20 +537,59 @@ impl Shard {
         if conn.dead {
             return;
         }
-        let data = encode_frame(c.token, FrameKind::Response, &c.payload);
-        conn.out_bytes += data.len();
-        conn.out.push_back(OutBuf { data, pos: 0 });
-        stats.0.frames_out.fetch_add(1, Ordering::Relaxed);
+        conn.staged.push((c.token, c.payload));
+    }
+
+    /// Dispatch one decoded request message: inline mode runs the handler
+    /// right here and stages the response; pool mode copies the payload
+    /// into a recycled buffer and hands it to the workers.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_one(
+        &self,
+        id: u64,
+        token: u64,
+        payload: &[u8],
+        inflight: &mut usize,
+        staged: &mut Vec<(u64, Vec<u8>)>,
+        dead: &mut bool,
+        stalled: &mut VecDeque<Job>,
+        pool: &mut BufPool,
+    ) {
+        self.stats.0.frames_in.fetch_add(1, Ordering::Relaxed);
+        if let Some(service) = &self.inline {
+            // Inline mode: run the handler here on the decoder's borrowed
+            // payload (zero copy) and stage the response. workers=0 is an
+            // explicit opt-in that trades shard latency for zero hand-off.
+            // dasp::allow(B1): inline mode runs the handler on the shard by contract
+            staged.push((token, service.handle(payload)));
+            return;
+        }
+        *inflight += 1;
+        let mut owned = pool.get();
+        owned.extend_from_slice(payload);
+        let job = Job {
+            conn: id,
+            token,
+            payload: owned,
+            done: self.completion_tx.clone(),
+        };
+        match self.jobs_tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => stalled.push_back(job),
+            Err(TrySendError::Disconnected(_)) => *dead = true,
+        }
     }
 
     /// Drain the socket's readable bytes (bounded per tick for fairness),
-    /// decode frames, dispatch them to the worker pool.
+    /// decode frames (unpacking batch envelopes into one dispatch per
+    /// sub-message), dispatch them to the worker pool.
     fn read_and_dispatch(
         &self,
         id: u64,
         conn: &mut Conn,
         buf: &mut [u8],
         stalled: &mut VecDeque<Job>,
+        pool: &mut BufPool,
     ) -> bool {
         let mut progressed = false;
         for _ in 0..4 {
@@ -424,53 +600,78 @@ impl Shard {
                 }
                 Ok(n) => {
                     progressed = true;
-                    conn.decoder.extend(&buf[..n]);
+                    // Disjoint field borrows: the decoder's frame view
+                    // stays live while staged/inflight/dead mutate.
+                    let Conn {
+                        decoder,
+                        staged,
+                        batching,
+                        inflight,
+                        dead,
+                        ..
+                    } = conn;
+                    decoder.extend(&buf[..n]);
                     loop {
-                        match conn.decoder.next_frame() {
-                            Ok(Some(frame)) => {
-                                if frame.kind != FrameKind::Request {
-                                    self.stats.0.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                    conn.dead = true;
-                                    break;
-                                }
-                                self.stats.0.frames_in.fetch_add(1, Ordering::Relaxed);
-                                if let Some(service) = &self.inline {
-                                    // Inline mode: run the handler here and
-                                    // queue the response without touching
-                                    // the worker pool or its channels.
-                                    // workers=0 is an explicit opt-in that
-                                    // trades shard latency for zero hand-off.
-                                    // dasp::allow(B1): inline mode runs the handler on the shard by contract
-                                    let payload = service.handle(&frame.payload);
-                                    let data =
-                                        encode_frame(frame.token, FrameKind::Response, &payload);
-                                    conn.out_bytes += data.len();
-                                    conn.out.push_back(OutBuf { data, pos: 0 });
-                                    self.stats.0.frames_out.fetch_add(1, Ordering::Relaxed);
-                                    continue;
-                                }
-                                conn.inflight += 1;
-                                let job = Job {
-                                    conn: id,
-                                    token: frame.token,
-                                    payload: frame.payload,
-                                    done: self.completion_tx.clone(),
-                                };
-                                match self.jobs_tx.try_send(job) {
-                                    Ok(()) => {}
-                                    Err(TrySendError::Full(job)) => stalled.push_back(job),
-                                    Err(TrySendError::Disconnected(_)) => {
-                                        conn.dead = true;
+                        match decoder.next_frame_view() {
+                            Ok(Some(view)) => match view.kind {
+                                FrameKind::Request => {
+                                    self.dispatch_one(
+                                        id,
+                                        view.token,
+                                        view.payload,
+                                        inflight,
+                                        staged,
+                                        dead,
+                                        stalled,
+                                        pool,
+                                    );
+                                    if *dead {
                                         break;
                                     }
                                 }
-                            }
+                                FrameKind::BatchRequest => {
+                                    *batching = true;
+                                    self.stats.0.batch_frames_in.fetch_add(1, Ordering::Relaxed);
+                                    for item in batch_items(view.payload) {
+                                        match item {
+                                            Ok((token, payload)) => {
+                                                self.dispatch_one(
+                                                    id, token, payload, inflight, staged, dead,
+                                                    stalled, pool,
+                                                );
+                                            }
+                                            Err(_) => {
+                                                // Truncated batch body: a
+                                                // typed error, a clean
+                                                // close — never a panic.
+                                                self.stats
+                                                    .0
+                                                    .protocol_errors
+                                                    .fetch_add(1, Ordering::Relaxed);
+                                                *dead = true;
+                                            }
+                                        }
+                                        if *dead {
+                                            break;
+                                        }
+                                    }
+                                    if *dead {
+                                        break;
+                                    }
+                                }
+                                FrameKind::Response | FrameKind::BatchResponse => {
+                                    // Clients must not send response kinds.
+                                    self.stats.0.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                    *dead = true;
+                                    break;
+                                }
+                            },
                             Ok(None) => break,
                             Err(_) => {
                                 // Corrupt stream: close. A typed error, a
                                 // clean close — never a panic or over-read.
                                 self.stats.0.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                conn.dead = true;
+                                *dead = true;
                                 break;
                             }
                         }
@@ -488,9 +689,10 @@ impl Shard {
                 }
             }
         }
-        // Inline responses are ready now — push them onto the wire
-        // without waiting for the next scan tick.
-        if self.inline.is_some() && !conn.dead && !conn.out.is_empty() {
+        // Inline responses are ready now — pack and push them onto the
+        // wire without waiting for the next scan tick.
+        if self.inline.is_some() && !conn.dead && !conn.staged.is_empty() {
+            conn.encode_staged(self.cfg.max_frame_body, &self.stats);
             conn.flush();
         }
         progressed
@@ -532,10 +734,13 @@ impl TcpServer {
                 .spawn(move || {
                     while let Ok(job) = jobs_rx.recv() {
                         let payload = service.handle(&job.payload);
+                        // The request buffer rides back for the shard's
+                        // pool to reuse.
                         let _ = job.done.send(Completion {
                             conn: job.conn,
                             token: job.token,
                             payload,
+                            scratch: job.payload,
                         });
                     }
                 });

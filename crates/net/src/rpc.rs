@@ -376,13 +376,28 @@ impl Cluster {
         timeout: Duration,
         workers: usize,
     ) -> std::io::Result<Self> {
+        Self::connect_tcp_with(addrs, timeout, workers, TcpClientConfig::default())
+    }
+
+    /// [`Cluster::connect_tcp`] with an explicit client configuration —
+    /// the hook for setting [`TcpClientConfig::batch_window`] (request
+    /// coalescing) or timeouts per fleet. `error_hold` and
+    /// `call_timeout` are still derived from the cluster timeout so the
+    /// crash/timeout equivalence contract holds regardless of the
+    /// passed-in values.
+    pub fn connect_tcp_with(
+        addrs: &[std::net::SocketAddr],
+        timeout: Duration,
+        workers: usize,
+        cfg: TcpClientConfig,
+    ) -> std::io::Result<Self> {
         let cfg = TcpClientConfig {
             // Strictly above the cluster per-attempt timeout: the
             // cluster's deadline always fires before the transport
             // gives up, preserving crash/timeout equivalence.
             error_hold: timeout.saturating_mul(2),
             call_timeout: timeout.saturating_mul(2),
-            ..TcpClientConfig::default()
+            ..cfg
         };
         let mut services: Vec<Arc<dyn SharedService>> = Vec::with_capacity(addrs.len());
         for addr in addrs {
@@ -1361,16 +1376,18 @@ mod tests {
         let cluster =
             Cluster::spawn_concurrent(vec![sleepy_shared_provider()], Duration::from_secs(2), 2);
         let start = Instant::now();
-        let results = cluster.call_many(vec![(0, vec![60, 1]), (0, vec![1, 2]), (0, vec![1, 3])]);
+        let results = cluster.call_many(vec![(0, vec![60, 1]), (0, vec![20, 2]), (0, vec![20, 3])]);
         let elapsed = start.elapsed();
         // Every request got its own reply despite the shared channel.
         assert_eq!(results.len(), 3);
-        for (i, expect) in [vec![60u8, 1], vec![1, 2], vec![1, 3]].iter().enumerate() {
+        for (i, expect) in [vec![60u8, 1], vec![20, 2], vec![20, 3]].iter().enumerate() {
             assert_eq!(results[i].1.as_ref().unwrap(), expect, "slot {i}");
         }
         // Compare against a serial replay rather than a wall-clock bound,
         // so the assertion holds on loaded machines too: one worker pays
-        // the 60 ms sleep plus both fast requests end to end.
+        // the 60 ms sleep plus both 20 ms requests end to end (~100 ms),
+        // while two workers overlap them inside the 60 ms (~40 ms of
+        // slack, enough that scheduler jitter cannot flip the verdict).
         let serial = {
             let cluster = Cluster::spawn_concurrent(
                 vec![sleepy_shared_provider()],
@@ -1379,7 +1396,7 @@ mod tests {
             );
             let start = Instant::now();
             let results =
-                cluster.call_many(vec![(0, vec![60, 1]), (0, vec![1, 2]), (0, vec![1, 3])]);
+                cluster.call_many(vec![(0, vec![60, 1]), (0, vec![20, 2]), (0, vec![20, 3])]);
             assert!(results.iter().all(|(_, r)| r.is_ok()));
             start.elapsed()
         };

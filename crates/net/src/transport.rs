@@ -22,14 +22,17 @@
 //! downstream share-consistency checks treat it like a corrupt
 //! Byzantine response).
 
-use crate::wire::{encode_frame, FrameDecoder, FrameError, FrameKind, MAX_FRAME_BODY};
+use crate::wire::{
+    batch_items, encode_frame, encode_frame_into, BatchFrameBuilder, FrameDecoder, FrameError,
+    FrameKind, MAX_FRAME_BODY,
+};
 use crate::SharedService;
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -85,6 +88,17 @@ pub struct TcpClientConfig {
     pub error_hold: Duration,
     /// Largest accepted response frame body.
     pub max_frame_body: u32,
+    /// Coalescing window for outbound requests — "group commit for
+    /// RPCs", mirroring the WAL flusher. `Duration::ZERO` (the default
+    /// unless `DASP_BATCH_WINDOW_US` is set) disables batching: every
+    /// call writes its own frame, exactly the pre-batching behavior.
+    /// A nonzero window routes calls through a batcher thread that packs
+    /// concurrent requests (quorum fan-out, `query_many` workers) into
+    /// one [`FrameKind::BatchRequest`] frame — one CRC, one length
+    /// prefix, one syscall — flushing as soon as every in-flight call is
+    /// packed, when the window expires, or at the batch size caps, so a
+    /// lone synchronous caller pays ~zero added latency.
+    pub batch_window: Duration,
 }
 
 impl Default for TcpClientConfig {
@@ -96,8 +110,33 @@ impl Default for TcpClientConfig {
             reconnect_backoff: Duration::from_millis(50),
             error_hold: Duration::from_secs(2),
             max_frame_body: MAX_FRAME_BODY,
+            batch_window: batch_window_from_env(),
         }
     }
+}
+
+/// The coalescing window `DASP_BATCH_WINDOW_US` selects (microseconds);
+/// unset, zero or unparsable means no batching. This is the knob CI and
+/// the experiment harness flip to run the whole stack batched without
+/// touching call sites.
+pub fn batch_window_from_env() -> Duration {
+    std::env::var("DASP_BATCH_WINDOW_US")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_micros)
+        .unwrap_or(Duration::ZERO)
+}
+
+/// Most sub-messages one outbound batch frame packs.
+const MAX_BATCH_SUBS: usize = 128;
+
+/// Most payload bytes one outbound batch frame packs.
+const MAX_BATCH_BYTES: usize = 1 << 20;
+
+/// One request queued for the batcher thread.
+struct BatchItem {
+    token: u64,
+    payload: Vec<u8>,
 }
 
 type PendingMap = HashMap<u64, Sender<Result<Vec<u8>, TransportError>>>;
@@ -114,9 +153,20 @@ struct Inner {
     addr: SocketAddr,
     cfg: TcpClientConfig,
     /// Lock order: `state` before `pending` (the reader's teardown and
-    /// the writer's registration both follow it).
+    /// the writer's registration both follow it). `batch_tx` is never
+    /// held across either — callers clone the sender out and drop the
+    /// guard before touching `state` or `pending`.
     state: Mutex<ConnState>,
     pending: Mutex<PendingMap>,
+    /// Queue handle for the batcher thread; `None` when batching is off
+    /// or the client is closed (closing drops the sender, which ends the
+    /// batcher's `recv` loop).
+    batch_tx: Mutex<Option<Sender<BatchItem>>>,
+    /// Calls handed (or about to be handed) to the batcher that it has
+    /// not yet pulled off the queue. The batcher flushes early when this
+    /// hits zero: every in-flight call is packed, so waiting out the
+    /// window would only add latency.
+    unsent: AtomicUsize,
     next_token: AtomicU64,
     epoch: AtomicU64,
     closed: AtomicBool,
@@ -148,6 +198,8 @@ impl TcpClient {
                     last_dial: None,
                 }),
                 pending: Mutex::new(HashMap::new()),
+                batch_tx: Mutex::new(None),
+                unsent: AtomicUsize::new(0),
                 next_token: AtomicU64::new(0),
                 epoch: AtomicU64::new(0),
                 closed: AtomicBool::new(false),
@@ -159,6 +211,19 @@ impl TcpClient {
             // the analyzer's call chain into it does not run under this guard.
             Self::dial(&client.inner, &mut st)
                 .map_err(|e| std::io::Error::new(ErrorKind::ConnectionRefused, e.to_string()))?;
+        }
+        if client.inner.cfg.batch_window > Duration::ZERO {
+            let (btx, brx) = unbounded::<BatchItem>();
+            let batcher_inner = Arc::clone(&client.inner);
+            let spawned = std::thread::Builder::new()
+                .name("dasp-tcp-batcher".to_string())
+                .spawn(move || batcher_loop(batcher_inner, brx));
+            if let Ok(handle) = spawned {
+                *client.inner.batch_tx.lock() = Some(btx);
+                // The batcher joins through the same drain as readers.
+                client.inner.state.lock().readers.push(handle);
+            }
+            // Spawn failure falls back to direct per-call writes.
         }
         Ok(client)
     }
@@ -175,12 +240,40 @@ impl TcpClient {
 
     /// One request/response exchange with a typed error. Concurrent
     /// callers share the connection; responses are matched by token.
+    /// With a nonzero [`TcpClientConfig::batch_window`] the request is
+    /// queued to the batcher thread, which packs concurrent calls into
+    /// one batch frame; otherwise it is written directly.
     pub fn call(&self, payload: &[u8]) -> Result<Vec<u8>, TransportError> {
         if self.inner.closed.load(Ordering::Relaxed) {
             return Err(TransportError::Closed);
         }
         let token = self.inner.next_token.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
+        let batch_tx = self.inner.batch_tx.lock().clone();
+        if let Some(btx) = batch_tx {
+            // dasp::allow(L1): `pending` is taken alone here — consistent
+            // with the crate-wide `state` -> `pending` order.
+            self.inner.pending.lock().insert(token, tx);
+            // Count *before* sending so the batcher's early-flush check
+            // (`unsent == 0`) can never miss an item that is mid-send.
+            self.inner.unsent.fetch_add(1, Ordering::AcqRel);
+            let item = BatchItem {
+                token,
+                payload: payload.to_vec(),
+            };
+            if btx.send(item).is_err() {
+                self.inner.unsent.fetch_sub(1, Ordering::AcqRel);
+                self.inner.pending.lock().remove(&token);
+                return Err(TransportError::Closed);
+            }
+            return match rx.recv_timeout(self.inner.cfg.call_timeout) {
+                Ok(result) => result,
+                Err(_) => {
+                    self.inner.pending.lock().remove(&token);
+                    Err(TransportError::TimedOut)
+                }
+            };
+        }
         {
             let mut st = self.inner.state.lock();
             if st.stream.is_none() {
@@ -266,6 +359,9 @@ impl TcpClient {
     /// Close the connection and wake every pending caller.
     pub fn close(&self) {
         self.inner.closed.store(true, Ordering::Relaxed);
+        // Dropping the sender ends the batcher's recv loop; it is joined
+        // through the readers drain below.
+        *self.inner.batch_tx.lock() = None;
         let readers: Vec<_> = {
             let mut st = self.inner.state.lock();
             if let Some(stream) = st.stream.take() {
@@ -291,6 +387,145 @@ impl Drop for TcpClient {
     }
 }
 
+/// The coalescing loop: park on the queue, and once a request arrives
+/// keep packing until the batch reaches the *adaptive depth target*,
+/// the window expires, or a size cap is hit — then write the whole pack
+/// as one frame. The frame scratch is reused across flushes and shrunk
+/// back after outsized bursts.
+///
+/// The depth target is the Nagle/group-commit trick that makes the
+/// window safe on a loaded box. Flushing the instant the queue drains
+/// (`unsent == 0`) degenerates under scheduler ping-pong: the reader
+/// wakes caller A, A's submit wakes this thread, and the batch flushes
+/// as a singleton before callers B..k ever run — so steady-state depth
+/// collapses to 1 and batching pays its costs without its savings.
+/// Instead the batcher remembers how deep batches have recently been
+/// and keeps parking on the queue (up to the window) until that many
+/// requests are aboard. The target grows instantly when a flush packs
+/// more, and *decays instantly* whenever a window expiry flushes fewer
+/// — so when concurrency drops, at most one flush pays the window
+/// before the target matches, and a lone synchronous caller (target 1)
+/// never waits at all.
+fn batcher_loop(inner: Arc<Inner>, rx: Receiver<BatchItem>) {
+    let window = inner.cfg.batch_window;
+    let mut items: Vec<BatchItem> = Vec::new();
+    let mut frame: Vec<u8> = Vec::new();
+    // How many requests steady state is expected to deliver per batch.
+    let mut target: usize = 1;
+    while let Ok(first) = rx.recv() {
+        inner.unsent.fetch_sub(1, Ordering::AcqRel);
+        let deadline = Instant::now() + window;
+        let mut bytes = first.payload.len();
+        let mut timed_out = false;
+        items.push(first);
+        loop {
+            if items.len() >= MAX_BATCH_SUBS || bytes >= MAX_BATCH_BYTES {
+                break;
+            }
+            match rx.try_recv() {
+                Ok(item) => {
+                    inner.unsent.fetch_sub(1, Ordering::AcqRel);
+                    bytes += item.payload.len();
+                    items.push(item);
+                    continue;
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => break,
+            }
+            // Met the expected depth with no submission visibly in
+            // flight: everything this round of concurrency produced is
+            // aboard — ship it without waiting out the window.
+            if items.len() >= target && inner.unsent.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                timed_out = true;
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(item) => {
+                    inner.unsent.fetch_sub(1, Ordering::AcqRel);
+                    bytes += item.payload.len();
+                    items.push(item);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    timed_out = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        target = if timed_out && items.len() < target {
+            items.len() // concurrency dropped: stop waiting for ghosts
+        } else {
+            target.max(items.len())
+        };
+        write_pack(&inner, &items, &mut frame);
+        items.clear();
+        if frame.capacity() > 2 * MAX_BATCH_BYTES {
+            frame.shrink_to(MAX_BATCH_BYTES);
+        }
+    }
+}
+
+/// Encode the packed requests (a plain frame for one, a batch frame for
+/// many) and write them under the connection lock — dialing first if the
+/// connection dropped, with the same error mapping as the direct path.
+/// On failure every packed call is woken with the error through
+/// `pending` (each token is removed at most once, so the capacity-1
+/// reply channels never see a second send).
+fn write_pack(inner: &Arc<Inner>, items: &[BatchItem], frame: &mut Vec<u8>) {
+    frame.clear();
+    if let [only] = items {
+        encode_frame_into(frame, only.token, FrameKind::Request, &only.payload);
+    } else {
+        let mut b = BatchFrameBuilder::begin(frame, FrameKind::BatchRequest);
+        for item in items {
+            b.push(item.token, &item.payload);
+        }
+        b.finish();
+    }
+    let result = {
+        let mut st = inner.state.lock();
+        (|| -> Result<(), TransportError> {
+            if st.stream.is_none() {
+                // dasp::allow(L1): `dial` spawns `reader_loop` on a fresh
+                // thread — that chain does not run under this guard.
+                TcpClient::dial(inner, &mut st)?;
+            }
+            let Some(stream) = st.stream.as_mut() else {
+                return Err(TransportError::Closed);
+            };
+            if let Err(e) = stream.write_all(frame) {
+                let _ = stream.shutdown(Shutdown::Both);
+                st.stream = None;
+                // A write timeout may have left a partial frame on the
+                // wire; the connection is already torn down above.
+                return Err(
+                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                        TransportError::TimedOut
+                    } else {
+                        TransportError::Io(e.to_string())
+                    },
+                );
+            }
+            Ok(())
+        })()
+    };
+    if let Err(err) = result {
+        // dasp::allow(L1): `state` was released above; `pending` is taken
+        // alone, and each `tx` is a capacity-1, single-send channel.
+        let mut pending = inner.pending.lock();
+        for item in items {
+            if let Some(tx) = pending.remove(&item.token) {
+                // dasp::allow(L1): capacity-1, single-send channel — never blocks.
+                let _ = tx.send(Err(err.clone()));
+            }
+        }
+    }
+}
+
 fn reader_loop(inner: Arc<Inner>, mut stream: TcpStream, my_epoch: u64) {
     let mut decoder = FrameDecoder::with_max_body(inner.cfg.max_frame_body);
     let mut buf = vec![0u8; 64 * 1024];
@@ -302,18 +537,38 @@ fn reader_loop(inner: Arc<Inner>, mut stream: TcpStream, my_epoch: u64) {
                 decoder.extend(&buf[..n]);
                 let mut failed = None;
                 loop {
-                    match decoder.next_frame() {
-                        Ok(Some(frame)) => {
-                            if frame.kind != FrameKind::Response {
+                    match decoder.next_frame_view() {
+                        Ok(Some(view)) => match view.kind {
+                            FrameKind::Response => {
+                                if let Some(tx) = inner.pending.lock().remove(&view.token) {
+                                    let _ = tx.send(Ok(view.payload.to_vec()));
+                                }
+                            }
+                            FrameKind::BatchResponse => {
+                                for item in batch_items(view.payload) {
+                                    match item {
+                                        Ok((token, payload)) => {
+                                            if let Some(tx) = inner.pending.lock().remove(&token) {
+                                                let _ = tx.send(Ok(payload.to_vec()));
+                                            }
+                                        }
+                                        Err(e) => {
+                                            failed = Some(TransportError::Frame(e));
+                                            break;
+                                        }
+                                    }
+                                }
+                                if failed.is_some() {
+                                    break;
+                                }
+                            }
+                            FrameKind::Request | FrameKind::BatchRequest => {
                                 failed = Some(TransportError::Frame(FrameError::BadKind(
-                                    frame.kind.to_u8(),
+                                    view.kind.to_u8(),
                                 )));
                                 break;
                             }
-                            if let Some(tx) = inner.pending.lock().remove(&frame.token) {
-                                let _ = tx.send(Ok(frame.payload));
-                            }
-                        }
+                        },
                         Ok(None) => break,
                         Err(e) => {
                             failed = Some(TransportError::Frame(e));
@@ -381,6 +636,9 @@ pub struct BlockingConn {
     decoder: FrameDecoder,
     next_token: u64,
     buf: Vec<u8>,
+    /// Reusable frame-encode scratch: steady-state calls allocate
+    /// nothing on the request path.
+    frame: Vec<u8>,
 }
 
 impl BlockingConn {
@@ -395,6 +653,7 @@ impl BlockingConn {
             decoder: FrameDecoder::new(),
             next_token: 0,
             buf: vec![0u8; 64 * 1024],
+            frame: Vec::new(),
         })
     }
 
@@ -402,9 +661,10 @@ impl BlockingConn {
     pub fn call(&mut self, payload: &[u8]) -> Result<Vec<u8>, TransportError> {
         let token = self.next_token;
         self.next_token += 1;
-        let frame = encode_frame(token, FrameKind::Request, payload);
+        self.frame.clear();
+        encode_frame_into(&mut self.frame, token, FrameKind::Request, payload);
         self.stream
-            .write_all(&frame)
+            .write_all(&self.frame)
             .map_err(|e| TransportError::Io(e.to_string()))?;
         loop {
             match self.decoder.next_frame() {
@@ -425,5 +685,70 @@ impl BlockingConn {
                 Err(e) => return Err(TransportError::Io(e.to_string())),
             }
         }
+    }
+
+    /// Send `payloads` as one [`FrameKind::BatchRequest`] frame and
+    /// collect every response, returned in request order. One CRC, one
+    /// length prefix, one `write` for the whole batch; responses may
+    /// arrive as individual frames or coalesced batch frames in any
+    /// order. A missing (never-produced) response surfaces as an empty
+    /// payload, mirroring [`SharedService`] error mapping; the combined
+    /// request body must stay under the server's frame cap.
+    pub fn call_many(&mut self, payloads: &[&[u8]]) -> Result<Vec<Vec<u8>>, TransportError> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = self.next_token;
+        self.next_token += payloads.len() as u64;
+        self.frame.clear();
+        let mut b = BatchFrameBuilder::begin(&mut self.frame, FrameKind::BatchRequest);
+        for (i, payload) in payloads.iter().enumerate() {
+            b.push(base + i as u64, payload);
+        }
+        b.finish();
+        self.stream
+            .write_all(&self.frame)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; payloads.len()];
+        let mut got = 0usize;
+        let mut fill = |token: u64, payload: Vec<u8>, got: &mut usize| {
+            if token >= base {
+                if let Some(slot) = results.get_mut((token - base) as usize) {
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                        *got += 1;
+                    }
+                }
+            }
+        };
+        while got < payloads.len() {
+            match self.decoder.next_frame() {
+                Ok(Some(f)) => {
+                    match f.kind {
+                        FrameKind::Response => fill(f.token, f.payload, &mut got),
+                        FrameKind::BatchResponse => {
+                            for item in batch_items(&f.payload) {
+                                let (token, payload) = item.map_err(TransportError::Frame)?;
+                                fill(token, payload.to_vec(), &mut got);
+                            }
+                        }
+                        _ => continue, // stale or unexpected: skip
+                    }
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => return Err(TransportError::Frame(e)),
+            }
+            match self.stream.read(&mut self.buf) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => self.decoder.extend(&self.buf[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(TransportError::TimedOut)
+                }
+                Err(e) => return Err(TransportError::Io(e.to_string())),
+            }
+        }
+        Ok(results.into_iter().map(|r| r.unwrap_or_default()).collect())
     }
 }

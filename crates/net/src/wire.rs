@@ -25,6 +25,22 @@
 //! checksum yields a typed [`FrameError`] so the connection can be closed
 //! cleanly instead of panicking or resynchronising on attacker-chosen
 //! bytes.
+//!
+//! Two *batch* frame kinds amortize that framing over many small RPCs
+//! (the wire analogue of the WAL's group commit): a
+//! [`FrameKind::BatchRequest`]/[`FrameKind::BatchResponse`] body packs N
+//! token-tagged sub-messages —
+//!
+//! ```text
+//! token: u64 (= sub count) | kind: u8 | repeat: sub_token: u64 | sub_len: u32 | sub_payload
+//! ```
+//!
+//! — under one header, one length prefix and one CRC, so a coalescing
+//! client pays one syscall and one checksum per *batch* instead of per
+//! query. Build one with [`BatchFrameBuilder`] (in-place, zero-alloc),
+//! walk one with [`batch_items`]. Every encode entry point also has an
+//! `*_into` form that appends to a caller-owned scratch buffer, which is
+//! what the reactor and transport use to keep the hot path allocation-free.
 
 use bytes::{Buf, BufMut, BytesMut};
 
@@ -75,9 +91,11 @@ impl WireWriter {
         Self::default()
     }
 
-    /// Finish, yielding the encoded bytes.
+    /// Finish, yielding the encoded bytes. Consumes the writer's buffer
+    /// in place — no copy on this path (it sits under every encoded RPC
+    /// payload in the workspace).
     pub fn finish(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf.into()
     }
 
     /// Bytes written so far.
@@ -366,10 +384,14 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// Direction tag of a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
-    /// Client → provider.
+    /// Client → provider, one request payload.
     Request,
-    /// Provider → client.
+    /// Provider → client, one response payload.
     Response,
+    /// Client → provider, N token-tagged sub-requests in one frame.
+    BatchRequest,
+    /// Provider → client, N token-tagged sub-responses in one frame.
+    BatchResponse,
 }
 
 impl FrameKind {
@@ -377,6 +399,8 @@ impl FrameKind {
         match self {
             FrameKind::Request => 0,
             FrameKind::Response => 1,
+            FrameKind::BatchRequest => 2,
+            FrameKind::BatchResponse => 3,
         }
     }
 
@@ -384,8 +408,15 @@ impl FrameKind {
         match b {
             0 => Some(FrameKind::Request),
             1 => Some(FrameKind::Response),
+            2 => Some(FrameKind::BatchRequest),
+            3 => Some(FrameKind::BatchResponse),
             _ => None,
         }
+    }
+
+    /// True for the two batch envelope kinds.
+    pub fn is_batch(self) -> bool {
+        matches!(self, FrameKind::BatchRequest | FrameKind::BatchResponse)
     }
 }
 
@@ -422,6 +453,16 @@ pub enum FrameError {
     },
     /// Unknown [`FrameKind`] tag.
     BadKind(u8),
+    /// A batch body ended mid-sub-message (truncated tag or a sub-length
+    /// claiming more bytes than the body holds). The envelope CRC was
+    /// valid, so this is a peer logic error, not line corruption — the
+    /// connection is closed either way.
+    BadBatch {
+        /// Bytes the next sub-message field needed.
+        wanted: usize,
+        /// Bytes actually left in the body.
+        left: usize,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -438,6 +479,12 @@ impl std::fmt::Display for FrameError {
                 )
             }
             FrameError::BadKind(k) => write!(f, "bad frame kind tag {k:#04x}"),
+            FrameError::BadBatch { wanted, left } => {
+                write!(
+                    f,
+                    "truncated batch sub-message: wanted {wanted} bytes, {left} left"
+                )
+            }
         }
     }
 }
@@ -454,33 +501,205 @@ impl std::error::Error for FrameError {}
 /// here gives a clear message instead of a silently truncated length
 /// prefix that the peer would reject by killing the connection.
 pub fn encode_frame(token: u64, kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    encode_frame_into(&mut out, token, kind, payload);
+    out
+}
+
+/// Append one encoded frame to `out`, returning the frame's byte count.
+/// The zero-alloc form of [`encode_frame`]: the reactor and the client
+/// transport call this with a long-lived scratch (or the connection's
+/// coalesced write buffer), so steady-state traffic encodes without
+/// touching the allocator. Same panic contract as [`encode_frame`].
+pub fn encode_frame_into(out: &mut Vec<u8>, token: u64, kind: FrameKind, payload: &[u8]) -> usize {
     let body_len = 8 + 1 + payload.len();
     assert!(
         body_len <= MAX_FRAME_BODY as usize,
         "frame body of {body_len} bytes exceeds MAX_FRAME_BODY ({MAX_FRAME_BODY})"
     );
-    let mut out = Vec::with_capacity(12 + body_len);
+    let head = out.len();
+    out.reserve(12 + body_len);
     out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
     out.extend_from_slice(&(body_len as u32).to_le_bytes());
     out.extend_from_slice(&[0u8; 4]); // crc patched below
     out.extend_from_slice(&token.to_le_bytes());
     out.push(kind.to_u8());
     out.extend_from_slice(payload);
-    // dasp::allow(P3): `out` holds the 21-byte header by construction.
-    let crc = crc32(&out[12..]);
-    // dasp::allow(P3): same 21-byte header — indexes 8..12 always exist.
-    out[8..12].copy_from_slice(&crc.to_le_bytes());
-    out
+    // dasp::allow(P3): `out[head..]` holds the 21-byte header by construction.
+    let crc = crc32(&out[head + 12..]);
+    // dasp::allow(P3): same 21-byte header — indexes head+8..head+12 exist.
+    out[head + 8..head + 12].copy_from_slice(&crc.to_le_bytes());
+    out.len() - head
 }
+
+/// In-place builder for one batch frame: appends the envelope header to a
+/// caller-owned buffer, then each `(token, payload)` sub-message directly
+/// behind it, and patches length, sub-count and CRC in [`finish`] — no
+/// intermediate per-message allocation, one checksum pass over the body.
+///
+/// The envelope's `token` field carries the sub-message count (the
+/// sub-messages have their own tokens, so the field is otherwise unused).
+///
+/// [`finish`]: BatchFrameBuilder::finish
+pub struct BatchFrameBuilder<'a> {
+    out: &'a mut Vec<u8>,
+    head: usize,
+    count: u64,
+}
+
+impl<'a> BatchFrameBuilder<'a> {
+    /// Start a batch frame of `kind` (one of the two batch kinds) at the
+    /// end of `out`.
+    pub fn begin(out: &'a mut Vec<u8>, kind: FrameKind) -> Self {
+        debug_assert!(kind.is_batch());
+        let head = out.len();
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&[0u8; 8]); // len + crc, patched in finish
+        out.extend_from_slice(&[0u8; 8]); // envelope token = sub count, patched
+        out.push(kind.to_u8());
+        BatchFrameBuilder {
+            out,
+            head,
+            count: 0,
+        }
+    }
+
+    /// Sub-messages appended so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Body bytes the frame would occupy after appending a sub-message of
+    /// `payload_len` bytes — the overflow guard a producer checks before
+    /// [`push`] so a batch never exceeds the peer's frame-body cap.
+    ///
+    /// [`push`]: BatchFrameBuilder::push
+    pub fn body_len_with(&self, payload_len: usize) -> usize {
+        (self.out.len() - self.head - 12) + 8 + 4 + payload_len
+    }
+
+    /// Append one token-tagged sub-message.
+    pub fn push(&mut self, token: u64, payload: &[u8]) {
+        self.out.extend_from_slice(&token.to_le_bytes());
+        self.out
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(payload);
+        self.count += 1;
+    }
+
+    /// Patch the length, sub-count and CRC; returns the frame's total
+    /// byte count. Panics if the body exceeds [`MAX_FRAME_BODY`] — the
+    /// same producer-side contract as [`encode_frame`]; callers bound
+    /// their batches with [`body_len_with`].
+    ///
+    /// [`body_len_with`]: BatchFrameBuilder::body_len_with
+    pub fn finish(self) -> usize {
+        let body_len = self.out.len() - self.head - 12;
+        assert!(
+            body_len <= MAX_FRAME_BODY as usize,
+            "batch frame body of {body_len} bytes exceeds MAX_FRAME_BODY ({MAX_FRAME_BODY})"
+        );
+        let head = self.head;
+        // dasp::allow(P3): `begin` wrote the 21-byte envelope at `head`, so
+        // every patched range below exists by construction.
+        self.out[head + 4..head + 8].copy_from_slice(&(body_len as u32).to_le_bytes());
+        // dasp::allow(P3): same 21-byte envelope.
+        self.out[head + 12..head + 20].copy_from_slice(&self.count.to_le_bytes());
+        // dasp::allow(P3): same 21-byte envelope.
+        let crc = crc32(&self.out[head + 12..]);
+        // dasp::allow(P3): same 21-byte envelope.
+        self.out[head + 8..head + 12].copy_from_slice(&crc.to_le_bytes());
+        self.out.len() - head
+    }
+}
+
+/// Iterate the `(token, payload)` sub-messages of a batch frame body
+/// (the `payload` of a [`FrameKind::BatchRequest`]/
+/// [`FrameKind::BatchResponse`] frame). Yields a typed
+/// [`FrameError::BadBatch`] — never a panic — if the body ends
+/// mid-sub-message; the iterator is fused after an error.
+pub fn batch_items(payload: &[u8]) -> BatchItems<'_> {
+    BatchItems { rest: payload }
+}
+
+/// Iterator returned by [`batch_items`].
+pub struct BatchItems<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for BatchItems<'a> {
+    type Item = Result<(u64, &'a [u8]), FrameError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        if self.rest.len() < 12 {
+            let left = self.rest.len();
+            self.rest = &[];
+            return Some(Err(FrameError::BadBatch { wanted: 12, left }));
+        }
+        let (tag, body) = self.rest.split_at(12);
+        // dasp::allow(P3): `split_at(12)` guarantees 12 tag bytes.
+        let token = u64::from_le_bytes([
+            tag[0], tag[1], tag[2], tag[3], tag[4], tag[5], tag[6], tag[7],
+        ]);
+        // dasp::allow(P3): same 12 tag bytes.
+        let len = u32::from_le_bytes([tag[8], tag[9], tag[10], tag[11]]) as usize;
+        if body.len() < len {
+            let left = body.len();
+            self.rest = &[];
+            return Some(Err(FrameError::BadBatch { wanted: len, left }));
+        }
+        let (payload, tail) = body.split_at(len);
+        self.rest = tail;
+        Some(Ok((token, payload)))
+    }
+}
+
+/// Decode a whole batch body into owned `(token, payload)` pairs — the
+/// convenience form of [`batch_items`] for tests and cold paths.
+pub fn decode_batch(payload: &[u8]) -> Result<Vec<(u64, Vec<u8>)>, FrameError> {
+    batch_items(payload)
+        .map(|item| item.map(|(t, p)| (t, p.to_vec())))
+        .collect()
+}
+
+/// A decoded frame borrowing its payload from the decoder's buffer — the
+/// zero-copy form of [`Frame`] returned by
+/// [`FrameDecoder::next_frame_view`]. The reactor dispatches straight off
+/// the view; only payloads that outlive the read tick (worker jobs,
+/// client completions) are copied out.
+pub struct FrameView<'a> {
+    /// Correlation token (for batch frames: the sub-message count).
+    pub token: u64,
+    /// Frame kind tag.
+    pub kind: FrameKind,
+    /// Frame payload, borrowed from the decoder's internal buffer.
+    pub payload: &'a [u8],
+}
+
+/// Buffer capacity the decoder keeps through quiet periods; anything a
+/// burst of large frames grew beyond this (and beyond the burst's own
+/// high-water mark) is released once the buffer fully drains.
+const RETAIN_CAP: usize = 64 * 1024;
 
 /// Incremental frame decoder: feed socket bytes in arbitrary splits with
 /// [`FrameDecoder::extend`], pop complete frames with
-/// [`FrameDecoder::next_frame`]. Consumed bytes are compacted lazily so
-/// steady-state decoding does not reallocate.
+/// [`FrameDecoder::next_frame_view`] (zero-copy) or
+/// [`FrameDecoder::next_frame`] (owned). Consumed bytes are compacted
+/// lazily so steady-state decoding does not reallocate, and capacity
+/// grown by a burst of near-[`MAX_FRAME_BODY`] frames is shrunk back to a
+/// high-water mark once the buffer drains, so one huge frame does not pin
+/// tens of megabytes per connection forever.
 pub struct FrameDecoder {
     buf: Vec<u8>,
     start: usize,
     max_body: u32,
+    /// Largest single frame seen since the last capacity reclaim; the
+    /// shrink floor, so a steady stream of large frames never thrashes
+    /// between shrink and regrow.
+    peak: usize,
 }
 
 impl Default for FrameDecoder {
@@ -501,11 +720,13 @@ impl FrameDecoder {
             buf: Vec::new(),
             start: 0,
             max_body,
+            peak: 0,
         }
     }
 
     /// Append raw socket bytes.
     pub fn extend(&mut self, bytes: &[u8]) {
+        self.reclaim();
         // Compact before growing: once more than half the buffer is dead
         // prefix, shift the live tail down instead of reallocating past it.
         if self.start > 0 && self.start * 2 >= self.buf.len() {
@@ -520,11 +741,40 @@ impl FrameDecoder {
         self.buf.len() - self.start
     }
 
-    /// Pop the next complete frame. `Ok(None)` means more bytes are
-    /// needed; `Err` means the stream is corrupt and must be closed (the
-    /// decoder does not attempt to resynchronise — a CRC-failed frame
-    /// boundary is attacker-controlled data).
-    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+    /// Current capacity of the internal buffer (for retention tests and
+    /// stats; not part of the decode contract).
+    pub fn buffered_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Release capacity a burst of large frames grew, once the buffer has
+    /// fully drained. The shrink floor is the larger of [`RETAIN_CAP`] and
+    /// the biggest frame seen since the last reclaim, so an oversized
+    /// buffer survives exactly one quiet cycle and sustained large-frame
+    /// traffic never thrashes the allocator.
+    fn reclaim(&mut self) {
+        if self.start == 0 || self.start < self.buf.len() {
+            return;
+        }
+        self.buf.clear();
+        self.start = 0;
+        let keep = RETAIN_CAP.max(self.peak);
+        if self.buf.capacity() > keep * 2 {
+            self.buf.shrink_to(keep);
+        }
+        self.peak = 0;
+    }
+
+    /// Pop the next complete frame without copying the payload. `Ok(None)`
+    /// means more bytes are needed; `Err` means the stream is corrupt and
+    /// must be closed (the decoder does not attempt to resynchronise — a
+    /// CRC-failed frame boundary is attacker-controlled data).
+    ///
+    /// The returned view borrows the decoder's buffer; it is consumed
+    /// regardless, so dropping the view without reading it skips the
+    /// frame.
+    pub fn next_frame_view(&mut self) -> Result<Option<FrameView<'_>>, FrameError> {
+        self.reclaim();
         // dasp::allow(P3): `start <= buf.len()` is the decoder's invariant —
         // it only ever advances past bytes that are present.
         let avail = &self.buf[self.start..];
@@ -562,16 +812,27 @@ impl FrameDecoder {
         ]);
         // dasp::allow(P3): `len >= 9` was checked, so the body holds 0..9.
         let kind = FrameKind::from_u8(body[8]).ok_or(FrameError::BadKind(body[8]))?;
-        let payload = body[9..].to_vec(); // dasp::allow(P3): len >= 9 checked
+        let frame_start = self.start;
         self.start += total;
-        if self.start == self.buf.len() {
-            self.buf.clear();
-            self.start = 0;
-        }
-        Ok(Some(Frame {
+        self.peak = self.peak.max(total);
+        // dasp::allow(P3): same bounds as `body` above, re-sliced from the
+        // buffer so the borrow is tied to `self` rather than `avail`.
+        let payload = &self.buf[frame_start + 12 + 9..frame_start + total];
+        Ok(Some(FrameView {
             token,
             kind,
             payload,
+        }))
+    }
+
+    /// Pop the next complete frame with an owned payload — the cloning
+    /// convenience over [`FrameDecoder::next_frame_view`] for callers that
+    /// hold frames across decoder calls.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        Ok(self.next_frame_view()?.map(|v| Frame {
+            token: v.token,
+            kind: v.kind,
+            payload: v.payload.to_vec(),
         }))
     }
 }
@@ -765,7 +1026,160 @@ mod tests {
         assert_eq!(dec.next_frame(), Err(FrameError::BadKind(9)));
     }
 
+    #[test]
+    fn encode_frame_into_matches_encode_frame_and_appends() {
+        let mut out = vec![0xEEu8; 7]; // pre-existing bytes must survive
+        let n = encode_frame_into(&mut out, 99, FrameKind::Request, b"abc");
+        let standalone = encode_frame(99, FrameKind::Request, b"abc");
+        assert_eq!(n, standalone.len());
+        assert_eq!(&out[..7], &[0xEE; 7]);
+        assert_eq!(&out[7..], standalone.as_slice());
+        // A second append decodes as a clean back-to-back stream.
+        encode_frame_into(&mut out, 100, FrameKind::Response, b"defg");
+        let mut dec = FrameDecoder::new();
+        dec.extend(&out[7..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap().token, 99);
+        assert_eq!(dec.next_frame().unwrap().unwrap().payload, b"defg");
+    }
+
+    #[test]
+    fn batch_roundtrip_zero_one_many() {
+        for subs in [0usize, 1, 17] {
+            let mut out = Vec::new();
+            let mut b = BatchFrameBuilder::begin(&mut out, FrameKind::BatchRequest);
+            for i in 0..subs {
+                b.push(1000 + i as u64, &vec![i as u8; i]);
+            }
+            assert_eq!(b.count(), subs as u64);
+            let n = b.finish();
+            assert_eq!(n, out.len());
+            let mut dec = FrameDecoder::new();
+            dec.extend(&out);
+            let f = dec.next_frame().unwrap().unwrap();
+            assert_eq!(f.kind, FrameKind::BatchRequest);
+            assert_eq!(f.token, subs as u64); // envelope token = sub count
+            let items = decode_batch(&f.payload).unwrap();
+            assert_eq!(items.len(), subs);
+            for (i, (tok, payload)) in items.iter().enumerate() {
+                assert_eq!(*tok, 1000 + i as u64);
+                assert_eq!(payload, &vec![i as u8; i]);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_body_len_with_predicts_finish() {
+        let mut out = Vec::new();
+        let mut b = BatchFrameBuilder::begin(&mut out, FrameKind::BatchResponse);
+        b.push(1, b"xy");
+        let predicted = b.body_len_with(5);
+        b.push(2, b"12345");
+        let total = b.finish();
+        // total = 12-byte header + body
+        assert_eq!(total - 12, predicted);
+    }
+
+    #[test]
+    fn batch_truncation_yields_bad_batch_never_panics() {
+        let mut out = Vec::new();
+        let mut b = BatchFrameBuilder::begin(&mut out, FrameKind::BatchRequest);
+        b.push(7, b"hello");
+        b.push(8, b"world!");
+        b.finish();
+        // Strip the 21-byte envelope; truncate the batch *body* at every
+        // offset.
+        let body = &out[FRAME_OVERHEAD..];
+        for cut in 0..body.len() {
+            let items: Vec<_> = batch_items(&body[..cut]).collect();
+            let trailing_err = items.iter().any(|i| i.is_err());
+            // Either the cut lands exactly on a sub boundary (all Ok) or
+            // the final item is a typed BadBatch error.
+            if !trailing_err {
+                let full = batch_items(body).filter(|i| i.is_ok()).count();
+                assert!(items.len() <= full);
+            } else {
+                assert!(matches!(
+                    items.last().unwrap(),
+                    Err(FrameError::BadBatch { .. })
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_releases_capacity_after_large_frame() {
+        let big = vec![0xABu8; 8 << 20]; // 8 MiB payload
+        let mut dec = FrameDecoder::new();
+        dec.extend(&encode_frame(1, FrameKind::Request, &big));
+        let f = dec.next_frame().unwrap().unwrap();
+        assert_eq!(f.payload.len(), big.len());
+        assert!(dec.buffered_capacity() >= big.len());
+        // A small follow-up frame plus one drained decode cycle must
+        // release the burst capacity back to the retention floor.
+        dec.extend(&encode_frame(2, FrameKind::Request, b"small"));
+        assert!(dec.next_frame().unwrap().is_some());
+        assert!(dec.next_frame().unwrap().is_none());
+        dec.extend(&encode_frame(3, FrameKind::Request, b"tiny"));
+        assert!(
+            dec.buffered_capacity() <= 2 * RETAIN_CAP,
+            "capacity {} not released",
+            dec.buffered_capacity()
+        );
+    }
+
+    #[test]
+    fn zero_copy_view_matches_owned_frame() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&encode_frame(5, FrameKind::BatchResponse, b"viewed"));
+        let v = dec.next_frame_view().unwrap().unwrap();
+        assert_eq!(v.token, 5);
+        assert_eq!(v.kind, FrameKind::BatchResponse);
+        assert_eq!(v.payload, b"viewed");
+    }
+
     proptest! {
+        #[test]
+        fn prop_batch_roundtrip_any_split(
+            subs in proptest::collection::vec(
+                (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+                0..12,
+            ),
+            chunk in 1usize..64,
+        ) {
+            let mut out = Vec::new();
+            let mut b = BatchFrameBuilder::begin(&mut out, FrameKind::BatchRequest);
+            for (tok, payload) in &subs {
+                b.push(*tok, payload);
+            }
+            b.finish();
+            let mut dec = FrameDecoder::new();
+            let mut got = None;
+            for part in out.chunks(chunk) {
+                dec.extend(part);
+                if let Some(f) = dec.next_frame().unwrap() {
+                    got = Some(f);
+                }
+            }
+            let f = got.expect("batch frame must complete");
+            prop_assert_eq!(f.token, subs.len() as u64);
+            let items = decode_batch(&f.payload).unwrap();
+            prop_assert_eq!(items, subs);
+        }
+
+        #[test]
+        fn prop_batch_garbage_body_never_panics(
+            body in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            // Arbitrary bytes iterate to Ok items and/or one typed error —
+            // never a panic, never an infinite loop.
+            let mut n = 0usize;
+            for item in batch_items(&body) {
+                let _ = item;
+                n += 1;
+                prop_assert!(n <= body.len() + 1);
+            }
+        }
+
         #[test]
         fn prop_frame_roundtrip_any_split(
             payload in proptest::collection::vec(any::<u8>(), 0..300),

@@ -75,6 +75,101 @@ fn multiplexed_client_concurrent_calls() {
 }
 
 #[test]
+fn batched_client_concurrent_calls() {
+    let server = serve(0xBA);
+    let client = Arc::new(
+        TcpClient::connect(
+            server.local_addr(),
+            TcpClientConfig {
+                batch_window: Duration::from_micros(500),
+                ..TcpClientConfig::default()
+            },
+        )
+        .expect("dial"),
+    );
+    let hits = Arc::new(AtomicUsize::new(0));
+    let mut threads = Vec::new();
+    for t in 0..8u64 {
+        let client = Arc::clone(&client);
+        let hits = Arc::clone(&hits);
+        threads.push(std::thread::spawn(move || {
+            for i in 0..50u64 {
+                let req = (t * 1000 + i).to_le_bytes();
+                let resp = client.call(&req).expect("call");
+                assert_eq!(resp[0], 0xBA);
+                assert_eq!(&resp[1..], &req);
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for th in threads {
+        th.join().expect("join");
+    }
+    assert_eq!(hits.load(Ordering::Relaxed), 400);
+    let snap = server.stats();
+    // Every request/response message is counted individually even when
+    // coalesced into batch envelopes.
+    assert!(snap.frames_in >= 400, "frames_in = {}", snap.frames_in);
+    assert!(snap.frames_out >= 400, "frames_out = {}", snap.frames_out);
+    assert_eq!(snap.protocol_errors, 0);
+}
+
+#[test]
+fn batched_single_caller_pays_no_window() {
+    let server = serve(0x77);
+    let client = TcpClient::connect(
+        server.local_addr(),
+        TcpClientConfig {
+            // A window so large that paying it per call would blow the
+            // test timeout: the early-flush path must kick in.
+            batch_window: Duration::from_millis(500),
+            ..TcpClientConfig::default()
+        },
+    )
+    .expect("dial");
+    let start = std::time::Instant::now();
+    for i in 0..20u32 {
+        let resp = client.call(&i.to_le_bytes()).expect("call");
+        assert_eq!(resp[0], 0x77);
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "lone caller waited out the batch window: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn blocking_conn_call_many_roundtrip() {
+    let server = serve(0xCD);
+    let mut conn =
+        BlockingConn::connect(server.local_addr(), Duration::from_secs(5)).expect("dial");
+    let payloads: Vec<Vec<u8>> = (0..37u32).map(|i| i.to_le_bytes().to_vec()).collect();
+    let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+    let responses = conn.call_many(&refs).expect("call_many");
+    assert_eq!(responses.len(), payloads.len());
+    for (req, resp) in payloads.iter().zip(&responses) {
+        assert_eq!(resp[0], 0xCD);
+        assert_eq!(&resp[1..], req.as_slice());
+    }
+    // Mixed traffic afterwards still works (tokens stay in sync).
+    let resp = conn.call(b"after").expect("call");
+    assert_eq!(&resp[1..], b"after");
+    let snap = server.stats();
+    assert!(snap.batch_frames_in >= 1, "server saw no batch envelope");
+    assert!(snap.frames_in >= 38);
+    assert_eq!(snap.protocol_errors, 0);
+}
+
+#[test]
+fn call_many_empty_is_ok() {
+    let server = serve(0x00);
+    let mut conn =
+        BlockingConn::connect(server.local_addr(), Duration::from_secs(5)).expect("dial");
+    assert_eq!(conn.call_many(&[]).expect("empty"), Vec::<Vec<u8>>::new());
+}
+
+#[test]
 fn large_payload_roundtrip() {
     let server = serve(0x11);
     let client = TcpClient::connect(server.local_addr(), TcpClientConfig::default()).expect("dial");
@@ -163,4 +258,46 @@ fn client_reconnects_after_server_restart() {
         std::thread::sleep(Duration::from_millis(10));
     }
     assert!(healed, "client never reconnected");
+}
+
+#[test]
+#[ignore = "diagnostic: prints steady-state batch depth"]
+fn diag_batch_depth() {
+    let server = serve(0xDD);
+    let client = Arc::new(
+        TcpClient::connect(
+            server.local_addr(),
+            TcpClientConfig {
+                batch_window: Duration::from_micros(1000),
+                ..TcpClientConfig::default()
+            },
+        )
+        .expect("dial"),
+    );
+    let warm = server.stats();
+    let mut threads = Vec::new();
+    for _ in 0..4u64 {
+        let client = Arc::clone(&client);
+        threads.push(std::thread::spawn(move || {
+            for i in 0..2000u64 {
+                let _ = client.call(&i.to_le_bytes()).expect("call");
+            }
+        }));
+    }
+    for th in threads {
+        th.join().expect("join");
+    }
+    let snap = server.stats();
+    let subs = snap.frames_in - warm.frames_in;
+    let envs = snap.batch_frames_in - warm.batch_frames_in;
+    println!(
+        "subs={} batch_envelopes={} avg_depth={:.2}",
+        subs,
+        envs,
+        if envs > 0 {
+            subs as f64 / envs as f64
+        } else {
+            0.0
+        }
+    );
 }

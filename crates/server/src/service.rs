@@ -102,6 +102,19 @@ pub fn serve_provider_tcp(
     dasp_net::TcpServer::serve(addr, Arc::new(ProviderService::new()), cfg)
 }
 
+/// Serve a caller-prepared service over TCP on `addr` — the hook for
+/// preloading tables or wrapping an engine before exposing it (the
+/// experiment harness preloads its corpus this way). Batch-frame
+/// clients work transparently: the reactor unpacks multi-query frames
+/// into individual engine requests and re-coalesces the responses.
+pub fn serve_shared_provider_tcp(
+    addr: &str,
+    service: Arc<dyn SharedService>,
+    cfg: dasp_net::ReactorConfig,
+) -> std::io::Result<dasp_net::TcpServer> {
+    dasp_net::TcpServer::serve(addr, service, cfg)
+}
+
 /// Spin up `n` independent TCP providers on ephemeral loopback ports —
 /// the socket-transport analogue of [`shared_provider_fleet`]. Returns
 /// the servers (keep them alive: dropping a server shuts it down) and

@@ -19,9 +19,12 @@ use std::time::{Duration, Instant};
 enum Transport {
     Channel,
     Tcp,
+    /// TCP with a 1 ms client-side coalescing window: requests ride in
+    /// multi-query batch frames. Same resilience semantics required.
+    TcpBatched,
 }
 
-const TRANSPORTS: [Transport; 2] = [Transport::Channel, Transport::Tcp];
+const TRANSPORTS: [Transport; 3] = [Transport::Channel, Transport::Tcp, Transport::TcpBatched];
 
 /// Deterministic service: response = [provider tag, request bytes...].
 struct TaggedEcho(u8);
@@ -53,7 +56,11 @@ fn fixture(transport: Transport, n: usize, timeout: Duration, breaker: BreakerCo
                 _servers: Vec::new(),
             }
         }
-        Transport::Tcp => {
+        Transport::Tcp | Transport::TcpBatched => {
+            let batch_window = match transport {
+                Transport::TcpBatched => Duration::from_millis(1),
+                _ => Duration::ZERO,
+            };
             let mut servers = Vec::with_capacity(n);
             let mut clients: Vec<Arc<dyn SharedService>> = Vec::with_capacity(n);
             for i in 0..n {
@@ -66,6 +73,7 @@ fn fixture(transport: Transport, n: usize, timeout: Duration, breaker: BreakerCo
                 let cfg = TcpClientConfig {
                     call_timeout: timeout.saturating_mul(2),
                     error_hold: timeout.saturating_mul(2),
+                    batch_window,
                     ..TcpClientConfig::default()
                 };
                 clients.push(Arc::new(
@@ -239,6 +247,67 @@ fn byzantine_injection_sits_above_the_socket_on_both_transports() {
             got.iter().all(|(p, r)| *r == expected(*p as u8, b"b")),
             "{t:?}: corrupt response passed validation"
         );
+    }
+}
+
+#[test]
+fn query_many_positions_identical_with_batching_on_and_off() {
+    // Full client stack over real providers: the same secret-shared
+    // deployment (same key seed, same rows, same client RNG seed) is
+    // stood up twice — once with the coalescing window off, once with a
+    // 1 ms window — and `query_many` must return position-identical
+    // decoded rows. Batching may only change wire shape, never results.
+    use dasp_client::{ColumnSpec, DataSource, Predicate, TableSchema, Value};
+    use dasp_core::client::ClientKeys;
+    use dasp_server::service::tcp_provider_fleet;
+    use dasp_sss::ShareMode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let (k, n) = (2usize, 4usize);
+    let rows: Vec<Vec<Value>> = (0..120u64)
+        .map(|i| vec![Value::Int(i % 12), Value::Int(i * 31 % (1 << 16))])
+        .collect();
+    let mut outcomes = Vec::new();
+    let mut fleets = Vec::new(); // keep servers alive until both queries ran
+    for window_us in [0u64, 1000] {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let keys = ClientKeys::generate(k, n, &mut rng).unwrap();
+        let (servers, addrs) = tcp_provider_fleet(n, ReactorConfig::default()).expect("bind fleet");
+        fleets.push(servers);
+        let cluster = Cluster::connect_tcp_with(
+            &addrs,
+            Duration::from_secs(2),
+            1,
+            TcpClientConfig {
+                batch_window: Duration::from_micros(window_us),
+                ..TcpClientConfig::default()
+            },
+        )
+        .expect("connect");
+        let mut ds = DataSource::with_seed(keys, cluster, 99).unwrap();
+        ds.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnSpec::numeric("k", 1 << 16, ShareMode::Deterministic),
+                    ColumnSpec::numeric("v", 1 << 20, ShareMode::OrderPreserving),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        ds.insert("t", &rows).unwrap();
+        let predicates: Vec<Vec<Predicate>> = (0..9u64)
+            .map(|i| vec![Predicate::eq("k", i % 12)])
+            .collect();
+        outcomes.push(ds.query_many("t", &predicates).expect("query_many"));
+    }
+    let (off, on) = (&outcomes[0], &outcomes[1]);
+    assert_eq!(off.len(), on.len());
+    for (i, (a, b)) in off.iter().zip(on).enumerate() {
+        assert!(!a.is_empty(), "query {i} matched nothing — weak test");
+        assert_eq!(a, b, "query {i}: batching changed decoded rows");
     }
 }
 

@@ -12,7 +12,11 @@
 //! * the decoder must never read past the bytes it was given (enforced
 //!   structurally: it only sees what `extend` passed in).
 
-use dasp_net::{encode_frame, Frame, FrameDecoder, FrameError, FrameKind};
+use dasp_net::{
+    batch_items, decode_batch, encode_frame, BatchFrameBuilder, Frame, FrameDecoder, FrameError,
+    FrameKind,
+};
+use proptest::prelude::*;
 
 fn sample_frames() -> Vec<(u64, FrameKind, Vec<u8>)> {
     vec![
@@ -90,7 +94,8 @@ fn every_single_bit_flip_is_rejected() {
                         FrameError::BadMagic(_)
                         | FrameError::BadLength { .. }
                         | FrameError::BadCrc { .. }
-                        | FrameError::BadKind(_),
+                        | FrameError::BadKind(_)
+                        | FrameError::BadBatch { .. },
                     ) => {}
                 }
             }
@@ -136,6 +141,146 @@ fn damage_between_frames_poisons_the_stream_once() {
     let first = dec.next_frame().expect("first frame ok").expect("present");
     assert_eq!(first.token, 1);
     assert!(dec.next_frame().is_err(), "damage must surface as an error");
+}
+
+fn encode_batch(kind: FrameKind, subs: &[(u64, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut b = BatchFrameBuilder::begin(&mut out, kind);
+    for (token, payload) in subs {
+        b.push(*token, payload);
+    }
+    b.finish();
+    out
+}
+
+#[test]
+fn batch_every_truncation_is_incomplete_or_typed_error() {
+    // Truncating the *stream* mid-batch must stall cleanly (the frame
+    // header promises more bytes); truncating the decoded *body* must
+    // yield a typed BadBatch from the sub-iterator — never a panic and
+    // never a fabricated sub-message.
+    let subs: Vec<(u64, Vec<u8>)> = vec![
+        (0, Vec::new()),
+        (u64::MAX, vec![0xAB; 3]),
+        (7, (0..100u8).collect()),
+    ];
+    for kind in [FrameKind::BatchRequest, FrameKind::BatchResponse] {
+        let wire = encode_batch(kind, &subs);
+        for cut in 0..wire.len() {
+            match decode_all(&wire[..cut]) {
+                Ok(frames) => assert!(
+                    frames.is_empty(),
+                    "batch truncation at {cut}/{} fabricated a frame",
+                    wire.len()
+                ),
+                Err(e) => panic!("batch truncation at {cut}/{} errored: {e}", wire.len()),
+            }
+        }
+        // Whole frame decodes; now truncate the *body* at every offset.
+        let frame = decode_all(&wire).expect("intact").remove(0);
+        for cut in 0..frame.payload.len() {
+            match decode_batch(&frame.payload[..cut]) {
+                Ok(items) => assert!(
+                    items.len() <= subs.len(),
+                    "body truncation at {cut} fabricated sub-messages"
+                ),
+                Err(FrameError::BadBatch { .. }) => {}
+                Err(e) => panic!("body truncation at {cut}: unexpected error {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_every_single_bit_flip_is_rejected_or_equivalent() {
+    // Frame-level CRC guards the whole batch body: any flip inside the
+    // envelope is a typed error, and anything that still decodes must be
+    // byte-identical to the original (length-field flips can only stall).
+    let subs: Vec<(u64, Vec<u8>)> = vec![(1, b"alpha".to_vec()), (2, b"bravo".to_vec())];
+    let wire = encode_batch(FrameKind::BatchRequest, &subs);
+    for byte in 0..wire.len() {
+        for bit in 0..8 {
+            let mut damaged = wire.clone();
+            damaged[byte] ^= 1u8 << bit;
+            match decode_all(&damaged) {
+                Ok(frames) => {
+                    for f in &frames {
+                        let items = decode_batch(&f.payload).expect("decodable batch");
+                        assert_eq!(
+                            items, subs,
+                            "bit flip at byte {byte} bit {bit} produced DIFFERENT sub-messages"
+                        );
+                    }
+                }
+                Err(
+                    FrameError::BadMagic(_)
+                    | FrameError::BadLength { .. }
+                    | FrameError::BadCrc { .. }
+                    | FrameError::BadKind(_)
+                    | FrameError::BadBatch { .. },
+                ) => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_at_decoder_body_cap_decodes_and_one_past_is_rejected() {
+    // A batch body exactly at the decoder's configured cap is accepted;
+    // one byte past it is a typed BadLength before any allocation.
+    const CAP: u32 = 4096;
+    // The cap counts the whole CRC-protected body: outer token + kind
+    // (9 bytes) plus one sub's token + length prefix (12 bytes).
+    let fixed = 9 + 8 + 4;
+    let payload = vec![0x5A; CAP as usize - fixed];
+    let wire = encode_batch(FrameKind::BatchRequest, &[(42, payload.clone())]);
+
+    let mut dec = FrameDecoder::with_max_body(CAP);
+    dec.extend(&wire);
+    let frame = dec.next_frame().expect("at cap").expect("present");
+    assert_eq!(decode_batch(&frame.payload).unwrap(), vec![(42, payload)]);
+
+    let over = encode_batch(
+        FrameKind::BatchRequest,
+        &[(42, vec![0x5A; CAP as usize - fixed + 1])],
+    );
+    let mut dec = FrameDecoder::with_max_body(CAP);
+    dec.extend(&over);
+    assert!(matches!(
+        dec.next_frame(),
+        Err(FrameError::BadLength { .. })
+    ));
+}
+
+proptest! {
+    #[test]
+    fn prop_batch_roundtrip_zero_one_many(
+        subs in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200)),
+            0..24,
+        )
+    ) {
+        for kind in [FrameKind::BatchRequest, FrameKind::BatchResponse] {
+            let wire = encode_batch(kind, &subs);
+            let frame = decode_all(&wire).expect("intact batch").remove(0);
+            prop_assert_eq!(frame.kind, kind);
+            prop_assert_eq!(frame.token, subs.len() as u64);
+            prop_assert_eq!(decode_batch(&frame.payload).expect("subs"), subs.clone());
+        }
+    }
+
+    #[test]
+    fn prop_batch_garbage_body_never_panics(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Arbitrary bytes fed to the sub-iterator: each item is Ok or a
+        // typed BadBatch, and the iterator fuses after the first error.
+        let mut saw_err = false;
+        for item in batch_items(&body) {
+            prop_assert!(!saw_err, "iterator yielded past an error");
+            if item.is_err() {
+                saw_err = true;
+            }
+        }
+    }
 }
 
 #[test]
