@@ -66,7 +66,69 @@ if ! grep -q '"rule": "W1"' <<< "$report"; then
     rm -rf "$smoke"
     exit 1
 fi
+rm -f "$smoke/crates/app/src/engine.rs"
+cat > "$smoke/crates/app/src/locks.rs" <<'EOF'
+pub struct Engine {
+    pub tables: Mutex<u32>,
+    pub pool: Mutex<u32>,
+}
+impl Engine {
+    pub fn publish(&self) {
+        let t = self.tables.lock();
+        let p = self.pool.lock();
+        drop(p);
+        drop(t);
+    }
+    pub fn evict(&self) {
+        let p = self.pool.lock();
+        let t = self.tables.lock();
+        drop(t);
+        drop(p);
+    }
+}
+EOF
+report="$(cargo run -q -p dasp-lint -- --root "$smoke" --format json 2>/dev/null)"
+if ! grep -q '"rule": "C1"' <<< "$report"; then
+    echo "smoke FAILED: seeded C1 lock-order cycle was not caught" >&2
+    rm -rf "$smoke"
+    exit 1
+fi
+rm -f "$smoke/crates/app/src/locks.rs"
+cat > "$smoke/crates/app/src/conn.rs" <<'EOF'
+pub struct Conn {
+    pub state: Mutex<u32>,
+}
+fn reader_loop(conn: &Conn) {
+    let g = conn.state.lock();
+    drop(g);
+}
+impl Conn {
+    pub fn reconnect(&self) {
+        let g = self.state.lock();
+        let h = std::thread::spawn(|| reader_loop(self));
+        let _ = h.join();
+        drop(g);
+    }
+}
+EOF
+report="$(cargo run -q -p dasp-lint -- --root "$smoke" --format json 2>/dev/null)"
+if ! grep -q '"rule": "C2"' <<< "$report"; then
+    echo "smoke FAILED: seeded C2 lock-held join deadlock was not caught" >&2
+    rm -rf "$smoke"
+    exit 1
+fi
 rm -rf "$smoke"
+
+echo "== dasp-lint timing (full workspace must stay under 5 s) =="
+cargo build --release -q -p dasp-lint
+start_ms=$(( $(date +%s%N) / 1000000 ))
+./target/release/dasp-lint --timing --baseline lint-baseline.json > /dev/null
+elapsed_ms=$(( $(date +%s%N) / 1000000 - start_ms ))
+echo "full lint run took ${elapsed_ms} ms"
+if [ "$elapsed_ms" -ge 5000 ]; then
+    echo "timing FAILED: full lint run took ${elapsed_ms} ms (budget 5000 ms)" >&2
+    exit 1
+fi
 
 echo "== cargo build --release =="
 cargo build --release --workspace

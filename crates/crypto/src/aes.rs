@@ -40,6 +40,20 @@ const INV_SBOX: [u8; 256] = {
 
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
+/// S-box lookup. A `u8` index can never reach past a 256-entry table,
+/// so the `unwrap_or` arm is unreachable; `get` keeps the whole cipher
+/// free of panic-capable indexing (P3).
+#[inline]
+fn sbox_at(b: u8) -> u8 {
+    SBOX.get(usize::from(b)).copied().unwrap_or(0)
+}
+
+/// Inverse S-box lookup (same bounds argument as [`sbox_at`]).
+#[inline]
+fn inv_sbox_at(b: u8) -> u8 {
+    INV_SBOX.get(usize::from(b)).copied().unwrap_or(0)
+}
+
 /// An AES-128 key schedule (11 round keys).
 #[derive(Clone)]
 pub struct Aes128 {
@@ -67,29 +81,17 @@ fn gmul(a: u8, b: u8) -> u8 {
 }
 
 impl Aes128 {
-    /// Expand a 16-byte key.
+    /// Expand a 16-byte key. Round key *r+1* depends only on round key
+    /// *r*, so the schedule is derived key-by-key with destructuring —
+    /// no 44-word scratch array, no panic-capable indexing.
     pub fn new(key: &[u8; 16]) -> Self {
-        let mut w = [[0u8; 4]; 44];
-        for i in 0..4 {
-            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
-        }
-        for i in 4..44 {
-            let mut temp = w[i - 1];
-            if i % 4 == 0 {
-                temp.rotate_left(1);
-                for t in &mut temp {
-                    *t = SBOX[*t as usize];
-                }
-                temp[0] ^= RCON[i / 4 - 1];
-            }
-            for j in 0..4 {
-                w[i][j] = w[i - 4][j] ^ temp[j];
-            }
-        }
         let mut round_keys = [[0u8; 16]; 11];
-        for r in 0..11 {
-            for c in 0..4 {
-                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+        let mut prev = *key;
+        let mut rcon = RCON.iter();
+        for rk in round_keys.iter_mut() {
+            *rk = prev;
+            if let Some(&r) = rcon.next() {
+                prev = expand_round(&prev, r);
             }
         }
         Aes128 { round_keys }
@@ -97,30 +99,42 @@ impl Aes128 {
 
     /// Encrypt one 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[0]);
-        for round in 1..10 {
+        let Some((first, rest)) = self.round_keys.split_first() else {
+            return;
+        };
+        let Some((last, middle)) = rest.split_last() else {
+            return;
+        };
+        add_round_key(block, first);
+        for rk in middle {
             sub_bytes(block);
             shift_rows(block);
             mix_columns(block);
-            add_round_key(block, &self.round_keys[round]);
+            add_round_key(block, rk);
         }
         sub_bytes(block);
         shift_rows(block);
-        add_round_key(block, &self.round_keys[10]);
+        add_round_key(block, last);
     }
 
     /// Decrypt one 16-byte block in place.
     pub fn decrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[10]);
+        let Some((first, rest)) = self.round_keys.split_first() else {
+            return;
+        };
+        let Some((last, middle)) = rest.split_last() else {
+            return;
+        };
+        add_round_key(block, last);
         inv_shift_rows(block);
         inv_sub_bytes(block);
-        for round in (1..10).rev() {
-            add_round_key(block, &self.round_keys[round]);
+        for rk in middle.iter().rev() {
+            add_round_key(block, rk);
             inv_mix_columns(block);
             inv_shift_rows(block);
             inv_sub_bytes(block);
         }
-        add_round_key(block, &self.round_keys[0]);
+        add_round_key(block, first);
     }
 
     /// Deterministically encrypt a `u128` value (one block). Used by the
@@ -140,60 +154,85 @@ impl Aes128 {
     }
 }
 
+/// One AES-128 key-schedule step: derive round key *r+1* from round key
+/// *r* (FIPS 197 §5.2, specialised to Nk=4 so every word it needs lives
+/// in `prev`).
+fn expand_round(prev: &[u8; 16], rcon: u8) -> [u8; 16] {
+    let [p0, p1, p2, p3, p4, p5, p6, p7, p8, p9, p10, p11, p12, p13, p14, p15] = *prev;
+    // temp = SubWord(RotWord(w3)) ^ [rcon, 0, 0, 0]
+    let (t0, t1, t2, t3) = (
+        sbox_at(p13) ^ rcon,
+        sbox_at(p14),
+        sbox_at(p15),
+        sbox_at(p12),
+    );
+    let (a0, a1, a2, a3) = (p0 ^ t0, p1 ^ t1, p2 ^ t2, p3 ^ t3);
+    let (b0, b1, b2, b3) = (p4 ^ a0, p5 ^ a1, p6 ^ a2, p7 ^ a3);
+    let (c0, c1, c2, c3) = (p8 ^ b0, p9 ^ b1, p10 ^ b2, p11 ^ b3);
+    let (d0, d1, d2, d3) = (p12 ^ c0, p13 ^ c1, p14 ^ c2, p15 ^ c3);
+    [
+        a0, a1, a2, a3, b0, b1, b2, b3, c0, c1, c2, c3, d0, d1, d2, d3,
+    ]
+}
+
 fn add_round_key(state: &mut [u8; 16], key: &[u8; 16]) {
-    for i in 0..16 {
-        state[i] ^= key[i];
+    for (s, k) in state.iter_mut().zip(key) {
+        *s ^= k;
     }
 }
 
 fn sub_bytes(state: &mut [u8; 16]) {
     for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
+        *b = sbox_at(*b);
     }
 }
 
 fn inv_sub_bytes(state: &mut [u8; 16]) {
     for b in state.iter_mut() {
-        *b = INV_SBOX[*b as usize];
+        *b = inv_sbox_at(*b);
     }
 }
 
 // State layout: state[4*c + r] = byte at row r, column c (FIPS column-major).
+// Row r rotates left by r columns; written as one explicit permutation so
+// the transform stays index-free.
 fn shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
-        }
-    }
+    let [s0, s1, s2, s3, s4, s5, s6, s7, s8, s9, s10, s11, s12, s13, s14, s15] = *state;
+    *state = [
+        s0, s5, s10, s15, s4, s9, s14, s3, s8, s13, s2, s7, s12, s1, s6, s11,
+    ];
 }
 
 fn inv_shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
-        }
-    }
+    let [s0, s1, s2, s3, s4, s5, s6, s7, s8, s9, s10, s11, s12, s13, s14, s15] = *state;
+    *state = [
+        s0, s13, s10, s7, s4, s1, s14, s11, s8, s5, s2, s15, s12, s9, s6, s3,
+    ];
 }
 
 fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("4 bytes");
-        state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
-        state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
-        state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
-        state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    for col in state.chunks_exact_mut(4) {
+        if let [a, b, c, d] = *col {
+            col.copy_from_slice(&[
+                gmul(a, 2) ^ gmul(b, 3) ^ c ^ d,
+                a ^ gmul(b, 2) ^ gmul(c, 3) ^ d,
+                a ^ b ^ gmul(c, 2) ^ gmul(d, 3),
+                gmul(a, 3) ^ b ^ c ^ gmul(d, 2),
+            ]);
+        }
     }
 }
 
 fn inv_mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("4 bytes");
-        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
-        state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
-        state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
-        state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    for col in state.chunks_exact_mut(4) {
+        if let [a, b, c, d] = *col {
+            col.copy_from_slice(&[
+                gmul(a, 14) ^ gmul(b, 11) ^ gmul(c, 13) ^ gmul(d, 9),
+                gmul(a, 9) ^ gmul(b, 14) ^ gmul(c, 11) ^ gmul(d, 13),
+                gmul(a, 13) ^ gmul(b, 9) ^ gmul(c, 14) ^ gmul(d, 11),
+                gmul(a, 11) ^ gmul(b, 13) ^ gmul(c, 9) ^ gmul(d, 14),
+            ]);
+        }
     }
 }
 
@@ -216,8 +255,9 @@ impl CtrMode {
     pub fn apply(&self, data: &mut [u8]) {
         for (i, chunk) in data.chunks_mut(16).enumerate() {
             let mut block = [0u8; 16];
-            block[..8].copy_from_slice(&self.nonce.to_be_bytes());
-            block[8..].copy_from_slice(&(i as u64).to_be_bytes());
+            let (hi, lo) = block.split_at_mut(8);
+            hi.copy_from_slice(&self.nonce.to_be_bytes());
+            lo.copy_from_slice(&(i as u64).to_be_bytes());
             self.cipher.encrypt_block(&mut block);
             for (b, k) in chunk.iter_mut().zip(block.iter()) {
                 *b ^= k;

@@ -48,9 +48,12 @@ impl Sha256 {
         // Fill a partial buffer first.
         if self.buffer_len > 0 {
             let take = (64 - self.buffer_len).min(data.len());
-            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            let (head, rest) = data.split_at(take);
+            for (slot, byte) in self.buffer.iter_mut().skip(self.buffer_len).zip(head) {
+                *slot = *byte;
+            }
             self.buffer_len += take;
-            data = &data[take..];
+            data = rest;
             if self.buffer_len == 64 {
                 let block = self.buffer;
                 self.compress(&block);
@@ -67,7 +70,9 @@ impl Sha256 {
         }
         // Stash the tail.
         if !data.is_empty() {
-            self.buffer[..data.len()].copy_from_slice(data);
+            for (slot, byte) in self.buffer.iter_mut().zip(data) {
+                *slot = *byte;
+            }
             self.buffer_len = data.len();
         }
     }
@@ -81,45 +86,42 @@ impl Sha256 {
             self.update(&[0]);
         }
         // Manual length append (update would recount it).
-        self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        for (slot, byte) in self.buffer.iter_mut().skip(56).zip(bit_len.to_be_bytes()) {
+            *slot = byte;
+        }
         let block = self.buffer;
         self.compress(&block);
 
         let mut out = [0u8; 32];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
         }
         out
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
-            ]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+        // Message schedule as a 16-word rolling window: round i consumes
+        // the window head w0 and appends
+        // w[i+16] = w[i] + σ0(w[i+1]) + w[i+9] + σ1(w[i+14]),
+        // which is FIPS 180-4 §6.2.2 re-indexed so no w[i-k] lookups
+        // (and no panic-capable indexing) are needed.
+        let mut win = [0u32; 16];
+        for (slot, chunk) in win.iter_mut().zip(block.chunks_exact(4)) {
+            if let [b0, b1, b2, b3] = *chunk {
+                *slot = u32::from_be_bytes([b0, b1, b2, b3]);
+            }
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
+        for &k in K.iter() {
+            let [w0, w1, w2, w3, w4, w5, w6, w7, w8, w9, w10, w11, w12, w13, w14, w15] = win;
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
             let t1 = h
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
+                .wrapping_add(k)
+                .wrapping_add(w0);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let t2 = s0.wrapping_add(maj);
@@ -131,15 +133,26 @@ impl Sha256 {
             c = b;
             b = a;
             a = t1.wrapping_add(t2);
+            // Slide the schedule window one word (the words produced in
+            // the last 16 rounds are computed but never consumed).
+            let lo = w1.rotate_right(7) ^ w1.rotate_right(18) ^ (w1 >> 3);
+            let hi = w14.rotate_right(17) ^ w14.rotate_right(19) ^ (w14 >> 10);
+            let next = w0.wrapping_add(lo).wrapping_add(w9).wrapping_add(hi);
+            win = [
+                w1, w2, w3, w4, w5, w6, w7, w8, w9, w10, w11, w12, w13, w14, w15, next,
+            ];
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        let [h0, h1, h2, h3, h4, h5, h6, h7] = self.state;
+        self.state = [
+            h0.wrapping_add(a),
+            h1.wrapping_add(b),
+            h2.wrapping_add(c),
+            h3.wrapping_add(d),
+            h4.wrapping_add(e),
+            h5.wrapping_add(f),
+            h6.wrapping_add(g),
+            h7.wrapping_add(h),
+        ];
     }
 }
 

@@ -32,6 +32,7 @@
 
 pub mod blocking;
 pub mod callgraph;
+pub mod deadlock;
 pub mod ir;
 pub mod lexer;
 pub mod locks;
@@ -70,6 +71,12 @@ pub enum Rule {
     /// Durability ordering: publish/ack dominated by durable WAL
     /// append; crash-point results steer control.
     W1,
+    /// Lock-order cycles across the workspace (per-field identities).
+    C1,
+    /// Bounded-channel / join wait cycles across threads.
+    C2,
+    /// No silently discarded `Result` from sends/appends.
+    E1,
 }
 
 impl Rule {
@@ -87,6 +94,9 @@ impl Rule {
             Rule::P3 => "P3",
             Rule::B1 => "B1",
             Rule::W1 => "W1",
+            Rule::C1 => "C1",
+            Rule::C2 => "C2",
+            Rule::E1 => "E1",
         }
     }
 }
@@ -169,7 +179,8 @@ impl Config {
             // The interprocedural rules manage their own scope: T1/L1
             // skip vendor/, P3 follows the call graph wherever it
             // goes, B1 starts from the reactor roots, W1 from the
-            // WAL/publish effect seeds.
+            // WAL/publish effect seeds, C1/C2 model every first-party
+            // fn.
             Rule::S1
             | Rule::S2
             | Rule::U1
@@ -177,7 +188,14 @@ impl Config {
             | Rule::L1
             | Rule::P3
             | Rule::B1
-            | Rule::W1 => true,
+            | Rule::W1
+            | Rule::C1
+            | Rule::C2 => true,
+            Rule::E1 => {
+                path.contains("crates/net/")
+                    || path.contains("crates/server/")
+                    || path.contains("crates/storage/")
+            }
             Rule::P1 => {
                 path.contains("crates/net/")
                     || path.contains("crates/server/")
@@ -232,6 +250,21 @@ impl Report {
 /// violations on purpose).
 const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "fixtures", ".git"];
 
+/// Wall-clock breakdown of a workspace run, one entry per phase.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Timing {
+    /// Reading sources + lexing (each file is lexed exactly once).
+    pub lex: std::time::Duration,
+    /// Per-file token rules (S1/S2/P1/P2/D1/U1/E1).
+    pub token_rules: std::time::Duration,
+    /// IR construction + call-graph linking.
+    pub parse: std::time::Duration,
+    /// All interprocedural passes (T1/L1/P3/B1/W1/C1/C2).
+    pub interproc: std::time::Duration,
+    /// End-to-end, including normalization.
+    pub total: std::time::Duration,
+}
+
 /// Analyze the workspace under `root`: first-party `.rs` files in
 /// `crates/` and `examples/` (minus [`SKIP_DIRS`]) under the full
 /// ruleset, plus `vendor/*/src/` under the relaxed one (U1 + P3).
@@ -239,10 +272,18 @@ const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "fixtures",
 /// Two phases: the per-file token rules run first, then the files are
 /// parsed into a [`ir::WorkspaceIr`], linked into a call graph, and the
 /// interprocedural rules (T1 taint, L1 lock discipline, P3 transitive
-/// panic reachability, B1 reactor blocking, W1 durability ordering)
-/// run over the whole program. Findings come back normalized: sorted
-/// by (file, line, rule, message), deduplicated.
+/// panic reachability, B1 reactor blocking, W1 durability ordering,
+/// C1/C2 deadlock detection) run over the whole program. Each file is
+/// lexed exactly once; the token stream is shared between the token
+/// rules and the IR. Findings come back normalized: sorted by (file,
+/// line, rule, message), deduplicated.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    analyze_workspace_timed(root).map(|(report, _)| report)
+}
+
+/// [`analyze_workspace`] plus the per-phase [`Timing`] breakdown.
+pub fn analyze_workspace_timed(root: &Path) -> std::io::Result<(Report, Timing)> {
+    let t_start = std::time::Instant::now();
     let mut files = Vec::new();
     for sub in ["crates", "examples"] {
         let dir = root.join(sub);
@@ -264,30 +305,46 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
     }
     vendor_files.sort();
 
+    let mut timing = Timing::default();
     let mut report = Report::default();
-    let mut inputs: Vec<(String, bool, String)> = Vec::new();
+    let mut inputs: Vec<(String, bool, Vec<lexer::Token>)> = Vec::new();
     let first_party = files.into_iter().map(|f| (f, false));
     let vendored = vendor_files.into_iter().map(|f| (f, true));
     for (file, vendor) in first_party.chain(vendored) {
+        let t = std::time::Instant::now();
         let src = std::fs::read_to_string(&file)?;
         let rel = file
             .strip_prefix(root)
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
+        let tokens = lexer::lex(&src);
+        timing.lex += t.elapsed();
         report.files_scanned += 1;
-        report.findings.extend(analyze_source(&rel, &src));
-        inputs.push((rel, vendor, src));
+        inputs.push((rel, vendor, tokens));
     }
 
     let cfg = Config::default();
-    let ws = parser::build_workspace(inputs);
+    let t = std::time::Instant::now();
+    for (rel, _, tokens) in &inputs {
+        report.findings.extend(rules::check(rel, tokens, &cfg));
+    }
+    timing.token_rules = t.elapsed();
+
+    let t = std::time::Instant::now();
+    let ws = parser::build_workspace_tokens(inputs);
     let graph = callgraph::CallGraph::build(&ws);
+    timing.parse = t.elapsed();
+
+    let t = std::time::Instant::now();
     report
         .findings
         .extend(interproc_findings(&ws, &graph, &cfg));
+    timing.interproc = t.elapsed();
+
     report::normalize(&mut report.findings);
-    Ok(report)
+    timing.total = t_start.elapsed();
+    Ok((report, timing))
 }
 
 /// Convert T1/L1/P3/B1/W1 hits into [`Finding`]s, applying waivers.
@@ -375,6 +432,18 @@ fn interproc_findings(
             message: hit.message,
             waived: waived_at(hit.fn_id, hit.line, Rule::W1),
         });
+    }
+    let dl = deadlock::run(ws);
+    for (rule, hits) in [(Rule::C1, dl.c1), (Rule::C2, dl.c2)] {
+        for hit in hits {
+            out.push(Finding {
+                rule,
+                file: file_of(hit.fn_id),
+                line: hit.line,
+                message: hit.message,
+                waived: waived_at(hit.fn_id, hit.line, rule),
+            });
+        }
     }
     out
 }

@@ -22,7 +22,9 @@
 
 use crate::callgraph::{resolve_call, resolve_recv_types, CallGraph};
 use crate::ir::{Ctx, CtxKind, FnId, FnItem, WorkspaceIr};
+use crate::lexer::{Token, TokenKind};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// The lock classes the workspace uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -49,13 +51,139 @@ impl LockClass {
         matches!(self, LockClass::RwWrite | LockClass::Mutex)
     }
 
-    fn describe(self) -> &'static str {
+    pub(crate) fn describe(self) -> &'static str {
         match self {
             LockClass::RwRead => "RwLock read guard",
             LockClass::RwWrite => "RwLock write guard",
             LockClass::Mutex => "mutex guard",
         }
     }
+}
+
+/// A lock *identity*: which specific lock object an acquisition refers
+/// to, as precisely as the receiver chain can be typed. `self.state
+/// .lock()` inside `impl Inner` and `inner.state.lock()` where `inner:
+/// &Arc<Inner>` both yield `Inner.state`; an indexed shard
+/// (`pool.shards[i].lock()`) yields `BufferPool.shards[]` — one
+/// identity per shard *array*, which is exactly the granularity a
+/// whole-program lock-order graph needs. Shared between L1 (which
+/// classifies by [`LockClass`]) and the C1 cycle detector in
+/// [`crate::deadlock`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub String);
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Derive the [`LockId`] of a lock-acquisition context (one that
+/// [`lock_class`] already accepted). `None` when the receiver cannot be
+/// identified (e.g. produced by a call: `pending().lock()`), in which
+/// case C1 conservatively skips the acquisition rather than guess.
+pub(crate) fn lock_identity(ws: &WorkspaceIr, f: &FnItem, ctx: &Ctx) -> Option<LockId> {
+    if !ctx.method {
+        return None;
+    }
+    let tokens = &ws.files[f.file].tokens;
+    let segs = recv_segments(tokens, ctx.name_tok)?;
+    let (last, owner_segs) = segs.split_last()?;
+    if owner_segs.is_empty() {
+        // Single-segment receiver: `self.lock()` is the impl type
+        // itself; a param/local mutex is identified by its type.
+        if last == "self" {
+            return f.impl_type.clone().map(LockId);
+        }
+        let head = vec![last.trim_end_matches("[]").to_string()];
+        return resolve_recv_types(ws, f, &head).map(|ty| LockId(render_ty(&ty)));
+    }
+    // Field access: identify as `OwnerType.field`, falling back to the
+    // lexical path (`state.out_buf`) when the owner cannot be typed.
+    let owner: Vec<String> = owner_segs
+        .iter()
+        .map(|s| s.trim_end_matches("[]").to_string())
+        .collect();
+    if let Some(ty) = resolve_recv_types(ws, f, &owner) {
+        let name = ty
+            .iter()
+            .find(|t| ws.structs.contains_key(t.as_str()))
+            .or_else(|| ty.first())?;
+        return Some(LockId(format!("{name}.{last}")));
+    }
+    let mut parts = segs.clone();
+    if let (Some(head), Some(t)) = (parts.first_mut(), &f.impl_type) {
+        if head == "self" {
+            *head = t.clone();
+        }
+    }
+    Some(LockId(parts.join(".")))
+}
+
+/// Render a type-ident list as a display type (`["Mutex", "ConnState"]`
+/// → `Mutex<ConnState>`).
+fn render_ty(ty: &[String]) -> String {
+    match ty.split_first() {
+        Some((h, rest)) if !rest.is_empty() => format!("{h}<{}>", rest.join(", ")),
+        Some((h, _)) => h.clone(),
+        None => String::new(),
+    }
+}
+
+/// The lexical receiver chain of a method call, walked back over `.`
+/// from the callee name. Unlike [`Ctx::recv`] this traverses index
+/// groups, so `pool.shards[i].lock()` yields `["pool", "shards[]"]`
+/// instead of `["<expr>"]`. `None` when the chain starts at anything
+/// other than a plain ident path (e.g. a producing call).
+fn recv_segments(tokens: &[Token], name_tok: usize) -> Option<Vec<String>> {
+    let mut segs: Vec<String> = Vec::new();
+    let dot = crate::parser::prev_nc(tokens, name_tok)?;
+    if !tokens[dot].is_punct('.') {
+        return None;
+    }
+    let mut i = dot;
+    loop {
+        i = crate::parser::prev_nc(tokens, i)?;
+        if tokens[i].is_punct(']') {
+            let open = open_of(tokens, i)?;
+            let base = crate::parser::prev_nc(tokens, open)?;
+            if tokens[base].kind != TokenKind::Ident
+                || crate::parser::is_keyword(&tokens[base].text)
+            {
+                return None;
+            }
+            segs.insert(0, format!("{}[]", tokens[base].text));
+            i = base;
+        } else if matches!(tokens[i].kind, TokenKind::Ident | TokenKind::Number) {
+            if crate::parser::is_keyword(&tokens[i].text) {
+                return None;
+            }
+            segs.insert(0, tokens[i].text.clone());
+        } else {
+            return None;
+        }
+        match crate::parser::prev_nc(tokens, i) {
+            Some(p) if tokens[p].is_punct('.') => i = p,
+            _ => break,
+        }
+    }
+    Some(segs)
+}
+
+/// Matching open bracket for the `]` at `close`, scanning backwards.
+fn open_of(tokens: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for k in (0..=close).rev() {
+        if tokens[k].is_punct(']') {
+            depth += 1;
+        } else if tokens[k].is_punct('[') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
 }
 
 /// One L1 result, pre-waiver.

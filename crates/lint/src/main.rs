@@ -3,7 +3,7 @@
 //! ```text
 //! dasp-lint [--root DIR] [--format text|json] [--baseline FILE]
 //!           [--deny-all | --deny-new | --explain-new]
-//!           [--write-baseline FILE] [--quiet]
+//!           [--write-baseline FILE] [--quiet] [--timing]
 //! ```
 //!
 //! Text mode prints every unwaived finding as `path:line: RULE:
@@ -19,6 +19,9 @@
 //! current findings against the baseline — new entries prefixed `+`,
 //! stale ones `-` — so a red CI run explains itself.
 //! `--write-baseline` records the current unwaived findings and exits.
+//! `--timing` prints the per-phase wall-clock breakdown (lex, token
+//! rules, parse, interprocedural, total) to stderr; CI asserts the
+//! total stays under its budget.
 
 use dasp_lint::report::Baseline;
 use std::path::PathBuf;
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
     let mut deny_new = false;
     let mut explain_new = false;
     let mut quiet = false;
+    let mut timing = false;
     let mut format = Format::Text;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
@@ -65,11 +69,13 @@ fn main() -> ExitCode {
                 explain_new = true;
             }
             "--quiet" => quiet = true,
+            "--timing" => timing = true,
             "--help" | "-h" => {
                 println!(
                     "dasp-lint: secrecy-hygiene, lock-discipline and panic-safety analyzer\n\n\
                      USAGE: dasp-lint [--root DIR] [--format text|json] [--baseline FILE]\n\
-                     \x20                [--deny-all | --deny-new] [--write-baseline FILE] [--quiet]\n\n\
+                     \x20                [--deny-all | --deny-new] [--write-baseline FILE]\n\
+                     \x20                [--quiet] [--timing]\n\n\
                      --root DIR             workspace root to scan (default: .)\n\
                      --format text|json     output format (default: text; json goes to stdout)\n\
                      --baseline FILE        known-findings file (default: <root>/lint-baseline.json)\n\
@@ -78,8 +84,10 @@ fn main() -> ExitCode {
                      --explain-new          --deny-new, plus a unified diff of findings vs\n\
                      \x20                      baseline on failure (new and stale entries)\n\
                      --write-baseline FILE  record current unwaived findings and exit\n\
-                     --quiet                suppress the summary line\n\n\
-                     Token rules: S1 S2 P1 P2 D1 U1; interprocedural: T1 L1 P3 B1 W1 (DESIGN.md §8).\n\
+                     --quiet                suppress the summary line\n\
+                     --timing               print the per-phase wall-clock breakdown to stderr\n\n\
+                     Token rules: S1 S2 P1 P2 D1 U1 E1; interprocedural: T1 L1 P3 B1 W1 C1 C2\n\
+                     (DESIGN.md §8).\n\
                      vendor/ is scanned with the relaxed set (U1 + P3).\n\
                      Waive a line with: // dasp::allow(RULE): reason"
                 );
@@ -92,13 +100,19 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match dasp_lint::analyze_workspace(&root) {
+    let (report, phases) = match dasp_lint::analyze_workspace_timed(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("dasp-lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if timing {
+        eprintln!(
+            "dasp-lint timing: lex {:.1?}, token rules {:.1?}, parse {:.1?}, interproc {:.1?}, total {:.1?}",
+            phases.lex, phases.token_rules, phases.parse, phases.interproc, phases.total
+        );
+    }
 
     if let Some(path) = write_baseline {
         let baseline = Baseline::from_report(&report);

@@ -30,13 +30,23 @@ pub fn is_keyword(s: &str) -> bool {
 /// are processed in the given order; callers sort paths first so the IR
 /// (and everything derived from it) is deterministic.
 pub fn build_workspace(inputs: Vec<(String, bool, String)>) -> WorkspaceIr {
+    build_workspace_tokens(
+        inputs
+            .into_iter()
+            .map(|(path, vendor, src)| (path, vendor, crate::lexer::lex(&src)))
+            .collect(),
+    )
+}
+
+/// [`build_workspace`] over already-lexed token streams, so a driver
+/// that also runs the token rules lexes each file exactly once.
+pub fn build_workspace_tokens(inputs: Vec<(String, bool, Vec<Token>)>) -> WorkspaceIr {
     let mut ir = WorkspaceIr {
         files: Vec::new(),
         fns: Vec::new(),
         structs: BTreeMap::new(),
     };
-    for (path, vendor, src) in inputs {
-        let tokens = crate::lexer::lex(&src);
+    for (path, vendor, tokens) in inputs {
         let test_mask = crate::rules::test_mask(&tokens);
         let (waivers, _) = crate::rules::waivers(&tokens);
         let file_idx = ir.files.len();

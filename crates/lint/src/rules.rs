@@ -1,4 +1,5 @@
-//! The six dasp lint rules, evaluated over a lexed token stream.
+//! The seven token-level dasp lint rules, evaluated over a lexed
+//! token stream.
 //!
 //! | Rule | What it enforces |
 //! |------|------------------|
@@ -8,6 +9,7 @@
 //! | P2   | no lossy `as` numeric casts in field/bigint arithmetic |
 //! | D1   | no wall-clock reads (`Instant::now`, `SystemTime`) in deterministic codec crates |
 //! | U1   | every `unsafe` carries a `// SAFETY:` comment |
+//! | E1   | no silently discarded `Result` (`let _ = tx.send(…)`, bare `.ok();`) from sends/appends in net/server/storage |
 //!
 //! Waivers: a comment `// dasp::allow(RULE): reason` suppresses `RULE` on
 //! its own line and on the next non-comment code line. `// SAFETY: …`
@@ -110,6 +112,9 @@ pub fn check(path: &str, tokens: &[Token], cfg: &Config) -> Vec<Finding> {
     }
     if cfg.in_scope(Rule::D1, path) {
         d1_wall_clock(tokens, &code, &mut emit);
+    }
+    if cfg.in_scope(Rule::E1, path) {
+        e1_discarded_results(tokens, &code, &mut emit);
     }
     u1_unsafe(tokens, &code, &mut emit);
     findings
@@ -602,6 +607,154 @@ fn d1_wall_clock(tokens: &[Token], code: &[usize], emit: &mut impl FnMut(Rule, u
                     .to_string(),
             );
         }
+    }
+}
+
+/// Methods whose `Result` E1 refuses to see silently dropped: a failed
+/// send means a dead peer (the caller must tear down or retry) and a
+/// failed append means lost durability — neither may vanish into
+/// `let _ =` or a bare `.ok();`.
+const E1_METHODS: &[&str] = &[
+    "send",
+    "send_timeout",
+    "try_send",
+    "append",
+    "append_durable",
+    "commit",
+];
+
+/// E1: silently discarded `Result` from a send/append.
+///
+/// Two shapes: `let _ = recv.send(…) …;` (the whole statement is
+/// scanned, so `let _ = tx.send(x);` and `let _ = self.q.try_send(m);`
+/// both fire) and a bare `.ok();` whose receiver is a direct
+/// send/append call (`tx.send(x).ok();`). `.ok()` feeding into
+/// anything other than `;` — `if tx.send(x).ok().is_some()` — is a
+/// *use* of the value and stays legal.
+fn e1_discarded_results(
+    tokens: &[Token],
+    code: &[usize],
+    emit: &mut impl FnMut(Rule, u32, String),
+) {
+    let tok = |k: usize| &tokens[code[k]];
+    let n = code.len();
+    let mut k = 0;
+    while k < n {
+        // Shape (a): `let _ = … .M(…) … ;`
+        if tok(k).is_ident("let")
+            && k + 2 < n
+            && tok(k + 1).is_ident("_")
+            && tok(k + 2).is_punct('=')
+        {
+            let let_line = tok(k).line;
+            let mut j = k + 3;
+            let mut depth = 0usize;
+            let mut dropped: Option<String> = None;
+            while j < n {
+                let t = tok(j);
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                } else if t.kind == TokenKind::Ident
+                    && E1_METHODS.contains(&t.text.as_str())
+                    && j > 0
+                    && tok(j - 1).is_punct('.')
+                    && j + 1 < n
+                    && tok(j + 1).is_punct('(')
+                {
+                    dropped.get_or_insert(t.text.clone());
+                }
+                j += 1;
+            }
+            if let Some(m) = dropped {
+                emit(
+                    Rule::E1,
+                    let_line,
+                    format!(
+                        "`let _ =` discards the Result of `.{m}(…)`; handle the error or waive with dasp::allow(E1)"
+                    ),
+                );
+            }
+            k = j + 1;
+            continue;
+        }
+        // Shape (b): `….M(…).ok();`
+        if tok(k).is_ident("ok")
+            && k >= 2
+            && tok(k - 1).is_punct('.')
+            && k + 2 < n
+            && tok(k + 1).is_punct('(')
+            && tok(k + 2).is_punct(')')
+            && k + 3 < n
+            && tok(k + 3).is_punct(';')
+        {
+            // Walk back over the producing call: `) . ok` — match the
+            // `(` of that call, then require `.M` right before it.
+            if tok(k - 2).is_punct(')') {
+                let mut depth = 0usize;
+                let mut open = None;
+                for b in (0..=k - 2).rev() {
+                    if tok(b).is_punct(')') {
+                        depth += 1;
+                    } else if tok(b).is_punct('(') {
+                        depth -= 1;
+                        if depth == 0 {
+                            open = Some(b);
+                            break;
+                        }
+                    }
+                }
+                if let Some(open) = open {
+                    // Only a *bare* statement discards: `let ok = x.send(1).ok();`
+                    // binds the Option, `return x.send(1).ok();` passes it on.
+                    // Scan back to the statement boundary looking for a binder.
+                    let mut bare = true;
+                    let mut bdepth = 0usize;
+                    let mut b = open.saturating_sub(1);
+                    while b > 0 {
+                        b -= 1;
+                        let t = tok(b);
+                        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                            bdepth += 1;
+                        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                            if bdepth == 0 {
+                                break;
+                            }
+                            bdepth -= 1;
+                        } else if bdepth == 0 && t.is_punct(';') {
+                            break;
+                        } else if bdepth == 0
+                            && (t.is_punct('=')
+                                || t.is_ident("let")
+                                || t.is_ident("return")
+                                || t.is_ident("match"))
+                        {
+                            bare = false;
+                            break;
+                        }
+                    }
+                    if bare
+                        && open >= 2
+                        && tok(open - 1).kind == TokenKind::Ident
+                        && E1_METHODS.contains(&tok(open - 1).text.as_str())
+                        && tok(open - 2).is_punct('.')
+                    {
+                        emit(
+                            Rule::E1,
+                            tok(k).line,
+                            format!(
+                                "bare `.ok();` discards the Result of `.{}(…)`; handle the error or waive with dasp::allow(E1)",
+                                tok(open - 1).text
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        k += 1;
     }
 }
 

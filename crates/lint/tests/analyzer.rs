@@ -131,6 +131,40 @@ fn u1_good_safety_comment_waives() {
 }
 
 #[test]
+fn e1_bad_fires_on_let_underscore_and_bare_ok() {
+    let found = violations("crates/net/src/x.rs", &fixture("e1", "bad.rs"));
+    assert_fires(&found, Rule::E1, &[4, 5, 6, 7]);
+}
+
+#[test]
+fn e1_good_handled_bound_and_waived_results_pass() {
+    let src = fixture("e1", "good.rs");
+    assert!(violations("crates/net/src/x.rs", &src).is_empty());
+    let all = dasp_lint::analyze_source("crates/net/src/x.rs", &src);
+    assert_eq!(
+        all.iter()
+            .filter(|f| f.waived && f.rule == Rule::E1)
+            .count(),
+        1,
+        "the shutdown-drain waiver must surface: {all:?}"
+    );
+}
+
+#[test]
+fn e1_is_scoped_to_net_server_storage() {
+    let src = fixture("e1", "bad.rs");
+    for path in ["crates/lint/src/x.rs", "crates/crypto/src/x.rs"] {
+        assert!(
+            violations(path, &src).is_empty(),
+            "E1 must not fire outside net/server/storage at {path}"
+        );
+    }
+    for path in ["crates/server/src/x.rs", "crates/storage/src/x.rs"] {
+        assert_eq!(violations(path, &src).len(), 4, "E1 in scope at {path}");
+    }
+}
+
+#[test]
 fn waivers_are_rule_specific() {
     let src = "fn f(v: Option<u64>) -> u64 {\n\
                // dasp::allow(S1): wrong rule — must not cover P1.\n\

@@ -1,0 +1,51 @@
+//! C1 good fixture: every path takes `Engine.tables` before
+//! `Engine.pool` — same shapes as the bad fixture, no cycle — plus one
+//! known two-lock ring that is waived with a reason.
+
+pub struct Engine {
+    pub tables: Mutex<u32>,
+    pub pool: Mutex<u32>,
+}
+
+impl Engine {
+    pub fn publish(&self) {
+        let t = self.tables.lock();
+        let p = self.pool.lock();
+        drop(p);
+        drop(t);
+    }
+
+    pub fn evict(&self) {
+        let t = self.tables.lock();
+        self.reclaim();
+        drop(t);
+    }
+
+    fn reclaim(&self) {
+        let p = self.pool.lock();
+        drop(p);
+    }
+}
+
+pub struct Journal {
+    pub log: Mutex<u32>,
+    pub index: Mutex<u32>,
+}
+
+impl Journal {
+    pub fn rotate(&self) {
+        let l = self.log.lock();
+        let i = self.index.lock();
+        drop(i);
+        drop(l);
+    }
+
+    pub fn compact(&self) {
+        let i = self.index.lock();
+        // dasp::allow(C1): rotate and compact both run on the single
+        // maintenance thread, never concurrently; the ring is unreachable.
+        let l = self.log.lock();
+        drop(l);
+        drop(i);
+    }
+}

@@ -1,0 +1,8 @@
+//! E1 fixture: four discarded Results, lines 4, 5, 6 and 7.
+
+pub fn ship(tx: Sender<u64>, wal: &mut Wal) {
+    let _ = tx.send(1);
+    tx.send(2).ok();
+    let _ = wal.append_durable(b"rec");
+    wal.commit().ok();
+}

@@ -1,0 +1,21 @@
+//! E1 fixture: every Result is handled, bound, or waived.
+
+pub fn ship(tx: Sender<u64>, wal: &mut Wal) -> Result<(), SendError> {
+    tx.send(1)?;
+    if tx.send(2).is_err() {
+        wal.note_backpressure();
+    }
+    // Binding the Option keeps the outcome observable — not a discard.
+    let acked = tx.send(3).ok();
+    let _ = acked;
+    wal.append_durable(b"rec")?;
+    // dasp::allow(E1): the peer may have hung up mid-shutdown; a dead
+    // receiver is expected here and must not fail the drain.
+    let _ = tx.send(4);
+    Ok(())
+}
+
+pub fn relay(tx: Sender<u64>) -> Option<()> {
+    // The Option is returned, not dropped.
+    return tx.send(5).ok();
+}

@@ -6,7 +6,7 @@
 //! then the call graph and the B1/W1 interprocedural passes on top
 //! (the path hint is a `reactor.rs` so the B1 root filter can match).
 
-use dasp_lint::{blocking, callgraph, lexer, ordering, parser};
+use dasp_lint::{blocking, callgraph, deadlock, lexer, ordering, parser};
 use proptest::prelude::*;
 
 fn build(src: String) {
@@ -26,6 +26,7 @@ fn build(src: String) {
     let graph = callgraph::CallGraph::build(&ws);
     let _ = blocking::run_b1(&ws, &graph);
     let _ = ordering::run_w1(&ws, &graph);
+    let _ = deadlock::run(&ws);
 }
 
 proptest! {
@@ -44,6 +45,29 @@ proptest! {
     /// and seed filters match on (`Shard`, `Wal`, `WouldBlock`).
     #[test]
     fn lexer_parser_survive_token_soup(src in "[a-zA-Z0-9 {}();=.,:<>#!&*'\"/_\n-]{0,300}") {
+        build(src);
+    }
+
+    /// Concurrency-shaped soup for C1/C2: the vocabulary spells spawns,
+    /// lock/drop pairs, channel constructors and endpoint ops so the
+    /// deadlock passes exercise their scope walks, endpoint propagation
+    /// and cycle search on malformed topologies — and must neither
+    /// panic nor hang.
+    #[test]
+    fn deadlock_passes_survive_spawn_lock_channel_soup(
+        picks in proptest::collection::vec(0..37usize, 0..120)
+    ) {
+        const WORDS: [&str; 37] = [
+            "fn", "pub", "impl", "struct", "let",
+            "self", "move", "||", "std::thread::spawn",
+            ".lock()", ".read()", ".write()", "drop",
+            "bounded", "unbounded", "channel",
+            ".send(1)", ".recv()", ".join()", ".clone()",
+            "Mutex<u64>", "tx", "rx", "g", "h",
+            "(", ")", "{", "}", ";", ",",
+            "=", ".", ":", "&", "_", "\n",
+        ];
+        let src: String = picks.iter().flat_map(|&i| [WORDS[i], " "]).collect();
         build(src);
     }
 }

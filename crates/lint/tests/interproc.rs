@@ -314,6 +314,85 @@ fn w1_good_append_then_publish_passes_waiver_surfaces() {
     assert_eq!(waived[0].line, 41);
 }
 
+#[test]
+fn c1_bad_reports_lock_order_cycle_with_two_sided_witness() {
+    let report = run("c1", "bad");
+    let got = of_rule(&report, Rule::C1);
+    let want = [(
+        APP.to_string(),
+        22,
+        "C1 lock-order cycle between `Engine.pool` and `Engine.tables`: one thread \
+         `Engine::evict` acquires `Engine.tables` (mutex guard) while holding \
+         `Engine.pool` via Engine::flush; another thread `Engine::publish` acquires \
+         `Engine.pool` (mutex guard) while holding `Engine.tables` — interleaved, \
+         each waits for the lock the other holds"
+            .to_string(),
+    )];
+    assert_eq!(got, want, "C1 bad fixture findings");
+}
+
+#[test]
+fn c1_good_consistent_order_passes_waiver_surfaces() {
+    let report = run("c1", "good");
+    assert_eq!(
+        of_rule(&report, Rule::C1),
+        vec![],
+        "unwaived C1 in good fixture"
+    );
+    let waived = waived_of_rule(&report, Rule::C1);
+    assert_eq!(waived.len(), 1, "exactly the waived ring: {waived:?}");
+    assert_eq!(waived[0].line, 47);
+}
+
+/// The e3a2826 regression (reconnect joining its reader thread while
+/// holding the state lock the reader's loop takes) plus a two-channel
+/// bounded ring. Both must fire with full witness chains.
+#[test]
+fn c2_bad_reports_reconnect_join_and_bounded_ring() {
+    let report = run("c2", "bad");
+    let got = of_rule(&report, Rule::C2);
+    let want = [
+        (
+            APP.to_string(),
+            24,
+            "C2 deadlock: `Conn::reconnect` blocks on a thread join while holding \
+             `Conn.state`; the awaited thread spawned in `Conn::reconnect` (entry \
+             `reader_loop`) acquires `Conn.state` via reader_loop — the wait can \
+             never finish"
+                .to_string(),
+        ),
+        (
+            APP.to_string(),
+            38,
+            "C2 bounded-channel wait cycle: the caller thread blocks in `feed` \
+             sending on the bounded channel `(job_tx, job_rx)` created in `pipeline` \
+             until the thread spawned in `pipeline` (entry `worker`) drains it; the \
+             thread spawned in `pipeline` (entry `worker`) blocks in `worker` \
+             sending on the bounded channel `(res_tx, res_rx)` created in `pipeline` \
+             until the caller thread drains it — every thread in the ring waits for \
+             the next, and the bounded queue can be full"
+                .to_string(),
+        ),
+    ];
+    assert_eq!(got, want, "C2 bad fixture findings");
+}
+
+/// The fixed shapes: guard dropped before join, single-channel
+/// producer/consumer (rendezvous, never a deadlock), and one waived
+/// lock-held join.
+#[test]
+fn c2_good_fixed_shapes_pass_waiver_surfaces() {
+    let report = run("c2", "good");
+    assert_eq!(
+        of_rule(&report, Rule::C2),
+        vec![],
+        "unwaived C2 in good fixture"
+    );
+    let waived = waived_of_rule(&report, Rule::C2);
+    assert_eq!(waived.len(), 1, "exactly the waived join: {waived:?}");
+    assert_eq!(waived[0].line, 57);
+}
+
 /// Regression for the call-graph precision upgrade: `Wal::spawn_flusher`
 /// calls `std::thread::Builder::new().name(…).spawn(…)` — a chained
 /// call on an external type. The old bare-name fallback fabricated an
@@ -377,6 +456,8 @@ fn output_is_deterministic_and_sorted() {
         ("p3", "bad"),
         ("b1", "bad"),
         ("w1", "bad"),
+        ("c1", "bad"),
+        ("c2", "bad"),
     ] {
         let a = run(rule, which);
         let b = run(rule, which);

@@ -736,6 +736,9 @@ impl TcpServer {
                         let payload = service.handle(&job.payload);
                         // The request buffer rides back for the shard's
                         // pool to reuse.
+                        // dasp::allow(E1): a send failure means the reactor
+                        // dropped the completion channel at shutdown; the
+                        // worker loop exits on the next recv.
                         let _ = job.done.send(Completion {
                             conn: job.conn,
                             token: job.token,

@@ -315,6 +315,9 @@ impl Cluster {
                                     FailureMode::Omission(p) => {
                                         let response = service.handle(&env.request);
                                         if rng.gen::<f64>() >= p {
+                                            // dasp::allow(E1): the caller may have
+                                            // timed out and dropped its reply rx;
+                                            // a dead waiter is not an error here.
                                             let _ = env.reply_to.send((env.token, response));
                                         }
                                     }
@@ -327,9 +330,13 @@ impl Cluster {
                                                 *byte ^= 1u8 << bit;
                                             }
                                         }
+                                        // dasp::allow(E1): same as above — the
+                                        // waiter may be gone; drop the reply.
                                         let _ = env.reply_to.send((env.token, response));
                                     }
                                     FailureMode::Healthy => {
+                                        // dasp::allow(E1): same as above — the
+                                        // waiter may be gone; drop the reply.
                                         let _ = env
                                             .reply_to
                                             .send((env.token, service.handle(&env.request)));

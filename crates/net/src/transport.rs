@@ -374,8 +374,9 @@ impl TcpClient {
         }
         let mut pending = self.inner.pending.lock();
         for (_t, tx) in pending.drain() {
-            // dasp::allow(L1): each `tx` is a capacity-1 channel that sees at
-            // most one send ever — this send can never block.
+            // dasp::allow(L1, E1): each `tx` is a capacity-1 channel that sees
+            // at most one send ever — this send can never block — and the
+            // waiter may already have timed out and dropped its rx.
             let _ = tx.send(Err(TransportError::Closed));
         }
     }
@@ -519,7 +520,8 @@ fn write_pack(inner: &Arc<Inner>, items: &[BatchItem], frame: &mut Vec<u8>) {
         let mut pending = inner.pending.lock();
         for item in items {
             if let Some(tx) = pending.remove(&item.token) {
-                // dasp::allow(L1): capacity-1, single-send channel — never blocks.
+                // dasp::allow(L1, E1): capacity-1, single-send channel — never
+                // blocks, and the waiter may have timed out and dropped it.
                 let _ = tx.send(Err(err.clone()));
             }
         }
@@ -541,6 +543,8 @@ fn reader_loop(inner: Arc<Inner>, mut stream: TcpStream, my_epoch: u64) {
                         Ok(Some(view)) => match view.kind {
                             FrameKind::Response => {
                                 if let Some(tx) = inner.pending.lock().remove(&view.token) {
+                                    // dasp::allow(E1): the requester may have
+                                    // timed out and dropped its reply rx.
                                     let _ = tx.send(Ok(view.payload.to_vec()));
                                 }
                             }
@@ -549,6 +553,8 @@ fn reader_loop(inner: Arc<Inner>, mut stream: TcpStream, my_epoch: u64) {
                                     match item {
                                         Ok((token, payload)) => {
                                             if let Some(tx) = inner.pending.lock().remove(&token) {
+                                                // dasp::allow(E1): the requester
+                                                // may have timed out already.
                                                 let _ = tx.send(Ok(payload.to_vec()));
                                             }
                                         }
@@ -597,7 +603,8 @@ fn reader_loop(inner: Arc<Inner>, mut stream: TcpStream, my_epoch: u64) {
         // and each `tx` is a capacity-1, single-send channel — never blocks.
         let mut pending = inner.pending.lock();
         for (_t, tx) in pending.drain() {
-            // dasp::allow(L1): capacity-1, single-send channel — never blocks.
+            // dasp::allow(L1, E1): capacity-1, single-send channel — never
+            // blocks, and the waiter may have timed out and dropped it.
             let _ = tx.send(Err(error.clone()));
         }
     }
